@@ -1,0 +1,104 @@
+//! Ablations of the design choices DESIGN.md calls out (not a paper table,
+//! but the knobs the paper's discussion leans on):
+//!
+//! 1. **Eager `Check` pruning** (Algorithm 3 Line 14) on/off — the final
+//!    pass guarantees correctness either way; eager pruning is purely a
+//!    traffic/computation saving. This quantifies Lemma 5's practical value.
+//! 2. **Vertex-order strategy** — the degree-product formula vs plain id
+//!    order: same cover guarantee, very different index sizes and build
+//!    times (the `ord` footnote of §II-B: "works well in practice").
+//! 3. **Dynamic maintenance vs rebuild** — cost of one edge update through
+//!    `reach_core::dynamic` against a from-scratch DRL rebuild.
+
+use reach_bench::{scaled, timed, Report};
+use reach_core::dynamic::DynamicIndex;
+use reach_graph::{dynamic::DynamicGraph, OrderAssignment, OrderKind};
+use reach_vcs::NetworkModel;
+
+const NODES: usize = 32;
+
+fn main() {
+    let spec = scaled(&reach_datasets::by_name("WEBW").expect("dataset"));
+    let g = spec.generate();
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+
+    // --- Ablation 1: eager Check pruning.
+    let mut report = Report::new(
+        "ablation_eager_check",
+        &["Variant", "RemoteMsgs", "NetBytes", "Comp_s", "Comm_s"],
+    );
+    for (label, eager) in [("eager (Line 14 on)", true), ("lazy (final pass only)", false)] {
+        let (idx, st) =
+            reach_drl_dist::drl::run_with_options(&g, &ord, NODES, NetworkModel::default(), eager);
+        assert_eq!(
+            idx,
+            reach_drl_dist::drl::run(&g, &ord, NODES, NetworkModel::default()).0,
+            "ablation must not change the index"
+        );
+        report.row(vec![
+            label.into(),
+            st.comm.remote_messages.to_string(),
+            st.comm.network_bytes().to_string(),
+            format!("{:.4}", st.compute_seconds),
+            format!("{:.4}", st.comm_seconds),
+        ]);
+    }
+    report.finish();
+
+    // --- Ablation 2: vertex-order strategy.
+    let mut report = Report::new(
+        "ablation_order",
+        &["Order", "Build_s", "Entries", "MaxLabel", "MB"],
+    );
+    for (label, kind) in [
+        ("degree-product", OrderKind::DegreeProduct),
+        ("inverse-id", OrderKind::InverseId),
+        ("by-id", OrderKind::ById),
+    ] {
+        let ord = OrderAssignment::new(&g, kind);
+        let (idx, secs) = timed(|| reach_tol::pruned::build(&g, &ord));
+        report.row(vec![
+            label.into(),
+            format!("{secs:.3}"),
+            idx.num_entries().to_string(),
+            idx.max_label_size().to_string(),
+            format!("{:.2}", idx.size_bytes() as f64 / (1024.0 * 1024.0)),
+        ]);
+    }
+    report.finish();
+
+    // --- Ablation 3: dynamic maintenance vs rebuild.
+    let mut report = Report::new(
+        "ablation_dynamic",
+        &["Operation", "Maintain_s", "Rebuild_s", "Refloods", "LabelChanges"],
+    );
+    let small = reach_datasets::generators::hierarchy(8_000, 20_000, 0.95, 77);
+    let ord = OrderAssignment::new(&small, OrderKind::DegreeProduct);
+    let (mut dyn_idx, build_secs) =
+        timed(|| DynamicIndex::new(DynamicGraph::from_digraph(&small), ord.clone()));
+    report.row(vec![
+        "initial build".into(),
+        format!("{build_secs:.4}"),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let n = small.num_vertices() as u32;
+    for op in 0..5 {
+        let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        let (stats, secs) = timed(|| dyn_idx.insert_edge(u, v));
+        let Some(stats) = stats else { continue };
+        let g_now = dyn_idx.graph().to_digraph();
+        let (_, rebuild_secs) = timed(|| reach_core::drl(&g_now, dyn_idx.order()));
+        report.row(vec![
+            format!("insert #{op} ({u}->{v})"),
+            format!("{secs:.4}"),
+            format!("{rebuild_secs:.4}"),
+            (stats.refloods_fwd + stats.refloods_bwd).to_string(),
+            stats.label_changes.to_string(),
+        ]);
+    }
+    report.finish();
+}

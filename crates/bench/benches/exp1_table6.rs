@@ -1,0 +1,136 @@
+//! Exp 1–3 / **Table VI**: index time, index size, and query time of
+//! BFL^C, BFL^D, TOL, DRLb and DRLb^M on all 18 datasets.
+//!
+//! Semantics mirror the paper:
+//! * BFL^C, TOL, DRLb^M are single-node deployments and show `-` on the
+//!   datasets whose paper-scale graph/index exceeded one 32 GB node (the
+//!   gate flags in `reach_datasets::table5`).
+//! * BFL^D and DRLb run on 32 simulated nodes; their index time is the
+//!   modeled parallel time (computation max-per-node + network model).
+//! * DRLb^M is the shared-memory deployment: the same engine with a
+//!   zero-cost network — parallel compute without communication (Exp 3's
+//!   comparison isolates exactly that difference).
+//! * Query times are the mean over 250 000 random queries; BFL^D
+//!   queries add the modeled network cost of fetching remote labels and of
+//!   the distributed fallback search.
+
+use reach_bench::{
+    dataset_filter, fmt_mib, fmt_secs, mean_query_seconds, query_workload, scaled, timed, Report,
+};
+use reach_core::BatchParams;
+use reach_graph::{OrderAssignment, OrderKind};
+use reach_vcs::NetworkModel;
+
+const NODES: usize = 32;
+const QUERIES: usize = 250_000;
+
+fn main() {
+    let filter = dataset_filter();
+    let mut report = Report::new(
+        "exp1_table6",
+        &[
+            "Name", "BFL^C_t", "BFL^D_t", "TOL_t", "DRLb_t", "DRLbM_t", // index time (s)
+            "BFL_MB", "TOL_MB", "DRLb_MB", // index size
+            "BFL^C_q", "BFL^D_q", "TOL_q", "DRLb_q", // query time (s)
+        ],
+    );
+    let network = NetworkModel::default();
+    let free_network = NetworkModel {
+        superstep_latency: 0.0,
+        bandwidth: f64::INFINITY,
+    };
+
+    for spec in reach_datasets::table5() {
+        if let Some(f) = &filter {
+            if !f.contains(&spec.name.to_string()) {
+                continue;
+            }
+        }
+        let spec = scaled(&spec);
+        let g = spec.generate();
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let workload = query_workload(&g, QUERIES, 0xBEEF);
+
+        // --- BFL^C (centralized; gated like the paper's single node).
+        let (bflc_t, bflc_q, bfl_size) = if spec.bflc_single_node {
+            let (oracle, t) = timed(|| reach_bfl::BflOracle::build(&g));
+            let q = mean_query_seconds(&workload, |s, t| oracle.query_traced(s, t).0);
+            (Some(t), Some(q), Some(oracle.index().size_bytes()))
+        } else {
+            (None, None, None)
+        };
+
+        // --- BFL^D (32 nodes; modeled build + modeled queries).
+        let bfld = reach_bfl::BflDistributed::build(&g, NODES, network);
+        let bfld_t = Some(bfld.build_stats.total_seconds());
+        let bfl_size = bfl_size.or(Some(bfld.index().size_bytes()));
+        let bfld_q = {
+            // Mean modeled per-query seconds plus the measured local work.
+            let sample = &workload[..workload.len().min(5_000)];
+            let mut modeled = 0.0;
+            let (_, measured) = timed(|| {
+                for &(s, t) in sample {
+                    let (ans, cost) = bfld.query(&g, s, t);
+                    std::hint::black_box(ans);
+                    modeled += cost.modeled_seconds;
+                }
+            });
+            Some((modeled + measured) / sample.len() as f64)
+        };
+
+        // --- TOL (serial pruned construction; gated).
+        let (tol_t, tol_q, tol_size) = if spec.tol_single_node {
+            let (idx, t) = timed(|| reach_tol::pruned::build(&g, &ord));
+            let q = mean_query_seconds(&workload, |s, t| idx.query(s, t));
+            (Some(t), Some(q), Some(idx.size_bytes()))
+        } else {
+            (None, None, None)
+        };
+
+        // --- DRLb on 32 simulated nodes (modeled time).
+        let (drlb_idx, drlb_stats) = reach_drl_dist::drlb::run(
+            &g,
+            &ord,
+            BatchParams::default(),
+            NODES,
+            network,
+        );
+        let drlb_t = Some(drlb_stats.total_seconds());
+        let drlb_size = Some(drlb_idx.size_bytes());
+        let drlb_q = Some(mean_query_seconds(&workload, |s, t| drlb_idx.query(s, t)));
+        if let Some(ts) = tol_size {
+            assert_eq!(ts, drlb_idx.size_bytes(), "{}: same index as TOL", spec.name);
+        }
+
+        // --- DRLb^M: shared-memory = same engine, free network; gated.
+        let drlbm_t = if spec.tol_single_node {
+            let (_, st) = reach_drl_dist::drlb::run(
+                &g,
+                &ord,
+                BatchParams::default(),
+                NODES,
+                free_network,
+            );
+            Some(st.total_seconds())
+        } else {
+            None
+        };
+
+        report.row(vec![
+            spec.name.to_string(),
+            fmt_secs(bflc_t),
+            fmt_secs(bfld_t),
+            fmt_secs(tol_t),
+            fmt_secs(drlb_t),
+            fmt_secs(drlbm_t),
+            fmt_mib(bfl_size),
+            fmt_mib(tol_size),
+            fmt_mib(drlb_size),
+            fmt_secs(bflc_q),
+            fmt_secs(bfld_q),
+            fmt_secs(tol_q),
+            fmt_secs(drlb_q),
+        ]);
+    }
+    report.finish();
+}

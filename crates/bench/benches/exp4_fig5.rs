@@ -1,0 +1,108 @@
+//! Exp 4 / **Fig. 5**: communication vs computation time of DRL⁻, DRL and
+//! DRLb on the six medium graphs (32 simulated nodes).
+//!
+//! Each (algorithm, dataset) cell runs in a subprocess guarded by the
+//! cut-off (`REACH_BENCH_CUTOFF`, default 120 s — the reproduction-scale
+//! analogue of the paper's 2 hours); cells that exceed it print `INF`,
+//! which is exactly how the paper reports DRL⁻ on DBPE, CITE and TW.
+
+use reach_bench::{cutoff, dataset_filter, fmt_secs, run_self_with_cutoff, scaled, Report};
+use reach_core::BatchParams;
+use reach_graph::{OrderAssignment, OrderKind};
+use reach_vcs::NetworkModel;
+
+const NODES: usize = 32;
+const ALGS: [&str; 3] = ["DRL-", "DRL", "DRLb"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() >= 4 && args[1] == "--cell" {
+        run_cell(&args[2], &args[3]);
+        return;
+    }
+
+    let filter = dataset_filter();
+    let mut report = Report::new(
+        "exp4_fig5",
+        &["Name", "Alg", "Comp_s", "Comm_s", "Total_s", "NetBytes"],
+    );
+    for spec in reach_datasets::mediums() {
+        if let Some(f) = &filter {
+            if !f.contains(&spec.name.to_string()) {
+                continue;
+            }
+        }
+        for alg in ALGS {
+            match run_self_with_cutoff(&["--cell", alg, spec.name], cutoff()) {
+                Some(out) => {
+                    let mut parsed = None;
+                    for line in out.lines() {
+                        if let Some(rest) = line.strip_prefix("RESULT ") {
+                            let v: Vec<f64> =
+                                rest.split_whitespace().flat_map(str::parse).collect();
+                            if v.len() == 4 {
+                                parsed = Some(v);
+                            }
+                        }
+                    }
+                    if let Some(v) = parsed {
+                        report.row(vec![
+                            spec.name.into(),
+                            alg.into(),
+                            fmt_secs(Some(v[0])),
+                            fmt_secs(Some(v[1])),
+                            fmt_secs(Some(v[0] + v[1])),
+                            format!("{}", v[2] as u64),
+                        ]);
+                        continue;
+                    }
+                    report.row(error_row(spec.name, alg));
+                }
+                None => report.row(vec![
+                    spec.name.into(),
+                    alg.into(),
+                    "INF".into(),
+                    "INF".into(),
+                    "INF".into(),
+                    "-".into(),
+                ]),
+            }
+        }
+    }
+    report.finish();
+}
+
+fn error_row(name: &str, alg: &str) -> Vec<String> {
+    vec![
+        name.into(),
+        alg.into(),
+        "ERR".into(),
+        "ERR".into(),
+        "ERR".into(),
+        "-".into(),
+    ]
+}
+
+/// Subprocess mode: run one (algorithm, dataset) cell and print the result
+/// line the parent parses.
+fn run_cell(alg: &str, dataset: &str) {
+    let spec = scaled(&reach_datasets::by_name(dataset).expect("dataset"));
+    let g = spec.generate();
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+    let network = NetworkModel::default();
+    let stats = match alg {
+        "DRL-" => reach_drl_dist::drl_minus::run(&g, &ord, NODES, network).1,
+        "DRL" => reach_drl_dist::drl::run(&g, &ord, NODES, network).1,
+        "DRLb" => {
+            reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), NODES, network).1
+        }
+        other => panic!("unknown algorithm {other}"),
+    };
+    println!(
+        "RESULT {} {} {} {}",
+        stats.compute_seconds,
+        stats.comm_seconds,
+        stats.comm.network_bytes(),
+        stats.supersteps
+    );
+}

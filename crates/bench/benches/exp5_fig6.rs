@@ -1,0 +1,96 @@
+//! Exp 5 / **Fig. 6**: speedup of DRL⁻, DRL and DRLb as the node count
+//! grows from 1 to 32, on the six medium graphs.
+//!
+//! `speedup(x) = modeled index time on 1 node / modeled index time on x
+//! nodes`, exactly the paper's definition. Cells whose 1-node run exceeds
+//! the cut-off are reported `INF` for the whole curve, mirroring the
+//! paper's "mark the failure at the title of that graph".
+
+use reach_bench::{cutoff, dataset_filter, run_self_with_cutoff, scaled, Report};
+use reach_core::BatchParams;
+use reach_graph::{OrderAssignment, OrderKind};
+use reach_vcs::NetworkModel;
+
+const NODE_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+const ALGS: [&str; 3] = ["DRL-", "DRL", "DRLb"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() >= 5 && args[1] == "--cell" {
+        run_cell(&args[2], &args[3], args[4].parse().expect("nodes"));
+        return;
+    }
+
+    let filter = dataset_filter();
+    let mut report = Report::new(
+        "exp5_fig6",
+        &["Name", "Alg", "Nodes", "Time_s", "Speedup"],
+    );
+    for spec in reach_datasets::mediums() {
+        if let Some(f) = &filter {
+            if !f.contains(&spec.name.to_string()) {
+                continue;
+            }
+        }
+        for alg in ALGS {
+            let mut base: Option<f64> = None;
+            for nodes in NODE_COUNTS {
+                let out = run_self_with_cutoff(
+                    &["--cell", alg, spec.name, &nodes.to_string()],
+                    cutoff(),
+                );
+                let time = out.and_then(|o| {
+                    o.lines()
+                        .find_map(|l| l.strip_prefix("RESULT ").and_then(|r| r.parse().ok()))
+                });
+                match time {
+                    Some(t) => {
+                        if nodes == 1 {
+                            base = Some(t);
+                        }
+                        let speedup = base.map(|b: f64| b / t);
+                        report.row(vec![
+                            spec.name.into(),
+                            alg.into(),
+                            nodes.to_string(),
+                            format!("{t:.4}"),
+                            speedup
+                                .map(|s| format!("{s:.2}"))
+                                .unwrap_or_else(|| "-".into()),
+                        ]);
+                    }
+                    None => {
+                        report.row(vec![
+                            spec.name.into(),
+                            alg.into(),
+                            nodes.to_string(),
+                            "INF".into(),
+                            "-".into(),
+                        ]);
+                        if nodes == 1 {
+                            // No baseline: the paper skips the curve.
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report.finish();
+}
+
+fn run_cell(alg: &str, dataset: &str, nodes: usize) {
+    let spec = scaled(&reach_datasets::by_name(dataset).expect("dataset"));
+    let g = spec.generate();
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+    let network = NetworkModel::default();
+    let stats = match alg {
+        "DRL-" => reach_drl_dist::drl_minus::run(&g, &ord, nodes, network).1,
+        "DRL" => reach_drl_dist::drl::run(&g, &ord, nodes, network).1,
+        "DRLb" => {
+            reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), nodes, network).1
+        }
+        other => panic!("unknown algorithm {other}"),
+    };
+    println!("RESULT {}", stats.total_seconds());
+}

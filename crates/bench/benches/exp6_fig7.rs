@@ -1,0 +1,67 @@
+//! Exp 6 / **Fig. 7**: scalability — index time of DRL⁻, DRL and DRLb on
+//! cumulative 20 %–100 % edge slices of each medium graph (32 nodes).
+
+use reach_bench::{cutoff, dataset_filter, run_self_with_cutoff, scaled, Report};
+use reach_core::BatchParams;
+use reach_graph::{OrderAssignment, OrderKind};
+use reach_vcs::NetworkModel;
+
+const NODES: usize = 32;
+const PARTS: usize = 5;
+const ALGS: [&str; 3] = ["DRL-", "DRL", "DRLb"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() >= 5 && args[1] == "--cell" {
+        run_cell(&args[2], &args[3], args[4].parse().expect("slice"));
+        return;
+    }
+
+    let filter = dataset_filter();
+    let mut report = Report::new("exp6_fig7", &["Name", "Alg", "Pct", "Time_s"]);
+    for spec in reach_datasets::mediums() {
+        if let Some(f) = &filter {
+            if !f.contains(&spec.name.to_string()) {
+                continue;
+            }
+        }
+        for alg in ALGS {
+            for slice in 1..=PARTS {
+                let out = run_self_with_cutoff(
+                    &["--cell", alg, spec.name, &slice.to_string()],
+                    cutoff(),
+                );
+                let time: Option<f64> = out.and_then(|o| {
+                    o.lines()
+                        .find_map(|l| l.strip_prefix("RESULT ").and_then(|r| r.parse().ok()))
+                });
+                report.row(vec![
+                    spec.name.into(),
+                    alg.into(),
+                    format!("{}", slice * 100 / PARTS),
+                    time.map(|t| format!("{t:.4}")).unwrap_or_else(|| "INF".into()),
+                ]);
+                if time.is_none() {
+                    break; // larger slices will also exceed the cut-off
+                }
+            }
+        }
+    }
+    report.finish();
+}
+
+fn run_cell(alg: &str, dataset: &str, slice: usize) {
+    let spec = scaled(&reach_datasets::by_name(dataset).expect("dataset"));
+    let g = spec.generate();
+    let slices = reach_datasets::edge_fraction_slices(&g, PARTS, spec.seed);
+    let g = &slices[slice - 1];
+    let ord = OrderAssignment::new(g, OrderKind::DegreeProduct);
+    let network = NetworkModel::default();
+    let stats = match alg {
+        "DRL-" => reach_drl_dist::drl_minus::run(g, &ord, NODES, network).1,
+        "DRL" => reach_drl_dist::drl::run(g, &ord, NODES, network).1,
+        "DRLb" => reach_drl_dist::drlb::run(g, &ord, BatchParams::default(), NODES, network).1,
+        other => panic!("unknown algorithm {other}"),
+    };
+    println!("RESULT {}", stats.total_seconds());
+}

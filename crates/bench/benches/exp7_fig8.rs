@@ -1,0 +1,43 @@
+//! Exp 7 / **Fig. 8**: effect of the initial batch size `b` on DRLb's
+//! index time (k = 2, 32 nodes, the six medium graphs).
+//!
+//! The paper's finding: `b` barely matters (≤ 1.5× spread) and `b = 2` is
+//! a good default.
+
+use reach_bench::{dataset_filter, scaled, Report};
+use reach_core::BatchParams;
+use reach_graph::{OrderAssignment, OrderKind};
+use reach_vcs::NetworkModel;
+
+const NODES: usize = 32;
+const B_VALUES: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+fn main() {
+    let filter = dataset_filter();
+    let mut report = Report::new("exp7_fig8", &["Name", "b", "Time_s"]);
+    for spec in reach_datasets::mediums() {
+        if let Some(f) = &filter {
+            if !f.contains(&spec.name.to_string()) {
+                continue;
+            }
+        }
+        let spec = scaled(&spec);
+        let g = spec.generate();
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        for b in B_VALUES {
+            let (_, stats) = reach_drl_dist::drlb::run(
+                &g,
+                &ord,
+                BatchParams::new(b, 2.0),
+                NODES,
+                NetworkModel::default(),
+            );
+            report.row(vec![
+                spec.name.into(),
+                b.to_string(),
+                format!("{:.4}", stats.total_seconds()),
+            ]);
+        }
+    }
+    report.finish();
+}

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks for the kernels the experiments rest on:
+//! index query latency (the sub-microsecond claim of Table VI), trimmed
+//! BFS throughput, and the sorted-intersection primitive.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use reach_core::BatchParams;
+use reach_graph::{Direction, OrderAssignment, OrderKind, VisitBuffer};
+use reach_index::intersects_sorted;
+
+fn bench_query_latency(c: &mut Criterion) {
+    let spec = reach_datasets::by_name("WEBW").expect("dataset");
+    let g = spec.generate();
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+    let idx = reach_core::drlb(&g, &ord, BatchParams::default());
+    let workload = reach_bench::query_workload(&g, 1024, 7);
+    let mut i = 0;
+    c.bench_function("index_query", |b| {
+        b.iter(|| {
+            let (s, t) = workload[i & 1023];
+            i += 1;
+            std::hint::black_box(idx.query(s, t))
+        })
+    });
+}
+
+fn bench_trimmed_bfs(c: &mut Criterion) {
+    let g = reach_datasets::web(50_000, 120_000, 3);
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+    let mut visit = VisitBuffer::new(g.num_vertices());
+    let mut v = 0u32;
+    c.bench_function("trimmed_bfs", |b| {
+        b.iter(|| {
+            v = (v + 1) % g.num_vertices() as u32;
+            std::hint::black_box(reach_core::trimmed::trimmed_bfs(
+                &g,
+                v,
+                Direction::Forward,
+                &ord,
+                &mut visit,
+            ))
+        })
+    });
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let a: Vec<u32> = (0..64).map(|x| x * 3).collect();
+    let b: Vec<u32> = (0..64).map(|x| x * 3 + 1).collect();
+    c.bench_function("sorted_intersection_disjoint_64", |bch| {
+        bch.iter(|| std::hint::black_box(intersects_sorted(&a, &b)))
+    });
+}
+
+fn bench_index_build_small(c: &mut Criterion) {
+    let g = reach_datasets::web(20_000, 48_000, 5);
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+    c.bench_function("drlb_build_20k", |b| {
+        b.iter_batched(
+            || (),
+            |()| std::hint::black_box(reach_core::drlb(&g, &ord, BatchParams::default())),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_query_latency, bench_trimmed_bfs, bench_intersection, bench_index_build_small
+}
+criterion_main!(micro);

@@ -1,0 +1,47 @@
+//! **Table IV** (as a measured ablation): BFSs needed in the filtering and
+//! refinement phases by the three labeling methods — the Theorem-2
+//! framework, DRL⁻ (Theorem 3) and DRL (Theorem 4).
+//!
+//! The paper states the counts analytically (1 + |DES_hig(v)|,
+//! 1 + |BFS_hig(v)|, 1 + 0 per vertex per direction); this bench measures
+//! them on a real workload, confirming `refine(DRL) = 0 <= refine(DRL⁻)
+//! <= refine(Theorem 2)`.
+
+use reach_bench::{scaled, Report};
+use reach_graph::{OrderAssignment, OrderKind};
+
+fn main() {
+    let mut report = Report::new(
+        "table4_bfs_counts",
+        &["Name", "Method", "Filter_BFS", "Refine_BFS", "Candidates", "Eliminated"],
+    );
+    // A single medium suffices for the ablation (the counts are exact,
+    // not timings); the Theorem-2 framework is quadratic, so sub-scale it.
+    let mut spec = scaled(&reach_datasets::by_name("WEBW").expect("dataset"));
+    spec.vertices = (spec.vertices / 20).max(16);
+    spec.edges = (spec.edges / 20).max(16);
+    let g = spec.generate();
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+
+    let (_, t2) = reach_core::framework::build_with_stats(&g, &ord);
+    let (_, t3) = reach_core::basic::drl_minus_with_stats(&g, &ord);
+    let (_, t4) = reach_core::improved::drl_with_stats(&g, &ord);
+
+    for (method, s) in [
+        ("Theorem 2", &t2),
+        ("Theorem 3 (DRL-)", &t3),
+        ("Theorem 4 (DRL)", &t4),
+    ] {
+        report.row(vec![
+            spec.name.into(),
+            method.into(),
+            s.filter_bfs.to_string(),
+            s.refine_bfs.to_string(),
+            s.candidates.to_string(),
+            s.eliminated.to_string(),
+        ]);
+    }
+    assert_eq!(t4.refine_bfs, 0, "Theorem-4 refinement is BFS-free");
+    assert!(t3.refine_bfs <= t2.refine_bfs, "Lemma 3: |BFS_hig| <= |DES_hig|");
+    report.finish();
+}

@@ -1,0 +1,42 @@
+//! Probes every medium dataset (plus the three TOL-capable larges) for
+//! label size and per-algorithm cost, to keep the experiment defaults
+//! inside the time budget while exercising the paper's regime.
+
+use reach_bench::timed;
+use reach_core::BatchParams;
+use reach_graph::{OrderAssignment, OrderKind};
+use reach_vcs::NetworkModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let with_drl = args.iter().any(|a| a == "--drl");
+    for spec in reach_datasets::table5() {
+        if !(spec.medium || ["LINK", "GRPH", "TWIT"].contains(&spec.name)) {
+            continue;
+        }
+        let g = spec.generate();
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let (idx, t_tol) = timed(|| reach_tol::pruned::build(&g, &ord));
+        let avg = idx.num_entries() as f64 / (2.0 * g.num_vertices() as f64);
+        let ((_, st), wall) = timed(|| {
+            reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), 32, NetworkModel::default())
+        });
+        println!(
+            "{}: |V|={} |E|={} TOL={t_tol:.2}s avg_label={avg:.1} Δ={} | DRLb32 modeled={:.3}s wall={wall:.1}s ratio={:.1}",
+            spec.name,
+            g.num_vertices(),
+            g.num_edges(),
+            idx.max_label_size(),
+            st.total_seconds(),
+            t_tol / st.total_seconds()
+        );
+        if with_drl && spec.medium {
+            let ((_, st), wall) =
+                timed(|| reach_drl_dist::drl::run(&g, &ord, 32, NetworkModel::default()));
+            println!(
+                "  DRL32: modeled={:.3}s wall={wall:.1}s",
+                st.total_seconds()
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Debug probe: why do DRLb message totals differ across node counts?
+
+use reach_core::BatchParams;
+use reach_graph::{OrderAssignment, OrderKind};
+use reach_vcs::NetworkModel;
+
+fn main() {
+    for n in [60usize, 200, 600] {
+        let g = reach_datasets::generators::hierarchy(n, (n as f64 * 2.5) as usize, 0.95, 13);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let mut prev: Option<(usize, usize)> = None;
+        for nodes in [1usize, 3, 8] {
+            let (idx, st) = reach_drl_dist::drlb::run(
+                &g,
+                &ord,
+                BatchParams::default(),
+                nodes,
+                NetworkModel::default(),
+            );
+            let msgs = st.comm.local_messages + st.comm.remote_messages;
+            println!(
+                "n={n} nodes={nodes}: msgs={msgs} supersteps={} entries={}",
+                st.supersteps,
+                idx.num_entries()
+            );
+            if let Some((pm, pe)) = prev {
+                if pm != msgs {
+                    println!("  !! message divergence ({pm} vs {msgs}), entries {pe} vs {}", idx.num_entries());
+                }
+            }
+            prev = Some((msgs, idx.num_entries()));
+        }
+    }
+}

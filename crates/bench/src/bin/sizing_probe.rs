@@ -1,0 +1,57 @@
+//! Quick sizing probe: times each algorithm on one medium and one large
+//! dataset stand-in so the experiment defaults stay inside a sane budget.
+
+use reach_bench::timed;
+use reach_core::BatchParams;
+use reach_graph::{OrderAssignment, OrderKind};
+use reach_vcs::NetworkModel;
+
+fn main() {
+    for name in ["WEBW", "SINA", "WEBS"] {
+        let spec = reach_datasets::by_name(name).unwrap();
+        let (g, t_gen) = timed(|| spec.generate());
+        let (ord, _) = timed(|| OrderAssignment::new(&g, OrderKind::DegreeProduct));
+        println!(
+            "{name}: |V|={} |E|={} gen={t_gen:.2}s",
+            g.num_vertices(),
+            g.num_edges()
+        );
+        let (idx_tol, t_tol) = timed(|| reach_tol::pruned::build(&g, &ord));
+        println!("  TOL pruned: {t_tol:.2}s entries={}", idx_tol.num_entries());
+        let (_, t_drlb) = timed(|| reach_core::drlb(&g, &ord, BatchParams::default()));
+        println!("  DRLb serial: {t_drlb:.2}s");
+        let (_, t_mc) = timed(|| {
+            reach_core::drlb_multicore(&g, &ord, BatchParams::default(), 8)
+        });
+        println!("  DRLb multicore(8): {t_mc:.2}s");
+        let ((_, st), t_dist) = timed(|| {
+            reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), 32, NetworkModel::default())
+        });
+        println!(
+            "  DRLb dist(32): wall={t_dist:.2}s modeled={:.2}s (comp {:.2} comm {:.2}) steps={}",
+            st.total_seconds(),
+            st.compute_seconds,
+            st.comm_seconds,
+            st.supersteps
+        );
+        if name == "WEBW" {
+            let ((_, st), t) = timed(|| {
+                reach_drl_dist::drl::run(&g, &ord, 32, NetworkModel::default())
+            });
+            println!(
+                "  DRL dist(32): wall={t:.2}s modeled={:.2}s",
+                st.total_seconds()
+            );
+            let (bfl, t_bflc) = timed(|| reach_bfl::BflIndex::build(&g));
+            println!("  BFL^C build: {t_bflc:.2}s rounds={}", bfl.propagation_rounds);
+            let (bd, t_bfld) = timed(|| {
+                reach_bfl::BflDistributed::build(&g, 32, NetworkModel::default())
+            });
+            println!(
+                "  BFL^D build: wall={t_bfld:.2}s modeled={:.2}s dfs_hops={}",
+                bd.build_stats.total_seconds(),
+                bd.build_stats.dfs_hops
+            );
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Shared harness utilities for the experiment benches.
+//!
+//! Every `benches/exp*.rs` target is a `harness = false` binary that prints
+//! a paper-style table to stdout and writes a CSV twin under
+//! `target/experiments/` for replotting. This crate holds the common
+//! machinery: wall-clock timing, query workloads, table/CSV emission,
+//! environment-variable scaling, and a subprocess-based cut-off runner for
+//! the cells the paper marks `INF`.
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reach_graph::{DiGraph, VertexId};
+
+/// Scale factor for dataset sizes, from `REACH_BENCH_SCALE` (default 1.0).
+/// `REACH_BENCH_SCALE=0.2` runs every experiment at 20 % of the default
+/// edge counts — handy for smoke runs.
+pub fn scale() -> f64 {
+    std::env::var("REACH_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s: &f64| s > 0.0 && s <= 10.0)
+        .unwrap_or(1.0)
+}
+
+/// Optional dataset filter from `REACH_BENCH_DATASETS` (comma-separated
+/// short names). Empty = all.
+pub fn dataset_filter() -> Option<Vec<String>> {
+    std::env::var("REACH_BENCH_DATASETS")
+        .ok()
+        .map(|s| s.split(',').map(|x| x.trim().to_uppercase()).collect())
+}
+
+/// Returns `spec` with its edge/vertex counts scaled by [`scale`].
+pub fn scaled(spec: &reach_datasets::DatasetSpec) -> reach_datasets::DatasetSpec {
+    let f = scale();
+    let mut s = *spec;
+    s.vertices = ((s.vertices as f64 * f) as usize).max(16);
+    s.edges = ((s.edges as f64 * f) as usize).max(16);
+    s
+}
+
+/// Per-cell cut-off (seconds) from `REACH_BENCH_CUTOFF`, default 120 s —
+/// the reproduction-scale analogue of the paper's 2-hour limit.
+pub fn cutoff() -> Duration {
+    let secs = std::env::var("REACH_BENCH_CUTOFF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120.0f64);
+    Duration::from_secs_f64(secs)
+}
+
+/// Times a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// A reproducible random query workload of (s, t) pairs.
+pub fn query_workload(g: &DiGraph, count: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let n = g.num_vertices().max(1) as VertexId;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect()
+}
+
+/// Measures mean seconds per query over a workload; the `answer` closure
+/// returns the boolean so the optimizer cannot elide the work.
+pub fn mean_query_seconds(
+    workload: &[(VertexId, VertexId)],
+    mut answer: impl FnMut(VertexId, VertexId) -> bool,
+) -> f64 {
+    let t0 = Instant::now();
+    let mut trues = 0usize;
+    for &(s, t) in workload {
+        if answer(s, t) {
+            trues += 1;
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    std::hint::black_box(trues);
+    dt / workload.len().max(1) as f64
+}
+
+/// Formats seconds the way Table VI does: `-` for unavailable, `INF` for
+/// cut-off, scientific for sub-millisecond query times.
+pub fn fmt_secs(v: Option<f64>) -> String {
+    match v {
+        None => "-".into(),
+        Some(x) if x.is_infinite() => "INF".into(),
+        Some(x) if x < 1e-2 => format!("{x:.2E}"),
+        Some(x) => format!("{x:.2}"),
+    }
+}
+
+/// Formats a size in MiB.
+pub fn fmt_mib(bytes: Option<usize>) -> String {
+    match bytes {
+        None => "-".into(),
+        Some(b) => format!("{:.2}", b as f64 / (1024.0 * 1024.0)),
+    }
+}
+
+/// A simple fixed-width table printer with a CSV twin.
+pub struct Report {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Starts a report with the given experiment name and column headers.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Report {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row (printed immediately so progress is visible).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len());
+        if self.rows.is_empty() {
+            self.print_header();
+        }
+        self.print_row(&cells);
+        self.rows.push(cells);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w.iter().map(|x| x.max(&8).to_owned()).collect()
+    }
+
+    fn print_header(&self) {
+        let w = self.widths();
+        let line: Vec<String> = self
+            .header
+            .iter()
+            .zip(&w)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", line.join("  "));
+        println!("{}", "-".repeat(line.join("  ").len()));
+    }
+
+    fn print_row(&self, cells: &[String]) {
+        let w = self.widths();
+        let line: Vec<String> = cells
+            .iter()
+            .zip(&w)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+
+    /// Writes the CSV twin under the workspace `target/experiments/`.
+    pub fn write_csv(&self) -> std::io::Result<std::path::PathBuf> {
+        // Anchor at the workspace root regardless of the bench's cwd.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/experiments");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for r in &self.rows {
+            writeln!(f, "{}", r.join(","))?;
+        }
+        Ok(path)
+    }
+
+    /// Prints the closing banner and writes the CSV.
+    pub fn finish(self) {
+        match self.write_csv() {
+            Ok(p) => println!("\n[{}] done — csv: {}\n", self.name, p.display()),
+            Err(e) => println!("\n[{}] done — csv write failed: {e}\n", self.name),
+        }
+    }
+}
+
+/// Runs `argv` (an invocation of the current executable) with a wall-clock
+/// cut-off; returns the child's stdout, or `None` on timeout (the child is
+/// killed) or failure. Used for the cells the paper reports as `INF`.
+pub fn run_self_with_cutoff(args: &[&str], limit: Duration) -> Option<String> {
+    let exe = std::env::current_exe().ok()?;
+    let mut child = std::process::Command::new(exe)
+        .args(args)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .ok()?;
+    let t0 = Instant::now();
+    loop {
+        match child.try_wait().ok()? {
+            Some(status) => {
+                let mut out = String::new();
+                use std::io::Read;
+                child.stdout.take()?.read_to_string(&mut out).ok()?;
+                return status.success().then_some(out);
+            }
+            None => {
+                if t0.elapsed() > limit {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_secs_modes() {
+        assert_eq!(fmt_secs(None), "-");
+        assert_eq!(fmt_secs(Some(f64::INFINITY)), "INF");
+        assert_eq!(fmt_secs(Some(1.5)), "1.50");
+        assert!(fmt_secs(Some(2.09e-7)).contains('E'));
+    }
+
+    #[test]
+    fn fmt_mib_converts() {
+        assert_eq!(fmt_mib(Some(1024 * 1024)), "1.00");
+        assert_eq!(fmt_mib(None), "-");
+    }
+
+    #[test]
+    fn query_workload_is_deterministic() {
+        let g = reach_graph::fixtures::paper_graph();
+        assert_eq!(query_workload(&g, 10, 1), query_workload(&g, 10, 1));
+        assert_ne!(query_workload(&g, 10, 1), query_workload(&g, 10, 2));
+    }
+
+    #[test]
+    fn report_accepts_rows_and_writes_csv() {
+        let mut r = Report::new("test_report", &["a", "b"]);
+        r.row(vec!["1".into(), "2".into()]);
+        let p = r.write_csv().unwrap();
+        let text = std::fs::read_to_string(p).unwrap();
+        assert!(text.contains("a,b"));
+        assert!(text.contains("1,2"));
+    }
+}

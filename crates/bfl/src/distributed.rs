@@ -1,0 +1,241 @@
+//! BFL^D — the distributed deployment.
+//!
+//! Construction: the DFS intervals require a *distributed DFS* — a single
+//! token walking the partitioned graph edge by edge (`reach_vcs::algo::
+//! dist_dfs`), which is the dominant cost the paper observes in Exp 2.
+//! Filter propagation exchanges whole Bloom filters across every
+//! partition-crossing edge once per fixpoint sweep.
+//!
+//! Querying: the per-vertex labels live with their home nodes, so a query
+//! first fetches the endpoint labels (one round trip when the endpoints are
+//! remote) and, whenever the filters cannot decide, performs an online
+//! search over the *distributed* graph — every partition crossing is a
+//! sequential message exchange. This is why BFL^D's query time in Table VI
+//! sits three orders of magnitude above the index-only methods.
+
+use reach_graph::{DiGraph, Direction, VertexId};
+use reach_vcs::{algo, NetworkModel, Partition};
+
+use crate::centralized::BflIndex;
+use crate::{DEFAULT_BLOOM_BITS, DEFAULT_BLOOM_HASHES};
+
+/// Build-time cost summary of BFL^D.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BflBuildStats {
+    /// Token hops of the distributed DFS.
+    pub dfs_hops: usize,
+    /// Token hops that crossed partitions.
+    pub dfs_remote_hops: usize,
+    /// Fixpoint sweeps of the filter propagation.
+    pub propagation_rounds: usize,
+    /// Bytes of Bloom filters exchanged across partitions.
+    pub propagation_remote_bytes: usize,
+    /// Modeled communication seconds (DFS token + propagation).
+    pub comm_seconds: f64,
+    /// Modeled parallel computation seconds.
+    pub compute_seconds: f64,
+}
+
+impl BflBuildStats {
+    /// Modeled end-to-end construction seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.comm_seconds + self.compute_seconds
+    }
+}
+
+/// Cost of one distributed query.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DistQueryCost {
+    /// Whether the online search was needed.
+    pub fallback: bool,
+    /// Messages that crossed partitions.
+    pub remote_messages: usize,
+    /// Modeled seconds (sequential message latencies).
+    pub modeled_seconds: f64,
+}
+
+/// A BFL index deployed across a simulated cluster.
+pub struct BflDistributed {
+    index: BflIndex,
+    partition: Partition,
+    network: NetworkModel,
+    /// Construction cost summary.
+    pub build_stats: BflBuildStats,
+}
+
+impl BflDistributed {
+    /// Builds the index over `nodes` partitions with default parameters.
+    pub fn build(g: &DiGraph, nodes: usize, network: NetworkModel) -> Self {
+        Self::build_with(g, nodes, network, DEFAULT_BLOOM_BITS, DEFAULT_BLOOM_HASHES)
+    }
+
+    /// Builds with explicit Bloom parameters.
+    pub fn build_with(
+        g: &DiGraph,
+        nodes: usize,
+        network: NetworkModel,
+        bloom_bits: usize,
+        hashes: usize,
+    ) -> Self {
+        let partition = Partition::modulo(nodes);
+        let t0 = std::time::Instant::now();
+
+        // The interval labels: one token-based distributed DFS.
+        let dfs = algo::dist_dfs(g, Direction::Forward, &partition);
+
+        // The filters: reuse the centralized fixpoint (the arithmetic is
+        // identical), then charge each sweep for the filters crossing
+        // partition boundaries in both directions.
+        let index_rest = BflIndex::build_with(g, bloom_bits, hashes);
+        let filter_bytes = bloom_bits.div_ceil(64).max(1) * 8;
+        let cross_edges = g
+            .edges()
+            .filter(|&(u, v)| partition.node_of(u) != partition.node_of(v))
+            .count();
+        let prop_remote_bytes =
+            index_rest.propagation_rounds * cross_edges * filter_bytes * 2; // both directions
+
+        let serial = t0.elapsed().as_secs_f64();
+        let comm_seconds = dfs.stats.modeled_seconds(&network)
+            + if nodes > 1 {
+                index_rest.propagation_rounds as f64 * network.superstep_latency
+                    + prop_remote_bytes as f64 / network.bandwidth
+            } else {
+                0.0
+            };
+        let build_stats = BflBuildStats {
+            dfs_hops: dfs.stats.hops,
+            dfs_remote_hops: dfs.stats.remote_hops,
+            propagation_rounds: index_rest.propagation_rounds,
+            propagation_remote_bytes: prop_remote_bytes,
+            comm_seconds,
+            // The DFS token is sequential (no parallel speedup); the filter
+            // propagation parallelizes across nodes.
+            compute_seconds: serial / nodes as f64 + serial * (1.0 - 1.0 / nodes as f64) * 0.5,
+        };
+
+        BflDistributed {
+            index: BflIndex {
+                pre: dfs.pre,
+                max_pre_subtree: dfs.max_pre_subtree,
+                out_filter: index_rest.out_filter,
+                in_filter: index_rest.in_filter,
+                propagation_rounds: index_rest.propagation_rounds,
+            },
+            partition,
+            network,
+            build_stats,
+        }
+    }
+
+    /// The underlying index (intervals + filters).
+    pub fn index(&self) -> &BflIndex {
+        &self.index
+    }
+
+    /// Answers `q(s, t)` against the distributed deployment, returning the
+    /// answer and the modeled cost.
+    pub fn query(&self, g: &DiGraph, s: VertexId, t: VertexId) -> (bool, DistQueryCost) {
+        let mut cost = DistQueryCost::default();
+        // Fetch the endpoint labels: one round trip if t's labels live on a
+        // different node than the coordinator (s's home).
+        if self.partition.node_of(s) != self.partition.node_of(t) {
+            cost.remote_messages += 2;
+            cost.modeled_seconds += 2.0 * self.network.superstep_latency;
+        }
+        if s == t || self.index.interval_positive(s, t) {
+            return (true, cost);
+        }
+        if self.index.filter_negative(s, t) {
+            return (false, cost);
+        }
+        // Online search over the distributed graph: frontier-synchronous
+        // BFS — each level is one super-step of latency, plus bandwidth for
+        // every partition-crossing expansion.
+        cost.fallback = true;
+        let n = g.num_vertices();
+        let mut visited = vec![false; n];
+        let mut frontier = vec![s];
+        visited[s as usize] = true;
+        let mut answer = false;
+        'outer: while !frontier.is_empty() {
+            cost.modeled_seconds += self.network.superstep_latency;
+            let mut next = Vec::new();
+            for &u in &frontier {
+                if u == t || self.index.interval_positive(u, t) {
+                    answer = true;
+                    break 'outer;
+                }
+                for &w in g.out(u) {
+                    if !visited[w as usize] && !self.index.filter_negative(w, t) {
+                        visited[w as usize] = true;
+                        if self.partition.node_of(u) != self.partition.node_of(w) {
+                            cost.remote_messages += 1;
+                        }
+                        next.push(w);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        cost.modeled_seconds +=
+            (cost.remote_messages * 8) as f64 / self.network.bandwidth;
+        (answer, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::{fixtures, gen, TransitiveClosure};
+
+    #[test]
+    fn distributed_answers_match_ground_truth() {
+        let g = fixtures::paper_graph();
+        let tc = TransitiveClosure::compute(&g);
+        let bfl = BflDistributed::build(&g, 4, NetworkModel::default());
+        for s in g.vertices() {
+            for t in g.vertices() {
+                let (ans, _) = bfl.query(&g, s, t);
+                assert_eq!(ans, tc.reaches(s, t), "q({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_matches_on_random_graphs() {
+        for seed in 0..4 {
+            let g = gen::gnm(40, 110, seed);
+            let tc = TransitiveClosure::compute(&g);
+            let bfl = BflDistributed::build(&g, 3, NetworkModel::default());
+            for s in g.vertices() {
+                for t in g.vertices() {
+                    assert_eq!(bfl.query(&g, s, t).0, tc.reaches(s, t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remote_endpoints_cost_a_round_trip() {
+        let g = fixtures::paper_graph();
+        let bfl = BflDistributed::build(&g, 4, NetworkModel::default());
+        // s = 0 and t = 5 live on different modulo-4 nodes.
+        let (_, cost) = bfl.query(&g, 0, 5);
+        assert!(cost.remote_messages >= 2);
+        assert!(cost.modeled_seconds > 0.0);
+        // Same-node endpoints without fallback are free.
+        let (_, cost) = bfl.query(&g, 0, 0);
+        assert_eq!(cost.remote_messages, 0);
+    }
+
+    #[test]
+    fn build_stats_charge_the_token_walk() {
+        let g = gen::gnm(200, 800, 5);
+        let one = BflDistributed::build(&g, 1, NetworkModel::default());
+        let many = BflDistributed::build(&g, 8, NetworkModel::default());
+        assert_eq!(one.build_stats.dfs_remote_hops, 0);
+        assert!(many.build_stats.dfs_remote_hops > 0);
+        assert!(many.build_stats.comm_seconds > one.build_stats.comm_seconds);
+    }
+}

@@ -1,0 +1,37 @@
+//! BFL — Bloom-Filter Labeling, the index-assisted baseline of Exp 2.
+//!
+//! BFL (Su et al., "Reachability querying: can it be even faster?", TKDE
+//! 2016) is the strongest *index-assisted* competitor the paper compares
+//! against. Its idea: if `s → t` then `DES(t) ⊆ DES(s)`, so a Bloom filter
+//! of each vertex's descendant set gives a sound **negative** filter
+//! (`BF(t) ⊄ BF(s) ⟹ s ↛ t`); DFS intervals give a sound **positive**
+//! filter (tree-ancestor containment); everything in between falls back to
+//! an online graph search pruned by the filters. Because the index cannot
+//! answer every query, the graph must stay available at query time — the
+//! property that makes BFL unattractive for distributed graphs (§V).
+//!
+//! Two deployments are modeled, matching the paper's Exp 2:
+//!
+//! * [`centralized`] (**BFL^C**) — everything on one node: serial DFS +
+//!   fixpoint filter propagation, in-memory fallback searches.
+//! * [`distributed`] (**BFL^D**) — construction needs a *distributed DFS*
+//!   (token-passing, inherently sequential — see `reach_vcs::algo::dist_dfs`)
+//!   and filter propagation across partitions; queries must traverse the
+//!   distributed graph. Both are charged under the network model, which is
+//!   exactly why BFL^D's index and query times collapse in Table VI.
+
+pub mod bloom;
+pub mod centralized;
+pub mod distributed;
+
+pub use bloom::BloomFilter;
+pub use centralized::{BflIndex, BflOracle};
+pub use distributed::{BflDistributed, DistQueryCost};
+
+/// Default Bloom-filter width in bits (four 64-bit words per direction per
+/// vertex, in the ballpark of BFL's `s·d = 160` default with headroom for
+/// the denser reachability of the synthetic stand-ins).
+pub const DEFAULT_BLOOM_BITS: usize = 256;
+
+/// Default number of hash functions.
+pub const DEFAULT_BLOOM_HASHES: usize = 2;

@@ -1,0 +1,130 @@
+//! DRL⁻ — the basic labeling method (Theorem 3, §III-C-1).
+//!
+//! Filtering uses one trimmed BFS per vertex (`BFS_low(v)` as candidates);
+//! refinement runs one full BFS per vertex of `BFS_hig(v)` and eliminates
+//! everything those BFSs reach. Correct by Theorem 3:
+//!
+//! ```text
+//! L⁻_in(v) = BFS_low(v) − ⋃_{u ∈ BFS_hig(v)} DES(u)
+//! ```
+//!
+//! The refinement phase still needs `|BFS_hig(v)|` BFSs, which is what the
+//! improved method (DRL, [`crate::improved`]) removes; the paper's Exp 4
+//! shows DRL⁻ timing out where DRL finishes — the Fig. 5 bench reproduces
+//! that gap.
+
+use reach_graph::{DiGraph, Direction, OrderAssignment, VertexId, VisitBuffer};
+use reach_index::{BackwardLabels, ReachIndex};
+
+use crate::trimmed::trimmed_bfs;
+use crate::LabelingStats;
+
+/// Computes one backward label set per Theorem 3.
+pub fn backward_labels_of(
+    g: &DiGraph,
+    v: VertexId,
+    dir: Direction,
+    ord: &OrderAssignment,
+    visit: &mut VisitBuffer,
+    elim: &mut VisitBuffer,
+    stats: &mut LabelingStats,
+) -> Vec<VertexId> {
+    // Filtering: trimmed BFS (Step 1).
+    let t = trimmed_bfs(g, v, dir, ord, visit);
+    stats.filter_bfs += 1;
+    stats.bfs_pops += t.pops;
+    stats.edge_scans += t.edge_scans;
+    stats.candidates += t.low.len();
+
+    // Refinement: one full BFS per blocking vertex (Step 2).
+    elim.reset();
+    let mut scratch = Vec::new();
+    for &u in &t.hig {
+        reach_graph::traverse::bfs_into(g, u, dir, visit, &mut scratch);
+        stats.refine_bfs += 1;
+        stats.bfs_pops += scratch.len();
+        for &w in &scratch {
+            elim.mark(w);
+        }
+    }
+
+    // Step 3: survivors.
+    let total = t.low.len();
+    let kept: Vec<VertexId> = t.low.into_iter().filter(|&w| !elim.is_marked(w)).collect();
+    stats.eliminated += total - kept.len();
+    kept
+}
+
+/// Builds the full index with DRL⁻ (serial driver; the distributed version
+/// shares the per-vertex logic).
+pub fn drl_minus(g: &DiGraph, ord: &OrderAssignment) -> ReachIndex {
+    drl_minus_with_stats(g, ord).0
+}
+
+/// [`drl_minus`] with instrumentation counters.
+pub fn drl_minus_with_stats(g: &DiGraph, ord: &OrderAssignment) -> (ReachIndex, LabelingStats) {
+    let n = g.num_vertices();
+    let mut stats = LabelingStats::default();
+    let mut visit = VisitBuffer::new(n);
+    let mut elim = VisitBuffer::new(n);
+    let mut bw = BackwardLabels::new(n);
+    for v in g.vertices() {
+        bw.in_sets[v as usize] =
+            backward_labels_of(g, v, Direction::Forward, ord, &mut visit, &mut elim, &mut stats);
+        bw.out_sets[v as usize] =
+            backward_labels_of(g, v, Direction::Backward, ord, &mut visit, &mut elim, &mut stats);
+    }
+    bw.finalize();
+    (bw.to_index(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::{fixtures, gen, OrderKind};
+
+    #[test]
+    fn matches_tol_on_paper_graph() {
+        let g = fixtures::paper_graph();
+        for kind in [OrderKind::InverseId, OrderKind::DegreeProduct] {
+            let ord = OrderAssignment::new(&g, kind);
+            assert_eq!(drl_minus(&g, &ord), reach_tol::naive::build(&g, &ord));
+        }
+    }
+
+    #[test]
+    fn matches_tol_on_random_graphs() {
+        for seed in 0..6 {
+            let g = gen::gnm(35, 110, seed);
+            let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+            assert_eq!(
+                drl_minus(&g, &ord),
+                reach_tol::naive::build(&g, &ord),
+                "seed {seed}"
+            );
+        }
+        for seed in 0..4 {
+            let g = gen::random_dag(35, 90, seed);
+            let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+            assert_eq!(drl_minus(&g, &ord), reach_tol::naive::build(&g, &ord));
+        }
+    }
+
+    /// Table IV row: refinement BFS count is |BFS_hig(v)| ≤ |DES_hig(v)|.
+    #[test]
+    fn refinement_needs_no_more_bfs_than_theorem2() {
+        let g = gen::gnm(40, 150, 5);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let (_, basic) = drl_minus_with_stats(&g, &ord);
+        let (_, framework) = crate::framework::build_with_stats(&g, &ord);
+        assert!(basic.refine_bfs <= framework.refine_bfs);
+        assert_eq!(basic.filter_bfs, framework.filter_bfs);
+    }
+
+    #[test]
+    fn cover_constraint_holds() {
+        let g = gen::gnm(50, 160, 11);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        drl_minus(&g, &ord).validate_cover_on(&g).unwrap();
+    }
+}

@@ -1,0 +1,168 @@
+//! Batch sequences (Definition 7) and batch label sets (Definition 8).
+//!
+//! DRLb splits the order-sorted vertices into batches
+//! `[V_1, V_2, …, V_g]`: higher-order batches label first, so their labels
+//! can prune the floods of later batches — TOL's pruning power traded
+//! against DRL's parallelism. Batch `V_1` has `b` vertices and each later
+//! batch is `k` times larger (the paper defaults to `b = k = 2`).
+
+use reach_graph::{OrderAssignment, VertexId};
+
+/// The two parameters of the batch-sequence procedure (§IV).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchParams {
+    /// Initial batch size `b ∈ [1, |V|]`.
+    pub initial_size: usize,
+    /// Growth factor `k`; `k = 1` keeps the batch size constant (and is
+    /// catastrophically slow, Exp 8), `k = |V|` degenerates to plain DRL.
+    pub growth: f64,
+}
+
+impl Default for BatchParams {
+    fn default() -> Self {
+        // The paper sets both to 2 by default (§IV).
+        BatchParams {
+            initial_size: 2,
+            growth: 2.0,
+        }
+    }
+}
+
+impl BatchParams {
+    /// Convenience constructor.
+    pub fn new(initial_size: usize, growth: f64) -> Self {
+        assert!(initial_size >= 1, "b must be at least 1");
+        assert!(growth >= 1.0, "k must be at least 1");
+        BatchParams {
+            initial_size,
+            growth,
+        }
+    }
+}
+
+/// A batch sequence over the ranks `0..n`: because ranks already follow
+/// decreasing order, batch `V_i` is simply a contiguous rank range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchSchedule {
+    bounds: Vec<u32>, // batch i covers ranks bounds[i]..bounds[i+1]
+}
+
+impl BatchSchedule {
+    /// Builds the schedule for `n` vertices (Steps 1–3 of §IV).
+    pub fn new(n: usize, params: BatchParams) -> Self {
+        let mut bounds = vec![0u32];
+        let mut size = params.initial_size as f64;
+        let mut covered = 0usize;
+        while covered < n {
+            let take = (size.floor() as usize).max(1).min(n - covered);
+            covered += take;
+            bounds.push(covered as u32);
+            size *= params.growth;
+        }
+        BatchSchedule { bounds }
+    }
+
+    /// Number of batches `g`.
+    pub fn num_batches(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The rank range of batch `i` (0-based).
+    pub fn batch(&self, i: usize) -> std::ops::Range<u32> {
+        self.bounds[i]..self.bounds[i + 1]
+    }
+
+    /// Iterates over all batch rank-ranges in order.
+    pub fn iter(&self) -> impl Iterator<Item = std::ops::Range<u32>> + '_ {
+        (0..self.num_batches()).map(|i| self.batch(i))
+    }
+
+    /// The vertices of batch `i` under `ord`, in decreasing order.
+    pub fn batch_vertices(&self, i: usize, ord: &OrderAssignment) -> Vec<VertexId> {
+        self.batch(i).map(|r| ord.vertex_at_rank(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::{fixtures, OrderKind};
+
+    #[test]
+    fn example12_batches_of_paper_graph() {
+        // Example 12: b = 2, k = 2 on 11 vertices gives batches of sizes
+        // 2, 4, 5 — {v1, v2}, {v3..v6}, {v7..v11} under subscript order.
+        let g = fixtures::paper_graph();
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let s = BatchSchedule::new(11, BatchParams::default());
+        assert_eq!(s.num_batches(), 3);
+        assert_eq!(s.batch_vertices(0, &ord), vec![0, 1]);
+        assert_eq!(s.batch_vertices(1, &ord), vec![2, 3, 4, 5]);
+        assert_eq!(s.batch_vertices(2, &ord), vec![6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn batches_partition_all_ranks() {
+        for n in [0usize, 1, 2, 7, 100, 1000] {
+            for (b, k) in [(1, 1.0), (2, 2.0), (4, 1.5), (128, 3.0)] {
+                let s = BatchSchedule::new(n, BatchParams::new(b, k));
+                let mut covered = 0u32;
+                for r in s.iter() {
+                    assert_eq!(r.start, covered, "contiguous");
+                    assert!(r.end > r.start, "non-empty");
+                    covered = r.end;
+                }
+                assert_eq!(covered as usize, n, "n={n} b={b} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn growth_factor_one_gives_constant_batches() {
+        let s = BatchSchedule::new(10, BatchParams::new(2, 1.0));
+        assert_eq!(s.num_batches(), 5);
+        for r in s.iter() {
+            assert_eq!(r.len(), 2);
+        }
+    }
+
+    #[test]
+    fn batch_size_one_with_k1_is_fully_serial() {
+        // b = 1, k = 1: |V| singleton batches — exactly TOL's execution.
+        let s = BatchSchedule::new(6, BatchParams::new(1, 1.0));
+        assert_eq!(s.num_batches(), 6);
+    }
+
+    #[test]
+    fn huge_initial_batch_is_single_batch() {
+        // b = |V|: one batch — exactly DRL's execution.
+        let s = BatchSchedule::new(6, BatchParams::new(100, 2.0));
+        assert_eq!(s.num_batches(), 1);
+        assert_eq!(s.batch(0), 0..6);
+    }
+
+    #[test]
+    fn fractional_growth_rounds_down_but_progresses() {
+        let s = BatchSchedule::new(20, BatchParams::new(1, 1.5));
+        // sizes: floor of 1, 1.5, 2.25, 3.375, 5.06, 7.59 = 1,1,2,3,5,7,
+        // then a final clamped batch for the remaining vertex.
+        let sizes: Vec<usize> = s.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 20);
+        // Monotone except possibly the clamped last batch (§IV: "the number
+        // of vertices in the last batch may not exceed b").
+        let body = &sizes[..sizes.len() - 1];
+        assert!(body.windows(2).all(|w| w[1] >= w[0]), "{sizes:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "b must be at least 1")]
+    fn zero_initial_size_rejected() {
+        BatchParams::new(0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn sub_one_growth_rejected() {
+        BatchParams::new(2, 0.5);
+    }
+}

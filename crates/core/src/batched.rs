@@ -1,0 +1,358 @@
+//! DRLb — batch labeling (§IV, Algorithm 4 semantics).
+//!
+//! Vertices are processed batch by batch in decreasing order; within a
+//! batch, the DRL improved method runs on every source in parallel, but the
+//! labels accumulated by *earlier* batches prune the floods exactly the way
+//! TOL's pruning operation would: a `v`-sourced flood never visits `w` once
+//! `L^{V_i}_out(v) ∩ L^{V_i}_in(w) ≠ ∅`, and a source in a cycle with an
+//! already-labeled higher-order vertex is pruned outright (Line 6 of
+//! Algorithm 4).
+//!
+//! Note on Algorithm 4's listing: Line 12 prints the test
+//! `L_out^{V_i}(w) ∩ L_in^{V_i}(w)`, but the proof of Theorem 6 uses
+//! `s ∈ L^{V_i}_out(v)` and `s ∈ L^{V_i}_in(w)` — the per-visit test must
+//! relate the *source* `v` to the visited vertex `w`. We implement the
+//! proof's version; `tests::line12_literal_variant_would_be_wrong`
+//! demonstrates the listing's literal reading diverges from TOL.
+
+use reach_graph::{DiGraph, Direction, OrderAssignment, VertexId, VisitBuffer};
+use reach_index::ReachIndex;
+
+use crate::batch::{BatchParams, BatchSchedule};
+use crate::refine::{build_inverted, refine_direction};
+use crate::LabelingStats;
+
+/// Builds the TOL-equivalent index with DRLb under the default `b = k = 2`.
+pub fn drlb(g: &DiGraph, ord: &OrderAssignment, params: BatchParams) -> ReachIndex {
+    drlb_with_stats(g, ord, params).0
+}
+
+/// [`drlb`] with instrumentation counters.
+pub fn drlb_with_stats(
+    g: &DiGraph,
+    ord: &OrderAssignment,
+    params: BatchParams,
+) -> (ReachIndex, LabelingStats) {
+    let n = g.num_vertices();
+    let schedule = BatchSchedule::new(n, params);
+    let mut stats = LabelingStats::default();
+    let mut labels = BatchLabels::new(n);
+    let mut visit = VisitBuffer::new(n);
+
+    for i in 0..schedule.num_batches() {
+        let sources = schedule.batch_vertices(i, ord);
+        let (in_sets, out_sets) =
+            label_batch(g, ord, &labels, &sources, &mut visit, &mut stats);
+        labels.append_batch(ord, &sources, &in_sets, &out_sets);
+    }
+
+    (labels.into_index(ord), stats)
+}
+
+/// Labels one batch: floods both directions with batch-label pruning,
+/// builds the intra-batch inverted lists, refines. Returns per-vertex
+/// surviving backward in/out sets (indexed by vertex id; empty outside the
+/// batch).
+pub(crate) fn label_batch(
+    g: &DiGraph,
+    ord: &OrderAssignment,
+    labels: &BatchLabels,
+    sources: &[VertexId],
+    visit: &mut VisitBuffer,
+    stats: &mut LabelingStats,
+) -> (Vec<Vec<VertexId>>, Vec<Vec<VertexId>>) {
+    let n = g.num_vertices();
+
+    // Line 6 of Algorithm 4: a source in a cycle with a previously labeled
+    // higher-order vertex contributes nothing.
+    let active: Vec<VertexId> = sources
+        .iter()
+        .copied()
+        .filter(|&v| {
+            let pruned = labels.out_in_intersect(v, v);
+            if pruned {
+                stats.batch_pruned_sources += 1;
+            }
+            !pruned
+        })
+        .collect();
+
+    let mut fwd_low: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut bwd_low: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    for &v in &active {
+        fwd_low[v as usize] =
+            pruned_trimmed_bfs(g, v, Direction::Forward, ord, labels, visit, stats);
+        bwd_low[v as usize] =
+            pruned_trimmed_bfs(g, v, Direction::Backward, ord, labels, visit, stats);
+    }
+
+    let inv_from_bwd = build_inverted(n, &active, &bwd_low);
+    let inv_from_fwd = build_inverted(n, &active, &fwd_low);
+    let in_sets = refine_direction(&active, &fwd_low, &inv_from_bwd, stats);
+    let out_sets = refine_direction(&active, &bwd_low, &inv_from_fwd, stats);
+    (in_sets, out_sets)
+}
+
+/// Trimmed BFS with the batch-label pruning of Algorithm 4 Line 12: the
+/// flood never enters `w` when the earlier-batch labels already certify the
+/// source-to-`w` connection. Returns the sorted candidate list.
+pub(crate) fn pruned_trimmed_bfs(
+    g: &DiGraph,
+    v: VertexId,
+    dir: Direction,
+    ord: &OrderAssignment,
+    labels: &BatchLabels,
+    visit: &mut VisitBuffer,
+    stats: &mut LabelingStats,
+) -> Vec<VertexId> {
+    visit.reset();
+    visit.mark(v);
+    let rank_v = ord.rank(v);
+    let mut low = vec![v];
+    let mut head = 0;
+    while head < low.len() {
+        let u = low[head];
+        head += 1;
+        stats.bfs_pops += 1;
+        for &w in g.neighbors(u, dir) {
+            stats.edge_scans += 1;
+            if !visit.mark(w) {
+                continue;
+            }
+            if ord.rank(w) <= rank_v {
+                continue; // blocks the branch (BFS_hig; not needed by DRL)
+            }
+            let covered = match dir {
+                Direction::Forward => labels.out_in_intersect(v, w),
+                Direction::Backward => labels.out_in_intersect(w, v),
+            };
+            if covered {
+                continue; // earlier-batch labels already certify v ↔ w
+            }
+            low.push(w);
+        }
+    }
+    stats.filter_bfs += 1;
+    stats.candidates += low.len();
+    low.sort_unstable();
+    low
+}
+
+/// Accumulated batch label sets (Definition 8), stored as per-vertex
+/// ascending *rank* lists so the pruning test is a linear merge and the
+/// final index conversion is a single pass.
+#[derive(Clone, Debug)]
+pub struct BatchLabels {
+    lin: Vec<Vec<u32>>,
+    lout: Vec<Vec<u32>>,
+}
+
+impl BatchLabels {
+    /// Empty label sets for `n` vertices.
+    pub fn new(n: usize) -> Self {
+        BatchLabels {
+            lin: vec![Vec::new(); n],
+            lout: vec![Vec::new(); n],
+        }
+    }
+
+    /// The pruning test `L_out(a) ∩ L_in(b) ≠ ∅` over rank lists.
+    #[inline]
+    pub fn out_in_intersect(&self, a: VertexId, b: VertexId) -> bool {
+        merge_intersects(&self.lout[a as usize], &self.lin[b as usize])
+    }
+
+    /// Folds a completed batch into the accumulated labels. `sources` must
+    /// be in decreasing order (as produced by
+    /// [`BatchSchedule::batch_vertices`]) so rank lists stay ascending.
+    pub fn append_batch(
+        &mut self,
+        ord: &OrderAssignment,
+        sources: &[VertexId],
+        in_sets: &[Vec<VertexId>],
+        out_sets: &[Vec<VertexId>],
+    ) {
+        for &v in sources {
+            let r = ord.rank(v);
+            for &w in &in_sets[v as usize] {
+                self.lin[w as usize].push(r);
+            }
+            for &w in &out_sets[v as usize] {
+                self.lout[w as usize].push(r);
+            }
+        }
+    }
+
+    /// Converts the accumulated rank lists into the final id-sorted index.
+    pub fn into_index(self, ord: &OrderAssignment) -> ReachIndex {
+        let to_ids = |lists: Vec<Vec<u32>>| {
+            lists
+                .into_iter()
+                .map(|l| l.into_iter().map(|r| ord.vertex_at_rank(r)).collect())
+                .collect()
+        };
+        ReachIndex::from_labels(to_ids(self.lin), to_ids(self.lout))
+    }
+}
+
+/// Merge-intersection over ascending rank lists.
+#[inline]
+fn merge_intersects(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::{fixtures, gen, OrderKind};
+
+    #[test]
+    fn matches_tol_on_paper_graph() {
+        let g = fixtures::paper_graph();
+        for kind in [OrderKind::InverseId, OrderKind::DegreeProduct] {
+            let ord = OrderAssignment::new(&g, kind);
+            assert_eq!(
+                drlb(&g, &ord, BatchParams::default()),
+                reach_tol::naive::build(&g, &ord)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_tol_for_many_batch_parameters() {
+        let g = gen::gnm(50, 160, 9);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let oracle = reach_tol::naive::build(&g, &ord);
+        for (b, k) in [(1, 1.0), (1, 2.0), (2, 2.0), (8, 1.5), (64, 2.0), (100, 2.0)] {
+            assert_eq!(
+                drlb(&g, &ord, BatchParams::new(b, k)),
+                oracle,
+                "b={b} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_tol_on_random_graphs() {
+        for seed in 0..8 {
+            let g = gen::gnm(45, 150, seed);
+            let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+            assert_eq!(
+                drlb(&g, &ord, BatchParams::default()),
+                reach_tol::naive::build(&g, &ord),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn example14_source_pruned_by_batch_labels() {
+        // Example 14: with {v1, v2} labeled in batch 1, labeling v3 in
+        // batch 2 prunes immediately: L_in(v3) ∋ v2 and L_out(v3) ∋ v2.
+        let g = fixtures::paper_graph();
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let (_, stats) = drlb_with_stats(&g, &ord, BatchParams::default());
+        assert!(stats.batch_pruned_sources >= 1, "v3 (and peers) pruned");
+    }
+
+    #[test]
+    fn batching_reduces_search_space_vs_plain_drl() {
+        // The point of §IV: earlier batches prune later floods, so DRLb
+        // scans fewer edges than DRL on graphs with strong hubs.
+        let g = gen::gnm(300, 2400, 17);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let (_, drl_stats) = crate::improved::drl_with_stats(&g, &ord);
+        let (_, drlb_stats) = drlb_with_stats(&g, &ord, BatchParams::default());
+        assert!(
+            drlb_stats.edge_scans < drl_stats.edge_scans,
+            "DRLb {} vs DRL {}",
+            drlb_stats.edge_scans,
+            drl_stats.edge_scans
+        );
+    }
+
+    /// The literal reading of Algorithm 4 Line 12 — testing
+    /// `L_out^{V_i}(w) ∩ L_in^{V_i}(w)` at every visit — only prunes
+    /// visited vertices that sit on an already-covered cycle and misses the
+    /// prunes the proof of Theorem 6 relies on (`s ∈ L^{V_i}_out(v)` and
+    /// `s ∈ L^{V_i}_in(w)`). On the graph below it keeps a candidate the
+    /// intra-batch refinement cannot eliminate (the covering vertex is in
+    /// an earlier batch), producing a wrong index. This pins down why we
+    /// implement the proof's version (see DESIGN.md).
+    #[test]
+    fn line12_literal_variant_would_be_wrong() {
+        // v1 -> v2 directly, and v1 -> v0 -> v2 through the highest-order
+        // vertex; singleton batches put v0 strictly before v1.
+        let g = DiGraph::from_edges(3, vec![(1, 2), (1, 0), (0, 2)]);
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let oracle = reach_tol::naive::build(&g, &ord);
+        let params = BatchParams::new(1, 1.0);
+        assert_eq!(drlb(&g, &ord, params), oracle, "proof version is right");
+
+        // Re-run with the literal per-visit test.
+        let n = g.num_vertices();
+        let schedule = BatchSchedule::new(n, params);
+        let mut labels = BatchLabels::new(n);
+        let mut stats = LabelingStats::default();
+        let mut visit = VisitBuffer::new(n);
+        for i in 0..schedule.num_batches() {
+            let sources = schedule.batch_vertices(i, &ord);
+            let active: Vec<VertexId> = sources
+                .iter()
+                .copied()
+                .filter(|&v| !labels.out_in_intersect(v, v))
+                .collect();
+            let mut fwd: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+            let mut bwd: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+            for &v in &active {
+                for (dir, store) in
+                    [(Direction::Forward, &mut fwd), (Direction::Backward, &mut bwd)]
+                {
+                    visit.reset();
+                    visit.mark(v);
+                    let mut low = vec![v];
+                    let mut head = 0;
+                    while head < low.len() {
+                        let u = low[head];
+                        head += 1;
+                        for &w in g.neighbors(u, dir) {
+                            if !visit.mark(w) || ord.rank(w) <= ord.rank(v) {
+                                continue;
+                            }
+                            // literal Line 12: test w against itself
+                            if labels.out_in_intersect(w, w) {
+                                continue;
+                            }
+                            low.push(w);
+                        }
+                    }
+                    low.sort_unstable();
+                    store[v as usize] = low;
+                }
+            }
+            let inv_b = build_inverted(n, &active, &bwd);
+            let inv_f = build_inverted(n, &active, &fwd);
+            let ins = refine_direction(&active, &fwd, &inv_b, &mut stats);
+            let outs = refine_direction(&active, &bwd, &inv_f, &mut stats);
+            labels.append_batch(&ord, &sources, &ins, &outs);
+        }
+        let literal = labels.into_index(&ord);
+        assert_ne!(literal, oracle, "the literal Line-12 reading diverges");
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = DiGraph::from_edges(0, vec![]);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let idx = drlb(&g, &ord, BatchParams::default());
+        assert_eq!(idx.num_vertices(), 0);
+    }
+}

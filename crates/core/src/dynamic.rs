@@ -1,0 +1,476 @@
+//! Incremental index maintenance on dynamic graphs.
+//!
+//! The paper's Remark (§II-B) notes that TOL's own paper maintains the
+//! index under edge updates, and names *distributed dynamic* maintenance as
+//! future work. This module implements the single-machine building block in
+//! DRL's vocabulary: because Theorem 1 characterizes membership purely by
+//! reachability under a **frozen total order**, an edge update `(u, v)`
+//! can only affect
+//!
+//! * forward floods of sources that reach `u` (the ancestors `A` — only
+//!   their trimmed BFSs can traverse the touched edge), and
+//! * backward floods of sources reachable from `v` (the descendants `D`),
+//!
+//! so the maintenance recomputes exactly those floods, patches the shared
+//! inverted lists by diff, re-refines the provably-affected sources, and
+//! patches the label lists in place. The result is asserted (in tests,
+//! including proptest sequences) to equal a from-scratch rebuild under the
+//! same order after every operation.
+//!
+//! The total order is frozen at construction: recomputing the degree
+//! formula after every update would reshuffle the entire index (and TOL's
+//! dynamic variant likewise keeps its total order — hence the name).
+
+use reach_graph::{
+    dynamic::DynamicGraph, view::bfs_view, Direction, GraphView, OrderAssignment, VertexId,
+    VisitBuffer,
+};
+use reach_index::{intersects_sorted, ReachIndex, ReachabilityOracle};
+
+use crate::trimmed::trimmed_bfs;
+
+/// What one [`DynamicIndex::insert_edge`] / [`DynamicIndex::remove_edge`]
+/// did — the observability counters the ablation bench reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Forward floods recomputed (`|A|`).
+    pub refloods_fwd: usize,
+    /// Backward floods recomputed (`|D|`).
+    pub refloods_bwd: usize,
+    /// Sources re-refined in the in-direction.
+    pub refined_in: usize,
+    /// Sources re-refined in the out-direction.
+    pub refined_out: usize,
+    /// Label entries inserted or removed across the index.
+    pub label_changes: usize,
+}
+
+/// A reachability index that follows edge insertions and deletions while
+/// staying bit-identical to a full rebuild under its frozen order.
+pub struct DynamicIndex {
+    graph: DynamicGraph,
+    ord: OrderAssignment,
+    /// Sorted forward candidates (`BFS_low`) per source.
+    fwd_low: Vec<Vec<VertexId>>,
+    /// Sorted backward candidates per source.
+    bwd_low: Vec<Vec<VertexId>>,
+    /// `fwd_visitors[h]` = sources `u ≠ h` whose forward flood visits `h`.
+    fwd_visitors: Vec<Vec<VertexId>>,
+    /// `bwd_visitors[h]` = sources `u ≠ h` whose backward flood visits `h`
+    /// — exactly `IBFS_low(h)` (Definition 6).
+    bwd_visitors: Vec<Vec<VertexId>>,
+    /// Refined backward label sets per source (what each source stamps).
+    bw_in: Vec<Vec<VertexId>>,
+    bw_out: Vec<Vec<VertexId>>,
+    /// The maintained label lists, sorted by id.
+    lin: Vec<Vec<VertexId>>,
+    lout: Vec<Vec<VertexId>>,
+    visit: VisitBuffer,
+}
+
+impl DynamicIndex {
+    /// Builds the index for `graph` under `ord` (which must cover it).
+    pub fn new(graph: DynamicGraph, ord: OrderAssignment) -> Self {
+        let n = graph.num_vertices();
+        assert_eq!(ord.len(), n, "order must cover the graph");
+        let mut idx = DynamicIndex {
+            graph,
+            ord,
+            fwd_low: vec![Vec::new(); n],
+            bwd_low: vec![Vec::new(); n],
+            fwd_visitors: vec![Vec::new(); n],
+            bwd_visitors: vec![Vec::new(); n],
+            bw_in: vec![Vec::new(); n],
+            bw_out: vec![Vec::new(); n],
+            lin: vec![Vec::new(); n],
+            lout: vec![Vec::new(); n],
+            visit: VisitBuffer::new(n),
+        };
+        for x in 0..n as VertexId {
+            idx.reflood(x, Direction::Forward);
+            idx.reflood(x, Direction::Backward);
+        }
+        for h in 0..n as VertexId {
+            idx.rerefine(h, Direction::Forward);
+            idx.rerefine(h, Direction::Backward);
+        }
+        idx
+    }
+
+    /// Convenience constructor from a static graph + ordering strategy.
+    pub fn from_digraph(g: &reach_graph::DiGraph, kind: reach_graph::OrderKind) -> Self {
+        let ord = OrderAssignment::new(g, kind);
+        Self::new(DynamicGraph::from_digraph(g), ord)
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The frozen total order.
+    pub fn order(&self) -> &OrderAssignment {
+        &self.ord
+    }
+
+    /// Answers `q(s, t)` from the maintained labels.
+    pub fn query(&self, s: VertexId, t: VertexId) -> bool {
+        intersects_sorted(&self.lout[s as usize], &self.lin[t as usize])
+    }
+
+    /// Snapshots the maintained labels as a [`ReachIndex`].
+    pub fn to_index(&self) -> ReachIndex {
+        ReachIndex::from_labels(self.lin.clone(), self.lout.clone())
+    }
+
+    /// Inserts `u -> v` and repairs the index. Returns `None` if the edge
+    /// already existed (no work done).
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Option<UpdateStats> {
+        if !self.graph.insert_edge(u, v) {
+            return None;
+        }
+        // Affected sources, on the *new* graph (a superset of the old
+        // graph's sets, so both the created and any rerouted walks are
+        // covered).
+        Some(self.repair(u, v))
+    }
+
+    /// Removes `u -> v` and repairs the index. Returns `None` if the edge
+    /// was absent.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Option<UpdateStats> {
+        if !self.graph.has_edge(u, v) {
+            return None;
+        }
+        // Affected sources must be computed on the graph that still *has*
+        // the edge (walks through it exist only there).
+        let anc = self.collect(u, Direction::Backward);
+        let des = self.collect(v, Direction::Forward);
+        self.graph.remove_edge(u, v);
+        Some(self.repair_sets(anc, des))
+    }
+
+    fn repair(&mut self, u: VertexId, v: VertexId) -> UpdateStats {
+        let anc = self.collect(u, Direction::Backward);
+        let des = self.collect(v, Direction::Forward);
+        self.repair_sets(anc, des)
+    }
+
+    /// Full BFS reach set of `r` in `dir` on the current graph.
+    fn collect(&mut self, r: VertexId, dir: Direction) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        bfs_view(&self.graph, r, dir, &mut self.visit, &mut out);
+        out
+    }
+
+    /// Recomputes the affected floods and refinements given the ancestor
+    /// set of `u` and descendant set of `v`.
+    fn repair_sets(&mut self, anc: Vec<VertexId>, des: Vec<VertexId>) -> UpdateStats {
+        let mut stats = UpdateStats {
+            refloods_fwd: anc.len(),
+            refloods_bwd: des.len(),
+            ..UpdateStats::default()
+        };
+
+        // Phase 1: recompute floods; the dirty sets accumulate every vertex
+        // whose inverted list or whose Check inputs may have changed.
+        let mut dirty_in = DirtySet::new(self.graph.num_vertices());
+        let mut dirty_out = DirtySet::new(self.graph.num_vertices());
+        for &x in &anc {
+            dirty_in.add(x);
+            // Old and new forward candidates of x feed out-direction Checks
+            // (x appears in their fwd_visitors) and x's own new candidates.
+            for &h in &self.fwd_low[x as usize] {
+                dirty_out.add(h);
+            }
+            self.reflood(x, Direction::Forward);
+            for &h in &self.fwd_low[x as usize] {
+                dirty_out.add(h);
+            }
+            // In-direction Checks of x consult bwd_visitors[x]; entries
+            // u' ∈ A with changed fwd candidates are x's concern, handled
+            // by x ∈ dirty_in. Conversely every h visited by x's *backward*
+            // flood consults fwd_low[x], which just changed:
+            for &h in &self.bwd_low[x as usize] {
+                dirty_in.add(h);
+            }
+        }
+        for &x in &des {
+            dirty_out.add(x);
+            for &h in &self.bwd_low[x as usize] {
+                dirty_in.add(h);
+            }
+            self.reflood(x, Direction::Backward);
+            for &h in &self.bwd_low[x as usize] {
+                dirty_in.add(h);
+            }
+            for &h in &self.fwd_low[x as usize] {
+                dirty_out.add(h);
+            }
+        }
+
+        // Phase 2: re-refine the dirty sources and patch the labels.
+        for h in dirty_in.drain() {
+            stats.refined_in += 1;
+            stats.label_changes += self.rerefine(h, Direction::Forward);
+        }
+        for h in dirty_out.drain() {
+            stats.refined_out += 1;
+            stats.label_changes += self.rerefine(h, Direction::Backward);
+        }
+        stats
+    }
+
+    /// Recomputes one flood and patches the visitor lists by diff.
+    fn reflood(&mut self, x: VertexId, dir: Direction) {
+        let t = trimmed_bfs(&self.graph, x, dir, &self.ord, &mut self.visit);
+        let mut new_low = t.low;
+        new_low.sort_unstable();
+        let (lows, visitors) = match dir {
+            Direction::Forward => (&mut self.fwd_low, &mut self.fwd_visitors),
+            Direction::Backward => (&mut self.bwd_low, &mut self.bwd_visitors),
+        };
+        let old_low = std::mem::replace(&mut lows[x as usize], new_low);
+        let new_low = &lows[x as usize];
+        // Diff the sorted lists to patch visitors[h] (which exclude the
+        // source itself).
+        diff_sorted(&old_low, new_low, |h, added| {
+            if h == x {
+                return;
+            }
+            let vis = &mut visitors[h as usize];
+            if added {
+                vis.push(x);
+            } else if let Some(pos) = vis.iter().position(|&y| y == x) {
+                vis.swap_remove(pos);
+            }
+        });
+    }
+
+    /// Re-refines one source in one direction; patches the label lists and
+    /// returns how many entries changed.
+    fn rerefine(&mut self, h: VertexId, dir: Direction) -> usize {
+        let (cand, inv) = match dir {
+            Direction::Forward => (&self.fwd_low, &self.bwd_visitors),
+            Direction::Backward => (&self.bwd_low, &self.fwd_visitors),
+        };
+        let high_visitors = &inv[h as usize];
+        let survivors: Vec<VertexId> = cand[h as usize]
+            .iter()
+            .copied()
+            .filter(|&w| {
+                !high_visitors
+                    .iter()
+                    .any(|&u| cand[u as usize].binary_search(&w).is_ok())
+            })
+            .collect();
+
+        let (bw, labels) = match dir {
+            Direction::Forward => (&mut self.bw_in, &mut self.lin),
+            Direction::Backward => (&mut self.bw_out, &mut self.lout),
+        };
+        let old = std::mem::replace(&mut bw[h as usize], survivors);
+        let new = &bw[h as usize];
+        let mut changes = 0;
+        diff_sorted(&old, new, |w, added| {
+            changes += 1;
+            let list = &mut labels[w as usize];
+            match list.binary_search(&h) {
+                Ok(pos) if !added => {
+                    list.remove(pos);
+                }
+                Err(pos) if added => {
+                    list.insert(pos, h);
+                }
+                _ => unreachable!("label list out of sync with backward set"),
+            }
+        });
+        changes
+    }
+}
+
+impl ReachabilityOracle for DynamicIndex {
+    fn reachable(&self, s: VertexId, t: VertexId) -> bool {
+        self.query(s, t)
+    }
+}
+
+/// Walks two sorted slices, calling `f(elem, added)` for each element in
+/// exactly one of them (`added = true` when only in `new`).
+fn diff_sorted(old: &[VertexId], new: &[VertexId], mut f: impl FnMut(VertexId, bool)) {
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() || j < new.len() {
+        match (old.get(i), new.get(j)) {
+            (Some(&a), Some(&b)) if a == b => {
+                i += 1;
+                j += 1;
+            }
+            (Some(&a), Some(&b)) if a < b => {
+                f(a, false);
+                i += 1;
+            }
+            (Some(_), Some(&b)) => {
+                f(b, true);
+                j += 1;
+            }
+            (Some(&a), None) => {
+                f(a, false);
+                i += 1;
+            }
+            (None, Some(&b)) => {
+                f(b, true);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+}
+
+/// A set with O(1) insert and iteration, reused across phases.
+struct DirtySet {
+    members: Vec<VertexId>,
+    present: Vec<bool>,
+}
+
+impl DirtySet {
+    fn new(n: usize) -> Self {
+        DirtySet {
+            members: Vec::new(),
+            present: vec![false; n],
+        }
+    }
+
+    fn add(&mut self, v: VertexId) {
+        if !self.present[v as usize] {
+            self.present[v as usize] = true;
+            self.members.push(v);
+        }
+    }
+
+    fn drain(&mut self) -> Vec<VertexId> {
+        for &v in &self.members {
+            self.present[v as usize] = false;
+        }
+        std::mem::take(&mut self.members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::{fixtures, gen, DiGraph, OrderKind};
+
+    /// Rebuilds from scratch under the same frozen order.
+    fn rebuild(idx: &DynamicIndex) -> ReachIndex {
+        let g = idx.graph().to_digraph();
+        crate::improved::drl(&g, idx.order())
+    }
+
+    #[test]
+    fn initial_build_matches_drl() {
+        let g = fixtures::paper_graph();
+        let idx = DynamicIndex::from_digraph(&g, OrderKind::InverseId);
+        assert_eq!(idx.to_index(), reach_tol::naive::build(&g, idx.order()));
+    }
+
+    #[test]
+    fn insert_edges_matches_rebuild() {
+        let g = gen::gnm(30, 60, 3);
+        let mut idx = DynamicIndex::from_digraph(&g, OrderKind::DegreeProduct);
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for step in 0..40 {
+            let (a, b) = (rng.gen_range(0..30), rng.gen_range(0..30));
+            idx.insert_edge(a, b);
+            assert_eq!(idx.to_index(), rebuild(&idx), "step {step}: +({a},{b})");
+        }
+    }
+
+    #[test]
+    fn remove_edges_matches_rebuild() {
+        let g = gen::gnm(30, 120, 5);
+        let edges: Vec<_> = g.edges().collect();
+        let mut idx = DynamicIndex::from_digraph(&g, OrderKind::DegreeProduct);
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut order = edges.clone();
+        order.shuffle(&mut rng);
+        for (step, &(a, b)) in order.iter().take(40).enumerate() {
+            assert!(idx.remove_edge(a, b).is_some());
+            assert_eq!(idx.to_index(), rebuild(&idx), "step {step}: -({a},{b})");
+        }
+    }
+
+    #[test]
+    fn mixed_workload_matches_rebuild() {
+        let g = gen::gnm(25, 50, 7);
+        let mut idx = DynamicIndex::from_digraph(&g, OrderKind::DegreeProduct);
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for step in 0..60 {
+            let (a, b) = (rng.gen_range(0..25), rng.gen_range(0..25));
+            if rng.gen_bool(0.6) {
+                idx.insert_edge(a, b);
+            } else {
+                idx.remove_edge(a, b);
+            }
+            assert_eq!(idx.to_index(), rebuild(&idx), "step {step}");
+            idx.to_index()
+                .validate_cover_on(&idx.graph().to_digraph())
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn noop_updates_do_no_work() {
+        let g = fixtures::paper_graph();
+        let mut idx = DynamicIndex::from_digraph(&g, OrderKind::InverseId);
+        assert!(idx.insert_edge(1, 0).is_none(), "edge exists");
+        assert!(idx.remove_edge(0, 1).is_none(), "edge absent");
+    }
+
+    #[test]
+    fn update_stats_are_local() {
+        // Bridging two 3-vertex paths (0->1->2, 3->4->5) touches only the
+        // ancestors of the tail and the descendants of the head — not the
+        // whole graph.
+        let g = fixtures::two_components();
+        let mut idx = DynamicIndex::from_digraph(&g, OrderKind::DegreeProduct);
+        let stats = idx.insert_edge(2, 3).expect("new edge");
+        assert_eq!(stats.refloods_fwd, 3, "{stats:?}"); // ancestors of 2
+        assert_eq!(stats.refloods_bwd, 3, "{stats:?}"); // descendants of 3
+        assert!(idx.query(0, 5));
+        let stats = idx.remove_edge(2, 3).unwrap();
+        assert_eq!(stats.refloods_fwd, 3, "{stats:?}");
+        assert!(!idx.query(0, 5));
+    }
+
+    #[test]
+    fn cycle_forming_and_breaking_updates() {
+        // Close a long path into a cycle and open it again: the closure
+        // changes reachability of every pair, and the index must follow.
+        let g = fixtures::path(12);
+        let mut idx = DynamicIndex::from_digraph(&g, OrderKind::InverseId);
+        assert!(!idx.query(11, 0));
+        idx.insert_edge(11, 0);
+        assert!(idx.query(11, 0));
+        assert!(idx.query(5, 2), "around the cycle");
+        assert_eq!(idx.to_index(), rebuild(&idx));
+        idx.remove_edge(11, 0);
+        assert!(!idx.query(11, 0));
+        assert_eq!(idx.to_index(), rebuild(&idx));
+    }
+
+    #[test]
+    fn grows_from_empty_graph() {
+        let n = 15;
+        let empty = DiGraph::from_edges(n, vec![]);
+        let ord = OrderAssignment::new(&empty, OrderKind::ById);
+        let mut idx = DynamicIndex::new(DynamicGraph::new(n), ord);
+        for i in 0..n as u32 - 1 {
+            idx.insert_edge(i, i + 1);
+        }
+        assert!(idx.query(0, 14));
+        assert_eq!(idx.to_index(), rebuild(&idx));
+    }
+}

@@ -1,0 +1,158 @@
+//! DRL — the improved labeling method (Theorem 4, §III-C-2).
+//!
+//! The refinement phase needs **no extra BFS**: after every vertex has run
+//! its trimmed BFS on `G` (candidates for `L⁻_in`) and on `Ḡ` (candidates
+//! for `L⁻_out`), the `Ḡ` flood doubles as the inverted lists
+//! `IBFS_low(v) = {u | v ∈ BFS_low^Ḡ(u)}` and a candidate `w ∈ BFS_low(v)`
+//! is eliminated iff some `u ∈ IBFS_low(v)` also visited `w` on `G`
+//! (Lemma 5). Each direction is therefore: one flood per vertex + a local
+//! membership check — fully parallel across vertices.
+//!
+//! This module is the serial driver of that logic (the distributed version
+//! in `reach-drl-dist` implements the same thing as a vertex program); it is
+//! also the engine DRLb reuses per batch.
+
+use reach_graph::{DiGraph, Direction, OrderAssignment, VertexId, VisitBuffer};
+use reach_index::{BackwardLabels, ReachIndex};
+
+use crate::refine::{build_inverted, refine_direction};
+use crate::trimmed::trimmed_bfs;
+use crate::LabelingStats;
+
+/// Builds the TOL-equivalent index with DRL.
+pub fn drl(g: &DiGraph, ord: &OrderAssignment) -> ReachIndex {
+    drl_with_stats(g, ord).0
+}
+
+/// [`drl`] with instrumentation counters.
+pub fn drl_with_stats(g: &DiGraph, ord: &OrderAssignment) -> (ReachIndex, LabelingStats) {
+    let n = g.num_vertices();
+    let mut stats = LabelingStats::default();
+    let sources: Vec<VertexId> = (0..n as VertexId).collect();
+
+    // Filtering (Steps 1-2): both direction floods for every vertex.
+    let fwd_low = flood_all(g, &sources, Direction::Forward, ord, &mut stats);
+    let bwd_low = flood_all(g, &sources, Direction::Backward, ord, &mut stats);
+
+    // Inverted lists (Definition 6): from the opposite-direction floods.
+    let inv_from_bwd = build_inverted(n, &sources, &bwd_low); // IBFS_low
+    let inv_from_fwd = build_inverted(n, &sources, &fwd_low); // IBFS_low on Ḡ
+
+    // Refinement (Steps 3-4, Lemma 5).
+    let in_sets = refine_direction(&sources, &fwd_low, &inv_from_bwd, &mut stats);
+    let out_sets = refine_direction(&sources, &bwd_low, &inv_from_fwd, &mut stats);
+
+    let mut bw = BackwardLabels { in_sets, out_sets };
+    bw.finalize();
+    (bw.to_index(), stats)
+}
+
+/// Runs a trimmed BFS from every source in `dir`; returns per-vertex sorted
+/// candidate lists (empty for non-sources).
+pub(crate) fn flood_all(
+    g: &DiGraph,
+    sources: &[VertexId],
+    dir: Direction,
+    ord: &OrderAssignment,
+    stats: &mut LabelingStats,
+) -> Vec<Vec<VertexId>> {
+    let n = g.num_vertices();
+    let mut visit = VisitBuffer::new(n);
+    let mut low: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    for &v in sources {
+        let t = trimmed_bfs(g, v, dir, ord, &mut visit);
+        stats.filter_bfs += 1;
+        stats.bfs_pops += t.pops;
+        stats.edge_scans += t.edge_scans;
+        stats.candidates += t.low.len();
+        let mut l = t.low;
+        l.sort_unstable();
+        low[v as usize] = l;
+    }
+    low
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::{fixtures, gen, OrderKind};
+
+    #[test]
+    fn matches_tol_on_paper_graph_both_orders() {
+        let g = fixtures::paper_graph();
+        for kind in [OrderKind::InverseId, OrderKind::DegreeProduct] {
+            let ord = OrderAssignment::new(&g, kind);
+            assert_eq!(drl(&g, &ord), reach_tol::naive::build(&g, &ord), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn matches_tol_on_random_cyclic_graphs() {
+        for seed in 0..10 {
+            let g = gen::gnm(45, 140, seed);
+            let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+            assert_eq!(drl(&g, &ord), reach_tol::naive::build(&g, &ord), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_tol_on_random_dags() {
+        for seed in 0..6 {
+            let g = gen::random_dag(45, 120, seed);
+            let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+            assert_eq!(drl(&g, &ord), reach_tol::naive::build(&g, &ord), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn example11_elimination_via_inverted_list() {
+        // Example 11: labeling v3, candidate v4 is eliminated because
+        // v2 ∈ IBFS_low(v3) (v2's Ḡ-flood visits v3) and v2's G-flood
+        // visits v4.
+        let g = fixtures::paper_graph();
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let idx = drl(&g, &ord);
+        let bw = idx.to_backward();
+        assert!(!bw.in_sets[2].contains(&3), "v4 not in L⁻_in(v3)");
+        assert!(bw.in_sets[2].is_empty());
+    }
+
+    #[test]
+    fn refinement_uses_no_bfs() {
+        let g = gen::gnm(40, 120, 3);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let (_, stats) = drl_with_stats(&g, &ord);
+        assert_eq!(stats.refine_bfs, 0, "Theorem 4 refinement is BFS-free");
+        assert_eq!(stats.filter_bfs, 2 * g.num_vertices());
+    }
+
+    #[test]
+    fn cycle_with_higher_member_drops_self_labels() {
+        let g = fixtures::cycle(4);
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let idx = drl(&g, &ord);
+        for v in 1..4 {
+            assert!(!idx.in_label(v).contains(&v), "v{v} must not self-label");
+        }
+        assert_eq!(idx, reach_tol::naive::build(&g, &ord));
+    }
+
+    #[test]
+    fn cover_constraint_on_disconnected_graph() {
+        let g = fixtures::two_components();
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        drl(&g, &ord).validate_cover_on(&g).unwrap();
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = DiGraph::from_edges(0, vec![]);
+        let ord = OrderAssignment::new(&empty, OrderKind::DegreeProduct);
+        assert_eq!(drl(&empty, &ord).num_vertices(), 0);
+
+        let single = DiGraph::from_edges(1, vec![(0, 0)]);
+        let ord = OrderAssignment::new(&single, OrderKind::DegreeProduct);
+        let idx = drl(&single, &ord);
+        assert!(idx.query(0, 0));
+    }
+}

@@ -1,0 +1,85 @@
+//! The paper's primary contribution: parallel reachability labeling that
+//! reproduces TOL's index (§III–§IV).
+//!
+//! TOL's pruning operation forces strictly serial execution (Lemma 1). The
+//! paper's key insight (§III-A) is that labeling a vertex `v` is exactly
+//! computing its *backward label sets* `L⁻_in(v)` and `L⁻_out(v)`
+//! (Definition 4), and Theorem 1 characterizes membership without reference
+//! to other vertices' labels — so all vertices can be labeled in parallel
+//! under a *filtering-and-refinement* framework:
+//!
+//! 1. **Filter** — generate a superset of `L⁻_in(v)` (Theorem 2 uses
+//!    `DES(v)`; Theorem 3 shrinks it to `BFS_low(v)` from a [trimmed
+//!    BFS](trimmed)).
+//! 2. **Refine** — eliminate every candidate reachable *through* a
+//!    higher-order vertex (Theorem 2 uses `DES_hig(v)`; Theorem 3 uses
+//!    `BFS_hig(v)`; Theorem 4 eliminates with no extra BFS at all via the
+//!    inverted lists `IBFS_low`).
+//!
+//! Module map:
+//!
+//! * [`trimmed`] — Algorithm 2, the trimmed BFS producing
+//!   `BFS_low(v)` / `BFS_hig(v)`.
+//! * [`framework`] — the Theorem-2 reference framework (pedagogical).
+//! * [`basic`] — **DRL⁻**, the basic labeling method (Theorem 3).
+//! * [`improved`] — **DRL**, the improved labeling method (Theorem 4).
+//! * [`batch`] — batch sequences (Definition 7) with parameters `b`, `k`.
+//! * [`batched`] — **DRLb**, batch labeling (§IV / Algorithm 4 semantics).
+//! * [`multicore`] — **DRLb^M**, the shared-memory parallel version
+//!   benchmarked in Exp 3.
+//!
+//! All of them produce an index identical to serial TOL; the test suites
+//! assert this against the `reach-tol` oracle on fixed and random graphs.
+
+pub mod basic;
+pub mod batch;
+pub mod batched;
+pub mod dynamic;
+pub mod framework;
+pub mod improved;
+mod refine;
+pub mod multicore;
+pub mod trimmed;
+
+pub use batch::{BatchParams, BatchSchedule};
+pub use batched::drlb;
+pub use dynamic::DynamicIndex;
+pub use basic::drl_minus;
+pub use improved::drl;
+pub use multicore::drlb_multicore;
+
+/// Instrumentation counters shared by the labeling algorithms; the Table-IV
+/// ablation bench reports these to compare the three refinement strategies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LabelingStats {
+    /// Trimmed BFSs run in the filtering phase (both directions).
+    pub filter_bfs: usize,
+    /// Full BFSs run in the refinement phase (Theorem 2 / Theorem 3 only).
+    pub refine_bfs: usize,
+    /// Candidate label entries produced by filtering.
+    pub candidates: usize,
+    /// Candidates eliminated by refinement.
+    pub eliminated: usize,
+    /// Vertices popped across all traversals.
+    pub bfs_pops: usize,
+    /// Edge relaxations across all traversals.
+    pub edge_scans: usize,
+    /// `Check()` probes performed (Theorem-4 refinement).
+    pub check_probes: usize,
+    /// Candidate sources pruned outright by batch labels (`DRLb` only).
+    pub batch_pruned_sources: usize,
+}
+
+impl LabelingStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &LabelingStats) {
+        self.filter_bfs += other.filter_bfs;
+        self.refine_bfs += other.refine_bfs;
+        self.candidates += other.candidates;
+        self.eliminated += other.eliminated;
+        self.bfs_pops += other.bfs_pops;
+        self.edge_scans += other.edge_scans;
+        self.check_probes += other.check_probes;
+        self.batch_pruned_sources += other.batch_pruned_sources;
+    }
+}

@@ -1,0 +1,212 @@
+//! DRLb^M — the shared-memory multi-core version (§VI, Exp 3).
+//!
+//! Same batch schedule and per-batch logic as [`crate::batched`], but the
+//! per-source floods and the refinement pass are spread over a pool of
+//! scoped threads. Sources are independent within a batch (each flood reads
+//! the graph and the earlier-batch labels, both immutable during the
+//! batch), so the parallelization is embarrassingly clean: chunk the
+//! sources, give every thread its own scratch buffers and stats, merge at
+//! the batch barrier. The paper's Exp 3 finds this beats the distributed
+//! version on graphs that fit one machine (no message passing) but cannot
+//! scale past one machine's memory — exactly the trade-off our benches show.
+
+use reach_graph::{DiGraph, Direction, OrderAssignment, VertexId, VisitBuffer};
+use reach_index::ReachIndex;
+
+use crate::batch::{BatchParams, BatchSchedule};
+use crate::batched::{pruned_trimmed_bfs, BatchLabels};
+use crate::refine::{build_inverted, refine_one};
+use crate::LabelingStats;
+
+/// Per-source result of a parallel phase: the vertex, its two produced
+/// lists (flood candidates or refined survivors), and the worker's stats.
+type SourceResult = (VertexId, Vec<VertexId>, Vec<VertexId>, LabelingStats);
+
+/// Builds the TOL-equivalent index with `threads` worker threads.
+pub fn drlb_multicore(
+    g: &DiGraph,
+    ord: &OrderAssignment,
+    params: BatchParams,
+    threads: usize,
+) -> ReachIndex {
+    drlb_multicore_with_stats(g, ord, params, threads).0
+}
+
+/// [`drlb_multicore`] with merged instrumentation counters.
+pub fn drlb_multicore_with_stats(
+    g: &DiGraph,
+    ord: &OrderAssignment,
+    params: BatchParams,
+    threads: usize,
+) -> (ReachIndex, LabelingStats) {
+    assert!(threads >= 1, "need at least one worker thread");
+    let n = g.num_vertices();
+    let schedule = BatchSchedule::new(n, params);
+    let mut stats = LabelingStats::default();
+    let mut labels = BatchLabels::new(n);
+
+    for i in 0..schedule.num_batches() {
+        let sources = schedule.batch_vertices(i, ord);
+        let active: Vec<VertexId> = sources
+            .iter()
+            .copied()
+            .filter(|&v| {
+                let pruned = labels.out_in_intersect(v, v);
+                if pruned {
+                    stats.batch_pruned_sources += 1;
+                }
+                !pruned
+            })
+            .collect();
+
+        // Phase 1: parallel floods. Each worker owns a chunk of sources and
+        // returns (vertex, fwd candidates, bwd candidates) triples.
+        let chunk = active.len().div_ceil(threads).max(1);
+        let flood_results: Vec<Vec<SourceResult>> =
+            crossbeam::thread::scope(|scope| {
+                let labels = &labels;
+                let handles: Vec<_> = active
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move |_| {
+                            let mut visit = VisitBuffer::new(n);
+                            part.iter()
+                                .map(|&v| {
+                                    let mut st = LabelingStats::default();
+                                    let fwd = pruned_trimmed_bfs(
+                                        g,
+                                        v,
+                                        Direction::Forward,
+                                        ord,
+                                        labels,
+                                        &mut visit,
+                                        &mut st,
+                                    );
+                                    let bwd = pruned_trimmed_bfs(
+                                        g,
+                                        v,
+                                        Direction::Backward,
+                                        ord,
+                                        labels,
+                                        &mut visit,
+                                        &mut st,
+                                    );
+                                    (v, fwd, bwd, st)
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("flood worker panicked");
+
+        let mut fwd_low: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        let mut bwd_low: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for part in flood_results {
+            for (v, fwd, bwd, st) in part {
+                fwd_low[v as usize] = fwd;
+                bwd_low[v as usize] = bwd;
+                stats.merge(&st);
+            }
+        }
+
+        // Phase 2 (barrier): inverted lists over the whole batch.
+        let inv_from_bwd = build_inverted(n, &active, &bwd_low);
+        let inv_from_fwd = build_inverted(n, &active, &fwd_low);
+
+        // Phase 3: parallel refinement over sources.
+        let refine_results: Vec<Vec<SourceResult>> =
+            crossbeam::thread::scope(|scope| {
+                let fwd_low = &fwd_low;
+                let bwd_low = &bwd_low;
+                let inv_from_bwd = &inv_from_bwd;
+                let inv_from_fwd = &inv_from_fwd;
+                let handles: Vec<_> = active
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move |_| {
+                            part.iter()
+                                .map(|&v| {
+                                    let mut st = LabelingStats::default();
+                                    let ins = refine_one(v, fwd_low, inv_from_bwd, &mut st);
+                                    let outs = refine_one(v, bwd_low, inv_from_fwd, &mut st);
+                                    (v, ins, outs, st)
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("refine worker panicked");
+
+        let mut in_sets: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        let mut out_sets: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for part in refine_results {
+            for (v, ins, outs, st) in part {
+                in_sets[v as usize] = ins;
+                out_sets[v as usize] = outs;
+                stats.merge(&st);
+            }
+        }
+
+        labels.append_batch(ord, &sources, &in_sets, &out_sets);
+    }
+
+    (labels.into_index(ord), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::{fixtures, gen, OrderKind};
+
+    #[test]
+    fn matches_serial_drlb_on_paper_graph() {
+        let g = fixtures::paper_graph();
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let serial = crate::batched::drlb(&g, &ord, BatchParams::default());
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                drlb_multicore(&g, &ord, BatchParams::default(), threads),
+                serial,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_tol_on_random_graphs() {
+        for seed in 0..5 {
+            let g = gen::gnm(60, 200, seed);
+            let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+            let oracle = reach_tol::naive::build(&g, &ord);
+            assert_eq!(
+                drlb_multicore(&g, &ord, BatchParams::default(), 4),
+                oracle,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_threads_than_sources_is_fine() {
+        let g = fixtures::diamond();
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let idx = drlb_multicore(&g, &ord, BatchParams::default(), 16);
+        idx.validate_cover_on(&g).unwrap();
+    }
+
+    #[test]
+    fn stats_are_merged_across_threads() {
+        let g = gen::gnm(80, 300, 2);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let (_, st1) = drlb_multicore_with_stats(&g, &ord, BatchParams::default(), 1);
+        let (_, st4) = drlb_multicore_with_stats(&g, &ord, BatchParams::default(), 4);
+        // Same work regardless of thread count.
+        assert_eq!(st1.filter_bfs, st4.filter_bfs);
+        assert_eq!(st1.candidates, st4.candidates);
+        assert_eq!(st1.eliminated, st4.eliminated);
+    }
+}

@@ -1,0 +1,100 @@
+//! Shared Theorem-4 refinement machinery used by DRL, DRLb and DRLb^M.
+//!
+//! After the flooding phase, every source `v` has a sorted candidate list
+//! `cand[v]` (its `BFS_low` in one direction). The inverted list
+//! `IBFS_low(v)` (Definition 6) is derived from the *opposite*-direction
+//! flood: `u ∈ inv[v]` iff `u ≠ v` and `v ∈ low(u)` there. A candidate
+//! `w ∈ cand[v]` is eliminated iff some `u ∈ inv[v]` also has `w` in its
+//! candidate list (Lemma 5) — a higher-order vertex sits on a `v → w` walk.
+
+use reach_graph::VertexId;
+
+use crate::LabelingStats;
+
+/// Builds the inverted lists from per-source visit lists: `inv[w]` collects
+/// every source `u ≠ w` whose flood visited `w`. Because trimmed BFS only
+/// visits strictly-lower-order vertices (besides the source itself), every
+/// entry of `inv[w]` has order higher than `w`.
+pub(crate) fn build_inverted(
+    n: usize,
+    sources: &[VertexId],
+    low: &[Vec<VertexId>],
+) -> Vec<Vec<VertexId>> {
+    let mut inv: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    for &u in sources {
+        for &w in &low[u as usize] {
+            if w != u {
+                inv[w as usize].push(u);
+            }
+        }
+    }
+    inv
+}
+
+/// Refines one direction: for every source `v`, keeps the candidates
+/// `w ∈ cand[v]` that no inverted-list entry `u ∈ inv[v]` also visited.
+/// `cand[v]` must be sorted by id (binary-searched). Returns the surviving
+/// backward label sets, indexed by vertex id.
+pub(crate) fn refine_direction(
+    sources: &[VertexId],
+    cand: &[Vec<VertexId>],
+    inv: &[Vec<VertexId>],
+    stats: &mut LabelingStats,
+) -> Vec<Vec<VertexId>> {
+    let mut kept: Vec<Vec<VertexId>> = vec![Vec::new(); cand.len()];
+    for &v in sources {
+        kept[v as usize] = refine_one(v, cand, inv, stats);
+    }
+    kept
+}
+
+/// Refines a single source (the unit the multicore version parallelizes).
+pub(crate) fn refine_one(
+    v: VertexId,
+    cand: &[Vec<VertexId>],
+    inv: &[Vec<VertexId>],
+    stats: &mut LabelingStats,
+) -> Vec<VertexId> {
+    let high_visitors = &inv[v as usize];
+    let survivors: Vec<VertexId> = cand[v as usize]
+        .iter()
+        .copied()
+        .filter(|&w| {
+            !high_visitors.iter().any(|&u| {
+                stats.check_probes += 1;
+                cand[u as usize].binary_search(&w).is_ok()
+            })
+        })
+        .collect();
+    stats.eliminated += cand[v as usize].len() - survivors.len();
+    survivors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_inverted_excludes_self() {
+        // sources 0 and 1; 0's flood visited {0, 2}; 1's visited {1, 2}.
+        let low = vec![vec![0, 2], vec![1, 2], vec![]];
+        let inv = build_inverted(3, &[0, 1], &low);
+        assert!(inv[0].is_empty());
+        assert!(inv[1].is_empty());
+        assert_eq!(inv[2], vec![0, 1]);
+    }
+
+    #[test]
+    fn refine_eliminates_covered_candidates() {
+        // Source 2's candidates {2, 3}; source 0 (higher order) visited 3
+        // and, in the opposite direction, visited 2 — so inv[2] = [0] and
+        // candidate 3 must be eliminated while 2 survives.
+        let cand = vec![vec![3], vec![], vec![2, 3], vec![]];
+        let inv = vec![vec![], vec![], vec![0], vec![]];
+        let mut stats = LabelingStats::default();
+        let kept = refine_direction(&[2], &cand, &inv, &mut stats);
+        assert_eq!(kept[2], vec![2]);
+        assert_eq!(stats.eliminated, 1);
+        assert!(stats.check_probes >= 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! The trimmed BFS of Algorithm 2 (§III-C).
+//!
+//! A `v`-sourced trimmed BFS expands only through vertices of order lower
+//! than `v`. Vertices of higher order *block* their branch and are recorded
+//! in `BFS_hig(v)`; every expanded vertex lands in `BFS_low(v)`.
+//!
+//! * `BFS_low(v)` is a superset of the backward in-label set `L⁻_in(v)`
+//!   (Lemma 4) — the candidates of the filtering phase.
+//! * `BFS_hig(v)` suffices for refinement in place of the full
+//!   `DES_hig(v)` (Lemma 3).
+
+use reach_graph::{Direction, GraphView, OrderAssignment, VertexId, VisitBuffer};
+
+/// Result of one trimmed BFS.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrimmedBfs {
+    /// Vertices visited and expanded (order strictly lower than the source,
+    /// plus the source itself), in visit order.
+    pub low: Vec<VertexId>,
+    /// Higher-order vertices that blocked an expansion branch, deduplicated,
+    /// in first-encounter order.
+    pub hig: Vec<VertexId>,
+    /// Vertices popped from the queue.
+    pub pops: usize,
+    /// Edges scanned.
+    pub edge_scans: usize,
+}
+
+/// Runs the `v`-sourced trimmed BFS in direction `dir` (Algorithm 2;
+/// `Direction::Backward` gives the `Ḡ` variant used for out-labels and
+/// inverted lists). `visit` is reset internally. Generic over
+/// [`GraphView`] so the same code serves the static CSR graph and the
+/// mutable graph of the dynamic-maintenance module.
+pub fn trimmed_bfs<G: GraphView + ?Sized>(
+    g: &G,
+    v: VertexId,
+    dir: Direction,
+    ord: &OrderAssignment,
+    visit: &mut VisitBuffer,
+) -> TrimmedBfs {
+    let mut out = TrimmedBfs::default();
+    visit.reset();
+    visit.mark(v);
+    out.low.push(v);
+    let rank_v = ord.rank(v);
+    let mut head = 0;
+    while head < out.low.len() {
+        let u = out.low[head];
+        head += 1;
+        out.pops += 1;
+        for &w in g.neighbors(u, dir) {
+            out.edge_scans += 1;
+            if !visit.mark(w) {
+                continue; // status(w) ≠ unvisited (Line 8)
+            }
+            if ord.rank(w) > rank_v {
+                out.low.push(w); // lower order: expand (Lines 9-10)
+            } else {
+                out.hig.push(w); // block the branch (Line 12)
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::{fixtures, gen, OrderKind};
+
+    #[test]
+    fn example8_v3_sourced_trimmed_bfs() {
+        // Fig. 3: BFS_low(v3) = {v3, v4, v10, v6, v11}, BFS_hig(v3) = {v1, v2}.
+        let g = fixtures::paper_graph();
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let mut visit = VisitBuffer::new(g.num_vertices());
+        let r = trimmed_bfs(&g, 2, Direction::Forward, &ord, &mut visit);
+        let mut low = r.low.clone();
+        low.sort_unstable();
+        assert_eq!(low, vec![2, 3, 5, 9, 10]); // v3, v4, v6, v10, v11
+        let mut hig = r.hig.clone();
+        hig.sort_unstable();
+        assert_eq!(hig, vec![0, 1]); // v1, v2
+    }
+
+    #[test]
+    fn source_always_in_low_even_if_lowest_order() {
+        let g = fixtures::path(3);
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let mut visit = VisitBuffer::new(3);
+        let r = trimmed_bfs(&g, 2, Direction::Forward, &ord, &mut visit);
+        assert_eq!(r.low, vec![2]);
+        assert!(r.hig.is_empty());
+    }
+
+    #[test]
+    fn low_vertices_have_strictly_lower_order() {
+        for seed in 0..4 {
+            let g = gen::gnm(40, 140, seed);
+            let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+            let mut visit = VisitBuffer::new(g.num_vertices());
+            for v in g.vertices() {
+                let r = trimmed_bfs(&g, v, Direction::Forward, &ord, &mut visit);
+                for &w in &r.low {
+                    assert!(w == v || ord.higher(v, w));
+                }
+                for &w in &r.hig {
+                    assert!(ord.higher(w, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hig_has_no_duplicates() {
+        // The source (1) reaches the high-order vertex 0 through two
+        // lower-order branches (2 and 3); it must be recorded once.
+        let g = reach_graph::DiGraph::from_edges(4, vec![(1, 2), (1, 3), (2, 0), (3, 0)]);
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let mut visit = VisitBuffer::new(4);
+        let r = trimmed_bfs(&g, 1, Direction::Forward, &ord, &mut visit);
+        assert_eq!(r.hig, vec![0]);
+        let mut low = r.low.clone();
+        low.sort_unstable();
+        assert_eq!(low, vec![1, 2, 3]);
+    }
+
+    /// Lemma 3: the union of descendants of BFS_hig(v) equals the union of
+    /// descendants of DES_hig(v).
+    #[test]
+    fn lemma3_hig_covers_des_hig() {
+        use reach_graph::traverse::descendants;
+        for seed in 0..4 {
+            let g = gen::gnm(30, 90, seed);
+            let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+            let mut visit = VisitBuffer::new(g.num_vertices());
+            for v in g.vertices() {
+                let r = trimmed_bfs(&g, v, Direction::Forward, &ord, &mut visit);
+                let des: Vec<VertexId> = descendants(&g, v);
+                let des_hig: Vec<VertexId> = des
+                    .iter()
+                    .copied()
+                    .filter(|&u| ord.higher(u, v))
+                    .collect();
+                let union_of = |set: &[VertexId]| {
+                    let mut u: Vec<VertexId> = set
+                        .iter()
+                        .flat_map(|&x| descendants(&g, x))
+                        .collect();
+                    u.sort_unstable();
+                    u.dedup();
+                    u
+                };
+                assert_eq!(union_of(&r.hig), union_of(&des_hig), "v={v} seed={seed}");
+            }
+        }
+    }
+
+    /// Lemma 4: BFS_low(v) ⊇ L⁻_in(v) (checked against the Theorem-1 oracle).
+    #[test]
+    fn lemma4_low_is_superset_of_backward_in_labels() {
+        use reach_graph::TransitiveClosure;
+        for seed in 0..4 {
+            let g = gen::gnm(30, 90, seed);
+            let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+            let tc = TransitiveClosure::compute(&g);
+            let mut visit = VisitBuffer::new(g.num_vertices());
+            for v in g.vertices() {
+                let r = trimmed_bfs(&g, v, Direction::Forward, &ord, &mut visit);
+                for w in g.vertices() {
+                    if tc.in_label_expected(&ord, v, w) {
+                        assert!(r.low.contains(&w), "w={w} must be a candidate for v={v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counters_are_populated() {
+        let g = fixtures::paper_graph();
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let mut visit = VisitBuffer::new(g.num_vertices());
+        let r = trimmed_bfs(&g, 0, Direction::Forward, &ord, &mut visit);
+        assert!(r.pops >= 1);
+        assert!(r.edge_scans >= r.low.len() - 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! The graph generators behind the Table V stand-ins.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reach_graph::{DiGraph, VertexId};
+
+/// R-MAT / Kronecker generator (the Graph500 reference workload).
+///
+/// Each edge picks a quadrant of the adjacency matrix recursively with
+/// probabilities `(a, b, c, d)`; skewed parameters produce the heavy-tailed
+/// degree distributions of web and social graphs. `n` is rounded up to the
+/// next power of two internally; endpoints are folded back below `n`.
+pub fn rmat(n: usize, m: usize, a: f64, b: f64, c: f64, d: f64, seed: u64) -> DiGraph {
+    assert!(n > 0 || m == 0);
+    assert!((a + b + c + d - 1.0).abs() < 1e-9, "quadrants must sum to 1");
+    let levels = (usize::BITS - (n.max(2) - 1).leading_zeros()) as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..levels {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left: no bits set
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        edges.push(((u % n) as VertexId, (v % n) as VertexId));
+    }
+    DiGraph::from_edges(n, edges)
+}
+
+/// A power-law web crawl: skewed R-MAT quadrants (hubs and authorities)
+/// overlaid with a layered backbone that recreates the **deep reachability
+/// structure** of real crawls (site hierarchies many hops tall). Pure
+/// R-MAT at laptop scale collapses to near-trivial label sets (average
+/// label ≈ 1), while real web graphs carry averages in the tens — the
+/// overlay restores that regime. Cyclic like real crawls (the R-MAT part
+/// supplies the cycles).
+pub fn web(n: usize, m: usize, seed: u64) -> DiGraph {
+    hierarchy(n, m, 0.85, seed)
+}
+
+/// The deep-hierarchy generator behind the web/knowledge/social stand-ins:
+/// a `depth_frac` fraction of the edges forms a preferential-attachment
+/// hierarchy ([`citation_dag`]-style: hubs with huge in-degree but small
+/// out-reach, plus recent-window chains), the rest is a skewed cyclic
+/// R-MAT overlay. The hierarchy is what gives the graph *reachability
+/// depth*: its hubs absorb paths without covering them, so label sets grow
+/// into the tens — the regime the paper's medium graphs occupy (their TOL
+/// indexes average ~30 labels per vertex). `depth_frac = 0` degenerates to
+/// plain R-MAT (shallow, hub-covered).
+pub fn hierarchy(n: usize, m: usize, depth_frac: f64, seed: u64) -> DiGraph {
+    assert!((0.0..=1.0).contains(&depth_frac));
+    let m_deep = (m as f64 * depth_frac) as usize;
+    // Cyclicity must stay *local*: a global random (R-MAT) up-edge closes
+    // giant cycles through the hierarchy, merging most of the graph into
+    // one SCC whose top-order vertex then covers everything — collapsing
+    // label sizes to ~1 and destroying the regime we are reproducing.
+    // Up-window edges (u -> u + δ, δ ≤ 4) close only short local cycles
+    // against the hierarchy's down-window chains.
+    let m_up = ((m as f64 * 0.05) as usize).min(m - m_deep);
+    let m_rmat = m - m_deep - m_up;
+    let mut edges: Vec<(VertexId, VertexId)> = citation_dag(n, m_deep, seed).edges().collect();
+    edges.extend(window_chain(n, m_up, 4, seed ^ 0x0bc1));
+    if m_rmat > 0 {
+        edges.extend(rmat(n, m_rmat, 0.57, 0.19, 0.19, 0.05, seed ^ 0xC1C).edges());
+    }
+    DiGraph::from_edges(n, edges)
+}
+
+/// Deep-chain overlay: edges `u -> u + δ` for small random `δ`, creating
+/// the long directory-style paths that give real crawls their reachability
+/// depth. Acyclic on its own (always forward in id space).
+pub fn window_chain(n: usize, m: usize, window: u32, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    if n < 2 {
+        return edges;
+    }
+    for _ in 0..m {
+        let u = rng.gen_range(0..n - 1) as VertexId;
+        let delta = rng.gen_range(1..=window).min((n - 1) as u32 - u);
+        edges.push((u, u + delta.max(1)));
+    }
+    edges
+}
+
+/// A social network: moderately skewed R-MAT plus reciprocation — each
+/// generated edge is mirrored with probability `reciprocity`, creating the
+/// dense 2-cycles of follower graphs.
+pub fn social(n: usize, m: usize, reciprocity: f64, seed: u64) -> DiGraph {
+    social_with_depth(n, m, reciprocity, 0.7, seed)
+}
+
+/// Social generator with an explicit depth fraction: `depth_frac` of the
+/// edges form the follower hierarchy (celebrities = absorbing hubs, long
+/// influence chains), the rest is R-MAT whose edges are mirrored with
+/// probability `reciprocity` (mutual follows, creating the dense 2-cycles
+/// of real follower graphs).
+pub fn social_with_depth(
+    n: usize,
+    m: usize,
+    reciprocity: f64,
+    depth_frac: f64,
+    seed: u64,
+) -> DiGraph {
+    assert!((0.0..=1.0).contains(&depth_frac));
+    let m_deep = (m as f64 * depth_frac) as usize;
+    // Local reciprocated cycles instead of global ones — see `hierarchy`
+    // for why global up-edges would collapse the label sizes.
+    let m_up = ((m as f64 * 0.05) as usize).min(m - m_deep);
+    let m_rmat = m - m_deep - m_up;
+    let mut edges: Vec<(VertexId, VertexId)> = citation_dag(n, m_deep, seed).edges().collect();
+    edges.extend(window_chain(n, m_up, 4, seed ^ 0x0bc1));
+    if m_rmat > 0 {
+        let base = rmat(n, m_rmat, 0.45, 0.22, 0.22, 0.11, seed ^ 0xD1CE);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF0110);
+        for (u, v) in base.edges() {
+            edges.push((u, v));
+            if rng.gen_bool(reciprocity) {
+                edges.push((v, u));
+            }
+        }
+    }
+    DiGraph::from_edges(n, edges)
+}
+
+/// A citation network: vertices arrive in id order and cite earlier
+/// vertices with preferential attachment — a DAG by construction, with the
+/// in-degree skew of real citation graphs.
+pub fn citation_dag(n: usize, m: usize, seed: u64) -> DiGraph {
+    assert!(n > 0 || m == 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(m);
+    // Preferential attachment via the repeated-endpoints trick: sampling a
+    // uniform element of `targets` is sampling ∝ (in-degree + 1). A
+    // fraction of citations instead go to *recent* papers (a small id
+    // window), recreating the long citation chains that give real citation
+    // networks their reachability depth.
+    let mut targets: Vec<VertexId> = Vec::with_capacity(m + n);
+    targets.push(0);
+    let per_vertex = (m as f64 / n.max(1) as f64).max(1.0);
+    for v in 1..n as VertexId {
+        let cites = ((per_vertex * (0.5 + rng.gen::<f64>())) as usize).max(1);
+        for _ in 0..cites {
+            if edges.len() >= m {
+                break;
+            }
+            let t = if rng.gen_bool(0.4) {
+                // Recent-window citation: v cites one of its 4 predecessors.
+                v - rng.gen_range(1..=v.min(4))
+            } else {
+                targets[rng.gen_range(0..targets.len())]
+            };
+            if t != v {
+                edges.push((v, t));
+                targets.push(t);
+            }
+        }
+        targets.push(v);
+    }
+    // Citations point backward in time (v cites t < v), so cycles are
+    // impossible.
+    debug_assert!(edges.iter().all(|&(u, v)| v < u));
+    DiGraph::from_edges(n, edges)
+}
+
+/// A layered ontology DAG (the Go-uniprot stand-in): vertices are split
+/// into `layers` ranks; edges go from a layer to a strictly deeper one,
+/// preferring the immediate next layer.
+pub fn layered_dag(n: usize, m: usize, layers: usize, seed: u64) -> DiGraph {
+    assert!(layers >= 2 && n >= layers);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let layer_of = |v: usize| v * layers / n; // contiguous blocks of ids
+    let layer_start = |l: usize| (l * n).div_ceil(layers);
+    let layer_end = |l: usize| ((l + 1) * n).div_ceil(layers);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n);
+        let lu = layer_of(u);
+        if lu + 1 >= layers {
+            continue;
+        }
+        // 80% of edges go to the next layer, the rest skip deeper.
+        let lv = if lu + 2 >= layers || rng.gen_bool(0.8) {
+            lu + 1
+        } else {
+            rng.gen_range(lu + 2..layers)
+        };
+        let v = rng.gen_range(layer_start(lv)..layer_end(lv));
+        edges.push((u as VertexId, v as VertexId));
+    }
+    DiGraph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::scc::tarjan_scc;
+    use reach_graph::stats::GraphStats;
+
+    #[test]
+    fn rmat_respects_bounds_and_seed() {
+        let g = rmat(1000, 5000, 0.57, 0.19, 0.19, 0.05, 1);
+        assert_eq!(g.num_vertices(), 1000);
+        assert!(g.num_edges() <= 5000);
+        assert!(g.num_edges() > 4000, "few duplicates at this density");
+        let h = rmat(1000, 5000, 0.57, 0.19, 0.19, 0.05, 1);
+        assert_eq!(g.edges().collect::<Vec<_>>(), h.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(4096, 40_000, 0.57, 0.19, 0.19, 0.05, 3);
+        let s = GraphStats::compute(&g);
+        assert!(s.max_out_degree > 100, "hub expected, got {}", s.max_out_degree);
+    }
+
+    #[test]
+    #[should_panic(expected = "quadrants must sum to 1")]
+    fn rmat_rejects_bad_quadrants() {
+        rmat(10, 10, 0.5, 0.5, 0.5, 0.5, 1);
+    }
+
+    #[test]
+    fn social_has_reciprocated_pairs() {
+        let g = social(2000, 10_000, 0.4, 5);
+        let recip = g
+            .edges()
+            .filter(|&(u, v)| u < v && g.has_edge(v, u))
+            .count();
+        assert!(recip > 100, "expected many 2-cycles, got {recip}");
+    }
+
+    #[test]
+    fn citation_dag_is_acyclic_and_skewed() {
+        let g = citation_dag(5000, 25_000, 9);
+        assert!(tarjan_scc(&g).is_acyclic());
+        let s = GraphStats::compute(&g);
+        assert!(s.max_in_degree > 50, "preferential attachment hub");
+    }
+
+    #[test]
+    fn layered_dag_is_acyclic_with_depth() {
+        let g = layered_dag(3000, 15_000, 10, 2);
+        assert!(tarjan_scc(&g).is_acyclic());
+        // Depth: some vertex in layer 0 reaches a vertex in the last layer.
+        let des = reach_graph::traverse::descendants(&g, 0);
+        assert!(des.len() > 1);
+    }
+
+    #[test]
+    fn generators_tolerate_tiny_sizes() {
+        assert!(rmat(2, 4, 0.25, 0.25, 0.25, 0.25, 1).num_vertices() == 2);
+        assert!(citation_dag(2, 2, 1).num_vertices() == 2);
+        assert!(layered_dag(4, 4, 2, 1).num_vertices() == 4);
+    }
+}

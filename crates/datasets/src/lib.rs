@@ -1,0 +1,257 @@
+//! Synthetic stand-ins for the paper's 18 evaluation graphs (Table V).
+//!
+//! The originals (SNAP / Koblenz / LAW / NetworkRepository, up to 3.7 B
+//! edges) are not redistributable at reproduction scale, so each dataset is
+//! replaced by a **seeded generator matched to its type**: power-law web
+//! crawls via R-MAT, citation networks as preferential-attachment DAGs,
+//! social networks as R-MAT with edge reciprocation, Go-uniprot as a
+//! layered ontology DAG, Graph500 as the reference R-MAT. Sizes are scaled
+//! to laptop scale while preserving each graph's qualitative character —
+//! skew, cyclicity, density class — which is what the evaluation's *shape*
+//! claims depend on (see DESIGN.md §3).
+//!
+//! [`table5`] is the registry: the same 18 names, each tagged with its
+//! paper-scale |V|/|E| for the EXPERIMENTS.md comparison, and whether the
+//! paper treats it as one of the six "medium" graphs (used by Figs. 5–9).
+//!
+//! Real edge lists can be substituted at any time via
+//! `reach_graph::io::read_edge_list_file` — every consumer only sees a
+//! [`DiGraph`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reach_graph::{DiGraph, VertexId};
+
+pub mod generators;
+
+pub use generators::{citation_dag, layered_dag, rmat, social, web};
+
+/// The qualitative family of a dataset (Table V's "Type" column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphKind {
+    /// Power-law web crawl (cyclic, very skewed).
+    Web,
+    /// Knowledge base (skewed, mixed cyclicity).
+    Knowledge,
+    /// Citation network (a DAG by construction).
+    Citation,
+    /// Social network (cyclic, reciprocated edges).
+    Social,
+    /// Ontology / biology (layered DAG).
+    Biology,
+    /// Synthetic R-MAT (Graph500).
+    Synthetic,
+}
+
+/// One entry of the dataset registry.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetSpec {
+    /// The paper's short name (Table V column 1).
+    pub name: &'static str,
+    /// The paper's dataset name.
+    pub full_name: &'static str,
+    /// Family driving the generator choice.
+    pub kind: GraphKind,
+    /// Scaled vertex count.
+    pub vertices: usize,
+    /// Scaled target edge count (before deduplication).
+    pub edges: usize,
+    /// Generator seed (fixed for reproducibility).
+    pub seed: u64,
+    /// |V| of the real graph, for reporting.
+    pub paper_vertices: u64,
+    /// |E| of the real graph, for reporting.
+    pub paper_edges: u64,
+    /// One of the six medium graphs used in Figs. 5, 6, 8, 9.
+    pub medium: bool,
+    /// Whether the paper's single 32 GB node could hold the graph **and**
+    /// the TOL index — the Table VI "-" pattern for TOL and DRLb^M.
+    pub tol_single_node: bool,
+    /// Whether BFL^C could run on one node (its index is smaller, so this
+    /// gate additionally admits SINA).
+    pub bflc_single_node: bool,
+    /// Fraction of edges forming the deep hierarchy (see
+    /// [`generators::hierarchy`]); ignored by the Citation/Biology/
+    /// Synthetic kinds, whose structure fixes it.
+    pub depth_frac: f64,
+}
+
+impl DatasetSpec {
+    /// Generates the graph for this spec.
+    pub fn generate(&self) -> DiGraph {
+        match self.kind {
+            GraphKind::Web | GraphKind::Knowledge => {
+                generators::hierarchy(self.vertices, self.edges, self.depth_frac, self.seed)
+            }
+            GraphKind::Citation => citation_dag(self.vertices, self.edges, self.seed),
+            GraphKind::Social => generators::social_with_depth(
+                self.vertices,
+                self.edges,
+                0.25,
+                self.depth_frac,
+                self.seed,
+            ),
+            GraphKind::Biology => layered_dag(self.vertices, self.edges, 12, self.seed),
+            GraphKind::Synthetic => {
+                rmat(self.vertices, self.edges, 0.57, 0.19, 0.19, 0.05, self.seed)
+            }
+        }
+    }
+}
+
+/// The 18-dataset registry mirroring Table V. The first six are the
+/// mediums the paper uses for Figs. 5–9.
+pub fn table5() -> Vec<DatasetSpec> {
+    use GraphKind::*;
+    // Per-row flags (medium, tol_single_node, bflc_single_node) transcribe
+    // Table VI's "-" pattern: TOL and DRLb^M ran only on the mediums plus
+    // LINK, GRPH and TWIT; BFL^C additionally ran on SINA.
+    let spec = |name, full_name, kind, vertices, edges, seed, pv, pe, medium, tol1, bflc1, depth| {
+        DatasetSpec {
+            name,
+            full_name,
+            kind,
+            vertices,
+            edges,
+            seed,
+            paper_vertices: pv,
+            paper_edges: pe,
+            medium,
+            tol_single_node: tol1,
+            bflc_single_node: bflc1,
+            depth_frac: depth,
+        }
+    };
+    vec![
+        spec("WEBW", "Web-wikipedia", Web, 40_000, 100_000, 101, 1_864_433, 4_507_315, true, true, true, 0.95),
+        spec("DBPE", "Dbpedia", Knowledge, 50_000, 120_000, 102, 3_365_623, 7_989_191, true, true, true, 0.95),
+        spec("CITE", "Citeseerx", Citation, 60_000, 140_000, 103, 6_540_401, 15_011_260, true, true, true, 1.0),
+        spec("CITP", "Cit-patent", Citation, 40_000, 170_000, 104, 3_774_768, 16_518_947, true, true, true, 1.0),
+        spec("TW", "Twitter", Social, 70_000, 160_000, 105, 18_121_168, 18_359_487, true, true, true, 0.95),
+        spec("GO", "Go-uniprot", Biology, 40_000, 120_000, 106, 6_967_956, 34_770_235, true, true, true, 1.0),
+        spec("SINA", "Soc-sinaweibo", Social, 150_000, 660_000, 107, 58_655_849, 261_321_071, false, false, true, 0.3),
+        spec("LINK", "Wikipedia-link", Web, 150_000, 350_000, 108, 13_593_032, 437_217_424, false, true, true, 0.95),
+        spec("WEBB", "Webbase-2001", Web, 300_000, 1_300_000, 109, 118_142_155, 1_019_903_190, false, false, false, 0.25),
+        spec("GRPH", "Graph500", Synthetic, 100_000, 1_300_000, 110, 17_043_780, 1_046_934_896, false, true, true, 0.0),
+        spec("TWIT", "Twitter-2010", Social, 175_000, 410_000, 111, 41_652_230, 1_468_365_182, false, true, true, 0.95),
+        spec("HOST", "Host-linkage", Web, 190_000, 1_450_000, 112, 57_383_985, 1_643_624_227, false, false, false, 0.25),
+        spec("GSH", "Gsh-2015-host", Web, 210_000, 1_500_000, 113, 68_660_142, 1_802_747_600, false, false, false, 0.25),
+        spec("SK", "Sk-2005", Web, 160_000, 1_550_000, 114, 50_636_154, 1_949_412_601, false, false, false, 0.25),
+        spec("TWIM", "Twitter-mpi", Social, 170_000, 1_600_000, 115, 52_579_682, 1_963_263_821, false, false, false, 0.25),
+        spec("FRIE", "Friendster", Social, 210_000, 1_750_000, 116, 68_349_466, 2_586_147_869, false, false, false, 0.25),
+        spec("UK", "Uk-2006-05", Web, 240_000, 1_850_000, 117, 77_741_046, 2_965_197_340, false, false, false, 0.25),
+        spec("WEBS", "Webspam-uk", Web, 310_000, 2_000_000, 118, 105_896_555, 3_738_733_648, false, false, false, 0.25),
+    ]
+}
+
+/// The six medium graphs of Figs. 5, 6, 8, 9.
+pub fn mediums() -> Vec<DatasetSpec> {
+    table5().into_iter().filter(|s| s.medium).collect()
+}
+
+/// Looks a dataset up by its short name.
+pub fn by_name(name: &str) -> Option<DatasetSpec> {
+    table5().into_iter().find(|s| s.name == name)
+}
+
+/// Exp 6's scalability slices: the edges are shuffled into `parts` disjoint
+/// groups; slice `i` (1-based) contains the first `i` groups. Returns the
+/// cumulative graphs, all over the same vertex set.
+pub fn edge_fraction_slices(g: &DiGraph, parts: usize, seed: u64) -> Vec<DiGraph> {
+    assert!(parts >= 1);
+    let mut edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Fisher-Yates shuffle.
+    for i in (1..edges.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        edges.swap(i, j);
+    }
+    let n = g.num_vertices();
+    (1..=parts)
+        .map(|i| {
+            let take = edges.len() * i / parts;
+            DiGraph::from_edges(n, edges[..take].to_vec())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::stats::GraphStats;
+
+    #[test]
+    fn registry_has_18_entries_and_6_mediums() {
+        let t = table5();
+        assert_eq!(t.len(), 18);
+        assert_eq!(mediums().len(), 6);
+        assert_eq!(t[0].name, "WEBW");
+        assert_eq!(t[17].name, "WEBS");
+        // Paper order: the first six are exactly the mediums.
+        assert!(t[..6].iter().all(|s| s.medium));
+        assert!(t[6..].iter().all(|s| !s.medium));
+        // Table VI "-" pattern: 9 TOL-capable rows, 10 BFL^C-capable rows.
+        assert_eq!(t.iter().filter(|s| s.tol_single_node).count(), 9);
+        assert_eq!(t.iter().filter(|s| s.bflc_single_node).count(), 10);
+        // Every medium runs everywhere; larges are strictly larger.
+        let max_medium = t.iter().filter(|s| s.medium).map(|s| s.edges).max().unwrap();
+        let min_large = t.iter().filter(|s| !s.medium).map(|s| s.edges).min().unwrap();
+        assert!(min_large > max_medium);
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(by_name("GRPH").is_some());
+        assert!(by_name("NOPE").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = by_name("WEBW").unwrap();
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn citation_datasets_are_dags() {
+        for name in ["CITE", "CITP", "GO"] {
+            let g = by_name(name).unwrap().generate();
+            let s = GraphStats::compute(&g);
+            assert!(s.is_dag_modulo_self_loops(), "{name} must be acyclic");
+        }
+    }
+
+    #[test]
+    fn web_and_social_datasets_are_cyclic_and_skewed() {
+        for name in ["WEBW", "TW"] {
+            let g = by_name(name).unwrap().generate();
+            let s = GraphStats::compute(&g);
+            assert!(s.largest_scc > 1, "{name} must contain cycles");
+            // Hierarchy hubs are authorities: the skew shows in in-degree
+            // (heavily cited pages / followed celebrities).
+            assert!(
+                s.max_in_degree > 20 * (s.avg_degree.ceil() as usize),
+                "{name} must be skewed: max_in {} avg {:.1}",
+                s.max_in_degree,
+                s.avg_degree
+            );
+        }
+    }
+
+    #[test]
+    fn edge_fraction_slices_are_cumulative() {
+        let g = by_name("WEBW").unwrap().generate();
+        let slices = edge_fraction_slices(&g, 5, 7);
+        assert_eq!(slices.len(), 5);
+        assert_eq!(slices[4].num_edges(), g.num_edges());
+        for w in slices.windows(2) {
+            assert!(w[0].num_edges() < w[1].num_edges());
+            // Every edge of the smaller slice is in the larger one.
+            for (u, v) in w[0].edges() {
+                assert!(w[1].has_edge(u, v));
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Distributed DRL — Algorithm 3 as a vertex program.
+//!
+//! Every vertex starts both of its trimmed floods in super-step 0 (the
+//! `{ID, order}` message of Line 7). On receiving a flood message, a vertex
+//! ignores already-seen sources (Line 12), only continues floods of
+//! higher-order sources (Line 13), applies the `Check` expansion pruning
+//! against the replicated inverted lists (Line 14), records the visit in
+//! its status set (Line 15), forwards the flood (Lines 16–17) and shares
+//! the new inverted-list entry (Line 18 — a broadcast global update). After
+//! quiescence the final pass re-checks every visited mark (Lines 19–20),
+//! because inverted-list entries may have arrived after the mark was set.
+
+use std::collections::HashSet;
+
+use reach_graph::{DiGraph, OrderAssignment, VertexId};
+use reach_index::ReachIndex;
+use reach_vcs::{Ctx, Engine, NetworkModel, Partition, RunStats, VertexProgram};
+
+use crate::{
+    account_index_gather, check, Dir, FloodMsg, IbfsEntry, IbfsTables, FLOOD_MSG_BYTES,
+    IBFS_ENTRY_BYTES,
+};
+
+/// Per-vertex status arrays of Algorithm 3 — the footnote's hash-table
+/// representation of the sparse status array, one per direction.
+#[derive(Clone, Debug, Default)]
+pub struct DrlState {
+    /// Ranks of sources whose forward flood visited this vertex.
+    pub fwd_visited: HashSet<u32>,
+    /// Ranks of sources whose backward flood visited this vertex.
+    pub bwd_visited: HashSet<u32>,
+}
+
+/// The Algorithm-3 vertex program.
+pub struct DrlProgram<'a> {
+    ord: &'a OrderAssignment,
+    /// Apply the Line-14 `Check` pruning *during* the flood (the final
+    /// pass always re-checks). Disabling it is the ablation of Exp-style
+    /// question "what does eager pruning buy?" — the index is unchanged,
+    /// the traffic is not.
+    eager_check: bool,
+}
+
+impl VertexProgram for DrlProgram<'_> {
+    type State = DrlState;
+    type Msg = FloodMsg;
+    type Global = IbfsTables;
+    type Update = IbfsEntry;
+
+    fn init_state(&self, _v: VertexId) -> DrlState {
+        DrlState::default()
+    }
+
+    fn compute(
+        &self,
+        ctx: &mut Ctx<'_, FloodMsg, IbfsEntry>,
+        w: VertexId,
+        state: &mut DrlState,
+        msgs: &[FloodMsg],
+        global: &IbfsTables,
+    ) {
+        let my_rank = self.ord.rank(w);
+        if ctx.superstep == 0 {
+            // Lines 4-8: mark self visited and start both floods.
+            state.fwd_visited.insert(my_rank);
+            state.bwd_visited.insert(my_rank);
+            for &nbr in ctx.out_neighbors(w) {
+                ctx.send(nbr, FloodMsg { src_rank: my_rank, dir: Dir::Fwd });
+            }
+            for &nbr in ctx.in_neighbors(w) {
+                ctx.send(nbr, FloodMsg { src_rank: my_rank, dir: Dir::Bwd });
+            }
+            return;
+        }
+
+        for msg in msgs {
+            let r = msg.src_rank;
+            let visited = match msg.dir {
+                Dir::Fwd => &mut state.fwd_visited,
+                Dir::Bwd => &mut state.bwd_visited,
+            };
+            // Line 12: already visited by this source.
+            if visited.contains(&r) {
+                continue;
+            }
+            // Line 13: only higher-order sources expand through us.
+            if r >= my_rank {
+                continue;
+            }
+            // Line 14: expansion pruning via Check().
+            if self.eager_check && check(global, msg.dir, r, visited) {
+                continue;
+            }
+            // Line 15: mark visited.
+            visited.insert(r);
+            // Line 18: share the inverted-list entry.
+            ctx.publish(IbfsEntry {
+                visited_rank: my_rank,
+                src_rank: r,
+                dir: msg.dir,
+            });
+            // Lines 16-17: continue the flood.
+            let nbrs = match msg.dir {
+                Dir::Fwd => ctx.out_neighbors(w),
+                Dir::Bwd => ctx.in_neighbors(w),
+            };
+            for &nbr in nbrs {
+                ctx.send(nbr, *msg);
+            }
+        }
+    }
+
+    fn apply_updates(&self, global: &mut IbfsTables, updates: &[IbfsEntry]) {
+        for u in updates {
+            global.apply(u);
+        }
+    }
+
+    fn finalize(&self, _v: VertexId, state: &mut DrlState, global: &IbfsTables) {
+        // Lines 19-20: re-check every visited mark now that the inverted
+        // lists are complete.
+        retain_checked(&mut state.fwd_visited, Dir::Fwd, global);
+        retain_checked(&mut state.bwd_visited, Dir::Bwd, global);
+    }
+
+    fn msg_bytes(&self, _m: &FloodMsg) -> usize {
+        FLOOD_MSG_BYTES
+    }
+
+    fn update_bytes(&self, _u: &IbfsEntry) -> usize {
+        IBFS_ENTRY_BYTES
+    }
+}
+
+/// Removes from `visited` every rank whose `Check` now fires.
+fn retain_checked(visited: &mut HashSet<u32>, dir: Dir, global: &IbfsTables) {
+    let doomed: Vec<u32> = visited
+        .iter()
+        .copied()
+        .filter(|&r| check(global, dir, r, visited))
+        .collect();
+    for r in doomed {
+        visited.remove(&r);
+    }
+}
+
+/// Runs distributed DRL on `nodes` simulated computation nodes; returns the
+/// TOL-identical index and the run statistics (including the final gather
+/// of the index onto one machine).
+pub fn run(
+    g: &DiGraph,
+    ord: &OrderAssignment,
+    nodes: usize,
+    network: NetworkModel,
+) -> (ReachIndex, RunStats) {
+    run_with_options(g, ord, nodes, network, true)
+}
+
+/// [`run`] with the eager `Check` pruning toggled — the knob behind the
+/// `ablations` bench.
+pub fn run_with_options(
+    g: &DiGraph,
+    ord: &OrderAssignment,
+    nodes: usize,
+    network: NetworkModel,
+    eager_check: bool,
+) -> (ReachIndex, RunStats) {
+    let engine = Engine::new(g, Partition::modulo(nodes)).with_network(network);
+    let out = engine.run(&DrlProgram { ord, eager_check });
+
+    let mut idx = ReachIndex::new(g.num_vertices());
+    for (w, state) in out.states.iter().enumerate() {
+        for &r in &state.fwd_visited {
+            idx.add_in_label(w as VertexId, ord.vertex_at_rank(r));
+        }
+        for &r in &state.bwd_visited {
+            idx.add_out_label(w as VertexId, ord.vertex_at_rank(r));
+        }
+    }
+    idx.finalize();
+
+    let mut stats = out.stats;
+    account_index_gather(&mut stats, &network, nodes, idx.num_entries());
+    (idx, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::{fixtures, gen, OrderKind};
+
+    #[test]
+    fn matches_tol_on_paper_graph() {
+        let g = fixtures::paper_graph();
+        for kind in [OrderKind::InverseId, OrderKind::DegreeProduct] {
+            let ord = OrderAssignment::new(&g, kind);
+            let (idx, _) = run(&g, &ord, 4, NetworkModel::default());
+            assert_eq!(idx, reach_tol::naive::build(&g, &ord), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn identical_index_for_every_node_count() {
+        let g = gen::gnm(40, 130, 21);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let oracle = reach_tol::naive::build(&g, &ord);
+        for nodes in [1, 2, 3, 8, 32] {
+            let (idx, _) = run(&g, &ord, nodes, NetworkModel::default());
+            assert_eq!(idx, oracle, "nodes={nodes}");
+        }
+    }
+
+    #[test]
+    fn matches_tol_on_random_graphs() {
+        for seed in 0..6 {
+            let g = gen::gnm(45, 150, seed);
+            let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+            let (idx, _) = run(&g, &ord, 4, NetworkModel::default());
+            assert_eq!(idx, reach_tol::naive::build(&g, &ord), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cyclic_graph_self_labels_match_tol() {
+        let g = fixtures::cycle(5);
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let (idx, _) = run(&g, &ord, 2, NetworkModel::default());
+        assert_eq!(idx, reach_tol::naive::build(&g, &ord));
+    }
+
+    #[test]
+    fn stats_report_traffic_and_supersteps() {
+        let g = fixtures::paper_graph();
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let (_, stats) = run(&g, &ord, 4, NetworkModel::default());
+        assert!(stats.supersteps > 1);
+        assert!(stats.comm.remote_messages > 0);
+        assert!(stats.comm.broadcast_bytes > 0, "inverted lists are shared");
+        assert!(stats.comm_seconds > 0.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Distributed DRLb — Algorithm 4 as a vertex program, one engine run per
+//! batch.
+//!
+//! Each batch behaves like DRL restricted to the batch's sources, with two
+//! additions from §IV:
+//!
+//! * at super-step 0 every *active* source broadcasts its batch label sets
+//!   (Line 8) so any vertex can evaluate the pruning test
+//!   `L^{V_i}_out(v) ∩ L^{V_i}_in(w)` locally;
+//! * a source whose own batch labels already intersect
+//!   (`L_out ∩ L_in ≠ ∅`, Line 6) — it sits on a cycle through an
+//!   already-labeled higher-order vertex — contributes nothing;
+//! * every flood visit is pruned when the earlier-batch labels already
+//!   certify the source-to-vertex connection (Line 12, the
+//!   proof-of-Theorem-6 reading; see DESIGN.md).
+//!
+//! Vertex state (the accumulated label rank-lists plus per-batch status
+//! sets) is carried across engine runs; the surviving marks are folded into
+//! the labels in each run's finalize pass (Line 14).
+
+use std::collections::{HashMap, HashSet};
+
+use reach_core::{BatchParams, BatchSchedule};
+use reach_graph::{DiGraph, OrderAssignment, VertexId};
+use reach_index::ReachIndex;
+use reach_vcs::{Ctx, Engine, NetworkModel, Partition, RunStats, VertexProgram};
+
+use crate::{account_index_gather, check, Dir, FloodMsg, IbfsEntry, IbfsTables, FLOOD_MSG_BYTES, IBFS_ENTRY_BYTES};
+
+/// Per-vertex state carried across batch runs.
+#[derive(Clone, Debug, Default)]
+pub struct DrlbState {
+    /// Accumulated in-label ranks, ascending (earlier batches first).
+    pub lin: Vec<u32>,
+    /// Accumulated out-label ranks, ascending.
+    pub lout: Vec<u32>,
+    fwd_visited: HashSet<u32>,
+    bwd_visited: HashSet<u32>,
+}
+
+/// Replicated per-batch global: the broadcast batch label sets of the
+/// active sources, plus the inverted lists.
+#[derive(Clone, Debug, Default)]
+pub struct DrlbGlobal {
+    /// `labels[src_rank] = (L_in ranks, L_out ranks)` broadcast at Line 8.
+    labels: HashMap<u32, (Vec<u32>, Vec<u32>)>,
+    ibfs: IbfsTables,
+}
+
+/// Global updates: either a Line-8 label broadcast or an inverted-list
+/// entry.
+#[derive(Clone, Debug)]
+pub enum DrlbUpdate {
+    /// A source broadcasting its batch label sets.
+    SourceLabels {
+        /// Rank of the broadcasting source.
+        src_rank: u32,
+        /// Its accumulated in-label ranks.
+        lin: Vec<u32>,
+        /// Its accumulated out-label ranks.
+        lout: Vec<u32>,
+    },
+    /// An inverted-list entry (as in DRL).
+    Ibfs(IbfsEntry),
+}
+
+struct DrlbProgram<'a> {
+    ord: &'a OrderAssignment,
+    /// Rank range of the current batch.
+    batch: std::ops::Range<u32>,
+}
+
+impl DrlbProgram<'_> {
+    /// The Line-12 pruning test: do the earlier-batch labels already
+    /// certify the connection between the flood source and this vertex?
+    fn covered_by_batch_labels(
+        &self,
+        dir: Dir,
+        src_rank: u32,
+        state: &DrlbState,
+        global: &DrlbGlobal,
+    ) -> bool {
+        let Some((src_lin, src_lout)) = global.labels.get(&src_rank) else {
+            return false;
+        };
+        match dir {
+            // Forward flood asks: v -> w already covered? L_out(v) ∩ L_in(w).
+            Dir::Fwd => sorted_intersects(src_lout, &state.lin),
+            // Backward flood asks: w -> v already covered? L_out(w) ∩ L_in(v).
+            Dir::Bwd => sorted_intersects(&state.lout, src_lin),
+        }
+    }
+}
+
+impl VertexProgram for DrlbProgram<'_> {
+    type State = DrlbState;
+    type Msg = FloodMsg;
+    type Global = DrlbGlobal;
+    type Update = DrlbUpdate;
+
+    fn init_state(&self, _v: VertexId) -> DrlbState {
+        DrlbState::default()
+    }
+
+    fn compute(
+        &self,
+        ctx: &mut Ctx<'_, FloodMsg, DrlbUpdate>,
+        w: VertexId,
+        state: &mut DrlbState,
+        msgs: &[FloodMsg],
+        global: &DrlbGlobal,
+    ) {
+        let my_rank = self.ord.rank(w);
+        if ctx.superstep == 0 {
+            // Fresh status sets for this batch.
+            state.fwd_visited.clear();
+            state.bwd_visited.clear();
+            // Line 6: only batch sources participate; a source in an
+            // already-covered cycle is pruned outright.
+            if !self.batch.contains(&my_rank)
+                || sorted_intersects(&state.lout, &state.lin)
+            {
+                return;
+            }
+            state.fwd_visited.insert(my_rank);
+            state.bwd_visited.insert(my_rank);
+            // Line 8: broadcast this source's batch label sets.
+            ctx.publish(DrlbUpdate::SourceLabels {
+                src_rank: my_rank,
+                lin: state.lin.clone(),
+                lout: state.lout.clone(),
+            });
+            for &nbr in ctx.out_neighbors(w) {
+                ctx.send(nbr, FloodMsg { src_rank: my_rank, dir: Dir::Fwd });
+            }
+            for &nbr in ctx.in_neighbors(w) {
+                ctx.send(nbr, FloodMsg { src_rank: my_rank, dir: Dir::Bwd });
+            }
+            return;
+        }
+
+        for msg in msgs {
+            let r = msg.src_rank;
+            let visited = match msg.dir {
+                Dir::Fwd => &state.fwd_visited,
+                Dir::Bwd => &state.bwd_visited,
+            };
+            if visited.contains(&r) {
+                continue;
+            }
+            if r >= my_rank {
+                continue; // we outrank the source: block the branch
+            }
+            // Line 12: earlier-batch labels prune the visit.
+            if self.covered_by_batch_labels(msg.dir, r, state, global) {
+                continue;
+            }
+            // Check() expansion pruning, as in DRL.
+            let visited = match msg.dir {
+                Dir::Fwd => &mut state.fwd_visited,
+                Dir::Bwd => &mut state.bwd_visited,
+            };
+            if check(&global.ibfs, msg.dir, r, visited) {
+                continue;
+            }
+            visited.insert(r);
+            ctx.publish(DrlbUpdate::Ibfs(IbfsEntry {
+                visited_rank: my_rank,
+                src_rank: r,
+                dir: msg.dir,
+            }));
+            let nbrs = match msg.dir {
+                Dir::Fwd => ctx.out_neighbors(w),
+                Dir::Bwd => ctx.in_neighbors(w),
+            };
+            for &nbr in nbrs {
+                ctx.send(nbr, *msg);
+            }
+        }
+    }
+
+    fn apply_updates(&self, global: &mut DrlbGlobal, updates: &[DrlbUpdate]) {
+        for u in updates {
+            match u {
+                DrlbUpdate::SourceLabels { src_rank, lin, lout } => {
+                    global
+                        .labels
+                        .insert(*src_rank, (lin.clone(), lout.clone()));
+                }
+                DrlbUpdate::Ibfs(e) => global.ibfs.apply(e),
+            }
+        }
+    }
+
+    fn finalize(&self, _v: VertexId, state: &mut DrlbState, global: &DrlbGlobal) {
+        // Lines 19-20 of Algorithm 3 (inherited via Line 13 of Algorithm
+        // 4), then Line 14: fold the surviving marks into the labels.
+        let doomed: Vec<u32> = state
+            .fwd_visited
+            .iter()
+            .copied()
+            .filter(|&r| check(&global.ibfs, Dir::Fwd, r, &state.fwd_visited))
+            .collect();
+        for r in doomed {
+            state.fwd_visited.remove(&r);
+        }
+        let doomed: Vec<u32> = state
+            .bwd_visited
+            .iter()
+            .copied()
+            .filter(|&r| check(&global.ibfs, Dir::Bwd, r, &state.bwd_visited))
+            .collect();
+        for r in doomed {
+            state.bwd_visited.remove(&r);
+        }
+        let mut new_in: Vec<u32> = state.fwd_visited.iter().copied().collect();
+        new_in.sort_unstable();
+        state.lin.extend_from_slice(&new_in);
+        let mut new_out: Vec<u32> = state.bwd_visited.iter().copied().collect();
+        new_out.sort_unstable();
+        state.lout.extend_from_slice(&new_out);
+    }
+
+    fn msg_bytes(&self, _m: &FloodMsg) -> usize {
+        FLOOD_MSG_BYTES
+    }
+
+    fn update_bytes(&self, u: &DrlbUpdate) -> usize {
+        match u {
+            DrlbUpdate::SourceLabels { lin, lout, .. } => 4 + 4 * (lin.len() + lout.len()),
+            DrlbUpdate::Ibfs(_) => IBFS_ENTRY_BYTES,
+        }
+    }
+}
+
+/// Merge-intersection over ascending rank lists.
+#[inline]
+fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Runs distributed DRLb; returns the TOL-identical index and the merged
+/// statistics across all batch runs.
+pub fn run(
+    g: &DiGraph,
+    ord: &OrderAssignment,
+    params: BatchParams,
+    nodes: usize,
+    network: NetworkModel,
+) -> (ReachIndex, RunStats) {
+    let n = g.num_vertices();
+    let schedule = BatchSchedule::new(n, params);
+    let engine = Engine::new(g, Partition::modulo(nodes)).with_network(network);
+
+    let mut states: Vec<DrlbState> = (0..n).map(|_| DrlbState::default()).collect();
+    let mut stats = RunStats::default();
+    for i in 0..schedule.num_batches() {
+        let program = DrlbProgram {
+            ord,
+            batch: schedule.batch(i),
+        };
+        let out = engine.run_with(&program, states, DrlbGlobal::default());
+        states = out.states;
+        stats.merge(&out.stats);
+    }
+
+    let mut idx = ReachIndex::new(n);
+    for (w, state) in states.iter().enumerate() {
+        for &r in &state.lin {
+            idx.add_in_label(w as VertexId, ord.vertex_at_rank(r));
+        }
+        for &r in &state.lout {
+            idx.add_out_label(w as VertexId, ord.vertex_at_rank(r));
+        }
+    }
+    idx.finalize();
+    account_index_gather(&mut stats, &network, nodes, idx.num_entries());
+    (idx, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::{fixtures, gen, OrderKind};
+
+    #[test]
+    fn matches_tol_on_paper_graph() {
+        let g = fixtures::paper_graph();
+        for kind in [OrderKind::InverseId, OrderKind::DegreeProduct] {
+            let ord = OrderAssignment::new(&g, kind);
+            let (idx, _) = run(&g, &ord, BatchParams::default(), 4, NetworkModel::default());
+            assert_eq!(idx, reach_tol::naive::build(&g, &ord), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn identical_index_for_every_node_count_and_params() {
+        let g = gen::gnm(40, 130, 33);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let oracle = reach_tol::naive::build(&g, &ord);
+        for nodes in [1, 2, 8] {
+            for (b, k) in [(1, 1.0), (2, 2.0), (16, 2.0)] {
+                let (idx, _) = run(
+                    &g,
+                    &ord,
+                    BatchParams::new(b, k),
+                    nodes,
+                    NetworkModel::default(),
+                );
+                assert_eq!(idx, oracle, "nodes={nodes} b={b} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_serial_drlb_on_random_graphs() {
+        for seed in 0..5 {
+            let g = gen::gnm(50, 170, seed);
+            let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+            let serial = reach_core::drlb(&g, &ord, BatchParams::default());
+            let (dist, _) = run(&g, &ord, BatchParams::default(), 4, NetworkModel::default());
+            assert_eq!(dist, serial, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn batching_cuts_traffic_vs_plain_drl() {
+        // The Exp-4 claim: DRLb substantially reduces DRL's communication.
+        let g = gen::gnm(200, 1600, 9);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let (_, drl_stats) = crate::drl::run(&g, &ord, 4, NetworkModel::default());
+        let (_, drlb_stats) = run(&g, &ord, BatchParams::default(), 4, NetworkModel::default());
+        assert!(
+            drlb_stats.comm.remote_bytes < drl_stats.comm.remote_bytes,
+            "DRLb {} vs DRL {}",
+            drlb_stats.comm.remote_bytes,
+            drl_stats.comm.remote_bytes
+        );
+    }
+}

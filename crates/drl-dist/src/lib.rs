@@ -1,0 +1,176 @@
+//! Distributed implementations of the paper's labeling algorithms
+//! (§III-D and §IV) on the simulated vertex-centric cluster of `reach-vcs`.
+//!
+//! * [`drl::run`] — **DRL**, Algorithm 3: one engine run floods trimmed
+//!   BFSs from every vertex in both directions simultaneously; inverted-list
+//!   entries are shared through broadcast global updates the moment they are
+//!   created; the final super-step pass re-checks every visited mark
+//!   (Lines 19–20).
+//! * [`drl_minus::run`] — **DRL⁻**, the basic method distributed: a trimmed
+//!   flood phase recording blockers, then a *full* flood from every blocker
+//!   (the `|BFS_hig(v)|` refinement BFSs of Theorem 3), then local
+//!   elimination. Its communication volume is what Fig. 5 shows exploding.
+//! * [`drlb::run`] — **DRLb**, Algorithm 4: one engine run per batch;
+//!   sources broadcast their batch label sets (Line 8) and every flood is
+//!   pruned by earlier-batch labels (Line 12, proof-of-Theorem-6 version).
+//!
+//! Every run returns both the TOL-identical [`reach_index::ReachIndex`] and
+//! a [`reach_vcs::RunStats`] with the modeled computation/communication
+//! split used by the experiment harness.
+
+pub mod drl;
+pub mod drl_minus;
+pub mod drlb;
+
+use reach_graph::VertexId;
+use reach_vcs::{NetworkModel, RunStats};
+
+/// Flood direction tag carried in messages (1 byte on the wire).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Trimmed BFS on `G` — builds in-label candidates.
+    Fwd,
+    /// Trimmed BFS on `Ḡ` — builds out-label candidates.
+    Bwd,
+}
+
+/// A flood message: the paper's `{ID, order}` pair. We send the source's
+/// *rank* (which identifies both the vertex and its order) plus the
+/// direction tag; accounted as 8 wire bytes like the paper's message.
+#[derive(Clone, Copy, Debug)]
+pub struct FloodMsg {
+    /// Rank of the flood source (0 = highest order).
+    pub src_rank: u32,
+    /// Which direction this flood travels.
+    pub dir: Dir,
+}
+
+/// Wire size of a [`FloodMsg`]: 4-byte id/order + tag, padded to 8.
+pub const FLOOD_MSG_BYTES: usize = 8;
+
+/// An inverted-list entry being shared: "the flood of `src_rank` (direction
+/// `dir`) visited the vertex ranked `visited_rank`".
+#[derive(Clone, Copy, Debug)]
+pub struct IbfsEntry {
+    /// Rank of the visited vertex (the key of the inverted list).
+    pub visited_rank: u32,
+    /// Rank of the flood source (the entry value).
+    pub src_rank: u32,
+    /// Direction of the flood that caused the visit.
+    pub dir: Dir,
+}
+
+/// Wire size of an [`IbfsEntry`].
+pub const IBFS_ENTRY_BYTES: usize = 9;
+
+/// The replicated inverted lists (Definition 6), keyed by rank.
+///
+/// `bwd[v]` is `IBFS_low(v)` — sources whose `Ḡ`-flood visited `v`, used by
+/// `Check` when refining *forward* (in-label) candidates; `fwd[v]` is the
+/// symmetric list for refining backward candidates.
+#[derive(Clone, Debug, Default)]
+pub struct IbfsTables {
+    /// Entries from forward floods: `fwd[w] ∋ u` iff `w ∈ BFS_low(u)`.
+    pub fwd: std::collections::HashMap<u32, Vec<u32>>,
+    /// Entries from backward floods: `bwd[w] ∋ u` iff `w ∈ BFS_low^Ḡ(u)`.
+    pub bwd: std::collections::HashMap<u32, Vec<u32>>,
+}
+
+impl IbfsTables {
+    /// Folds one shared entry into the replicated tables.
+    pub fn apply(&mut self, e: &IbfsEntry) {
+        let table = match e.dir {
+            Dir::Fwd => &mut self.fwd,
+            Dir::Bwd => &mut self.bwd,
+        };
+        table.entry(e.visited_rank).or_default().push(e.src_rank);
+    }
+
+    /// The inverted list consulted when checking a candidate of direction
+    /// `dir`: forward candidates are checked against backward entries.
+    pub fn check_list(&self, dir: Dir, src_rank: u32) -> &[u32] {
+        let table = match dir {
+            Dir::Fwd => &self.bwd,
+            Dir::Bwd => &self.fwd,
+        };
+        table.get(&src_rank).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// The `Check(v, w)` procedure of Algorithm 3 (Lines 21–24): does any
+/// member of the inverted list of `src_rank` appear in `visited` (the
+/// status array of the vertex being checked)?
+pub fn check(
+    tables: &IbfsTables,
+    dir: Dir,
+    src_rank: u32,
+    visited: &std::collections::HashSet<u32>,
+) -> bool {
+    tables
+        .check_list(dir, src_rank)
+        .iter()
+        .any(|u| visited.contains(u))
+}
+
+/// Adds the cost of gathering the finished index onto one machine (the
+/// paper collects the distributed label sets to support in-memory queries):
+/// one gather round, `entries × 4` bytes of which the fraction not already
+/// on the collecting node crosses the network.
+pub fn account_index_gather(
+    stats: &mut RunStats,
+    network: &NetworkModel,
+    num_nodes: usize,
+    entries: usize,
+) {
+    if num_nodes <= 1 {
+        return;
+    }
+    let bytes = entries * std::mem::size_of::<VertexId>();
+    let remote = bytes - bytes / num_nodes;
+    stats.comm.remote_bytes += remote;
+    stats.comm.remote_messages += num_nodes - 1;
+    stats.comm_seconds += network.superstep_seconds(num_nodes, remote);
+    stats.supersteps += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ibfs_tables_apply_and_lookup() {
+        let mut t = IbfsTables::default();
+        t.apply(&IbfsEntry {
+            visited_rank: 3,
+            src_rank: 1,
+            dir: Dir::Bwd,
+        });
+        assert_eq!(t.check_list(Dir::Fwd, 3), &[1]);
+        assert!(t.check_list(Dir::Bwd, 3).is_empty());
+        assert!(t.check_list(Dir::Fwd, 9).is_empty());
+    }
+
+    #[test]
+    fn check_matches_on_shared_visitor() {
+        let mut t = IbfsTables::default();
+        t.apply(&IbfsEntry {
+            visited_rank: 5,
+            src_rank: 2,
+            dir: Dir::Bwd,
+        });
+        let mut visited = HashSet::new();
+        assert!(!check(&t, Dir::Fwd, 5, &visited));
+        visited.insert(2);
+        assert!(check(&t, Dir::Fwd, 5, &visited));
+    }
+
+    #[test]
+    fn gather_accounting_single_node_free() {
+        let mut stats = RunStats::default();
+        account_index_gather(&mut stats, &NetworkModel::default(), 1, 1000);
+        assert_eq!(stats.comm.remote_bytes, 0);
+        account_index_gather(&mut stats, &NetworkModel::default(), 4, 1000);
+        assert_eq!(stats.comm.remote_bytes, 3000);
+    }
+}

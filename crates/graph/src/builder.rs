@@ -1,0 +1,99 @@
+//! Incremental construction of [`DiGraph`]s.
+
+use crate::{DiGraph, VertexId};
+
+/// Accumulates edges and produces a [`DiGraph`].
+///
+/// The builder grows the vertex count automatically to cover every endpoint
+/// it sees, and deduplicates parallel edges on [`GraphBuilder::build`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized for `n` vertices (vertices may still be
+    /// added implicitly by edges with larger endpoints).
+    pub fn with_vertices(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Pre-allocates room for `m` more edges.
+    pub fn reserve_edges(&mut self, m: usize) {
+        self.edges.reserve(m);
+    }
+
+    /// Adds the directed edge `u -> v`, growing the vertex count if needed.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.n = self.n.max(u as usize + 1).max(v as usize + 1);
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Ensures vertex `v` exists even if it has no incident edges.
+    pub fn ensure_vertex(&mut self, v: VertexId) -> &mut Self {
+        self.n = self.n.max(v as usize + 1);
+        self
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> DiGraph {
+        DiGraph::from_edges(self.n, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_vertex_count_from_edges() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 5).add_edge(2, 1);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn ensure_vertex_adds_isolated() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_vertex(9);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.out_degree(9), 0);
+    }
+
+    #[test]
+    fn with_vertices_presizes() {
+        let b = GraphBuilder::with_vertices(4);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse_on_build() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(1, 2).add_edge(1, 2);
+        assert_eq!(b.num_edges(), 2);
+        assert_eq!(b.build().num_edges(), 1);
+    }
+}

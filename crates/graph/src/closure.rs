@@ -1,0 +1,181 @@
+//! Bitset transitive closure — the ground-truth oracle.
+//!
+//! The test suites compare every index an algorithm builds against the full
+//! reachability relation. For the graph sizes used in tests (n up to a few
+//! thousand) an n×n bitset closure computed by per-vertex BFS is fast and
+//! simple. Queries and the Theorem-1 characterization of label membership
+//! are both answered from it.
+
+use crate::{BitSet, DiGraph, Direction, OrderAssignment, VertexId};
+
+/// Full reachability relation of a graph; `reaches(s, t)` answers `s -> t`.
+/// By convention every vertex reaches itself (the empty path), matching the
+/// paper's query semantics.
+#[derive(Clone, Debug)]
+pub struct TransitiveClosure {
+    n: usize,
+    rows: Vec<BitSet>,
+}
+
+impl TransitiveClosure {
+    /// Computes the closure by a BFS from every vertex: O(n·(n+m)) time,
+    /// O(n²/64) space. Intended for test-scale graphs.
+    pub fn compute(g: &DiGraph) -> Self {
+        let n = g.num_vertices();
+        let mut rows = Vec::with_capacity(n);
+        let mut visit = crate::VisitBuffer::new(n);
+        let mut order = Vec::new();
+        for v in g.vertices() {
+            crate::traverse::bfs_into(g, v, Direction::Forward, &mut visit, &mut order);
+            let mut row = BitSet::new(n);
+            for &w in &order {
+                row.insert(w as usize);
+            }
+            rows.push(row);
+        }
+        TransitiveClosure { n, rows }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff `s` can reach `t` (always true for `s == t`).
+    #[inline]
+    pub fn reaches(&self, s: VertexId, t: VertexId) -> bool {
+        self.rows[s as usize].contains(t as usize)
+    }
+
+    /// The descendant set of `v` as a bitset row.
+    pub fn row(&self, v: VertexId) -> &BitSet {
+        &self.rows[v as usize]
+    }
+
+    /// Number of reachable pairs (including the n self-pairs).
+    pub fn num_pairs(&self) -> usize {
+        self.rows.iter().map(|r| r.count()).sum()
+    }
+
+    /// The Theorem-1 characterization, stated over walks: `v ∈ L_in(w)` in
+    /// TOL's index iff `v -> w` and there is **no** vertex `u ≠ v` with
+    /// `ord(u) > ord(v)`, `v -> u` and `u -> w`. This is the independent
+    /// oracle the equivalence tests check every algorithm against.
+    pub fn in_label_expected(&self, ord: &OrderAssignment, v: VertexId, w: VertexId) -> bool {
+        if !self.reaches(v, w) {
+            return false;
+        }
+        for u in 0..self.n as VertexId {
+            if u != v && ord.higher(u, v) && self.reaches(v, u) && self.reaches(u, w) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Symmetric characterization for out-labels: `v ∈ L_out(w)` iff
+    /// `w -> v` and no higher-order `u` has `w -> u` and `u -> v`.
+    pub fn out_label_expected(&self, ord: &OrderAssignment, v: VertexId, w: VertexId) -> bool {
+        if !self.reaches(w, v) {
+            return false;
+        }
+        for u in 0..self.n as VertexId {
+            if u != v && ord.higher(u, v) && self.reaches(w, u) && self.reaches(u, v) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fixtures, OrderKind};
+
+    #[test]
+    fn closure_matches_bfs_on_paper_graph() {
+        let g = fixtures::paper_graph();
+        let tc = TransitiveClosure::compute(&g);
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(tc.reaches(s, t), crate::traverse::reaches(&g, s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn self_reachability_always_true() {
+        let g = fixtures::two_components();
+        let tc = TransitiveClosure::compute(&g);
+        for v in g.vertices() {
+            assert!(tc.reaches(v, v));
+        }
+        assert!(!tc.reaches(0, 3));
+    }
+
+    #[test]
+    fn theorem1_reproduces_table2_in_labels() {
+        // Table II under the subscript order. L_in sets, zero-based:
+        // v1:{v1} v2:{v2} v3:{v2} v4:{v2} v5:{v1} v6:{v2} v7:{v1}
+        // v8:{v1,v8} v9:{v1,v8,v9} v10:{v2,v10} v11:{v2,v11}
+        let g = fixtures::paper_graph();
+        let tc = TransitiveClosure::compute(&g);
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let expected_in: Vec<Vec<VertexId>> = vec![
+            vec![0],
+            vec![1],
+            vec![1],
+            vec![1],
+            vec![0],
+            vec![1],
+            vec![0],
+            vec![0, 7],
+            vec![0, 7, 8],
+            vec![1, 9],
+            vec![1, 10],
+        ];
+        for w in g.vertices() {
+            let got: Vec<VertexId> = g
+                .vertices()
+                .filter(|&v| tc.in_label_expected(&ord, v, w))
+                .collect();
+            assert_eq!(got, expected_in[w as usize], "L_in(v{})", w + 1);
+        }
+    }
+
+    #[test]
+    fn theorem1_reproduces_table2_out_labels() {
+        let g = fixtures::paper_graph();
+        let tc = TransitiveClosure::compute(&g);
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let expected_out: Vec<Vec<VertexId>> = vec![
+            vec![0],
+            vec![0, 1],
+            vec![0, 1],
+            vec![0, 1],
+            vec![0],
+            vec![0, 1],
+            vec![0],
+            vec![7],
+            vec![8],
+            vec![9],
+            vec![10],
+        ];
+        for w in g.vertices() {
+            let got: Vec<VertexId> = g
+                .vertices()
+                .filter(|&v| tc.out_label_expected(&ord, v, w))
+                .collect();
+            assert_eq!(got, expected_out[w as usize], "L_out(v{})", w + 1);
+        }
+    }
+
+    #[test]
+    fn num_pairs_counts_reachable_pairs() {
+        let g = fixtures::path(3);
+        let tc = TransitiveClosure::compute(&g);
+        // pairs: (0,0),(0,1),(0,2),(1,1),(1,2),(2,2)
+        assert_eq!(tc.num_pairs(), 6);
+    }
+}

@@ -1,0 +1,280 @@
+//! Compressed-sparse-row directed graph.
+//!
+//! [`DiGraph`] stores both out-adjacency and in-adjacency, so the inverse
+//! graph `Ḡ` used throughout the paper (all edges reversed) is available as
+//! a zero-cost [`Direction::Backward`] view. Neighbor lists are sorted by
+//! vertex id, which traversal code relies on for deterministic output.
+
+use crate::VertexId;
+
+/// Traversal direction: `Forward` walks the graph `G`, `Backward` walks the
+/// inverse graph `Ḡ` (every edge reversed). The paper computes in-labels on
+/// `G` and out-labels on `Ḡ`; with this enum both are the same code path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Follow edges as stored: `u -> v`.
+    Forward,
+    /// Follow edges reversed: traversal from `v` reaches `u` for each edge
+    /// `u -> v`.
+    Backward,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline]
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+}
+
+/// An immutable directed graph in CSR form.
+///
+/// Construct via [`crate::GraphBuilder`] or [`DiGraph::from_edges`]. Parallel
+/// edges are deduplicated at construction; self-loops are kept (they are
+/// harmless to reachability but exercised by tests).
+#[derive(Clone, Debug)]
+pub struct DiGraph {
+    n: usize,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<VertexId>,
+    in_offsets: Vec<usize>,
+    in_targets: Vec<VertexId>,
+}
+
+impl DiGraph {
+    /// Builds a graph with `n` vertices from an edge list. Edges referencing
+    /// vertices `>= n` cause a panic. Duplicate edges are removed.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (VertexId, VertexId)>) -> Self {
+        let mut edges: Vec<(VertexId, VertexId)> = edges.into_iter().collect();
+        for &(u, v) in &edges {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u}, {v}) out of range for n = {n}"
+            );
+        }
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut out_offsets = vec![0usize; n + 1];
+        for &(u, _) in &edges {
+            out_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_targets = vec![0; edges.len()];
+        {
+            let mut cursor = out_offsets.clone();
+            for &(u, v) in &edges {
+                out_targets[cursor[u as usize]] = v;
+                cursor[u as usize] += 1;
+            }
+        }
+
+        let mut in_offsets = vec![0usize; n + 1];
+        for &(_, v) in &edges {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut in_targets = vec![0; edges.len()];
+        {
+            // Edges are sorted by (u, v); filling in-targets in this order
+            // leaves each in-neighbor list sorted by source id.
+            let mut cursor = in_offsets.clone();
+            for &(u, v) in &edges {
+                in_targets[cursor[v as usize]] = u;
+                cursor[v as usize] += 1;
+            }
+        }
+
+        DiGraph {
+            n,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        }
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (deduplicated) edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Iterates over all vertex ids `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.n as VertexId
+    }
+
+    /// Iterates over all edges `(u, v)` in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.out(u as VertexId)
+                .iter()
+                .map(move |&v| (u as VertexId, v))
+        })
+    }
+
+    /// Out-neighbors `N_out(v)`, sorted by id.
+    #[inline]
+    pub fn out(&self, v: VertexId) -> &[VertexId] {
+        &self.out_targets[self.out_offsets[v as usize]..self.out_offsets[v as usize + 1]]
+    }
+
+    /// In-neighbors `N_in(v)`, sorted by id.
+    #[inline]
+    pub fn inn(&self, v: VertexId) -> &[VertexId] {
+        &self.in_targets[self.in_offsets[v as usize]..self.in_offsets[v as usize + 1]]
+    }
+
+    /// Neighbors of `v` in the given traversal direction: out-neighbors for
+    /// [`Direction::Forward`], in-neighbors for [`Direction::Backward`].
+    #[inline]
+    pub fn neighbors(&self, v: VertexId, dir: Direction) -> &[VertexId] {
+        match dir {
+            Direction::Forward => self.out(v),
+            Direction::Backward => self.inn(v),
+        }
+    }
+
+    /// Out-degree `d_out(v)`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_offsets[v as usize + 1] - self.out_offsets[v as usize]
+    }
+
+    /// In-degree `d_in(v)`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]
+    }
+
+    /// Returns `true` if the edge `u -> v` exists (binary search).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out(u).binary_search(&v).is_ok()
+    }
+
+    /// Materializes the inverse graph `Ḡ` as an owned graph. Algorithms
+    /// should normally prefer the free [`Direction::Backward`] view; this is
+    /// provided for tests asserting the view and the materialized inverse
+    /// agree.
+    pub fn transpose(&self) -> DiGraph {
+        DiGraph::from_edges(self.n, self.edges().map(|(u, v)| (v, u)))
+    }
+
+    /// Returns the subgraph containing only the first `k` edges of the given
+    /// edge list order (used by the Exp-6 scalability harness).
+    pub fn edge_prefix(&self, k: usize) -> DiGraph {
+        DiGraph::from_edges(self.n, self.edges().take(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        DiGraph::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn basic_degrees_and_neighbors() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out(0), &[1, 2]);
+        assert_eq!(g.inn(3), &[1, 2]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.in_degree(3), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn parallel_edges_deduplicated() {
+        let g = DiGraph::from_edges(2, vec![(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.in_degree(1), 1);
+    }
+
+    #[test]
+    fn self_loops_kept() {
+        let g = DiGraph::from_edges(2, vec![(0, 0), (0, 1)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out(0), &[0, 1]);
+        assert_eq!(g.inn(0), &[0]);
+    }
+
+    #[test]
+    fn backward_view_matches_transpose() {
+        let g = diamond();
+        let t = g.transpose();
+        for v in g.vertices() {
+            assert_eq!(g.neighbors(v, Direction::Backward), t.out(v));
+            assert_eq!(g.neighbors(v, Direction::Forward), t.inn(v));
+        }
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        let g2 = DiGraph::from_edges(4, edges);
+        assert_eq!(g2.out(0), g.out(0));
+        assert_eq!(g2.inn(3), g.inn(3));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edges(0, vec![]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.vertices().count(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = DiGraph::from_edges(5, vec![(0, 1)]);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(3), 0);
+        assert!(g.out(3).is_empty());
+    }
+
+    #[test]
+    fn edge_prefix_takes_first_edges() {
+        let g = diamond();
+        let p = g.edge_prefix(2);
+        assert_eq!(p.num_edges(), 2);
+        assert_eq!(p.num_vertices(), 4);
+        let all: Vec<_> = g.edges().take(2).collect();
+        let got: Vec<_> = p.edges().collect();
+        assert_eq!(all, got);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        DiGraph::from_edges(2, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(Direction::Forward.reverse(), Direction::Backward);
+        assert_eq!(Direction::Backward.reverse(), Direction::Forward);
+    }
+}

@@ -1,0 +1,170 @@
+//! A mutable adjacency-list digraph for dynamic-graph workloads.
+//!
+//! The paper's Remark (§II-B) points at maintaining TOL's index on dynamic
+//! graphs; the incremental maintenance in `reach-core::dynamic` runs its
+//! affected-region traversals over this representation. Neighbor lists stay
+//! sorted so traversal output remains deterministic and identical to the
+//! CSR representation of the same edge set.
+
+use crate::{csr::Direction, view::GraphView, DiGraph, VertexId};
+
+/// A directed graph supporting edge insertion and removal.
+#[derive(Clone, Debug, Default)]
+pub struct DynamicGraph {
+    out: Vec<Vec<VertexId>>,
+    inn: Vec<Vec<VertexId>>,
+    num_edges: usize,
+}
+
+impl DynamicGraph {
+    /// An edgeless graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DynamicGraph {
+            out: vec![Vec::new(); n],
+            inn: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Copies a static graph.
+    pub fn from_digraph(g: &DiGraph) -> Self {
+        let n = g.num_vertices();
+        let mut d = DynamicGraph::new(n);
+        for v in g.vertices() {
+            d.out[v as usize] = g.out(v).to_vec();
+            d.inn[v as usize] = g.inn(v).to_vec();
+        }
+        d.num_edges = g.num_edges();
+        d
+    }
+
+    /// Snapshots into an immutable CSR graph.
+    pub fn to_digraph(&self) -> DiGraph {
+        let edges: Vec<(VertexId, VertexId)> = self
+            .out
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u as VertexId, v)))
+            .collect();
+        DiGraph::from_edges(self.out.len(), edges)
+    }
+
+    /// Inserts `u -> v`; returns `false` if it already existed.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        assert!(
+            (u as usize) < self.out.len() && (v as usize) < self.out.len(),
+            "edge ({u}, {v}) out of range"
+        );
+        match self.out[u as usize].binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.out[u as usize].insert(pos, v);
+                let pos = self.inn[v as usize]
+                    .binary_search(&u)
+                    .expect_err("out/in lists out of sync");
+                self.inn[v as usize].insert(pos, u);
+                self.num_edges += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes `u -> v`; returns `false` if it was absent.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        match self.out[u as usize].binary_search(&v) {
+            Err(_) => false,
+            Ok(pos) => {
+                self.out[u as usize].remove(pos);
+                let pos = self.inn[v as usize]
+                    .binary_search(&u)
+                    .expect("out/in lists out of sync");
+                self.inn[v as usize].remove(pos);
+                self.num_edges -= 1;
+                true
+            }
+        }
+    }
+
+    /// Tests edge existence.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out[u as usize].binary_search(&v).is_ok()
+    }
+}
+
+impl GraphView for DynamicGraph {
+    fn num_vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    fn neighbors(&self, v: VertexId, dir: Direction) -> &[VertexId] {
+        match dir {
+            Direction::Forward => &self.out[v as usize],
+            Direction::Backward => &self.inn[v as usize],
+        }
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let mut g = DynamicGraph::new(3);
+        assert!(g.insert_edge(0, 1));
+        assert!(!g.insert_edge(0, 1), "duplicate rejected");
+        assert!(g.has_edge(0, 1));
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn from_and_to_digraph_preserve_edges() {
+        let g = fixtures::paper_graph();
+        let d = DynamicGraph::from_digraph(&g);
+        assert_eq!(d.num_edges(), 15);
+        let back = d.to_digraph();
+        assert_eq!(
+            back.edges().collect::<Vec<_>>(),
+            g.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn neighbor_lists_stay_sorted() {
+        let mut g = DynamicGraph::new(5);
+        for v in [4, 1, 3, 2] {
+            g.insert_edge(0, v);
+        }
+        assert_eq!(g.neighbors(0, Direction::Forward), &[1, 2, 3, 4]);
+        for u in [3, 1] {
+            g.insert_edge(u, 0);
+        }
+        assert_eq!(g.neighbors(0, Direction::Backward), &[1, 3]);
+    }
+
+    #[test]
+    fn view_bfs_matches_static() {
+        let g = fixtures::paper_graph();
+        let d = DynamicGraph::from_digraph(&g);
+        let mut visit = crate::VisitBuffer::new(11);
+        let mut out = Vec::new();
+        crate::view::bfs_view(&d, 1, Direction::Forward, &mut visit, &mut out);
+        assert_eq!(out, crate::traverse::bfs(&g, 1, Direction::Forward));
+    }
+
+    #[test]
+    fn self_loop_insertion() {
+        let mut g = DynamicGraph::new(2);
+        assert!(g.insert_edge(1, 1));
+        assert_eq!(g.neighbors(1, Direction::Forward), &[1]);
+        assert_eq!(g.neighbors(1, Direction::Backward), &[1]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Small named graphs used by tests, examples, and documentation.
+
+use crate::{DiGraph, VertexId};
+
+/// The paper's running-example graph of Fig. 1: 11 vertices, 15 edges.
+///
+/// Vertex `v_i` of the paper is id `i - 1` here. The edge list below was
+/// reconstructed from the paper's examples and verified against every
+/// worked example:
+///
+/// * Example 1: `N_in(v2) = {v6}`, `N_out(v2) = {v1, v3, v4, v5}`,
+///   `ANC(v2) = {v2, v3, v4, v6}`, `DES(v2) = V`.
+/// * Example 3: `ord(v1) = 12.08`, `ord(v10) = 2.83` under the degree
+///   formula.
+/// * Example 4: `DES^{G_1}(v1) = {v1, v5, v7, v8, v9}` and
+///   `DES^{G_2}(v2) = {v2, v3, v4, v5, v6, v7, v10, v11}`.
+/// * Example 8: `N_out(v3) = {v1, v4, v10}`, `N_out(v4) = {v6, v11}`,
+///   `BFS_low(v3) = {v3, v4, v10, v6, v11}`, `BFS_hig(v3) = {v1, v2}`.
+/// * Tables II and III reproduce exactly under the subscript order
+///   ([`crate::OrderKind::InverseId`]); see the `reach-tol` tests.
+///
+/// The graph is cyclic (e.g. `v2 -> v3 -> v4 -> v6 -> v2` and
+/// `v1 -> v5 -> v7 -> v1`), exercising the paper's non-DAG treatment.
+pub fn paper_graph() -> DiGraph {
+    DiGraph::from_edges(11, paper_graph_edges())
+}
+
+/// The edge list of [`paper_graph`] (zero-based ids).
+pub fn paper_graph_edges() -> Vec<(VertexId, VertexId)> {
+    vec![
+        (0, 4),  // v1 -> v5
+        (0, 7),  // v1 -> v8
+        (1, 0),  // v2 -> v1
+        (1, 2),  // v2 -> v3
+        (1, 3),  // v2 -> v4
+        (1, 4),  // v2 -> v5
+        (2, 0),  // v3 -> v1
+        (2, 3),  // v3 -> v4
+        (2, 9),  // v3 -> v10
+        (3, 5),  // v4 -> v6
+        (3, 10), // v4 -> v11
+        (4, 6),  // v5 -> v7
+        (5, 1),  // v6 -> v2
+        (6, 0),  // v7 -> v1
+        (7, 8),  // v8 -> v9
+    ]
+}
+
+/// A simple path `0 -> 1 -> ... -> n-1`.
+pub fn path(n: usize) -> DiGraph {
+    DiGraph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i as VertexId, i as VertexId + 1)))
+}
+
+/// A directed cycle `0 -> 1 -> ... -> n-1 -> 0`.
+pub fn cycle(n: usize) -> DiGraph {
+    assert!(n >= 1);
+    DiGraph::from_edges(n, (0..n).map(|i| (i as VertexId, ((i + 1) % n) as VertexId)))
+}
+
+/// A star with center 0 and edges `0 -> i` for `i in 1..n`.
+pub fn out_star(n: usize) -> DiGraph {
+    DiGraph::from_edges(n, (1..n).map(|i| (0, i as VertexId)))
+}
+
+/// The 4-vertex diamond DAG `0 -> {1,2} -> 3`.
+pub fn diamond() -> DiGraph {
+    DiGraph::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)])
+}
+
+/// Two disconnected paths; used by disconnectedness tests.
+pub fn two_components() -> DiGraph {
+    DiGraph::from_edges(6, vec![(0, 1), (1, 2), (3, 4), (4, 5)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_graph_shape() {
+        let g = paper_graph();
+        assert_eq!(g.num_vertices(), 11);
+        assert_eq!(g.num_edges(), 15);
+        // Example 1 degrees for v2 (id 1).
+        assert_eq!(g.inn(1), &[5]);
+        assert_eq!(g.out(1), &[0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn paper_graph_example8_neighbors() {
+        let g = paper_graph();
+        assert_eq!(g.out(2), &[0, 3, 9]); // v3 -> {v1, v4, v10}
+        assert_eq!(g.out(3), &[5, 10]); // v4 -> {v6, v11}
+    }
+
+    #[test]
+    fn named_fixture_shapes() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(4).num_edges(), 4);
+        assert_eq!(out_star(5).num_edges(), 4);
+        assert_eq!(diamond().num_edges(), 4);
+        assert_eq!(two_components().num_edges(), 4);
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(cycle(1).num_edges(), 1); // the self-loop 0 -> 0
+    }
+}

@@ -1,0 +1,94 @@
+//! Small seeded random-graph helpers.
+//!
+//! These are the lightweight generators used by unit/property tests across
+//! the workspace. The dataset-scale generators (RMAT, preferential
+//! attachment, layered DAGs) live in the `reach-datasets` crate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{DiGraph, VertexId};
+
+/// A random directed graph with `n` vertices and (up to) `m` distinct edges,
+/// sampled uniformly with replacement then deduplicated. Self-loops allowed.
+pub fn gnm(n: usize, m: usize, seed: u64) -> DiGraph {
+    assert!(n > 0 || m == 0, "edges require vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges = (0..m).map(|_| {
+        (
+            rng.gen_range(0..n) as VertexId,
+            rng.gen_range(0..n) as VertexId,
+        )
+    });
+    DiGraph::from_edges(n, edges.collect::<Vec<_>>())
+}
+
+/// A random DAG: each sampled edge `(u, v)` is oriented from the smaller to
+/// the larger id, so no cycles can form. Self-loops are discarded.
+pub fn random_dag(n: usize, m: usize, seed: u64) -> DiGraph {
+    assert!(n > 0 || m == 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let a = rng.gen_range(0..n) as VertexId;
+        let b = rng.gen_range(0..n) as VertexId;
+        if a == b {
+            continue;
+        }
+        edges.push((a.min(b), a.max(b)));
+    }
+    DiGraph::from_edges(n, edges)
+}
+
+/// G(n, p): every ordered pair (u, v), u != v, is an edge independently with
+/// probability `p`. Quadratic; for test-scale n only.
+pub fn gnp(n: usize, p: f64, seed: u64) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n as VertexId {
+        for v in 0..n as VertexId {
+            if u != v && rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    DiGraph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scc;
+
+    #[test]
+    fn gnm_is_deterministic_per_seed() {
+        let a = gnm(50, 120, 7);
+        let b = gnm(50, 120, 7);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        let c = gnm(50, 120, 8);
+        assert_ne!(a.edges().collect::<Vec<_>>(), c.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_dag_is_acyclic() {
+        for seed in 0..5 {
+            let g = random_dag(60, 200, seed);
+            let d = scc::tarjan_scc(&g);
+            assert!(d.is_acyclic(), "seed {seed} produced a cycle");
+        }
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let empty = gnp(10, 0.0, 1);
+        assert_eq!(empty.num_edges(), 0);
+        let full = gnp(6, 1.0, 1);
+        assert_eq!(full.num_edges(), 30); // 6*5 ordered pairs
+    }
+
+    #[test]
+    fn zero_sizes_ok() {
+        assert_eq!(gnm(0, 0, 1).num_vertices(), 0);
+        assert_eq!(random_dag(1, 10, 1).num_edges(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Edge-list input/output.
+//!
+//! The paper's datasets ship as whitespace-separated edge lists (SNAP
+//! format): one `u v` pair per line, `#`-prefixed comment lines. This module
+//! parses and writes that format so real datasets can be dropped in when
+//! available; the benchmark harness uses the synthetic generators by
+//! default.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{DiGraph, GraphBuilder, VertexId};
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is neither a comment, blank, nor a `u v` pair.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "line {line}: cannot parse edge from {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parses a SNAP-style edge list from a reader.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<DiGraph, IoError> {
+    let mut builder = GraphBuilder::new();
+    let buf = BufReader::new(reader);
+    for (i, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (u, v) = match (parts.next(), parts.next()) {
+            (Some(u), Some(v)) => (u.parse::<VertexId>(), v.parse::<VertexId>()),
+            _ => {
+                return Err(IoError::Parse {
+                    line: i + 1,
+                    content: line.clone(),
+                })
+            }
+        };
+        match (u, v) {
+            (Ok(u), Ok(v)) => {
+                builder.add_edge(u, v);
+            }
+            _ => {
+                return Err(IoError::Parse {
+                    line: i + 1,
+                    content: line.clone(),
+                })
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Parses an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<DiGraph, IoError> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Writes a graph as a SNAP-style edge list.
+pub fn write_edge_list<W: Write>(g: &DiGraph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# vertices: {}", g.num_vertices())?;
+    writeln!(w, "# edges: {}", g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Writes a graph to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(g: &DiGraph, path: P) -> std::io::Result<()> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn round_trip_through_text() {
+        let g = fixtures::paper_graph();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(
+            g2.edges().collect::<Vec<_>>(),
+            g.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# comment\n\n% konect comment\n0 1\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn tabs_and_extra_whitespace_ok() {
+        let text = "0\t1\n  1   2  \n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn bad_line_reports_position() {
+        let text = "0 1\nnot an edge\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_second_endpoint_is_error() {
+        let text = "0\n";
+        assert!(read_edge_list(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = fixtures::diamond();
+        let dir = std::env::temp_dir().join("reach_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("diamond.txt");
+        write_edge_list_file(&g, &path).unwrap();
+        let g2 = read_edge_list_file(&path).unwrap();
+        assert_eq!(g2.num_edges(), 4);
+        std::fs::remove_file(path).ok();
+    }
+}

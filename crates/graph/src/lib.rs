@@ -1,0 +1,54 @@
+//! Directed-graph substrate for the reachability-labeling reproduction.
+//!
+//! This crate provides everything the labeling algorithms (TOL, DRL, DRLb,
+//! BFL) need from a graph library, built from scratch:
+//!
+//! * [`DiGraph`] — an immutable CSR (compressed sparse row) directed graph
+//!   storing both out- and in-adjacency, so the inverse graph `Ḡ` is a free
+//!   [`Direction::Backward`] view rather than a copy.
+//! * [`GraphBuilder`] — edge accumulation with deduplication of parallel
+//!   edges (they do not affect reachability but would perturb the
+//!   degree-based vertex order).
+//! * [`order`] — the paper's total order `ord(v) = (d_in+1)(d_out+1) +
+//!   ID/(n+1)` in exact integer arithmetic, plus alternative orders used to
+//!   reproduce the paper's worked examples.
+//! * [`traverse`] — BFS/DFS with reusable, epoch-stamped visit buffers.
+//! * [`closure`] — bitset transitive closure, the ground truth oracle used
+//!   throughout the test suites.
+//! * [`scc`] — Tarjan's strongly-connected-components algorithm (iterative).
+//! * [`io`] — whitespace-separated edge-list parsing and writing.
+//! * [`fixtures`] — the paper's running-example graph (Fig. 1) and other
+//!   small named graphs.
+//! * [`gen`] — small seeded random-graph helpers for tests (the full
+//!   dataset generators live in the `reach-datasets` crate).
+
+pub mod bitset;
+pub mod builder;
+pub mod closure;
+pub mod csr;
+pub mod dynamic;
+pub mod fixtures;
+pub mod gen;
+pub mod io;
+pub mod order;
+pub mod scc;
+pub mod stats;
+pub mod traverse;
+pub mod view;
+
+pub use bitset::BitSet;
+pub use builder::GraphBuilder;
+pub use closure::TransitiveClosure;
+pub use csr::{DiGraph, Direction};
+pub use dynamic::DynamicGraph;
+pub use order::{OrderAssignment, OrderKind};
+pub use traverse::VisitBuffer;
+pub use view::GraphView;
+
+/// A vertex identifier. Graphs are limited to `u32::MAX - 1` vertices, which
+/// comfortably covers the reproduction scale (the paper's largest graph has
+/// 118 M vertices, also within `u32`).
+pub type VertexId = u32;
+
+/// Sentinel for "no vertex" in packed arrays.
+pub const NO_VERTEX: VertexId = u32::MAX;

@@ -1,0 +1,206 @@
+//! The total vertex order `ord(v)` of §II-B.
+//!
+//! TOL (and therefore DRL, which reproduces TOL's index) processes vertices
+//! in strictly decreasing order of `ord`. The paper's default is
+//!
+//! ```text
+//! ord(v) = (d_in(v) + 1) · (d_out(v) + 1) + ID(v) / (n + 1)
+//! ```
+//!
+//! where the fractional term breaks ties by vertex id (a *larger* id wins).
+//! We avoid floating point entirely: an order is the lexicographic pair
+//! `(score, id)` with `score = (d_in+1)·(d_out+1)` as a `u64`, which induces
+//! exactly the same total order as the formula.
+//!
+//! The paper's worked examples (Fig. 1–3, Tables II–III) implicitly use the
+//! simpler "by subscript" order (`v1` highest, `v11` lowest); that order is
+//! available as [`OrderKind::InverseId`] so the walkthrough example and its
+//! tests can reproduce the tables verbatim. Arbitrary orders can be supplied
+//! via [`OrderAssignment::from_priority_desc`].
+
+use crate::{DiGraph, VertexId};
+
+/// Strategy for assigning the total order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrderKind {
+    /// The paper's formula: `(d_in+1)(d_out+1)`, ties broken by larger id.
+    DegreeProduct,
+    /// `ord(v_i) > ord(v_j)` iff `i < j` — vertex 0 has the highest order.
+    /// Matches the subscript order used by the paper's worked examples.
+    InverseId,
+    /// `ord(v_i) > ord(v_j)` iff `i > j`.
+    ById,
+}
+
+/// A total order over the vertices of one graph.
+///
+/// Internally stores `rank[v]` — the position of `v` in the descending-order
+/// processing sequence (`rank 0` = highest order = processed first by TOL) —
+/// and the inverse permutation `by_rank`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrderAssignment {
+    rank: Vec<u32>,
+    by_rank: Vec<VertexId>,
+}
+
+impl OrderAssignment {
+    /// Computes the order of `kind` for `g`.
+    pub fn new(g: &DiGraph, kind: OrderKind) -> Self {
+        let n = g.num_vertices();
+        match kind {
+            OrderKind::DegreeProduct => {
+                let mut verts: Vec<VertexId> = (0..n as VertexId).collect();
+                // Descending by (score, id): larger score first; among equal
+                // scores larger id first (the ID/(n+1) term).
+                verts.sort_unstable_by_key(|&v| {
+                    let score =
+                        (g.in_degree(v) as u64 + 1).saturating_mul(g.out_degree(v) as u64 + 1);
+                    (std::cmp::Reverse(score), std::cmp::Reverse(v))
+                });
+                Self::from_processing_sequence(verts)
+            }
+            OrderKind::InverseId => {
+                Self::from_processing_sequence((0..n as VertexId).collect())
+            }
+            OrderKind::ById => {
+                Self::from_processing_sequence((0..n as VertexId).rev().collect())
+            }
+        }
+    }
+
+    /// Builds an order from an explicit processing sequence: `seq[0]` is the
+    /// highest-order vertex. The sequence must be a permutation of `0..n`.
+    pub fn from_processing_sequence(seq: Vec<VertexId>) -> Self {
+        let n = seq.len();
+        let mut rank = vec![u32::MAX; n];
+        for (r, &v) in seq.iter().enumerate() {
+            assert!(
+                (v as usize) < n && rank[v as usize] == u32::MAX,
+                "processing sequence is not a permutation"
+            );
+            rank[v as usize] = r as u32;
+        }
+        OrderAssignment { rank, by_rank: seq }
+    }
+
+    /// Builds an order from per-vertex priorities: higher priority = higher
+    /// order; ties broken by larger id (matching the paper's formula).
+    pub fn from_priority_desc(priority: &[u64]) -> Self {
+        let mut verts: Vec<VertexId> = (0..priority.len() as VertexId).collect();
+        verts.sort_unstable_by_key(|&v| {
+            (
+                std::cmp::Reverse(priority[v as usize]),
+                std::cmp::Reverse(v),
+            )
+        });
+        Self::from_processing_sequence(verts)
+    }
+
+    /// Number of vertices covered by the order.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// `true` if the order covers no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rank.is_empty()
+    }
+
+    /// Rank of `v`: 0 is the *highest* order (processed first).
+    #[inline]
+    pub fn rank(&self, v: VertexId) -> u32 {
+        self.rank[v as usize]
+    }
+
+    /// The vertex with the `r`-th highest order (`r` starts at 0).
+    #[inline]
+    pub fn vertex_at_rank(&self, r: u32) -> VertexId {
+        self.by_rank[r as usize]
+    }
+
+    /// `true` iff `ord(a) > ord(b)`.
+    #[inline]
+    pub fn higher(&self, a: VertexId, b: VertexId) -> bool {
+        self.rank[a as usize] < self.rank[b as usize]
+    }
+
+    /// Vertices in decreasing order of `ord` — TOL's processing sequence.
+    pub fn processing_sequence(&self) -> &[VertexId] {
+        &self.by_rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn degree_product_matches_paper_example3() {
+        // Example 3: on the Fig. 1 graph, ord(v1) = 12.08 (score 12) and
+        // ord(v10) = 2.83 (score 2), so v1 ranks above v10.
+        let g = fixtures::paper_graph();
+        let v1 = 0; // paper's v1 is id 0
+        let v10 = 9;
+        assert_eq!((g.in_degree(v1) + 1) * (g.out_degree(v1) + 1), 12);
+        assert_eq!((g.in_degree(v10) + 1) * (g.out_degree(v10) + 1), 2);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        assert!(ord.higher(v1, v10));
+        // v1 has the highest order overall, v2 the second highest.
+        assert_eq!(ord.vertex_at_rank(0), 0);
+        assert_eq!(ord.vertex_at_rank(1), 1);
+    }
+
+    #[test]
+    fn degree_product_tie_broken_by_larger_id() {
+        // Path 0 -> 1 -> 2: vertices 0 and 2 both have score 2; the larger
+        // id must rank higher per the ID/(n+1) term.
+        let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        assert!(ord.higher(2, 0));
+        assert!(ord.higher(1, 2)); // score 4 beats score 2
+    }
+
+    #[test]
+    fn inverse_id_is_subscript_order() {
+        let g = DiGraph::from_edges(4, vec![(0, 1)]);
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        assert!(ord.higher(0, 1));
+        assert!(ord.higher(2, 3));
+        assert_eq!(ord.processing_sequence(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn by_id_reverses() {
+        let g = DiGraph::from_edges(3, vec![]);
+        let ord = OrderAssignment::new(&g, OrderKind::ById);
+        assert_eq!(ord.processing_sequence(), &[2, 1, 0]);
+        assert!(ord.higher(2, 0));
+    }
+
+    #[test]
+    fn rank_and_vertex_at_rank_are_inverse() {
+        let g = fixtures::paper_graph();
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        for v in g.vertices() {
+            assert_eq!(ord.vertex_at_rank(ord.rank(v)), v);
+        }
+    }
+
+    #[test]
+    fn from_priority_desc_orders_by_priority() {
+        let ord = OrderAssignment::from_priority_desc(&[5, 9, 9, 1]);
+        // priority 9 twice: larger id (2) wins the tie.
+        assert_eq!(ord.processing_sequence(), &[2, 1, 0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn non_permutation_sequence_panics() {
+        OrderAssignment::from_processing_sequence(vec![0, 0]);
+    }
+
+    use crate::DiGraph;
+}

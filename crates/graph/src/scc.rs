@@ -1,0 +1,174 @@
+//! Strongly connected components (Tarjan, iterative).
+//!
+//! The paper deliberately does *not* condense SCCs (§II-C), so the labeling
+//! algorithms never call this; it exists for test assertions (e.g. "a vertex
+//! in a cycle with a higher-order vertex never labels itself") and for the
+//! dataset generators to report how cyclic their output is.
+
+use crate::{DiGraph, VertexId};
+
+/// The SCC decomposition of a graph.
+#[derive(Clone, Debug)]
+pub struct SccDecomposition {
+    /// `component[v]` is the component id of `v`; ids are in reverse
+    /// topological order of the condensation (Tarjan's natural output).
+    pub component: Vec<u32>,
+    /// Number of components.
+    pub num_components: usize,
+}
+
+impl SccDecomposition {
+    /// Sizes of each component, indexed by component id.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_components];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// `true` if the graph is a DAG (every component is a singleton and no
+    /// self-loops were present — callers that allow self-loops should check
+    /// separately).
+    pub fn is_acyclic(&self) -> bool {
+        self.num_components == self.component.len()
+    }
+
+    /// Size of the largest component.
+    pub fn largest(&self) -> usize {
+        self.component_sizes().into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Computes SCCs with an iterative Tarjan's algorithm (explicit stack, no
+/// recursion, so deep graphs cannot overflow the call stack).
+pub fn tarjan_scc(g: &DiGraph) -> SccDecomposition {
+    const UNSET: u32 = u32::MAX;
+    let n = g.num_vertices();
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![UNSET; n];
+    let mut stack: Vec<VertexId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut num_components = 0usize;
+
+    // Work stack frames: (vertex, next-neighbor-position).
+    let mut frames: Vec<(VertexId, usize)> = Vec::new();
+
+    for root in 0..n as VertexId {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            if *pos == 0 {
+                index[v as usize] = next_index;
+                lowlink[v as usize] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v as usize] = true;
+            }
+            let nbrs = g.out(v);
+            if *pos < nbrs.len() {
+                let w = nbrs[*pos];
+                *pos += 1;
+                if index[w as usize] == UNSET {
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = num_components as u32;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    num_components += 1;
+                }
+            }
+        }
+    }
+
+    SccDecomposition {
+        component,
+        num_components,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = fixtures::diamond();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 4);
+        assert!(scc.is_acyclic());
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = fixtures::cycle(5);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 1);
+        assert_eq!(scc.largest(), 5);
+        assert!(!scc.is_acyclic());
+    }
+
+    #[test]
+    fn paper_graph_sccs() {
+        // Cycles: {v1, v5, v7} and {v2, v3, v4, v6}; the rest singletons.
+        let g = fixtures::paper_graph();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 6);
+        let c = &scc.component;
+        assert_eq!(c[0], c[4]);
+        assert_eq!(c[0], c[6]);
+        assert_eq!(c[1], c[2]);
+        assert_eq!(c[1], c[3]);
+        assert_eq!(c[1], c[5]);
+        assert_ne!(c[0], c[1]);
+        let mut sizes = scc.component_sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 1, 1, 3, 4]);
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow() {
+        // Would overflow the call stack with a recursive Tarjan.
+        let g = fixtures::path(200_000);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 200_000);
+    }
+
+    #[test]
+    fn component_ids_reverse_topological() {
+        // In Tarjan's output, a component finishing earlier (a sink) gets a
+        // smaller id; check on a path.
+        let g = fixtures::path(3);
+        let scc = tarjan_scc(&g);
+        assert!(scc.component[2] < scc.component[1]);
+        assert!(scc.component[1] < scc.component[0]);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = crate::DiGraph::from_edges(0, vec![]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 0);
+        assert!(scc.component_sizes().is_empty());
+        assert_eq!(scc.largest(), 0);
+    }
+}

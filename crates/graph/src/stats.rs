@@ -1,0 +1,129 @@
+//! Summary statistics for graphs (Table V-style reporting).
+
+use crate::{scc, DiGraph};
+
+/// Basic structural statistics of a graph, printed by the dataset harness in
+/// the style of the paper's Table V.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub num_vertices: usize,
+    /// `|E|` after deduplication.
+    pub num_edges: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Average degree `|E| / |V|`.
+    pub avg_degree: f64,
+    /// Number of strongly connected components.
+    pub num_sccs: usize,
+    /// Size of the largest SCC (1 in a DAG without self-loops).
+    pub largest_scc: usize,
+    /// Number of source vertices (in-degree 0).
+    pub num_sources: usize,
+    /// Number of sink vertices (out-degree 0).
+    pub num_sinks: usize,
+}
+
+impl GraphStats {
+    /// Computes all statistics (runs Tarjan, so O(n + m)).
+    pub fn compute(g: &DiGraph) -> Self {
+        let n = g.num_vertices();
+        let scc = scc::tarjan_scc(g);
+        let mut max_out = 0;
+        let mut max_in = 0;
+        let mut sources = 0;
+        let mut sinks = 0;
+        for v in g.vertices() {
+            let dout = g.out_degree(v);
+            let din = g.in_degree(v);
+            max_out = max_out.max(dout);
+            max_in = max_in.max(din);
+            if din == 0 {
+                sources += 1;
+            }
+            if dout == 0 {
+                sinks += 1;
+            }
+        }
+        GraphStats {
+            num_vertices: n,
+            num_edges: g.num_edges(),
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                g.num_edges() as f64 / n as f64
+            },
+            num_sccs: scc.num_components,
+            largest_scc: scc.largest(),
+            num_sources: sources,
+            num_sinks: sinks,
+        }
+    }
+
+    /// `true` if the graph contains no nontrivial cycle (self-loops not
+    /// considered).
+    pub fn is_dag_modulo_self_loops(&self) -> bool {
+        self.largest_scc <= 1
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} avg_deg={:.2} max_out={} max_in={} sccs={} largest_scc={}",
+            self.num_vertices,
+            self.num_edges,
+            self.avg_degree,
+            self.max_out_degree,
+            self.max_in_degree,
+            self.num_sccs,
+            self.largest_scc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn paper_graph_stats() {
+        let s = GraphStats::compute(&fixtures::paper_graph());
+        assert_eq!(s.num_vertices, 11);
+        assert_eq!(s.num_edges, 15);
+        assert_eq!(s.max_out_degree, 4); // v2
+        assert_eq!(s.largest_scc, 4); // {v2, v3, v4, v6}
+        assert!(!s.is_dag_modulo_self_loops());
+        assert_eq!(s.num_sinks, 3); // v9, v10, v11
+        assert_eq!(s.num_sources, 0);
+    }
+
+    #[test]
+    fn dag_stats() {
+        let s = GraphStats::compute(&fixtures::diamond());
+        assert!(s.is_dag_modulo_self_loops());
+        assert_eq!(s.num_sources, 1);
+        assert_eq!(s.num_sinks, 1);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = GraphStats::compute(&crate::DiGraph::from_edges(0, vec![]));
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = GraphStats::compute(&fixtures::path(3));
+        let text = s.to_string();
+        assert!(text.contains("|V|=3"));
+        assert!(text.contains("|E|=2"));
+    }
+}

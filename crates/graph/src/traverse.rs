@@ -1,0 +1,244 @@
+//! Breadth-first and depth-first traversal utilities.
+//!
+//! The labeling algorithms perform very many traversals over the same
+//! graph; [`VisitBuffer`] provides an epoch-stamped visited set so that
+//! starting a new traversal is O(1) instead of O(n) (clearing a bitmap),
+//! a standard trick for search-heavy index construction.
+
+use crate::{DiGraph, Direction, VertexId};
+
+/// Reusable visited-marker with O(1) reset between traversals.
+///
+/// Each vertex stores the epoch at which it was last visited; bumping the
+/// epoch invalidates all marks at once. The epoch is a `u32`; after ~4
+/// billion resets the stamps are physically cleared to avoid wrap-around
+/// aliasing.
+#[derive(Clone, Debug)]
+pub struct VisitBuffer {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitBuffer {
+    /// Creates a buffer for `n` vertices.
+    pub fn new(n: usize) -> Self {
+        VisitBuffer {
+            stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Invalidates all marks (O(1) amortized).
+    pub fn reset(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Marks `v` visited; returns `true` if it was not already marked.
+    #[inline]
+    pub fn mark(&mut self, v: VertexId) -> bool {
+        let s = &mut self.stamp[v as usize];
+        if *s == self.epoch {
+            false
+        } else {
+            *s = self.epoch;
+            true
+        }
+    }
+
+    /// Tests whether `v` is marked in the current epoch.
+    #[inline]
+    pub fn is_marked(&self, v: VertexId) -> bool {
+        self.stamp[v as usize] == self.epoch
+    }
+}
+
+/// A full BFS from `source` in direction `dir`; returns every reached vertex
+/// (including `source`) in BFS order. For [`Direction::Forward`] this is
+/// `DES(source)`, for [`Direction::Backward`] it is `ANC(source)`
+/// (Definition 1).
+pub fn bfs(g: &DiGraph, source: VertexId, dir: Direction) -> Vec<VertexId> {
+    let mut visit = VisitBuffer::new(g.num_vertices());
+    let mut out = Vec::new();
+    bfs_into(g, source, dir, &mut visit, &mut out);
+    out
+}
+
+/// BFS with caller-provided scratch buffers (`visit` is reset internally).
+pub fn bfs_into(
+    g: &DiGraph,
+    source: VertexId,
+    dir: Direction,
+    visit: &mut VisitBuffer,
+    out: &mut Vec<VertexId>,
+) {
+    visit.reset();
+    out.clear();
+    visit.mark(source);
+    out.push(source);
+    let mut head = 0;
+    while head < out.len() {
+        let u = out[head];
+        head += 1;
+        for &w in g.neighbors(u, dir) {
+            if visit.mark(w) {
+                out.push(w);
+            }
+        }
+    }
+}
+
+/// The descendant set `DES(v)` (Definition 1): all vertices `v` can reach,
+/// including `v` itself.
+pub fn descendants(g: &DiGraph, v: VertexId) -> Vec<VertexId> {
+    bfs(g, v, Direction::Forward)
+}
+
+/// The ancestor set `ANC(v)` (Definition 1): all vertices that can reach
+/// `v`, including `v` itself.
+pub fn ancestors(g: &DiGraph, v: VertexId) -> Vec<VertexId> {
+    bfs(g, v, Direction::Backward)
+}
+
+/// Online reachability check `s -> t` by forward BFS with early exit.
+/// This is the index-free baseline of §V and the fallback used by BFL.
+pub fn reaches(g: &DiGraph, s: VertexId, t: VertexId) -> bool {
+    if s == t {
+        return true;
+    }
+    let mut visit = VisitBuffer::new(g.num_vertices());
+    visit.reset();
+    visit.mark(s);
+    let mut queue = vec![s];
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        for &w in g.out(u) {
+            if w == t {
+                return true;
+            }
+            if visit.mark(w) {
+                queue.push(w);
+            }
+        }
+    }
+    false
+}
+
+/// Iterative depth-first search from `source`; returns vertices in
+/// *preorder*. Used by tests and by BFL's interval construction (which needs
+/// DFS rather than BFS).
+pub fn dfs_preorder(g: &DiGraph, source: VertexId, dir: Direction) -> Vec<VertexId> {
+    let mut visit = VisitBuffer::new(g.num_vertices());
+    visit.reset();
+    let mut out = Vec::new();
+    let mut stack = vec![source];
+    while let Some(u) = stack.pop() {
+        if !visit.mark(u) {
+            continue;
+        }
+        out.push(u);
+        // Push in reverse so the smallest-id neighbor is expanded first,
+        // giving deterministic preorder.
+        for &w in g.neighbors(u, dir).iter().rev() {
+            if !visit.is_marked(w) {
+                stack.push(w);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn bfs_descendants_match_paper_example1() {
+        // Example 1: DES(v2) is all 11 vertices; ANC(v2) = {v2, v3, v4, v6}.
+        let g = fixtures::paper_graph();
+        let v2 = 1;
+        let mut des = descendants(&g, v2);
+        des.sort_unstable();
+        assert_eq!(des, (0..11).collect::<Vec<_>>());
+        let mut anc = ancestors(&g, v2);
+        anc.sort_unstable();
+        assert_eq!(anc, vec![1, 2, 3, 5]); // v2, v3, v4, v6 zero-based
+    }
+
+    #[test]
+    fn des_v1_matches_paper_example4() {
+        // Example 4: DES(v1) = {v1, v5, v7, v8, v9}.
+        let g = fixtures::paper_graph();
+        let mut des = descendants(&g, 0);
+        des.sort_unstable();
+        assert_eq!(des, vec![0, 4, 6, 7, 8]);
+    }
+
+    #[test]
+    fn reaches_agrees_with_bfs() {
+        let g = fixtures::paper_graph();
+        for s in g.vertices() {
+            let des = descendants(&g, s);
+            for t in g.vertices() {
+                assert_eq!(reaches(&g, s, t), des.contains(&t), "s={s} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn reaches_self_is_true_even_without_loop() {
+        let g = crate::DiGraph::from_edges(2, vec![(0, 1)]);
+        assert!(reaches(&g, 0, 0));
+        assert!(reaches(&g, 1, 1));
+        assert!(!reaches(&g, 1, 0));
+    }
+
+    #[test]
+    fn dfs_preorder_visits_all_reachable_once() {
+        let g = fixtures::paper_graph();
+        let pre = dfs_preorder(&g, 1, Direction::Forward);
+        let mut sorted = pre.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pre.len(), "no vertex visited twice");
+        assert_eq!(pre.len(), 11);
+        assert_eq!(pre[0], 1);
+    }
+
+    #[test]
+    fn backward_bfs_equals_forward_on_transpose() {
+        let g = fixtures::paper_graph();
+        let t = g.transpose();
+        for v in g.vertices() {
+            let mut a = bfs(&g, v, Direction::Backward);
+            let mut b = bfs(&t, v, Direction::Forward);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn visit_buffer_reset_invalidates() {
+        let mut v = VisitBuffer::new(3);
+        v.reset();
+        assert!(v.mark(1));
+        assert!(!v.mark(1));
+        v.reset();
+        assert!(!v.is_marked(1));
+        assert!(v.mark(1));
+    }
+
+    #[test]
+    fn bfs_on_cycle_terminates() {
+        let g = crate::DiGraph::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]);
+        let r = bfs(&g, 0, Direction::Forward);
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! The [`GraphView`] abstraction over static and dynamic graphs.
+//!
+//! Traversal-based algorithms (trimmed BFS, the DRL refinement) only need
+//! "how many vertices" and "who are `v`'s neighbors in a direction"; this
+//! trait lets them run unchanged over the immutable CSR [`crate::DiGraph`]
+//! and the mutable [`crate::dynamic::DynamicGraph`] used by incremental
+//! index maintenance.
+
+use crate::{csr::Direction, DiGraph, VertexId};
+
+/// Read-only adjacency access shared by all graph representations.
+pub trait GraphView {
+    /// Number of vertices `|V|`.
+    fn num_vertices(&self) -> usize;
+
+    /// Neighbors of `v` in the traversal direction, sorted by id.
+    fn neighbors(&self, v: VertexId, dir: Direction) -> &[VertexId];
+
+    /// Number of edges `|E|`.
+    fn num_edges(&self) -> usize;
+
+    /// Out-degree of `v`.
+    fn out_degree(&self, v: VertexId) -> usize {
+        self.neighbors(v, Direction::Forward).len()
+    }
+
+    /// In-degree of `v`.
+    fn in_degree(&self, v: VertexId) -> usize {
+        self.neighbors(v, Direction::Backward).len()
+    }
+}
+
+impl GraphView for DiGraph {
+    fn num_vertices(&self) -> usize {
+        DiGraph::num_vertices(self)
+    }
+
+    fn neighbors(&self, v: VertexId, dir: Direction) -> &[VertexId] {
+        DiGraph::neighbors(self, v, dir)
+    }
+
+    fn num_edges(&self) -> usize {
+        DiGraph::num_edges(self)
+    }
+}
+
+/// BFS over any [`GraphView`] (the generic twin of
+/// [`crate::traverse::bfs_into`]).
+pub fn bfs_view<G: GraphView + ?Sized>(
+    g: &G,
+    source: VertexId,
+    dir: Direction,
+    visit: &mut crate::VisitBuffer,
+    out: &mut Vec<VertexId>,
+) {
+    visit.reset();
+    out.clear();
+    visit.mark(source);
+    out.push(source);
+    let mut head = 0;
+    while head < out.len() {
+        let u = out[head];
+        head += 1;
+        for &w in g.neighbors(u, dir) {
+            if visit.mark(w) {
+                out.push(w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn digraph_implements_view() {
+        let g = fixtures::paper_graph();
+        let v: &dyn GraphView = &g;
+        assert_eq!(v.num_vertices(), 11);
+        assert_eq!(v.num_edges(), 15);
+        assert_eq!(v.neighbors(1, Direction::Forward), g.out(1));
+        assert_eq!(v.out_degree(1), 4);
+        assert_eq!(v.in_degree(1), 1);
+    }
+
+    #[test]
+    fn bfs_view_matches_traverse_bfs() {
+        let g = fixtures::paper_graph();
+        let mut visit = crate::VisitBuffer::new(g.num_vertices());
+        let mut out = Vec::new();
+        for v in g.vertices() {
+            bfs_view(&g, v, Direction::Forward, &mut visit, &mut out);
+            assert_eq!(out, crate::traverse::bfs(&g, v, Direction::Forward));
+        }
+    }
+}

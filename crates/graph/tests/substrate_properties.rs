@@ -1,0 +1,137 @@
+//! Property tests of the graph substrate: every helper is cross-validated
+//! against an independent characterization.
+
+use proptest::prelude::*;
+use reach_graph::{gen, scc, DiGraph, Direction, OrderAssignment, OrderKind, TransitiveClosure};
+
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = DiGraph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m)
+            .prop_map(move |edges| DiGraph::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tarjan vs the closure: same component iff mutually reachable.
+    #[test]
+    fn scc_matches_mutual_reachability(g in arb_graph(24, 70)) {
+        let d = scc::tarjan_scc(&g);
+        let tc = TransitiveClosure::compute(&g);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let same = d.component[u as usize] == d.component[v as usize];
+                let mutual = tc.reaches(u, v) && tc.reaches(v, u);
+                prop_assert_eq!(same, mutual, "u={} v={}", u, v);
+            }
+        }
+    }
+
+    /// Component ids are a reverse topological order of the condensation:
+    /// an edge between components always goes from a larger id to a
+    /// smaller one.
+    #[test]
+    fn scc_ids_reverse_topological(g in arb_graph(24, 70)) {
+        let d = scc::tarjan_scc(&g);
+        for (u, v) in g.edges() {
+            let (cu, cv) = (d.component[u as usize], d.component[v as usize]);
+            prop_assert!(cu >= cv, "edge {}->{} crosses {} -> {}", u, v, cu, cv);
+        }
+    }
+
+    /// BFS visits exactly the closure row, and backward BFS is forward BFS
+    /// on the transpose.
+    #[test]
+    fn bfs_visits_exactly_the_closure_row(g in arb_graph(24, 70)) {
+        let tc = TransitiveClosure::compute(&g);
+        let t = g.transpose();
+        for v in g.vertices() {
+            let mut des = reach_graph::traverse::descendants(&g, v);
+            des.sort_unstable();
+            let expected: Vec<u32> =
+                g.vertices().filter(|&w| tc.reaches(v, w)).collect();
+            prop_assert_eq!(&des, &expected);
+
+            let mut anc = reach_graph::traverse::ancestors(&g, v);
+            anc.sort_unstable();
+            let mut anc_t = reach_graph::traverse::descendants(&t, v);
+            anc_t.sort_unstable();
+            prop_assert_eq!(anc, anc_t);
+        }
+    }
+
+    /// DFS preorder is a valid traversal: every non-root vertex is entered
+    /// from an already-visited in-neighbor, and exactly the reachable set
+    /// is visited.
+    #[test]
+    fn dfs_preorder_is_valid(g in arb_graph(24, 70), root in 0u32..24) {
+        prop_assume!((root as usize) < g.num_vertices());
+        let pre = reach_graph::traverse::dfs_preorder(&g, root, Direction::Forward);
+        let tc = TransitiveClosure::compute(&g);
+        prop_assert_eq!(pre[0], root);
+        let mut seen = std::collections::HashSet::new();
+        for (i, &v) in pre.iter().enumerate() {
+            prop_assert!(tc.reaches(root, v));
+            if i > 0 {
+                prop_assert!(
+                    g.inn(v).iter().any(|u| seen.contains(u)),
+                    "v={} entered without a visited predecessor", v
+                );
+            }
+            seen.insert(v);
+        }
+        let reachable = g.vertices().filter(|&w| tc.reaches(root, w)).count();
+        prop_assert_eq!(pre.len(), reachable);
+    }
+
+    /// Every order kind yields a permutation with consistent rank lookups
+    /// and antisymmetric `higher`.
+    #[test]
+    fn orders_are_consistent_permutations(g in arb_graph(24, 70)) {
+        for kind in [OrderKind::DegreeProduct, OrderKind::InverseId, OrderKind::ById] {
+            let ord = OrderAssignment::new(&g, kind);
+            let mut seen = vec![false; g.num_vertices()];
+            for r in 0..g.num_vertices() as u32 {
+                let v = ord.vertex_at_rank(r);
+                prop_assert_eq!(ord.rank(v), r);
+                prop_assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+            for a in g.vertices() {
+                for b in g.vertices() {
+                    if a != b {
+                        prop_assert_ne!(ord.higher(a, b), ord.higher(b, a));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The degree-product order really sorts by the paper's formula.
+    #[test]
+    fn degree_product_sorts_by_formula(g in arb_graph(24, 70)) {
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let score = |v: u32| {
+            (g.in_degree(v) as u64 + 1) * (g.out_degree(v) as u64 + 1)
+        };
+        let seq = ord.processing_sequence();
+        for w in seq.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            prop_assert!(
+                score(a) > score(b) || (score(a) == score(b) && a > b),
+                "ord({a}) must exceed ord({b})"
+            );
+        }
+    }
+
+    /// Random-graph helpers honor their contracts.
+    #[test]
+    fn gnm_respects_bounds(n in 1usize..40, m in 0usize..120, seed in 0u64..50) {
+        let g = gen::gnm(n, m, seed);
+        prop_assert_eq!(g.num_vertices(), n);
+        prop_assert!(g.num_edges() <= m);
+        let d = gen::random_dag(n, m, seed);
+        prop_assert!(scc::tarjan_scc(&d).is_acyclic());
+    }
+}

@@ -1,0 +1,55 @@
+//! The common query interface over reachability back-ends.
+//!
+//! The paper's taxonomy (§I) has three kinds of approach: index-free (online
+//! search), index-assisted (BFL), and index-only (TOL / DRL). All three are
+//! benchmarked through this one trait so the harness treats them uniformly.
+
+use reach_graph::{traverse, DiGraph, VertexId};
+
+/// Anything that can answer "can `s` reach `t`?".
+pub trait ReachabilityOracle {
+    /// `true` iff there is a (possibly empty) path from `s` to `t`.
+    fn reachable(&self, s: VertexId, t: VertexId) -> bool;
+}
+
+/// The index-free baseline: a fresh forward BFS per query.
+pub struct OnlineBfsOracle<'g> {
+    graph: &'g DiGraph,
+}
+
+impl<'g> OnlineBfsOracle<'g> {
+    /// Wraps a graph for online querying.
+    pub fn new(graph: &'g DiGraph) -> Self {
+        OnlineBfsOracle { graph }
+    }
+}
+
+impl ReachabilityOracle for OnlineBfsOracle<'_> {
+    fn reachable(&self, s: VertexId, t: VertexId) -> bool {
+        traverse::reaches(self.graph, s, t)
+    }
+}
+
+impl ReachabilityOracle for reach_graph::TransitiveClosure {
+    fn reachable(&self, s: VertexId, t: VertexId) -> bool {
+        self.reaches(s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::{fixtures, TransitiveClosure};
+
+    #[test]
+    fn online_oracle_matches_closure() {
+        let g = fixtures::paper_graph();
+        let tc = TransitiveClosure::compute(&g);
+        let online = OnlineBfsOracle::new(&g);
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(online.reachable(s, t), tc.reachable(s, t));
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Index size reporting used by the experiment harness (Table VI columns).
+
+use crate::ReachIndex;
+
+/// Summary statistics of a built index.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IndexStats {
+    /// Total label entries (in + out).
+    pub num_entries: usize,
+    /// The largest single label set `Δ`.
+    pub max_label_size: usize,
+    /// Mean label size per vertex per direction.
+    pub avg_label_size: f64,
+    /// Bytes as reported in Table VI (4 B per entry + CSR offsets).
+    pub size_bytes: usize,
+}
+
+impl IndexStats {
+    /// Computes the statistics of `idx`.
+    pub fn of(idx: &ReachIndex) -> Self {
+        let n = idx.num_vertices();
+        let entries = idx.num_entries();
+        IndexStats {
+            num_entries: entries,
+            max_label_size: idx.max_label_size(),
+            avg_label_size: if n == 0 {
+                0.0
+            } else {
+                entries as f64 / (2.0 * n as f64)
+            },
+            size_bytes: idx.size_bytes(),
+        }
+    }
+
+    /// Size in mebibytes, the unit of Table VI.
+    pub fn size_mib(&self) -> f64 {
+        self.size_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl std::fmt::Display for IndexStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "entries={} Δ={} avg={:.2} size={:.2} MiB",
+            self.num_entries,
+            self.max_label_size,
+            self.avg_label_size,
+            self.size_mib()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_small_index() {
+        let idx = ReachIndex::from_labels(
+            vec![vec![0], vec![0, 1]],
+            vec![vec![0], vec![1]],
+        );
+        let s = IndexStats::of(&idx);
+        assert_eq!(s.num_entries, 5);
+        assert_eq!(s.max_label_size, 2);
+        assert!((s.avg_label_size - 1.25).abs() < 1e-12);
+        assert!(s.size_mib() > 0.0);
+        assert!(s.to_string().contains("Δ=2"));
+    }
+
+    #[test]
+    fn stats_of_empty_index() {
+        let idx = ReachIndex::new(0);
+        let s = IndexStats::of(&idx);
+        assert_eq!(s.num_entries, 0);
+        assert_eq!(s.avg_label_size, 0.0);
+    }
+}

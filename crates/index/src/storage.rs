@@ -1,0 +1,231 @@
+//! Compact binary persistence for [`ReachIndex`].
+//!
+//! The paper's deployment model stores the finished index on one query
+//! machine; this module provides the on-disk format: a little-endian CSR
+//! packing (`4 B` per label entry plus one offset per vertex per
+//! direction), matching the byte counts [`ReachIndex::size_bytes`]
+//! reports.
+//!
+//! Layout: magic `RIDX` + version, `n`, then for each direction an offset
+//! array (`n + 1` × u64) followed by the entry array (u32s).
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use reach_graph::VertexId;
+
+use crate::ReachIndex;
+
+const MAGIC: [u8; 4] = *b"RIDX";
+const VERSION: u32 = 1;
+
+/// Errors from index persistence.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The bytes are not an index file (bad magic).
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Structurally invalid content (truncated or inconsistent offsets).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::BadMagic => write!(f, "not a reachability index file"),
+            StorageError::BadVersion(v) => write!(f, "unsupported index version {v}"),
+            StorageError::Corrupt(what) => write!(f, "corrupt index file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Writes the index to a writer in the binary format.
+pub fn write_index<W: Write>(idx: &ReachIndex, writer: W) -> Result<(), StorageError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let n = idx.num_vertices() as u64;
+    w.write_all(&n.to_le_bytes())?;
+    for side in [false, true] {
+        let label = |v: VertexId| {
+            if side {
+                idx.out_label(v)
+            } else {
+                idx.in_label(v)
+            }
+        };
+        let mut offset = 0u64;
+        w.write_all(&offset.to_le_bytes())?;
+        for v in 0..n as VertexId {
+            offset += label(v).len() as u64;
+            w.write_all(&offset.to_le_bytes())?;
+        }
+        for v in 0..n as VertexId {
+            for &x in label(v) {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an index back from a reader.
+pub fn read_index<R: Read>(reader: R) -> Result<ReachIndex, StorageError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(StorageError::BadVersion(version));
+    }
+    let n = read_u64(&mut r)? as usize;
+    if n > u32::MAX as usize {
+        return Err(StorageError::Corrupt("vertex count exceeds u32"));
+    }
+    let mut sides: Vec<Vec<Vec<VertexId>>> = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let mut offsets = Vec::with_capacity(n + 1);
+        for _ in 0..=n {
+            offsets.push(read_u64(&mut r)?);
+        }
+        if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(StorageError::Corrupt("offsets not monotone from zero"));
+        }
+        let mut lists = Vec::with_capacity(n);
+        for v in 0..n {
+            let len = (offsets[v + 1] - offsets[v]) as usize;
+            let mut list = Vec::with_capacity(len);
+            for _ in 0..len {
+                list.push(read_u32(&mut r)?);
+            }
+            if list.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(StorageError::Corrupt("label list not strictly sorted"));
+            }
+            lists.push(list);
+        }
+        sides.push(lists);
+    }
+    let out_labels = sides.pop().expect("two sides");
+    let in_labels = sides.pop().expect("two sides");
+    Ok(ReachIndex::from_labels(in_labels, out_labels))
+}
+
+/// Saves the index to a file path.
+pub fn save_index<P: AsRef<Path>>(idx: &ReachIndex, path: P) -> Result<(), StorageError> {
+    write_index(idx, std::fs::File::create(path)?)
+}
+
+/// Loads an index from a file path.
+pub fn load_index<P: AsRef<Path>>(path: P) -> Result<ReachIndex, StorageError> {
+    read_index(std::fs::File::open(path)?)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, StorageError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, StorageError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ReachIndex {
+        ReachIndex::from_labels(
+            vec![vec![0], vec![0, 1], vec![2]],
+            vec![vec![0, 2], vec![1], vec![]],
+        )
+    }
+
+    #[test]
+    fn round_trip() {
+        let idx = sample();
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        assert_eq!(read_index(&buf[..]).unwrap(), idx);
+    }
+
+    #[test]
+    fn empty_index_round_trips() {
+        let idx = ReachIndex::new(0);
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        assert_eq!(read_index(&buf[..]).unwrap(), idx);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_index(&b"NOPE...."[..]).unwrap_err();
+        assert!(matches!(err, StorageError::BadMagic), "{err}");
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_index(&sample(), &mut buf).unwrap();
+        buf[4] = 99;
+        assert!(matches!(
+            read_index(&buf[..]).unwrap_err(),
+            StorageError::BadVersion(99)
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = Vec::new();
+        write_index(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            read_index(&buf[..]).unwrap_err(),
+            StorageError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn unsorted_content_detected() {
+        // Hand-craft a file whose single label list is (2, 1).
+        let idx = ReachIndex::from_labels(vec![vec![1, 2]], vec![vec![]]);
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        // Entries of L_in(0) start right after magic+version+n+offsets.
+        let entry_base = 4 + 4 + 8 + 2 * 8;
+        buf[entry_base..entry_base + 4].copy_from_slice(&2u32.to_le_bytes());
+        buf[entry_base + 4..entry_base + 8].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            read_index(&buf[..]).unwrap_err(),
+            StorageError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("reach_index_storage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.ridx");
+        save_index(&sample(), &path).unwrap();
+        assert_eq!(load_index(&path).unwrap(), sample());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,154 @@
+//! Total Order Labeling (TOL) — the serial baseline (§II-B, Algorithm 1).
+//!
+//! TOL processes vertices in strictly decreasing total order; round `i`
+//! labels the vertex `v_i` with the `i`-th largest order by adding `v_i` to
+//! the in-label set of every descendant (and the out-label set of every
+//! ancestor) that passes the *pruning operation*. The pruning operation is
+//! what makes TOL's index small — and what makes TOL inherently serial
+//! (Lemma 1): labeling `v_i` needs the labels of all higher-order vertices.
+//!
+//! Two implementations are provided:
+//!
+//! * [`naive::build`] — a literal transcription of Algorithm 1, including
+//!   the shrinking graph `G_i`. O(n·(n+m)); used as the correctness oracle
+//!   by every other algorithm's test suite.
+//! * [`pruned::build`] — the optimized construction real TOL systems use:
+//!   one *pruned BFS* per vertex on the full graph, skipping any vertex `w`
+//!   for which the current partial index already certifies `v → w`. This is
+//!   the baseline timed in the experiment harness.
+//!
+//! Both produce identical indexes (tested exhaustively and by property
+//! tests), equal to the Theorem-1 characterization.
+
+use reach_graph::{DiGraph, OrderAssignment, OrderKind};
+use reach_index::ReachIndex;
+
+pub mod naive;
+pub mod pruned;
+
+mod ranklist;
+
+pub use pruned::BuildStats;
+
+/// Builds the TOL index with the optimized (pruned-BFS) construction under
+/// the given ordering strategy. Convenience wrapper over [`pruned::build`].
+pub fn build(g: &DiGraph, kind: OrderKind) -> ReachIndex {
+    let ord = OrderAssignment::new(g, kind);
+    pruned::build(g, &ord)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::{fixtures, gen, TransitiveClosure};
+
+    fn assert_matches_theorem1(g: &DiGraph, ord: &OrderAssignment, idx: &ReachIndex) {
+        let tc = TransitiveClosure::compute(g);
+        for w in g.vertices() {
+            for v in g.vertices() {
+                let expect_in = tc.in_label_expected(ord, v, w);
+                let got_in = idx.in_label(w).contains(&v);
+                assert_eq!(got_in, expect_in, "v{} in L_in(v{})", v + 1, w + 1);
+                let expect_out = tc.out_label_expected(ord, v, w);
+                let got_out = idx.out_label(w).contains(&v);
+                assert_eq!(got_out, expect_out, "v{} in L_out(v{})", v + 1, w + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn naive_matches_theorem1_on_paper_graph_both_orders() {
+        let g = fixtures::paper_graph();
+        for kind in [OrderKind::InverseId, OrderKind::DegreeProduct] {
+            let ord = OrderAssignment::new(&g, kind);
+            let idx = naive::build(&g, &ord);
+            assert_matches_theorem1(&g, &ord, &idx);
+        }
+    }
+
+    #[test]
+    fn pruned_equals_naive_on_fixtures() {
+        for g in [
+            fixtures::paper_graph(),
+            fixtures::diamond(),
+            fixtures::cycle(6),
+            fixtures::path(8),
+            fixtures::out_star(7),
+            fixtures::two_components(),
+        ] {
+            for kind in [OrderKind::InverseId, OrderKind::DegreeProduct, OrderKind::ById] {
+                let ord = OrderAssignment::new(&g, kind);
+                assert_eq!(
+                    pruned::build(&g, &ord),
+                    naive::build(&g, &ord),
+                    "kind {kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_equals_naive_on_random_graphs() {
+        for seed in 0..8 {
+            let g = gen::gnm(40, 120, seed);
+            let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+            let a = pruned::build(&g, &ord);
+            let b = naive::build(&g, &ord);
+            assert_eq!(a, b, "seed {seed}");
+            a.validate_cover_on(&g).unwrap();
+        }
+        for seed in 0..8 {
+            let g = gen::random_dag(40, 100, seed);
+            let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+            assert_eq!(pruned::build(&g, &ord), naive::build(&g, &ord));
+        }
+    }
+
+    #[test]
+    fn build_convenience_satisfies_cover() {
+        let g = gen::gnm(60, 150, 42);
+        let idx = build(&g, OrderKind::DegreeProduct);
+        idx.validate_cover_on(&g).unwrap();
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let empty = DiGraph::from_edges(0, vec![]);
+        let ord = OrderAssignment::new(&empty, OrderKind::DegreeProduct);
+        let idx = pruned::build(&empty, &ord);
+        assert_eq!(idx.num_vertices(), 0);
+
+        let one = DiGraph::from_edges(1, vec![]);
+        let ord = OrderAssignment::new(&one, OrderKind::DegreeProduct);
+        let idx = pruned::build(&one, &ord);
+        assert_eq!(idx.in_label(0), &[0]);
+        assert_eq!(idx.out_label(0), &[0]);
+    }
+
+    #[test]
+    fn self_loop_vertex_keeps_self_label() {
+        // A self-loop is a v -> v walk whose only vertex is v itself, so v
+        // still labels itself (Theorem 1 over walks).
+        let g = DiGraph::from_edges(2, vec![(0, 0), (0, 1)]);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let idx = pruned::build(&g, &ord);
+        assert!(idx.in_label(0).contains(&0));
+        assert!(idx.out_label(0).contains(&0));
+        assert_eq!(idx, naive::build(&g, &ord));
+    }
+
+    #[test]
+    fn cycle_members_with_higher_order_peer_skip_self_label() {
+        // cycle(3) under InverseId: vertex 0 has the highest order, so
+        // vertices 1 and 2 sit on a cycle through a higher-order vertex and
+        // must not label themselves (their reachability routes via 0).
+        let g = fixtures::cycle(3);
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let idx = pruned::build(&g, &ord);
+        assert_eq!(idx.in_label(0), &[0]);
+        assert_eq!(idx.in_label(1), &[0]);
+        assert_eq!(idx.in_label(2), &[0]);
+        assert_eq!(idx.out_label(1), &[0]);
+        idx.validate_cover_on(&g).unwrap();
+    }
+}

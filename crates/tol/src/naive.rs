@@ -1,0 +1,178 @@
+//! Literal transcription of Algorithm 1 (the TOL reference oracle).
+//!
+//! Round `i` selects the vertex `v_i` with the `i`-th largest order, runs a
+//! full BFS from `v_i` in the current graph `G_i` and in its inverse, applies
+//! the pruning operation to every reached vertex, then deletes `v_i` from the
+//! graph. The shrinking graph is represented by a `removed` mask rather than
+//! physical deletion.
+//!
+//! This implementation favours obviousness over speed — it exists to be the
+//! oracle every optimized algorithm is tested against.
+
+use reach_graph::{DiGraph, Direction, OrderAssignment, VertexId, VisitBuffer};
+use reach_index::ReachIndex;
+
+use crate::ranklist::RankLabels;
+
+/// Builds the TOL index exactly as Algorithm 1 describes.
+pub fn build(g: &DiGraph, ord: &OrderAssignment) -> ReachIndex {
+    let n = g.num_vertices();
+    assert_eq!(ord.len(), n, "order must cover the graph");
+    let mut labels = RankLabels::new(n);
+    let mut removed = vec![false; n];
+    let mut visit = VisitBuffer::new(n);
+    let mut frontier: Vec<VertexId> = Vec::new();
+
+    for rank in 0..n as u32 {
+        let vi = ord.vertex_at_rank(rank);
+
+        // Line 5: DES^{G_i}(v_i) by forward BFS in the remaining graph.
+        let descendants = masked_bfs(g, vi, Direction::Forward, &removed, &mut visit, &mut frontier);
+        // Lines 7-9: pruning operation for in-labels.
+        for w in descendants {
+            if !labels.out_in_intersect(vi, w) {
+                labels.lin[w as usize].push(rank);
+            }
+        }
+
+        // Line 6: ANC^{G_i}(v_i) by backward BFS in the remaining graph.
+        let ancestors = masked_bfs(g, vi, Direction::Backward, &removed, &mut visit, &mut frontier);
+        // Lines 10-12: pruning operation for out-labels.
+        for w in ancestors {
+            if !labels.out_in_intersect(w, vi) {
+                labels.lout[w as usize].push(rank);
+            }
+        }
+
+        // Line 13: G_{i+1} = G_i \ {v_i}.
+        removed[vi as usize] = true;
+    }
+
+    labels.into_index(ord)
+}
+
+/// BFS in `dir` from `source`, never entering removed vertices. Returns the
+/// visited set (including `source`) by value; `frontier` is scratch space.
+fn masked_bfs(
+    g: &DiGraph,
+    source: VertexId,
+    dir: Direction,
+    removed: &[bool],
+    visit: &mut VisitBuffer,
+    frontier: &mut Vec<VertexId>,
+) -> Vec<VertexId> {
+    debug_assert!(!removed[source as usize]);
+    visit.reset();
+    frontier.clear();
+    visit.mark(source);
+    frontier.push(source);
+    let mut head = 0;
+    while head < frontier.len() {
+        let u = frontier[head];
+        head += 1;
+        for &w in g.neighbors(u, dir) {
+            if !removed[w as usize] && visit.mark(w) {
+                frontier.push(w);
+            }
+        }
+    }
+    std::mem::take(frontier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::{fixtures, OrderKind};
+
+    /// Tables II of the paper, reproduced verbatim by the naive algorithm
+    /// under the subscript order the examples use.
+    #[test]
+    fn reproduces_table2_exactly() {
+        let g = fixtures::paper_graph();
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let idx = build(&g, &ord);
+
+        let expected_in: [&[VertexId]; 11] = [
+            &[0],
+            &[1],
+            &[1],
+            &[1],
+            &[0],
+            &[1],
+            &[0],
+            &[0, 7],
+            &[0, 7, 8],
+            &[1, 9],
+            &[1, 10],
+        ];
+        let expected_out: [&[VertexId]; 11] = [
+            &[0],
+            &[0, 1],
+            &[0, 1],
+            &[0, 1],
+            &[0],
+            &[0, 1],
+            &[0],
+            &[7],
+            &[8],
+            &[9],
+            &[10],
+        ];
+        for v in g.vertices() {
+            assert_eq!(idx.in_label(v), expected_in[v as usize], "L_in(v{})", v + 1);
+            assert_eq!(
+                idx.out_label(v),
+                expected_out[v as usize],
+                "L_out(v{})",
+                v + 1
+            );
+        }
+    }
+
+    /// Table III: the backward label sets of the index.
+    #[test]
+    fn reproduces_table3_backward_sets() {
+        let g = fixtures::paper_graph();
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let bw = build(&g, &ord).to_backward();
+        assert_eq!(bw.in_sets[0], vec![0, 4, 6, 7, 8]);
+        assert_eq!(bw.out_sets[0], vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(bw.in_sets[1], vec![1, 2, 3, 5, 9, 10]);
+        assert_eq!(bw.out_sets[1], vec![1, 2, 3, 5]);
+        for v in 2..=6 {
+            assert!(bw.in_sets[v].is_empty(), "L⁻_in(v{}) = ∅", v + 1);
+            assert!(bw.out_sets[v].is_empty(), "L⁻_out(v{}) = ∅", v + 1);
+        }
+        assert_eq!(bw.in_sets[7], vec![7, 8]);
+        assert_eq!(bw.out_sets[7], vec![7]);
+        for v in 8..11 {
+            assert_eq!(bw.in_sets[v], vec![v as VertexId]);
+            assert_eq!(bw.out_sets[v], vec![v as VertexId]);
+        }
+    }
+
+    /// Example 4's narrative: in round 2, v2 is inserted into the in-label
+    /// sets of {v2, v3, v4, v6, v10, v11} — v5 and v7 are pruned because
+    /// v1 already covers them.
+    #[test]
+    fn example4_pruning_narrative() {
+        let g = fixtures::paper_graph();
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+        let idx = build(&g, &ord);
+        for w in [1u32, 2, 3, 5, 9, 10] {
+            assert!(idx.in_label(w).contains(&1));
+        }
+        for w in [4u32, 6] {
+            assert!(!idx.in_label(w).contains(&1), "v2 pruned at v{}", w + 1);
+        }
+    }
+
+    #[test]
+    fn cover_constraint_on_paper_graph() {
+        let g = fixtures::paper_graph();
+        for kind in [OrderKind::InverseId, OrderKind::DegreeProduct] {
+            let ord = OrderAssignment::new(&g, kind);
+            build(&g, &ord).validate_cover_on(&g).unwrap();
+        }
+    }
+}

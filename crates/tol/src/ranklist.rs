@@ -1,0 +1,90 @@
+//! Construction-time label lists sorted by processing rank.
+//!
+//! During index construction, vertices are appended to label sets in
+//! processing order, i.e. in increasing *rank* (decreasing total order).
+//! Keeping construction labels as rank lists makes the pruning test a
+//! linear merge without any sorting, and conversion to the id-sorted
+//! [`reach_index::ReachIndex`] is a single pass at the end.
+
+use reach_graph::{OrderAssignment, VertexId};
+use reach_index::ReachIndex;
+
+/// Per-vertex in/out label lists holding *ranks*, each ascending.
+#[derive(Clone, Debug)]
+pub struct RankLabels {
+    /// `lin[w]` = ranks of vertices in `L_in(w)`, ascending.
+    pub lin: Vec<Vec<u32>>,
+    /// `lout[w]` = ranks of vertices in `L_out(w)`, ascending.
+    pub lout: Vec<Vec<u32>>,
+}
+
+impl RankLabels {
+    /// Empty labels for `n` vertices.
+    pub fn new(n: usize) -> Self {
+        RankLabels {
+            lin: vec![Vec::new(); n],
+            lout: vec![Vec::new(); n],
+        }
+    }
+
+    /// The pruning test of Algorithm 1: `L_out(a) ∩ L_in(b) ≠ ∅`, done as a
+    /// merge over the ascending rank lists.
+    #[inline]
+    pub fn out_in_intersect(&self, a: VertexId, b: VertexId) -> bool {
+        merge_intersects(&self.lout[a as usize], &self.lin[b as usize])
+    }
+
+    /// Converts rank lists back to an id-sorted [`ReachIndex`].
+    pub fn into_index(self, ord: &OrderAssignment) -> ReachIndex {
+        let to_ids = |lists: Vec<Vec<u32>>| {
+            lists
+                .into_iter()
+                .map(|l| {
+                    l.into_iter()
+                        .map(|r| ord.vertex_at_rank(r))
+                        .collect::<Vec<VertexId>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        ReachIndex::from_labels(to_ids(self.lin), to_ids(self.lout))
+    }
+}
+
+/// Merge-intersection test over two ascending `u32` slices.
+#[inline]
+pub fn merge_intersects(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::{fixtures, OrderKind};
+
+    #[test]
+    fn merge_intersects_basic() {
+        assert!(merge_intersects(&[0, 2, 4], &[4]));
+        assert!(!merge_intersects(&[0, 2], &[1, 3]));
+        assert!(!merge_intersects(&[], &[]));
+    }
+
+    #[test]
+    fn into_index_translates_ranks() {
+        let g = fixtures::path(3);
+        let ord = OrderAssignment::new(&g, OrderKind::InverseId); // rank r = vertex r
+        let mut rl = RankLabels::new(3);
+        rl.lin[2].push(0); // rank 0 = vertex 0 in L_in(2)
+        rl.lout[0].push(0);
+        let idx = rl.into_index(&ord);
+        assert_eq!(idx.in_label(2), &[0]);
+        assert_eq!(idx.out_label(0), &[0]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Distributed traversal primitives.
+//!
+//! * [`dist_bfs_levels`] — frontier-synchronous BFS on the engine (one
+//!   super-step per level), the building block of index-free distributed
+//!   querying (§V) and of the scalability experiments.
+//! * [`dist_dfs`] — *token-based* distributed DFS. DFS is inherently
+//!   sequential: a single token walks forward over unvisited vertices and
+//!   backtracks when stuck, so every edge traversal is a super-step and
+//!   every partition crossing is a remote message. This is the operation
+//!   that makes the BFL baseline's distributed index construction slow
+//!   (Exp 2), and the simulation charges it accordingly.
+
+use reach_graph::{DiGraph, Direction, VertexId};
+
+use crate::comm::{NetworkModel, RunStats};
+use crate::engine::{Ctx, Engine, VertexProgram};
+use crate::partition::Partition;
+
+/// Vertex program computing BFS levels from a single source.
+struct BfsLevelProgram {
+    source: VertexId,
+    dir: Direction,
+}
+
+impl VertexProgram for BfsLevelProgram {
+    type State = Option<u32>;
+    type Msg = u32;
+    type Global = ();
+    type Update = ();
+
+    fn init_state(&self, _v: VertexId) -> Self::State {
+        None
+    }
+
+    fn compute(
+        &self,
+        ctx: &mut Ctx<'_, u32, ()>,
+        v: VertexId,
+        state: &mut Self::State,
+        msgs: &[u32],
+        _global: &(),
+    ) {
+        let level = if ctx.superstep == 0 {
+            if v != self.source {
+                return;
+            }
+            0
+        } else if state.is_some() {
+            return;
+        } else {
+            *msgs.iter().min().expect("messages present")
+        };
+        *state = Some(level);
+        let nbrs = match self.dir {
+            Direction::Forward => ctx.out_neighbors(v),
+            Direction::Backward => ctx.in_neighbors(v),
+        };
+        for &w in nbrs {
+            ctx.send(w, level + 1);
+        }
+    }
+
+    fn apply_updates(&self, _global: &mut (), _updates: &[()]) {}
+}
+
+/// Distributed BFS from `source`; returns per-vertex levels (`None` =
+/// unreachable) and the run statistics.
+pub fn dist_bfs_levels(
+    g: &DiGraph,
+    source: VertexId,
+    dir: Direction,
+    partition: Partition,
+    network: NetworkModel,
+) -> (Vec<Option<u32>>, RunStats) {
+    let engine = Engine::new(g, partition).with_network(network);
+    let out = engine.run(&BfsLevelProgram { source, dir });
+    (out.states, out.stats)
+}
+
+/// Result of a distributed DFS over the whole graph (a forest rooted at
+/// every not-yet-visited vertex in id order).
+#[derive(Clone, Debug)]
+pub struct DistDfs {
+    /// Preorder number of each vertex.
+    pub pre: Vec<u32>,
+    /// Postorder number of each vertex.
+    pub post: Vec<u32>,
+    /// For each vertex, the maximum preorder within its DFS subtree —
+    /// together with `pre` this is the tree-interval label BFL uses for
+    /// sound positive answers.
+    pub max_pre_subtree: Vec<u32>,
+    /// Traversal cost accounting.
+    pub stats: DfsStats,
+}
+
+/// Cost counters of the token-based DFS.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DfsStats {
+    /// Token moves (edge traversals forward plus backtracks).
+    pub hops: usize,
+    /// Token moves that crossed between nodes.
+    pub remote_hops: usize,
+    /// Bytes carried by the token across the network.
+    pub remote_bytes: usize,
+}
+
+impl DfsStats {
+    /// Wire size of the DFS token (current vertex + DFS counter + root).
+    pub const TOKEN_BYTES: usize = 12;
+
+    /// Modeled seconds: the token is strictly sequential, so every remote
+    /// hop pays full latency; local hops are charged a small constant
+    /// (in-memory pointer chase, folded into compute elsewhere).
+    pub fn modeled_seconds(&self, network: &NetworkModel) -> f64 {
+        self.remote_hops as f64 * network.superstep_latency
+            + self.remote_bytes as f64 / network.bandwidth
+    }
+}
+
+/// Token-based distributed DFS over the whole graph in direction `dir`.
+///
+/// The traversal itself is an ordinary iterative DFS; the *distribution
+/// cost* is simulated by tracking, for every forward move and every
+/// backtrack, whether the token crossed partitions.
+pub fn dist_dfs(g: &DiGraph, dir: Direction, partition: &Partition) -> DistDfs {
+    let n = g.num_vertices();
+    const UNSET: u32 = u32::MAX;
+    let mut pre = vec![UNSET; n];
+    let mut post = vec![UNSET; n];
+    let mut max_pre = vec![0u32; n];
+    let mut stats = DfsStats::default();
+    let mut pre_counter = 0u32;
+    let mut post_counter = 0u32;
+    // Stack frames: (vertex, next neighbor index).
+    let mut stack: Vec<(VertexId, usize)> = Vec::new();
+
+    let charge_hop = |stats: &mut DfsStats, a: VertexId, b: VertexId| {
+        stats.hops += 1;
+        if partition.node_of(a) != partition.node_of(b) {
+            stats.remote_hops += 1;
+            stats.remote_bytes += DfsStats::TOKEN_BYTES;
+        }
+    };
+
+    for root in 0..n as VertexId {
+        if pre[root as usize] != UNSET {
+            continue;
+        }
+        pre[root as usize] = pre_counter;
+        max_pre[root as usize] = pre_counter;
+        pre_counter += 1;
+        stack.push((root, 0));
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            let nbrs = g.neighbors(v, dir);
+            if *next < nbrs.len() {
+                let w = nbrs[*next];
+                *next += 1;
+                if pre[w as usize] == UNSET {
+                    charge_hop(&mut stats, v, w); // token advances v -> w
+                    pre[w as usize] = pre_counter;
+                    max_pre[w as usize] = pre_counter;
+                    pre_counter += 1;
+                    stack.push((w, 0));
+                }
+            } else {
+                post[v as usize] = post_counter;
+                post_counter += 1;
+                stack.pop();
+                if let Some(&(parent, _)) = stack.last() {
+                    charge_hop(&mut stats, v, parent); // token backtracks
+                    max_pre[parent as usize] =
+                        max_pre[parent as usize].max(max_pre[v as usize]);
+                }
+            }
+        }
+    }
+
+    DistDfs {
+        pre,
+        post,
+        max_pre_subtree: max_pre,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::fixtures;
+
+    #[test]
+    fn bfs_levels_match_serial_bfs() {
+        let g = fixtures::paper_graph();
+        let (levels, stats) = dist_bfs_levels(
+            &g,
+            1,
+            Direction::Forward,
+            Partition::modulo(4),
+            NetworkModel::default(),
+        );
+        // v2 reaches everything (Example 1), so every level is Some.
+        assert!(levels.iter().all(Option::is_some));
+        assert_eq!(levels[1], Some(0));
+        assert_eq!(levels[2], Some(1)); // v2 -> v3
+        assert!(stats.comm.remote_messages > 0);
+    }
+
+    #[test]
+    fn bfs_unreachable_stays_none() {
+        let g = fixtures::two_components();
+        let (levels, _) = dist_bfs_levels(
+            &g,
+            0,
+            Direction::Forward,
+            Partition::modulo(2),
+            NetworkModel::default(),
+        );
+        assert_eq!(levels[3], None);
+        assert_eq!(levels[2], Some(2));
+    }
+
+    #[test]
+    fn dfs_assigns_complete_orders() {
+        let g = fixtures::paper_graph();
+        let d = dist_dfs(&g, Direction::Forward, &Partition::modulo(4));
+        let n = g.num_vertices();
+        let mut pres = d.pre.clone();
+        pres.sort_unstable();
+        assert_eq!(pres, (0..n as u32).collect::<Vec<_>>());
+        let mut posts = d.post.clone();
+        posts.sort_unstable();
+        assert_eq!(posts, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dfs_interval_containment_implies_reachability() {
+        // Tree-ancestor containment is a sound positive filter: if
+        // pre(s) <= pre(t) <= max_pre_subtree(s), then s reaches t.
+        let g = fixtures::paper_graph();
+        let tc = reach_graph::TransitiveClosure::compute(&g);
+        let d = dist_dfs(&g, Direction::Forward, &Partition::modulo(3));
+        for s in g.vertices() {
+            for t in g.vertices() {
+                let contained =
+                    d.pre[s as usize] <= d.pre[t as usize] && d.pre[t as usize] <= d.max_pre_subtree[s as usize];
+                if contained {
+                    assert!(tc.reaches(s, t), "interval containment must be sound");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_remote_hops_grow_with_partitioning() {
+        let g = fixtures::paper_graph();
+        let single = dist_dfs(&g, Direction::Forward, &Partition::modulo(1));
+        let multi = dist_dfs(&g, Direction::Forward, &Partition::modulo(4));
+        assert_eq!(single.remote(), 0);
+        assert!(multi.remote() > 0);
+        assert_eq!(single.stats.hops, multi.stats.hops, "same traversal");
+        assert!(multi.stats.modeled_seconds(&NetworkModel::default()) > 0.0);
+    }
+
+    impl DistDfs {
+        fn remote(&self) -> usize {
+            self.stats.remote_hops
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Communication accounting and the network cost model.
+//!
+//! A real MPI cluster charges latency per round of exchange and bandwidth
+//! per byte crossing the interconnect. The simulated engine counts both
+//! kinds of traffic exactly; [`NetworkModel`] turns the counts into modeled
+//! seconds so experiments can report the computation/communication split of
+//! the paper's Fig. 5 and the node-count speedups of Fig. 6.
+
+/// Aggregate message/byte counters for one engine run (or one phase).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Messages delivered to a vertex on the same node (no network cost).
+    pub local_messages: usize,
+    /// Messages that crossed between nodes.
+    pub remote_messages: usize,
+    /// Payload bytes of local messages.
+    pub local_bytes: usize,
+    /// Payload bytes of remote messages.
+    pub remote_bytes: usize,
+    /// Bytes of global updates, counted once per *replica* written (an
+    /// update published on node `i` costs `bytes × (N - 1)` remote).
+    pub broadcast_bytes: usize,
+}
+
+impl CommStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.local_messages += other.local_messages;
+        self.remote_messages += other.remote_messages;
+        self.local_bytes += other.local_bytes;
+        self.remote_bytes += other.remote_bytes;
+        self.broadcast_bytes += other.broadcast_bytes;
+    }
+
+    /// All bytes that crossed the network.
+    pub fn network_bytes(&self) -> usize {
+        self.remote_bytes + self.broadcast_bytes
+    }
+}
+
+/// Latency/bandwidth parameters of the simulated interconnect.
+///
+/// Defaults approximate a commodity datacenter network: 50 µs per
+/// super-step barrier (MPI collective + message round) and 1 GiB/s
+/// effective per-node bandwidth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// Seconds charged per super-step in which any remote traffic or
+    /// barrier occurs.
+    pub superstep_latency: f64,
+    /// Bytes per second each node can send/receive.
+    pub bandwidth: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            superstep_latency: 50e-6,
+            bandwidth: 1.0 * 1024.0 * 1024.0 * 1024.0,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// Modeled seconds for one super-step where the busiest node moved
+    /// `max_node_bytes` across the network. A single-node cluster pays
+    /// nothing (everything is local and no barrier is needed).
+    pub fn superstep_seconds(&self, num_nodes: usize, max_node_bytes: usize) -> f64 {
+        if num_nodes <= 1 {
+            return 0.0;
+        }
+        self.superstep_latency + max_node_bytes as f64 / self.bandwidth
+    }
+}
+
+/// Timing + traffic summary of a full engine run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunStats {
+    /// Number of super-steps executed (including super-step 0).
+    pub supersteps: usize,
+    /// Modeled parallel computation seconds: Σ over super-steps of the
+    /// maximum per-node compute time.
+    pub compute_seconds: f64,
+    /// Total serial computation seconds: Σ over super-steps over nodes.
+    pub compute_seconds_serial: f64,
+    /// Modeled communication seconds under the [`NetworkModel`].
+    pub comm_seconds: f64,
+    /// Traffic counters.
+    pub comm: CommStats,
+}
+
+impl RunStats {
+    /// Modeled end-to-end seconds (computation + communication).
+    pub fn total_seconds(&self) -> f64 {
+        self.compute_seconds + self.comm_seconds
+    }
+
+    /// Accumulates a phase into a multi-phase total.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.supersteps += other.supersteps;
+        self.compute_seconds += other.compute_seconds;
+        self.compute_seconds_serial += other.compute_seconds_serial;
+        self.comm_seconds += other.comm_seconds;
+        self.comm.merge(&other.comm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CommStats {
+            local_messages: 1,
+            remote_messages: 2,
+            local_bytes: 10,
+            remote_bytes: 20,
+            broadcast_bytes: 5,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.remote_messages, 4);
+        assert_eq!(a.network_bytes(), 50);
+    }
+
+    #[test]
+    fn single_node_pays_no_comm() {
+        let m = NetworkModel::default();
+        assert_eq!(m.superstep_seconds(1, 1_000_000), 0.0);
+        assert!(m.superstep_seconds(2, 0) > 0.0);
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_bytes() {
+        let m = NetworkModel {
+            superstep_latency: 0.0,
+            bandwidth: 100.0,
+        };
+        assert!((m.superstep_seconds(4, 200) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_stats_total_and_merge() {
+        let mut r = RunStats {
+            supersteps: 2,
+            compute_seconds: 1.0,
+            compute_seconds_serial: 3.0,
+            comm_seconds: 0.5,
+            comm: CommStats::default(),
+        };
+        assert!((r.total_seconds() - 1.5).abs() < 1e-12);
+        r.merge(&r.clone());
+        assert_eq!(r.supersteps, 4);
+        assert!((r.compute_seconds - 2.0).abs() < 1e-12);
+    }
+}

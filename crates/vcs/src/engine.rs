@@ -1,0 +1,467 @@
+//! The super-step execution engine.
+//!
+//! [`Engine::run`] drives a [`VertexProgram`] to quiescence: super-step 0
+//! calls `compute` on every vertex with an empty inbox (initialization);
+//! each later super-step delivers the previous step's messages and calls
+//! `compute` only on vertices that received something. The run terminates
+//! when no messages and no global updates are produced, after which
+//! `finalize` runs once per vertex (the paper's "only run after the final
+//! super-step" blocks in Algorithms 3–4).
+//!
+//! The cluster is simulated: nodes execute sequentially, but each node's
+//! compute time is measured independently per super-step and the *maximum*
+//! is charged to the modeled parallel clock — so modeled timings behave as
+//! if nodes ran concurrently, deterministically and without thread jitter.
+
+use std::time::Instant;
+
+use reach_graph::{DiGraph, VertexId};
+
+use crate::comm::{NetworkModel, RunStats};
+use crate::partition::Partition;
+
+/// A user-defined vertex-centric computation.
+pub trait VertexProgram {
+    /// Per-vertex state, held on the vertex's home node.
+    type State;
+    /// Message type exchanged along edges (or to arbitrary vertices).
+    type Msg: Clone;
+    /// Global state replicated on every node (e.g. shared inverted lists).
+    type Global: Default;
+    /// An update to the global state, broadcast at the barrier.
+    type Update: Clone;
+
+    /// Initial state of vertex `v`.
+    fn init_state(&self, v: VertexId) -> Self::State;
+
+    /// The `compute()` function of §II-C. Called with an empty `msgs` slice
+    /// exactly once at super-step 0.
+    fn compute(
+        &self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Update>,
+        v: VertexId,
+        state: &mut Self::State,
+        msgs: &[Self::Msg],
+        global: &Self::Global,
+    );
+
+    /// Folds broadcast updates into the replicated global state. Called
+    /// once per barrier with every update produced that super-step, in
+    /// deterministic (node, emission) order.
+    fn apply_updates(&self, global: &mut Self::Global, updates: &[Self::Update]);
+
+    /// Runs once per vertex after quiescence.
+    fn finalize(&self, _v: VertexId, _state: &mut Self::State, _global: &Self::Global) {}
+
+    /// Wire size of a message, for communication accounting.
+    fn msg_bytes(&self, _m: &Self::Msg) -> usize {
+        std::mem::size_of::<Self::Msg>()
+    }
+
+    /// Wire size of a global update.
+    fn update_bytes(&self, _u: &Self::Update) -> usize {
+        std::mem::size_of::<Self::Update>()
+    }
+}
+
+/// Per-vertex execution context handed to [`VertexProgram::compute`].
+pub struct Ctx<'a, M, U> {
+    /// Current super-step number (0 = initialization step).
+    pub superstep: usize,
+    graph: &'a DiGraph,
+    sends: Vec<(VertexId, M)>,
+    updates: Vec<U>,
+}
+
+impl<'a, M, U> Ctx<'a, M, U> {
+    /// Sends `msg` to vertex `to` for delivery next super-step.
+    #[inline]
+    pub fn send(&mut self, to: VertexId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Publishes a global update, replicated to all nodes at the barrier.
+    #[inline]
+    pub fn publish(&mut self, update: U) {
+        self.updates.push(update);
+    }
+
+    /// Out-neighbors of `v` (the node-local adjacency fragment).
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &'a [VertexId] {
+        self.graph.out(v)
+    }
+
+    /// In-neighbors of `v`.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &'a [VertexId] {
+        self.graph.inn(v)
+    }
+}
+
+/// Result of an engine run.
+pub struct RunOutcome<P: VertexProgram> {
+    /// Final per-vertex states (indexed by vertex id).
+    pub states: Vec<P::State>,
+    /// Final replicated global state.
+    pub global: P::Global,
+    /// Timing and traffic statistics.
+    pub stats: RunStats,
+}
+
+/// The simulated cluster executor.
+pub struct Engine<'g> {
+    graph: &'g DiGraph,
+    partition: Partition,
+    network: NetworkModel,
+    /// Safety cap; exceeded runs panic (a vertex program that never goes
+    /// quiet is a bug).
+    pub max_supersteps: usize,
+}
+
+impl<'g> Engine<'g> {
+    /// Creates an engine over `graph` with the given partition.
+    pub fn new(graph: &'g DiGraph, partition: Partition) -> Self {
+        Engine {
+            graph,
+            partition,
+            network: NetworkModel::default(),
+            max_supersteps: 1_000_000,
+        }
+    }
+
+    /// Overrides the network cost model.
+    pub fn with_network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Number of simulated nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.partition.num_nodes()
+    }
+
+    /// The partition in use.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Runs `program` from freshly initialized states.
+    pub fn run<P: VertexProgram>(&self, program: &P) -> RunOutcome<P> {
+        let states = (0..self.graph.num_vertices() as VertexId)
+            .map(|v| program.init_state(v))
+            .collect();
+        self.run_with(program, states, P::Global::default())
+    }
+
+    /// Runs `program` from caller-provided states and global (used by DRLb
+    /// to carry labels across batches).
+    pub fn run_with<P: VertexProgram>(
+        &self,
+        program: &P,
+        mut states: Vec<P::State>,
+        mut global: P::Global,
+    ) -> RunOutcome<P> {
+        let n = self.graph.num_vertices();
+        assert_eq!(states.len(), n, "one state per vertex");
+        let num_nodes = self.partition.num_nodes();
+        let owned: Vec<Vec<VertexId>> =
+            (0..num_nodes).map(|i| self.partition.owned(i, n)).collect();
+
+        let mut stats = RunStats::default();
+        // inbox[node] = (target, msg) pairs to deliver this super-step.
+        let mut inbox: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); num_nodes];
+        let mut superstep = 0usize;
+
+        loop {
+            assert!(
+                superstep <= self.max_supersteps,
+                "vertex program exceeded {} super-steps",
+                self.max_supersteps
+            );
+
+            let mut all_sends: Vec<Vec<(VertexId, P::Msg)>> = Vec::with_capacity(num_nodes);
+            let mut all_updates: Vec<Vec<P::Update>> = Vec::with_capacity(num_nodes);
+            let mut step_max_compute = 0.0f64;
+            let mut step_sum_compute = 0.0f64;
+
+            for node in 0..num_nodes {
+                let t0 = Instant::now();
+                let mut ctx = Ctx {
+                    superstep,
+                    graph: self.graph,
+                    sends: Vec::new(),
+                    updates: Vec::new(),
+                };
+                if superstep == 0 {
+                    for &v in &owned[node] {
+                        program.compute(&mut ctx, v, &mut states[v as usize], &[], &global);
+                    }
+                } else {
+                    // Deliver grouped by target vertex, deterministically.
+                    let mail = &mut inbox[node];
+                    mail.sort_by_key(|&(t, _)| t);
+                    let mut i = 0;
+                    while i < mail.len() {
+                        let v = mail[i].0;
+                        let mut j = i + 1;
+                        while j < mail.len() && mail[j].0 == v {
+                            j += 1;
+                        }
+                        let msgs: Vec<P::Msg> =
+                            mail[i..j].iter().map(|(_, m)| m.clone()).collect();
+                        program.compute(&mut ctx, v, &mut states[v as usize], &msgs, &global);
+                        i = j;
+                    }
+                    mail.clear();
+                }
+                let dt = t0.elapsed().as_secs_f64();
+                step_max_compute = step_max_compute.max(dt);
+                step_sum_compute += dt;
+                all_sends.push(ctx.sends);
+                all_updates.push(ctx.updates);
+            }
+
+            stats.compute_seconds += step_max_compute;
+            stats.compute_seconds_serial += step_sum_compute;
+            stats.supersteps += 1;
+
+            // Barrier: route messages and replicate updates, with per-node
+            // byte accounting for the network model.
+            let mut node_bytes = vec![0usize; num_nodes];
+            let mut any_traffic = false;
+
+            for (from, sends) in all_sends.into_iter().enumerate() {
+                for (to, msg) in sends {
+                    let dest = self.partition.node_of(to);
+                    let bytes = program.msg_bytes(&msg);
+                    if dest == from {
+                        stats.comm.local_messages += 1;
+                        stats.comm.local_bytes += bytes;
+                    } else {
+                        stats.comm.remote_messages += 1;
+                        stats.comm.remote_bytes += bytes;
+                        node_bytes[from] += bytes;
+                        node_bytes[dest] += bytes;
+                    }
+                    inbox[dest].push((to, msg));
+                    any_traffic = true;
+                }
+            }
+
+            let mut updates_flat: Vec<P::Update> = Vec::new();
+            for (from, updates) in all_updates.into_iter().enumerate() {
+                for u in updates {
+                    let bytes = program.update_bytes(&u);
+                    if num_nodes > 1 {
+                        // Tree-broadcast semantics, matching the paper's
+                        // Lemma 7 accounting: the shared payload is counted
+                        // once (the sender injects one copy; every node
+                        // receives one copy, which is what the bottleneck-
+                        // node time model charges).
+                        stats.comm.broadcast_bytes += bytes;
+                        node_bytes[from] += bytes;
+                        for (other, nb) in node_bytes.iter_mut().enumerate() {
+                            if other != from {
+                                *nb += bytes;
+                            }
+                        }
+                    }
+                    updates_flat.push(u);
+                    any_traffic = true;
+                }
+            }
+
+            if any_traffic {
+                let max_bytes = node_bytes.iter().copied().max().unwrap_or(0);
+                stats.comm_seconds += self.network.superstep_seconds(num_nodes, max_bytes);
+            }
+
+            if !updates_flat.is_empty() {
+                program.apply_updates(&mut global, &updates_flat);
+            }
+
+            if inbox.iter().all(Vec::is_empty) {
+                break;
+            }
+            superstep += 1;
+        }
+
+        // Final pass ("only run after the final super-step").
+        let t0 = Instant::now();
+        let mut fin_max = 0.0f64;
+        for owned_by_node in &owned {
+            let t = Instant::now();
+            for &v in owned_by_node {
+                program.finalize(v, &mut states[v as usize], &global);
+            }
+            fin_max = fin_max.max(t.elapsed().as_secs_f64());
+        }
+        stats.compute_seconds += fin_max;
+        stats.compute_seconds_serial += t0.elapsed().as_secs_f64();
+
+        RunOutcome {
+            states,
+            global,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::fixtures;
+
+    /// A toy program: flood hop counts from vertex 0 (forward BFS levels).
+    struct BfsLevels;
+
+    impl VertexProgram for BfsLevels {
+        type State = Option<u32>;
+        type Msg = u32;
+        type Global = ();
+        type Update = ();
+
+        fn init_state(&self, _v: VertexId) -> Self::State {
+            None
+        }
+
+        fn compute(
+            &self,
+            ctx: &mut Ctx<'_, u32, ()>,
+            v: VertexId,
+            state: &mut Self::State,
+            msgs: &[u32],
+            _global: &(),
+        ) {
+            if ctx.superstep == 0 {
+                if v == 0 {
+                    *state = Some(0);
+                    for &w in ctx.out_neighbors(v) {
+                        ctx.send(w, 1);
+                    }
+                }
+            } else if state.is_none() {
+                let level = *msgs.iter().min().expect("compute only with messages");
+                *state = Some(level);
+                for &w in ctx.out_neighbors(v) {
+                    ctx.send(w, level + 1);
+                }
+            }
+        }
+
+        fn apply_updates(&self, _global: &mut (), _updates: &[()]) {}
+    }
+
+    #[test]
+    fn bfs_levels_on_diamond() {
+        let g = fixtures::diamond();
+        let engine = Engine::new(&g, Partition::modulo(2));
+        let out = engine.run(&BfsLevels);
+        assert_eq!(out.states, vec![Some(0), Some(1), Some(1), Some(2)]);
+        assert!(out.stats.supersteps >= 3);
+    }
+
+    #[test]
+    fn results_are_identical_across_node_counts() {
+        let g = fixtures::paper_graph();
+        let baseline = Engine::new(&g, Partition::modulo(1)).run(&BfsLevels).states;
+        for nodes in [2, 3, 8, 32] {
+            let got = Engine::new(&g, Partition::modulo(nodes)).run(&BfsLevels).states;
+            assert_eq!(got, baseline, "nodes={nodes}");
+        }
+    }
+
+    #[test]
+    fn single_node_run_has_no_remote_traffic() {
+        let g = fixtures::paper_graph();
+        let out = Engine::new(&g, Partition::modulo(1)).run(&BfsLevels);
+        assert_eq!(out.stats.comm.remote_messages, 0);
+        assert_eq!(out.stats.comm_seconds, 0.0);
+        assert!(out.stats.comm.local_messages > 0);
+    }
+
+    #[test]
+    fn multi_node_run_counts_remote_traffic() {
+        let g = fixtures::paper_graph();
+        let out = Engine::new(&g, Partition::modulo(4)).run(&BfsLevels);
+        assert!(out.stats.comm.remote_messages > 0);
+        assert!(out.stats.comm_seconds > 0.0);
+        assert_eq!(
+            out.stats.comm.remote_bytes,
+            out.stats.comm.remote_messages * std::mem::size_of::<u32>()
+        );
+    }
+
+    /// A program exercising global updates: every vertex publishes its id
+    /// once; the global collects them all.
+    struct CollectIds;
+
+    impl VertexProgram for CollectIds {
+        type State = ();
+        type Msg = ();
+        type Global = Vec<VertexId>;
+        type Update = VertexId;
+
+        fn init_state(&self, _v: VertexId) -> Self::State {}
+
+        fn compute(
+            &self,
+            ctx: &mut Ctx<'_, (), VertexId>,
+            v: VertexId,
+            _state: &mut (),
+            _msgs: &[()],
+            _global: &Vec<VertexId>,
+        ) {
+            if ctx.superstep == 0 {
+                ctx.publish(v);
+            }
+        }
+
+        fn apply_updates(&self, global: &mut Vec<VertexId>, updates: &[VertexId]) {
+            global.extend_from_slice(updates);
+        }
+    }
+
+    #[test]
+    fn global_updates_replicate_and_cost_broadcast_bytes() {
+        let g = fixtures::paper_graph();
+        let out = Engine::new(&g, Partition::modulo(4)).run(&CollectIds);
+        let mut ids = out.global.clone();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..11).collect::<Vec<_>>());
+        assert_eq!(out.stats.comm.broadcast_bytes, 11 * 4); // 11 ids × 4 B, payload once
+    }
+
+    #[test]
+    fn runaway_program_hits_superstep_cap() {
+        struct PingPong;
+        impl VertexProgram for PingPong {
+            type State = ();
+            type Msg = ();
+            type Global = ();
+            type Update = ();
+            fn init_state(&self, _v: VertexId) {}
+            fn compute(
+                &self,
+                ctx: &mut Ctx<'_, (), ()>,
+                v: VertexId,
+                _s: &mut (),
+                _m: &[()],
+                _g: &(),
+            ) {
+                if v == 0 || (v == 1 && ctx.superstep > 0) {
+                    ctx.send(1, ());
+                }
+            }
+            fn apply_updates(&self, _g: &mut (), _u: &[()]) {}
+        }
+        let g = fixtures::path(2);
+        let mut engine = Engine::new(&g, Partition::modulo(1));
+        engine.max_supersteps = 10;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run(&PingPong)
+        }));
+        assert!(result.is_err(), "must panic at the cap");
+    }
+}

@@ -1,0 +1,37 @@
+//! A simulated vertex-centric (Pregel-style) distributed system (§II-C).
+//!
+//! The paper implements its labeling algorithms on a vertex-centric system
+//! the authors wrote themselves over MPI, running on a 32-node cluster.
+//! This crate is that substrate, rebuilt as a **simulated cluster**:
+//!
+//! * vertices are hash-partitioned across `N` simulated computation nodes
+//!   ([`Partition`]), exactly as the paper maps "graph vertices to different
+//!   computation nodes via vertex IDs";
+//! * execution proceeds in super-steps ([`Engine`]): every active vertex
+//!   runs a user-defined [`VertexProgram::compute`], reads the messages
+//!   delivered in the previous super-step, sends messages, and optionally
+//!   publishes *global updates* that are replicated to every node at the
+//!   barrier (the mechanism behind the paper's "share the inverted lists" /
+//!   "broadcast the batch label sets");
+//! * the engine accounts every byte: intra-node (free) vs inter-node
+//!   traffic, broadcast replication, per-super-step per-node compute time —
+//!   and converts them into *modeled* computation and communication time
+//!   under a configurable [`NetworkModel`] (§3 of DESIGN.md documents the
+//!   substitution).
+//!
+//! The computation-time model exploits that per-node work is measured
+//! independently per super-step: the modeled parallel time of a super-step
+//! is the **maximum** over nodes (they would run concurrently on real
+//! hardware), while the serial sum is also reported for speedup baselines.
+//!
+//! [`algo`] provides the distributed traversal primitives (BFS levels,
+//! token-based DFS) that the BFL baseline needs.
+
+pub mod algo;
+pub mod comm;
+pub mod engine;
+pub mod partition;
+
+pub use comm::{CommStats, NetworkModel, RunStats};
+pub use engine::{Ctx, Engine, RunOutcome, VertexProgram};
+pub use partition::Partition;

@@ -1,0 +1,100 @@
+//! Vertex-to-node assignment.
+
+use reach_graph::VertexId;
+
+/// Maps every vertex to one of `num_nodes` computation nodes.
+///
+/// The default is the paper's scheme — "we map graph vertices to different
+/// computation nodes via vertex IDs" — i.e. `node(v) = v mod N`. A custom
+/// assignment can be supplied for experiments on partition quality.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    num_nodes: usize,
+    assignment: Assignment,
+}
+
+#[derive(Clone, Debug)]
+enum Assignment {
+    Modulo,
+    Explicit(Vec<u16>),
+}
+
+impl Partition {
+    /// The paper's id-modulo partitioning.
+    pub fn modulo(num_nodes: usize) -> Self {
+        assert!(num_nodes >= 1 && num_nodes <= u16::MAX as usize);
+        Partition {
+            num_nodes,
+            assignment: Assignment::Modulo,
+        }
+    }
+
+    /// An explicit per-vertex assignment; every entry must be `< num_nodes`.
+    pub fn explicit(num_nodes: usize, assignment: Vec<u16>) -> Self {
+        assert!(num_nodes >= 1 && num_nodes <= u16::MAX as usize);
+        assert!(
+            assignment.iter().all(|&n| (n as usize) < num_nodes),
+            "assignment references a node >= {num_nodes}"
+        );
+        Partition {
+            num_nodes,
+            assignment: Assignment::Explicit(assignment),
+        }
+    }
+
+    /// Number of computation nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The home node of `v`.
+    #[inline]
+    pub fn node_of(&self, v: VertexId) -> usize {
+        match &self.assignment {
+            Assignment::Modulo => v as usize % self.num_nodes,
+            Assignment::Explicit(a) => a[v as usize] as usize,
+        }
+    }
+
+    /// The vertices owned by `node` among `0..n`, ascending.
+    pub fn owned(&self, node: usize, n: usize) -> Vec<VertexId> {
+        (0..n as VertexId)
+            .filter(|&v| self.node_of(v) == node)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulo_round_robins() {
+        let p = Partition::modulo(4);
+        assert_eq!(p.node_of(0), 0);
+        assert_eq!(p.node_of(5), 1);
+        assert_eq!(p.node_of(7), 3);
+        assert_eq!(p.owned(1, 8), vec![1, 5]);
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let p = Partition::modulo(1);
+        assert_eq!(p.owned(0, 5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn explicit_assignment() {
+        let p = Partition::explicit(2, vec![1, 1, 0]);
+        assert_eq!(p.node_of(0), 1);
+        assert_eq!(p.node_of(2), 0);
+        assert_eq!(p.owned(1, 3), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "references a node")]
+    fn explicit_out_of_range_panics() {
+        Partition::explicit(2, vec![2]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Behavioral tests of the simulated cluster engine beyond the unit tests:
+//! state carry-over across runs, determinism, and accounting invariants.
+
+use reach_graph::{fixtures, VertexId};
+use reach_vcs::{Ctx, Engine, NetworkModel, Partition, VertexProgram};
+
+/// Counts, per vertex, how many times compute ran; used to check restarts.
+struct CountRuns;
+
+impl VertexProgram for CountRuns {
+    type State = u32;
+    type Msg = ();
+    type Global = ();
+    type Update = ();
+
+    fn init_state(&self, _v: VertexId) -> u32 {
+        0
+    }
+
+    fn compute(
+        &self,
+        ctx: &mut Ctx<'_, (), ()>,
+        v: VertexId,
+        state: &mut u32,
+        _msgs: &[()],
+        _global: &(),
+    ) {
+        *state += 1;
+        // One round of messages to direct successors, then quiesce.
+        if ctx.superstep == 0 && v == 0 {
+            for &w in ctx.out_neighbors(v) {
+                ctx.send(w, ());
+            }
+        }
+    }
+
+    fn apply_updates(&self, _g: &mut (), _u: &[()]) {}
+}
+
+#[test]
+fn run_with_carries_states_across_runs() {
+    let g = fixtures::diamond();
+    let engine = Engine::new(&g, Partition::modulo(2));
+    let first = engine.run(&CountRuns);
+    // Vertices 1 and 2 got a message: ran twice; others once.
+    assert_eq!(first.states, vec![1, 2, 2, 1]);
+    let second = engine.run_with(&CountRuns, first.states, ());
+    assert_eq!(second.states, vec![2, 4, 4, 2], "states accumulated");
+}
+
+#[test]
+fn engine_is_deterministic() {
+    let g = reach_graph::gen::gnm(60, 220, 9);
+    let engine = Engine::new(&g, Partition::modulo(5));
+    let a = engine.run(&CountRuns);
+    let b = engine.run(&CountRuns);
+    assert_eq!(a.states, b.states);
+    assert_eq!(a.stats.supersteps, b.stats.supersteps);
+    assert_eq!(a.stats.comm.remote_messages, b.stats.comm.remote_messages);
+    assert_eq!(a.stats.comm.local_messages, b.stats.comm.local_messages);
+}
+
+#[test]
+fn local_plus_remote_is_total_message_count() {
+    // The diamond program sends exactly deg_out(0) = 2 messages.
+    let g = fixtures::diamond();
+    for nodes in [1usize, 2, 4] {
+        let engine = Engine::new(&g, Partition::modulo(nodes));
+        let out = engine.run(&CountRuns);
+        assert_eq!(
+            out.stats.comm.local_messages + out.stats.comm.remote_messages,
+            2,
+            "nodes={nodes}"
+        );
+    }
+}
+
+#[test]
+fn modulo_partition_is_balanced() {
+    let p = Partition::modulo(7);
+    let n = 1000;
+    let sizes: Vec<usize> = (0..7).map(|i| p.owned(i, n).len()).collect();
+    let (min, max) = (
+        *sizes.iter().min().unwrap(),
+        *sizes.iter().max().unwrap(),
+    );
+    assert!(max - min <= 1, "{sizes:?}");
+    assert_eq!(sizes.iter().sum::<usize>(), n);
+}
+
+#[test]
+fn network_model_charges_nothing_without_traffic() {
+    // A program that never sends: only super-step 0, no comm time at all.
+    struct Silent;
+    impl VertexProgram for Silent {
+        type State = ();
+        type Msg = ();
+        type Global = ();
+        type Update = ();
+        fn init_state(&self, _v: VertexId) {}
+        fn compute(&self, _c: &mut Ctx<'_, (), ()>, _v: VertexId, _s: &mut (), _m: &[()], _g: &()) {}
+        fn apply_updates(&self, _g: &mut (), _u: &[()]) {}
+    }
+    let g = fixtures::paper_graph();
+    let out = Engine::new(&g, Partition::modulo(8))
+        .with_network(NetworkModel::default())
+        .run(&Silent);
+    assert_eq!(out.stats.comm_seconds, 0.0);
+    assert_eq!(out.stats.supersteps, 1);
+}

@@ -1,0 +1,72 @@
+//! Index a graph that lives on a (simulated) cluster.
+//!
+//! The paper's headline scenario: the graph is partitioned across
+//! computation nodes and no single machine could run serial TOL — but the
+//! distributed DRLb produces TOL's exact index, which is then small enough
+//! to serve from one machine. This example runs the same workload at
+//! several cluster sizes and prints the modeled computation/communication
+//! split and the speedup curve (the Exp 4 / Exp 5 quantities).
+//!
+//! ```sh
+//! cargo run --release --example distributed_cluster
+//! ```
+
+use reachability::drl::BatchParams;
+use reachability::graph::{OrderAssignment, OrderKind};
+use reachability::vcs::NetworkModel;
+
+fn main() {
+    // A web-crawl-like graph, hash-partitioned by vertex id.
+    let graph = reachability::datasets::generators::hierarchy(40_000, 100_000, 0.8, 7);
+    let ord = OrderAssignment::new(&graph, OrderKind::DegreeProduct);
+    println!(
+        "graph: {} vertices, {} edges, partitioned by id\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    println!(
+        "{:>5}  {:>9}  {:>9}  {:>9}  {:>8}  {:>11}  {:>10}",
+        "nodes", "comp (s)", "comm (s)", "total (s)", "speedup", "remote MB", "supersteps"
+    );
+    let mut baseline = None;
+    let mut reference_index = None;
+    for nodes in [1usize, 2, 4, 8, 16, 32] {
+        let (index, stats) = reachability::dist::drlb::run(
+            &graph,
+            &ord,
+            BatchParams::default(),
+            nodes,
+            NetworkModel::default(),
+        );
+        let total = stats.total_seconds();
+        let base = *baseline.get_or_insert(total);
+        println!(
+            "{:>5}  {:>9.4}  {:>9.4}  {:>9.4}  {:>8.2}  {:>11.2}  {:>10}",
+            nodes,
+            stats.compute_seconds,
+            stats.comm_seconds,
+            total,
+            base / total,
+            stats.comm.network_bytes() as f64 / (1024.0 * 1024.0),
+            stats.supersteps
+        );
+
+        // The index is identical regardless of the cluster size.
+        let reference = reference_index.get_or_insert_with(|| index.clone());
+        assert_eq!(&index, reference, "cluster size must not change the index");
+    }
+
+    let index = reference_index.expect("at least one run");
+    println!(
+        "\nindex gathered to one machine: {:.2} MiB, answers q(s,t) in-memory",
+        index.size_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    // Spot-check a few queries against the online search.
+    let online = reachability::index::OnlineBfsOracle::new(&graph);
+    use reachability::index::ReachabilityOracle;
+    for (s, t) in [(0, 100), (5, 4999), (17, 3), (1234, 4321)] {
+        assert_eq!(index.query(s, t), online.reachable(s, t));
+    }
+    println!("distributed index verified against online search");
+}

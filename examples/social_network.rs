@@ -1,0 +1,99 @@
+//! Reachability analytics on a synthetic social network.
+//!
+//! Motivated by the paper's introduction (reachability as a building block
+//! for the social sciences): generate a follower graph, build the index
+//! once, then answer "can influence flow from A to B?" queries at memory
+//! speed — and compare against the index-free online search the paper's
+//! §V warns about.
+//!
+//! ```sh
+//! cargo run --release --example social_network
+//! ```
+
+use std::time::Instant;
+
+use reachability::drl::BatchParams;
+use reachability::graph::stats::GraphStats;
+use reachability::graph::{OrderAssignment, OrderKind};
+use reachability::index::{OnlineBfsOracle, ReachabilityOracle};
+
+fn main() {
+    // A 50k-member follower network with reciprocated edges and deep
+    // influence chains.
+    let graph = reachability::datasets::generators::social_with_depth(50_000, 120_000, 0.25, 0.7, 42);
+    println!("social graph: {}", GraphStats::compute(&graph));
+
+    // Build the index with the batched parallel labeling (DRLb).
+    let ord = OrderAssignment::new(&graph, OrderKind::DegreeProduct);
+    let t0 = Instant::now();
+    let index = reachability::drl::drlb(&graph, &ord, BatchParams::default());
+    println!(
+        "index built in {:.2}s — {} entries, {:.2} MiB, Δ = {}",
+        t0.elapsed().as_secs_f64(),
+        index.num_entries(),
+        index.size_bytes() as f64 / (1024.0 * 1024.0),
+        index.max_label_size()
+    );
+
+    // A query workload: 100k random influence questions.
+    let workload = {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = graph.num_vertices() as u32;
+        (0..100_000)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect::<Vec<_>>()
+    };
+
+    // Index-only answering (no graph access — this is what makes the
+    // approach viable when the graph itself is distributed).
+    let t0 = Instant::now();
+    let reachable_pairs = workload
+        .iter()
+        .filter(|&&(s, t)| index.query(s, t))
+        .count();
+    let index_time = t0.elapsed().as_secs_f64();
+    println!(
+        "index-only: {} / {} pairs reachable, {:.2} ns/query",
+        reachable_pairs,
+        workload.len(),
+        index_time / workload.len() as f64 * 1e9
+    );
+
+    // Index-free baseline on a sample (a full BFS per query).
+    let online = OnlineBfsOracle::new(&graph);
+    let sample = &workload[..200];
+    let t0 = Instant::now();
+    let online_pairs = sample
+        .iter()
+        .filter(|&&(s, t)| online.reachable(s, t))
+        .count();
+    let online_time = t0.elapsed().as_secs_f64();
+    println!(
+        "online BFS:  {} / {} pairs reachable, {:.0} µs/query — {:.0}x slower",
+        online_pairs,
+        sample.len(),
+        online_time / sample.len() as f64 * 1e6,
+        (online_time / sample.len() as f64) / (index_time / workload.len() as f64)
+    );
+
+    // Cross-check the two oracles on the sample.
+    for &(s, t) in sample {
+        assert_eq!(index.query(s, t), online.reachable(s, t));
+    }
+    println!("oracle agreement verified on the sample");
+
+    // Who are the influence hubs? Vertices appearing in the most in-labels
+    // are the ones covering the most reachability.
+    let bw = index.to_backward();
+    let mut by_cover: Vec<(usize, u32)> = graph
+        .vertices()
+        .map(|v| (bw.in_sets[v as usize].len(), v))
+        .collect();
+    by_cover.sort_unstable_by(|a, b| b.cmp(a));
+    println!("top influence hubs (by backward in-label size):");
+    for (cover, v) in by_cover.iter().take(5) {
+        println!("  member {v}: covers {cover} members' reachability");
+    }
+}

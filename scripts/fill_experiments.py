@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Splices the tables from bench_output.txt into EXPERIMENTS.md.
+
+Run after `cargo bench --workspace 2>&1 | tee bench_output.txt`:
+
+    python3 scripts/fill_experiments.py
+"""
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+out = (ROOT / "bench_output.txt").read_text()
+exp = (ROOT / "EXPERIMENTS.md").read_text()
+
+
+def extract(name: str) -> str:
+    """Grabs the printed table of one bench by its closing banner."""
+    # Tables start at their header line and end at "[name] done".
+    end = out.find(f"[{name}] done")
+    if end < 0:
+        return f"(bench `{name}` output not found in bench_output.txt)"
+    # Walk back to the dashed separator's header line.
+    chunk = out[:end]
+    lines = chunk.splitlines()
+    # Find last header: the line before the last ---- separator.
+    sep_idx = max(i for i, l in enumerate(lines) if set(l.strip()) == {"-"} and l.strip())
+    table = lines[sep_idx - 1 : ]
+    return "```text\n" + "\n".join(l.rstrip() for l in table if l.strip()) + "\n```"
+
+
+def extract_criterion() -> str:
+    rows = re.findall(r"^([a-z_0-9]+)\s+time:\s*\[\S+ \S+ (\S+ \S+) \S+ \S+\]", out, re.M)
+    if not rows:
+        return "(criterion output not found)"
+    body = "\n".join(f"| `{name.strip()}` | {t} |" for name, t in rows)
+    return "| kernel | median time |\n|---|---|\n" + body
+
+
+replacements = {
+    "FILL_T4": None,  # handled separately below
+    "FILL_TABLE6": extract("exp1_table6"),
+    "FILL_FIG5_TABLE": extract("exp4_fig5"),
+    "FILL_FIG6_TABLE": extract("exp5_fig6"),
+    "FILL_FIG7_TABLE": extract("exp6_fig7"),
+    "FILL_FIG8_TABLE": extract("exp7_fig8"),
+    "FILL_FIG9_TABLE": extract("exp8_fig9"),
+    "FILL_ABLATIONS": "\n\n".join(
+        extract(n)
+        for n in ["ablation_eager_check", "ablation_order", "ablation_dynamic"]
+    ),
+    "FILL_MICRO": extract_criterion(),
+}
+
+# Table IV cells: parse the three data rows.
+t4 = extract("table4_bfs_counts")
+t4_rows = {}
+for line in t4.splitlines():
+    m = re.match(r"\s*\S+\s+(Theorem 2|Theorem 3 \(DRL-\)|Theorem 4 \(DRL\))\s+(\d+)\s+(\d+)", line)
+    if m:
+        t4_rows[m.group(1)] = (m.group(2), m.group(3))
+for key, label in [
+    ("Theorem 2", "Theorem 2"),
+    ("Theorem 3 (DRL-)", "Theorem 3 (DRL⁻)"),
+    ("Theorem 4 (DRL)", "Theorem 4 (DRL)"),
+]:
+    if key in t4_rows:
+        f, r = t4_rows[key]
+        exp = exp.replace("FILL_T4", f"{f} filter / {r} refine BFSs", 1)
+
+for marker, text in replacements.items():
+    if text is not None:
+        exp = exp.replace(marker, text)
+
+missing = re.findall(r"FILL_\w+", exp)
+(ROOT / "EXPERIMENTS.md").write_text(exp)
+if missing:
+    print(f"warning: unfilled markers remain: {missing}", file=sys.stderr)
+print("EXPERIMENTS.md updated")

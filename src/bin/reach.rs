@@ -1,0 +1,243 @@
+//! `reach` — command-line front end to the reachability-labeling library.
+//!
+//! ```text
+//! reach build <edges.txt> -o <index.ridx> [--order degree|id] [--algorithm drlb|drl|tol]
+//!             [--batch-b N] [--batch-k F] [--nodes N]
+//! reach query <index.ridx> [<s> <t>]...          # or s,t pairs on stdin
+//! reach stats <edges.txt>
+//! reach gen <dataset-name> -o <edges.txt>        # Table V stand-ins
+//! reach bench-query <index.ridx> [--count N]
+//! ```
+//!
+//! Edge lists are SNAP-style whitespace-separated `u v` lines (`#`/`%`
+//! comments allowed). Indexes use the binary `.ridx` format of
+//! `reach_index::storage`.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use reachability::drl::BatchParams;
+use reachability::graph::{self, OrderAssignment, OrderKind};
+use reachability::index::ReachIndex;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("bench-query") => cmd_bench_query(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `reach help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("reach: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "reach — TOL-equivalent reachability indexing (DRL/DRLb, ICDE 2022)\n\
+         \n\
+         USAGE:\n\
+           reach build <edges.txt> -o <index.ridx> [--order degree|id]\n\
+                       [--algorithm drlb|drl|tol] [--batch-b N] [--batch-k F]\n\
+           reach query <index.ridx> [<s> <t>]...   (or `s t` lines on stdin)\n\
+           reach stats <edges.txt>\n\
+           reach gen <dataset> -o <edges.txt>      (Table V stand-ins, e.g. WEBW)\n\
+           reach bench-query <index.ridx> [--count N]"
+    );
+}
+
+/// Pulls the value following `flag` out of `args`, if present.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} requires a value")),
+    }
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") || a == "-o" {
+            skip = true; // all our flags take a value
+            let _ = i;
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let input = pos.first().ok_or("build needs an edge-list path")?;
+    let output = flag_value(args, "-o")?
+        .or(flag_value(args, "--output")?)
+        .ok_or("build needs -o <index.ridx>")?;
+    let order = match flag_value(args, "--order")?.as_deref() {
+        None | Some("degree") => OrderKind::DegreeProduct,
+        Some("id") => OrderKind::InverseId,
+        Some(other) => return Err(format!("unknown order {other:?} (degree|id)")),
+    };
+    let algorithm = flag_value(args, "--algorithm")?.unwrap_or_else(|| "drlb".into());
+    let b: usize = parse_flag(args, "--batch-b", 2)?;
+    let k: f64 = parse_flag(args, "--batch-k", 2.0)?;
+
+    let t0 = Instant::now();
+    let g = graph::io::read_edge_list_file(input).map_err(|e| e.to_string())?;
+    eprintln!(
+        "loaded {} vertices, {} edges in {:.2}s",
+        g.num_vertices(),
+        g.num_edges(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let ord = OrderAssignment::new(&g, order);
+    let t0 = Instant::now();
+    let index = match algorithm.as_str() {
+        "drlb" => reachability::drl::drlb(&g, &ord, BatchParams::new(b, k)),
+        "drl" => reachability::drl::drl(&g, &ord),
+        "tol" => reachability::tol::pruned::build(&g, &ord),
+        other => return Err(format!("unknown algorithm {other:?} (drlb|drl|tol)")),
+    };
+    eprintln!(
+        "built index with {algorithm} in {:.2}s — {}",
+        t0.elapsed().as_secs_f64(),
+        index.stats()
+    );
+
+    reachability::index::save_index(&index, &output).map_err(|e| e.to_string())?;
+    eprintln!("wrote {output}");
+    Ok(())
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag)? {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for {flag}: {v}")),
+    }
+}
+
+fn load(path: &str) -> Result<ReachIndex, String> {
+    reachability::index::load_index(path).map_err(|e| e.to_string())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let index = load(pos.first().ok_or("query needs an index path")?)?;
+    let parse_vertex = |s: &str| -> Result<u32, String> {
+        let v: u32 = s.parse().map_err(|_| format!("bad vertex id {s:?}"))?;
+        if (v as usize) < index.num_vertices() {
+            Ok(v)
+        } else {
+            Err(format!(
+                "vertex {v} out of range (index covers {})",
+                index.num_vertices()
+            ))
+        }
+    };
+
+    if pos.len() > 1 {
+        if pos.len() % 2 == 0 {
+            return Err("queries come in s t pairs".into());
+        }
+        for pair in pos[1..].chunks(2) {
+            let (s, t) = (parse_vertex(pair[0])?, parse_vertex(pair[1])?);
+            println!("{s} {t} {}", index.query(s, t));
+        }
+        return Ok(());
+    }
+
+    // Pairs from stdin.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let mut it = line.split_whitespace();
+        let (Some(a), Some(b)) = (it.next(), it.next()) else {
+            continue;
+        };
+        let (s, t) = (parse_vertex(a)?, parse_vertex(b)?);
+        println!("{s} {t} {}", index.query(s, t));
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let input = pos.first().ok_or("stats needs an edge-list path")?;
+    let g = graph::io::read_edge_list_file(input).map_err(|e| e.to_string())?;
+    println!("{}", graph::stats::GraphStats::compute(&g));
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let name = pos.first().ok_or("gen needs a dataset name (e.g. WEBW)")?;
+    let output = flag_value(args, "-o")?.ok_or("gen needs -o <edges.txt>")?;
+    let spec = reachability::datasets::by_name(&name.to_uppercase()).ok_or_else(|| {
+        let names: Vec<_> = reachability::datasets::table5()
+            .iter()
+            .map(|s| s.name)
+            .collect();
+        format!("unknown dataset {name:?}; one of {}", names.join(", "))
+    })?;
+    let g = spec.generate();
+    graph::io::write_edge_list_file(&g, &output).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} ({} vertices, {} edges — stand-in for {})",
+        output,
+        g.num_vertices(),
+        g.num_edges(),
+        spec.full_name
+    );
+    Ok(())
+}
+
+fn cmd_bench_query(args: &[String]) -> Result<(), String> {
+    use rand::{Rng, SeedableRng};
+    let pos = positional(args);
+    let index = load(pos.first().ok_or("bench-query needs an index path")?)?;
+    let count: usize = parse_flag(args, "--count", 1_000_000)?;
+    let n = index.num_vertices() as u32;
+    if n == 0 {
+        return Err("index covers no vertices".into());
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xCAFE);
+    let pairs: Vec<(u32, u32)> = (0..count)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
+    let t0 = Instant::now();
+    let mut positive = 0usize;
+    for &(s, t) in &pairs {
+        if index.query(s, t) {
+            positive += 1;
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "{count} queries in {:.3}s — {:.0} ns/query, {positive} reachable",
+        dt,
+        dt / count as f64 * 1e9
+    );
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate re-exporting the full reachability-labeling workspace.
+pub use reach_bfl as bfl;
+pub use reach_core as drl;
+pub use reach_datasets as datasets;
+pub use reach_drl_dist as dist;
+pub use reach_graph as graph;
+pub use reach_index as index;
+pub use reach_tol as tol;
+pub use reach_vcs as vcs;

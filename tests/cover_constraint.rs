@@ -1,0 +1,80 @@
+//! The cover constraint (Definition 3): every index built by any algorithm
+//! must answer exactly the reachability relation — checked against the
+//! ground-truth transitive closure for all pairs.
+
+use reach_core::BatchParams;
+use reach_graph::{fixtures, gen, OrderAssignment, OrderKind, TransitiveClosure};
+use reach_index::ReachIndex;
+use reach_vcs::NetworkModel;
+
+fn check_all_builders(g: &reach_graph::DiGraph, label: &str) {
+    let ord = OrderAssignment::new(g, OrderKind::DegreeProduct);
+    let tc = TransitiveClosure::compute(g);
+    let builders: Vec<(&str, ReachIndex)> = vec![
+        ("tol", reach_tol::pruned::build(g, &ord)),
+        ("drl", reach_core::drl(g, &ord)),
+        ("drlb", reach_core::drlb(g, &ord, BatchParams::default())),
+        (
+            "drlb-dist",
+            reach_drl_dist::drlb::run(g, &ord, BatchParams::default(), 4, NetworkModel::default()).0,
+        ),
+    ];
+    for (name, idx) in builders {
+        idx.validate_cover(&tc)
+            .unwrap_or_else(|e| panic!("{label}/{name}: {e}"));
+    }
+}
+
+#[test]
+fn cover_on_fixtures() {
+    for (label, g) in [
+        ("paper", fixtures::paper_graph()),
+        ("cycle", fixtures::cycle(9)),
+        ("two_components", fixtures::two_components()),
+        ("star", fixtures::out_star(12)),
+    ] {
+        check_all_builders(&g, label);
+    }
+}
+
+#[test]
+fn cover_on_random_graphs() {
+    for seed in 0..6 {
+        check_all_builders(&gen::gnm(50, 170, seed), &format!("gnm{seed}"));
+    }
+    for seed in 0..4 {
+        check_all_builders(&gen::random_dag(50, 140, seed), &format!("dag{seed}"));
+    }
+}
+
+#[test]
+fn cover_on_dataset_generators() {
+    check_all_builders(
+        &reach_datasets::generators::hierarchy(250, 700, 0.95, 3),
+        "hierarchy",
+    );
+    check_all_builders(
+        &reach_datasets::generators::layered_dag(200, 600, 8, 4),
+        "layered",
+    );
+    check_all_builders(&reach_datasets::citation_dag(250, 700, 5), "citation");
+    check_all_builders(&reach_datasets::rmat(256, 700, 0.57, 0.19, 0.19, 0.05, 6), "rmat");
+}
+
+/// The query is symmetric to the online search on every pair, including
+/// unreachable ones and self-queries.
+#[test]
+fn query_answers_match_online_search_exactly() {
+    let g = gen::gnm(70, 240, 99);
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+    let idx = reach_core::drlb(&g, &ord, BatchParams::default());
+    for s in g.vertices() {
+        for t in g.vertices() {
+            assert_eq!(
+                idx.query(s, t),
+                reach_graph::traverse::reaches(&g, s, t),
+                "q({s},{t})"
+            );
+        }
+    }
+}

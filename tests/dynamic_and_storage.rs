@@ -1,0 +1,138 @@
+//! Integration tests for the dynamic-maintenance extension and the binary
+//! index persistence, exercised through the public API end to end.
+
+use proptest::prelude::*;
+use reach_core::dynamic::DynamicIndex;
+use reach_graph::{dynamic::DynamicGraph, gen, DiGraph, OrderAssignment, OrderKind};
+
+#[test]
+fn dynamic_index_survives_a_long_mixed_workload() {
+    let g = gen::gnm(40, 80, 17);
+    let mut idx = DynamicIndex::from_digraph(&g, OrderKind::DegreeProduct);
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    for step in 0..120 {
+        let (a, b) = (rng.gen_range(0..40u32), rng.gen_range(0..40u32));
+        if rng.gen_bool(0.55) {
+            idx.insert_edge(a, b);
+        } else {
+            idx.remove_edge(a, b);
+        }
+        if step % 10 == 9 {
+            // Periodic deep checks: equality with rebuild + cover.
+            let now = idx.graph().to_digraph();
+            assert_eq!(idx.to_index(), reach_core::drl(&now, idx.order()), "step {step}");
+            idx.to_index().validate_cover_on(&now).unwrap();
+        }
+    }
+}
+
+#[test]
+fn dynamic_index_agrees_with_every_static_algorithm() {
+    let g = gen::gnm(35, 90, 23);
+    let mut idx = DynamicIndex::from_digraph(&g, OrderKind::DegreeProduct);
+    idx.insert_edge(0, 34);
+    idx.insert_edge(34, 0);
+    idx.remove_edge(g.edges().next().unwrap().0, g.edges().next().unwrap().1);
+    let now = idx.graph().to_digraph();
+    let ord = idx.order().clone();
+    let reference = idx.to_index();
+    assert_eq!(reference, reach_tol::naive::build(&now, &ord));
+    assert_eq!(reference, reach_tol::pruned::build(&now, &ord));
+    assert_eq!(
+        reference,
+        reach_core::drlb(&now, &ord, reach_core::BatchParams::default())
+    );
+}
+
+#[test]
+fn storage_round_trips_every_builder_output() {
+    let g = reach_datasets::generators::hierarchy(400, 1100, 0.9, 31);
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+    for idx in [
+        reach_tol::pruned::build(&g, &ord),
+        reach_core::drl(&g, &ord),
+        reach_core::drlb(&g, &ord, reach_core::BatchParams::default()),
+    ] {
+        let mut buf = Vec::new();
+        reach_index::storage::write_index(&idx, &mut buf).unwrap();
+        let loaded = reach_index::storage::read_index(&buf[..]).unwrap();
+        assert_eq!(loaded, idx);
+        // The loaded index answers identically.
+        for s in (0..g.num_vertices() as u32).step_by(13) {
+            for t in (0..g.num_vertices() as u32).step_by(17) {
+                assert_eq!(loaded.query(s, t), idx.query(s, t));
+            }
+        }
+    }
+}
+
+#[test]
+fn witness_queries_lie_on_real_paths() {
+    let g = gen::gnm(60, 200, 41);
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+    let idx = reach_core::drlb(&g, &ord, reach_core::BatchParams::default());
+    let tc = reach_graph::TransitiveClosure::compute(&g);
+    for s in g.vertices() {
+        for t in g.vertices() {
+            match idx.query_witness(s, t) {
+                Some(w) => {
+                    assert!(tc.reaches(s, w), "s -> witness");
+                    assert!(tc.reaches(w, t), "witness -> t");
+                }
+                None => assert!(!tc.reaches(s, t)),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random op sequences leave the dynamic index equal to a rebuild.
+    #[test]
+    fn dynamic_matches_rebuild_under_random_ops(
+        edges in proptest::collection::vec((0..20u32, 0..20u32), 0..40),
+        ops in proptest::collection::vec((0..20u32, 0..20u32, proptest::bool::ANY), 1..25),
+    ) {
+        let g = DiGraph::from_edges(20, edges);
+        let mut idx = DynamicIndex::from_digraph(&g, OrderKind::DegreeProduct);
+        for (a, b, insert) in ops {
+            if insert {
+                idx.insert_edge(a, b);
+            } else {
+                idx.remove_edge(a, b);
+            }
+        }
+        let now = idx.graph().to_digraph();
+        prop_assert_eq!(idx.to_index(), reach_core::drl(&now, idx.order()));
+    }
+
+    /// Storage rejects no valid index and round-trips exactly.
+    #[test]
+    fn storage_round_trip_property(
+        edges in proptest::collection::vec((0..25u32, 0..25u32), 0..60),
+    ) {
+        let g = DiGraph::from_edges(25, edges);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let idx = reach_tol::pruned::build(&g, &ord);
+        let mut buf = Vec::new();
+        reach_index::storage::write_index(&idx, &mut buf).unwrap();
+        prop_assert_eq!(reach_index::storage::read_index(&buf[..]).unwrap(), idx);
+    }
+
+    /// A dynamic index built empty then fed all edges equals the static
+    /// build of the final graph (order fixed up-front on the final graph).
+    #[test]
+    fn incremental_construction_equals_static(
+        edges in proptest::collection::vec((0..18u32, 0..18u32), 0..45),
+    ) {
+        let target = DiGraph::from_edges(18, edges.clone());
+        let ord = OrderAssignment::new(&target, OrderKind::DegreeProduct);
+        let mut idx = DynamicIndex::new(DynamicGraph::new(18), ord.clone());
+        for (a, b) in edges {
+            idx.insert_edge(a, b);
+        }
+        prop_assert_eq!(idx.to_index(), reach_core::drl(&target, &ord));
+    }
+}

@@ -1,0 +1,157 @@
+//! Failure-injection and boundary tests across the whole stack.
+
+use reach_core::BatchParams;
+use reach_graph::{DiGraph, OrderAssignment, OrderKind};
+use reach_vcs::{NetworkModel, Partition};
+
+fn all_indexes(g: &DiGraph) -> Vec<reach_index::ReachIndex> {
+    let ord = OrderAssignment::new(g, OrderKind::DegreeProduct);
+    vec![
+        reach_tol::naive::build(g, &ord),
+        reach_tol::pruned::build(g, &ord),
+        reach_core::drl(g, &ord),
+        reach_core::drl_minus(g, &ord),
+        reach_core::drlb(g, &ord, BatchParams::default()),
+        reach_core::drlb_multicore(g, &ord, BatchParams::default(), 2),
+        reach_drl_dist::drl::run(g, &ord, 3, NetworkModel::default()).0,
+        reach_drl_dist::drlb::run(g, &ord, BatchParams::default(), 3, NetworkModel::default()).0,
+    ]
+}
+
+#[test]
+fn empty_graph_everywhere() {
+    let g = DiGraph::from_edges(0, vec![]);
+    for idx in all_indexes(&g) {
+        assert_eq!(idx.num_vertices(), 0);
+        assert_eq!(idx.num_entries(), 0);
+    }
+}
+
+#[test]
+fn single_vertex_no_edges() {
+    let g = DiGraph::from_edges(1, vec![]);
+    for idx in all_indexes(&g) {
+        assert!(idx.query(0, 0), "self reachability");
+        assert_eq!(idx.in_label(0), &[0]);
+    }
+}
+
+#[test]
+fn single_vertex_self_loop() {
+    let g = DiGraph::from_edges(1, vec![(0, 0)]);
+    for idx in all_indexes(&g) {
+        assert!(idx.query(0, 0));
+    }
+}
+
+#[test]
+fn parallel_edges_and_self_loops_mixed() {
+    let g = DiGraph::from_edges(4, vec![(0, 1), (0, 1), (1, 1), (1, 2), (2, 0), (3, 3)]);
+    let reference = all_indexes(&g);
+    for idx in &reference {
+        assert_eq!(idx, &reference[0]);
+        idx.validate_cover_on(&g).unwrap();
+    }
+}
+
+#[test]
+fn giant_single_cycle() {
+    // Every vertex reaches every vertex; the highest-order vertex must
+    // cover everything and nobody else labels.
+    let g = reach_graph::fixtures::cycle(50);
+    let ord = OrderAssignment::new(&g, OrderKind::InverseId);
+    let idx = reach_core::drlb(&g, &ord, BatchParams::default());
+    assert_eq!(idx, reach_tol::naive::build(&g, &ord));
+    for v in g.vertices() {
+        assert_eq!(idx.in_label(v), &[0], "only vertex 0 labels");
+        assert_eq!(idx.out_label(v), &[0]);
+    }
+    idx.validate_cover_on(&g).unwrap();
+}
+
+#[test]
+fn isolated_vertices_only() {
+    let g = DiGraph::from_edges(6, vec![]);
+    for idx in all_indexes(&g) {
+        for v in g.vertices() {
+            assert!(idx.query(v, v));
+            for w in g.vertices() {
+                assert_eq!(idx.query(v, w), v == w);
+            }
+        }
+    }
+}
+
+#[test]
+fn more_cluster_nodes_than_vertices() {
+    let g = reach_graph::fixtures::diamond();
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+    let (idx, stats) = reach_drl_dist::drlb::run(
+        &g,
+        &ord,
+        BatchParams::default(),
+        64,
+        NetworkModel::default(),
+    );
+    assert_eq!(idx, reach_tol::naive::build(&g, &ord));
+    assert!(stats.supersteps > 0);
+}
+
+#[test]
+fn batch_size_larger_than_graph() {
+    let g = reach_graph::fixtures::paper_graph();
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+    let idx = reach_core::drlb(&g, &ord, BatchParams::new(10_000, 2.0));
+    assert_eq!(idx, reach_core::drl(&g, &ord), "one batch == plain DRL");
+}
+
+#[test]
+fn singleton_batches_equal_serial_tol_execution() {
+    let g = reach_graph::gen::gnm(30, 100, 1);
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+    let idx = reach_core::drlb(&g, &ord, BatchParams::new(1, 1.0));
+    assert_eq!(idx, reach_tol::naive::build(&g, &ord));
+}
+
+#[test]
+fn partition_owned_covers_all_vertices_exactly_once() {
+    let p = Partition::modulo(7);
+    let n = 100;
+    let mut seen = vec![0u8; n];
+    for node in 0..7 {
+        for v in p.owned(node, n) {
+            seen[v as usize] += 1;
+        }
+    }
+    assert!(seen.iter().all(|&c| c == 1));
+}
+
+#[test]
+fn bfl_on_degenerate_graphs() {
+    use reach_index::ReachabilityOracle;
+    for g in [
+        DiGraph::from_edges(1, vec![]),
+        DiGraph::from_edges(2, vec![(0, 1), (1, 0)]),
+        DiGraph::from_edges(5, vec![]),
+    ] {
+        let oracle = reach_bfl::BflOracle::build(&g);
+        let tc = reach_graph::TransitiveClosure::compute(&g);
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(oracle.reachable(s, t), tc.reaches(s, t));
+            }
+        }
+    }
+}
+
+#[test]
+fn order_with_extreme_degree_skew() {
+    // A star: the center has the top degree-product order by far.
+    let g = reach_graph::fixtures::out_star(40);
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+    assert_eq!(ord.vertex_at_rank(0), 0);
+    let idx = reach_core::drlb(&g, &ord, BatchParams::default());
+    idx.validate_cover_on(&g).unwrap();
+    // Leaves carry only {center, self}-style labels.
+    assert!(idx.max_label_size() <= 2);
+}

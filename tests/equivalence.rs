@@ -1,0 +1,129 @@
+//! Cross-crate equivalence: every labeling algorithm in the workspace must
+//! produce exactly the index of serial TOL (Algorithm 1), on every kind of
+//! graph, under every ordering, at every cluster size.
+
+use reach_core::BatchParams;
+use reach_graph::{fixtures, gen, DiGraph, OrderAssignment, OrderKind};
+use reach_vcs::NetworkModel;
+
+fn graph_zoo() -> Vec<(String, DiGraph)> {
+    let mut zoo: Vec<(String, DiGraph)> = vec![
+        ("paper".into(), fixtures::paper_graph()),
+        ("diamond".into(), fixtures::diamond()),
+        ("cycle8".into(), fixtures::cycle(8)),
+        ("path10".into(), fixtures::path(10)),
+        ("star".into(), fixtures::out_star(9)),
+        ("two_components".into(), fixtures::two_components()),
+    ];
+    for seed in 0..4 {
+        zoo.push((format!("gnm{seed}"), gen::gnm(42, 140, seed)));
+        zoo.push((format!("dag{seed}"), gen::random_dag(42, 110, seed)));
+    }
+    zoo.push((
+        "dataset_web".into(),
+        reach_datasets::generators::hierarchy(300, 900, 0.9, 5),
+    ));
+    zoo.push((
+        "dataset_social".into(),
+        reach_datasets::generators::social_with_depth(300, 700, 0.3, 0.6, 6),
+    ));
+    zoo
+}
+
+#[test]
+fn every_algorithm_reproduces_tol() {
+    for (name, g) in graph_zoo() {
+        for kind in [OrderKind::DegreeProduct, OrderKind::InverseId] {
+            let ord = OrderAssignment::new(&g, kind);
+            let oracle = reach_tol::naive::build(&g, &ord);
+            let ctx = |alg: &str| format!("{name}/{kind:?}/{alg}");
+
+            assert_eq!(reach_tol::pruned::build(&g, &ord), oracle, "{}", ctx("tol-pruned"));
+            assert_eq!(
+                reach_core::framework::build(&g, &ord),
+                oracle,
+                "{}",
+                ctx("framework")
+            );
+            assert_eq!(reach_core::drl_minus(&g, &ord), oracle, "{}", ctx("drl-minus"));
+            assert_eq!(reach_core::drl(&g, &ord), oracle, "{}", ctx("drl"));
+            assert_eq!(
+                reach_core::drlb(&g, &ord, BatchParams::default()),
+                oracle,
+                "{}",
+                ctx("drlb")
+            );
+            assert_eq!(
+                reach_core::drlb_multicore(&g, &ord, BatchParams::default(), 3),
+                oracle,
+                "{}",
+                ctx("drlb-mc")
+            );
+            let net = NetworkModel::default();
+            assert_eq!(
+                reach_drl_dist::drl::run(&g, &ord, 4, net).0,
+                oracle,
+                "{}",
+                ctx("drl-dist")
+            );
+            assert_eq!(
+                reach_drl_dist::drl_minus::run(&g, &ord, 4, net).0,
+                oracle,
+                "{}",
+                ctx("drl-minus-dist")
+            );
+            assert_eq!(
+                reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), 4, net).0,
+                oracle,
+                "{}",
+                ctx("drlb-dist")
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_parameters_never_change_the_index() {
+    let g = gen::gnm(60, 200, 77);
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+    let oracle = reach_tol::naive::build(&g, &ord);
+    for b in [1usize, 2, 3, 7, 16, 61] {
+        for k in [1.0, 1.5, 2.0, 3.5] {
+            let params = BatchParams::new(b, k);
+            assert_eq!(reach_core::drlb(&g, &ord, params), oracle, "b={b} k={k}");
+        }
+    }
+}
+
+#[test]
+fn node_count_never_changes_the_index() {
+    let g = reach_datasets::generators::hierarchy(400, 1200, 0.9, 9);
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+    let net = NetworkModel::default();
+    let reference = reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), 1, net).0;
+    for nodes in [2usize, 5, 16, 32, 64] {
+        let (idx, _) = reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), nodes, net);
+        assert_eq!(idx, reference, "nodes={nodes}");
+    }
+}
+
+#[test]
+fn explicit_custom_order_is_respected_by_all() {
+    // A deliberately weird explicit order (reverse of degree order).
+    let g = gen::gnm(30, 90, 5);
+    let mut seq: Vec<u32> = OrderAssignment::new(&g, OrderKind::DegreeProduct)
+        .processing_sequence()
+        .to_vec();
+    seq.reverse();
+    let ord = OrderAssignment::from_processing_sequence(seq);
+    let oracle = reach_tol::naive::build(&g, &ord);
+    assert_eq!(reach_core::drl(&g, &ord), oracle);
+    assert_eq!(
+        reach_core::drlb(&g, &ord, BatchParams::default()),
+        oracle
+    );
+    assert_eq!(
+        reach_drl_dist::drl::run(&g, &ord, 3, NetworkModel::default()).0,
+        oracle
+    );
+}

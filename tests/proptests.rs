@@ -1,0 +1,134 @@
+//! Property-based tests (proptest) over random graphs: the paper's
+//! theorems as machine-checked invariants.
+
+use proptest::prelude::*;
+
+use reach_core::{BatchParams, BatchSchedule};
+use reach_graph::{DiGraph, Direction, OrderAssignment, OrderKind, TransitiveClosure, VisitBuffer};
+use reach_vcs::NetworkModel;
+
+/// Strategy: a directed graph with up to `max_n` vertices and `max_m`
+/// (possibly duplicate, possibly self-loop) edges.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = DiGraph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m)
+            .prop_map(move |edges| DiGraph::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline invariant: DRL and DRLb always reproduce TOL's index.
+    #[test]
+    fn drl_family_equals_tol(g in arb_graph(28, 80)) {
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let oracle = reach_tol::naive::build(&g, &ord);
+        prop_assert_eq!(&reach_core::drl(&g, &ord), &oracle);
+        prop_assert_eq!(&reach_core::drlb(&g, &ord, BatchParams::default()), &oracle);
+    }
+
+    /// Theorem 1, via the closure characterization: membership in the index
+    /// is exactly "v reaches w and no higher-order vertex sits between".
+    #[test]
+    fn index_membership_matches_theorem1(g in arb_graph(22, 60)) {
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let idx = reach_tol::pruned::build(&g, &ord);
+        let tc = TransitiveClosure::compute(&g);
+        for w in g.vertices() {
+            for v in g.vertices() {
+                prop_assert_eq!(
+                    idx.in_label(w).contains(&v),
+                    tc.in_label_expected(&ord, v, w)
+                );
+            }
+        }
+    }
+
+    /// Definition 3: the cover constraint holds for every pair.
+    #[test]
+    fn cover_constraint(g in arb_graph(26, 70)) {
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let idx = reach_core::drlb(&g, &ord, BatchParams::default());
+        let tc = TransitiveClosure::compute(&g);
+        prop_assert!(idx.validate_cover(&tc).is_ok());
+    }
+
+    /// Lemma 4: BFS_low(v) is a superset of the final backward in-labels;
+    /// all its members except the source have strictly lower order.
+    #[test]
+    fn trimmed_bfs_postconditions(g in arb_graph(26, 70)) {
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let idx = reach_tol::pruned::build(&g, &ord);
+        let bw = idx.to_backward();
+        let mut visit = VisitBuffer::new(g.num_vertices());
+        for v in g.vertices() {
+            let t = reach_core::trimmed::trimmed_bfs(&g, v, Direction::Forward, &ord, &mut visit);
+            for &w in &t.low {
+                prop_assert!(w == v || ord.higher(v, w));
+            }
+            for &w in &bw.in_sets[v as usize] {
+                prop_assert!(t.low.contains(&w), "L⁻_in ⊆ BFS_low");
+            }
+        }
+    }
+
+    /// Batch schedules partition the ranks, in order, regardless of (b, k).
+    #[test]
+    fn batch_schedule_partitions(n in 0usize..500, b in 1usize..40, k in 1.0f64..4.0) {
+        let s = BatchSchedule::new(n, BatchParams::new(b, k));
+        let mut covered = 0u32;
+        for r in s.iter() {
+            prop_assert_eq!(r.start, covered);
+            prop_assert!(r.end > r.start);
+            covered = r.end;
+        }
+        prop_assert_eq!(covered as usize, n);
+        if n > 0 {
+            prop_assert_eq!(s.batch(0).len().min(n), b.min(n));
+        }
+    }
+
+    /// Backward labels invert the index losslessly (Definition 4 duality).
+    #[test]
+    fn backward_labels_round_trip(g in arb_graph(26, 70)) {
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let idx = reach_core::drl(&g, &ord);
+        prop_assert_eq!(&idx.to_backward().to_index(), &idx);
+    }
+
+    /// The distributed engine is deterministic and node-count invariant.
+    #[test]
+    fn distributed_node_count_invariance(g in arb_graph(20, 55), nodes in 1usize..9) {
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let net = NetworkModel::default();
+        let (one, _) = reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), 1, net);
+        let (many, _) = reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), nodes, net);
+        prop_assert_eq!(one, many);
+    }
+
+    /// BFL answers every query correctly (with its fallback search).
+    #[test]
+    fn bfl_oracle_is_exact(g in arb_graph(20, 55)) {
+        let oracle = reach_bfl::BflOracle::build(&g);
+        let tc = TransitiveClosure::compute(&g);
+        use reach_index::ReachabilityOracle;
+        for s in g.vertices() {
+            for t in g.vertices() {
+                prop_assert_eq!(oracle.reachable(s, t), tc.reaches(s, t));
+            }
+        }
+    }
+
+    /// Graph IO round-trips arbitrary graphs through the edge-list format.
+    #[test]
+    fn edge_list_io_round_trip(g in arb_graph(30, 90)) {
+        let mut buf = Vec::new();
+        reach_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = reach_graph::io::read_edge_list(&buf[..]).unwrap();
+        prop_assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+    }
+}
