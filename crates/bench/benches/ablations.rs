@@ -27,7 +27,10 @@ fn main() {
         "ablation_eager_check",
         &["Variant", "RemoteMsgs", "NetBytes", "Comp_s", "Comm_s"],
     );
-    for (label, eager) in [("eager (Line 14 on)", true), ("lazy (final pass only)", false)] {
+    for (label, eager) in [
+        ("eager (Line 14 on)", true),
+        ("lazy (final pass only)", false),
+    ] {
         let (idx, st) =
             reach_drl_dist::drl::run_with_options(&g, &ord, NODES, NetworkModel::default(), eager);
         assert_eq!(
@@ -70,7 +73,13 @@ fn main() {
     // --- Ablation 3: dynamic maintenance vs rebuild.
     let mut report = Report::new(
         "ablation_dynamic",
-        &["Operation", "Maintain_s", "Rebuild_s", "Refloods", "LabelChanges"],
+        &[
+            "Operation",
+            "Maintain_s",
+            "Rebuild_s",
+            "Refloods",
+            "LabelChanges",
+        ],
     );
     let small = reach_datasets::generators::hierarchy(8_000, 20_000, 0.95, 77);
     let ord = OrderAssignment::new(&small, OrderKind::DegreeProduct);

@@ -88,29 +88,24 @@ fn main() {
         };
 
         // --- DRLb on 32 simulated nodes (modeled time).
-        let (drlb_idx, drlb_stats) = reach_drl_dist::drlb::run(
-            &g,
-            &ord,
-            BatchParams::default(),
-            NODES,
-            network,
-        );
+        let (drlb_idx, drlb_stats) =
+            reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), NODES, network);
         let drlb_t = Some(drlb_stats.total_seconds());
         let drlb_size = Some(drlb_idx.size_bytes());
         let drlb_q = Some(mean_query_seconds(&workload, |s, t| drlb_idx.query(s, t)));
         if let Some(ts) = tol_size {
-            assert_eq!(ts, drlb_idx.size_bytes(), "{}: same index as TOL", spec.name);
+            assert_eq!(
+                ts,
+                drlb_idx.size_bytes(),
+                "{}: same index as TOL",
+                spec.name
+            );
         }
 
         // --- DRLb^M: shared-memory = same engine, free network; gated.
         let drlbm_t = if spec.tol_single_node {
-            let (_, st) = reach_drl_dist::drlb::run(
-                &g,
-                &ord,
-                BatchParams::default(),
-                NODES,
-                free_network,
-            );
+            let (_, st) =
+                reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), NODES, free_network);
             Some(st.total_seconds())
         } else {
             None

@@ -93,9 +93,7 @@ fn run_cell(alg: &str, dataset: &str) {
     let stats = match alg {
         "DRL-" => reach_drl_dist::drl_minus::run(&g, &ord, NODES, network).1,
         "DRL" => reach_drl_dist::drl::run(&g, &ord, NODES, network).1,
-        "DRLb" => {
-            reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), NODES, network).1
-        }
+        "DRLb" => reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), NODES, network).1,
         other => panic!("unknown algorithm {other}"),
     };
     println!(

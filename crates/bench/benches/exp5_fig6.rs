@@ -22,10 +22,7 @@ fn main() {
     }
 
     let filter = dataset_filter();
-    let mut report = Report::new(
-        "exp5_fig6",
-        &["Name", "Alg", "Nodes", "Time_s", "Speedup"],
-    );
+    let mut report = Report::new("exp5_fig6", &["Name", "Alg", "Nodes", "Time_s", "Speedup"]);
     for spec in reach_datasets::mediums() {
         if let Some(f) = &filter {
             if !f.contains(&spec.name.to_string()) {
@@ -35,10 +32,8 @@ fn main() {
         for alg in ALGS {
             let mut base: Option<f64> = None;
             for nodes in NODE_COUNTS {
-                let out = run_self_with_cutoff(
-                    &["--cell", alg, spec.name, &nodes.to_string()],
-                    cutoff(),
-                );
+                let out =
+                    run_self_with_cutoff(&["--cell", alg, spec.name, &nodes.to_string()], cutoff());
                 let time = out.and_then(|o| {
                     o.lines()
                         .find_map(|l| l.strip_prefix("RESULT ").and_then(|r| r.parse().ok()))
@@ -87,9 +82,7 @@ fn run_cell(alg: &str, dataset: &str, nodes: usize) {
     let stats = match alg {
         "DRL-" => reach_drl_dist::drl_minus::run(&g, &ord, nodes, network).1,
         "DRL" => reach_drl_dist::drl::run(&g, &ord, nodes, network).1,
-        "DRLb" => {
-            reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), nodes, network).1
-        }
+        "DRLb" => reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), nodes, network).1,
         other => panic!("unknown algorithm {other}"),
     };
     println!("RESULT {}", stats.total_seconds());

@@ -27,10 +27,8 @@ fn main() {
         }
         for alg in ALGS {
             for slice in 1..=PARTS {
-                let out = run_self_with_cutoff(
-                    &["--cell", alg, spec.name, &slice.to_string()],
-                    cutoff(),
-                );
+                let out =
+                    run_self_with_cutoff(&["--cell", alg, spec.name, &slice.to_string()], cutoff());
                 let time: Option<f64> = out.and_then(|o| {
                     o.lines()
                         .find_map(|l| l.strip_prefix("RESULT ").and_then(|r| r.parse().ok()))
@@ -39,7 +37,8 @@ fn main() {
                     spec.name.into(),
                     alg.into(),
                     format!("{}", slice * 100 / PARTS),
-                    time.map(|t| format!("{t:.4}")).unwrap_or_else(|| "INF".into()),
+                    time.map(|t| format!("{t:.4}"))
+                        .unwrap_or_else(|| "INF".into()),
                 ]);
                 if time.is_none() {
                     break; // larger slices will also exceed the cut-off

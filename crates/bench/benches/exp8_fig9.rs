@@ -38,10 +38,7 @@ fn main() {
             }
         }
         for k in K_VALUES {
-            let out = run_self_with_cutoff(
-                &["--cell", spec.name, &k.to_string()],
-                cutoff(),
-            );
+            let out = run_self_with_cutoff(&["--cell", spec.name, &k.to_string()], cutoff());
             let time: Option<f64> = out.and_then(|o| {
                 o.lines()
                     .find_map(|l| l.strip_prefix("RESULT ").and_then(|r| r.parse().ok()))
@@ -49,7 +46,8 @@ fn main() {
             report.row(vec![
                 spec.name.into(),
                 format!("{k}"),
-                time.map(|t| format!("{t:.4}")).unwrap_or_else(|| "INF".into()),
+                time.map(|t| format!("{t:.4}"))
+                    .unwrap_or_else(|| "INF".into()),
             ]);
         }
     }

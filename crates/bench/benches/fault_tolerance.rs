@@ -1,0 +1,116 @@
+//! Fault-tolerance overhead: what does surviving failures cost?
+//!
+//! Two sweeps over the distributed DRL build (8 nodes, medium random
+//! graph), both compared against the fault-free no-checkpoint baseline:
+//!
+//! * **fault-free with checkpointing** at intervals C ∈ {1, 2, 4, 8} —
+//!   the steady-state insurance premium (modeled checkpoint seconds and
+//!   snapshot bytes; nothing to recover);
+//! * **one node crash + 20 % message drops** recovered at the same
+//!   intervals — the claim check (index bit-identical to the baseline)
+//!   plus the replay cost, which *shrinks* as checkpoints tighten while
+//!   the premium grows: the trade-off the interval knob controls.
+
+use reach_bench::Report;
+use reach_graph::{gen, OrderAssignment, OrderKind};
+use reach_index::ReachIndex;
+use reach_vcs::{FaultPlan, NetworkModel, RunStats};
+
+const NODES: usize = 8;
+const INTERVALS: [usize; 4] = [1, 2, 4, 8];
+
+/// The deterministic, modeled share of a run's clock: network time plus the
+/// fault layer's checkpoint and recovery charges. Compute time is measured
+/// wall-clock and would add noise to an overhead comparison.
+fn modeled_secs(stats: &RunStats) -> f64 {
+    stats.comm_seconds + stats.recovery.checkpoint_seconds + stats.recovery.recovery_seconds
+}
+
+fn row_for(
+    report: &mut Report,
+    mode: &str,
+    c: usize,
+    idx: &ReachIndex,
+    stats: &RunStats,
+    baseline_idx: &ReachIndex,
+    baseline_secs: f64,
+) {
+    let r = &stats.recovery;
+    report.row(vec![
+        mode.into(),
+        c.to_string(),
+        r.checkpoints.to_string(),
+        format!("{:.2}", r.checkpoint_bytes as f64 / (1 << 20) as f64),
+        r.recoveries.to_string(),
+        r.replayed_supersteps.to_string(),
+        r.retransmits.to_string(),
+        format!("{:.4}", modeled_secs(stats)),
+        format!(
+            "{:+.1}",
+            100.0 * (modeled_secs(stats) - baseline_secs) / baseline_secs
+        ),
+        (idx == baseline_idx).to_string(),
+    ]);
+}
+
+fn main() {
+    let g = gen::gnm(400, 2200, 77);
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+    let network = NetworkModel::default();
+
+    let (baseline_idx, baseline_stats) = reach_drl_dist::drl::run(&g, &ord, NODES, network);
+    let baseline_secs = modeled_secs(&baseline_stats);
+
+    let mut report = Report::new(
+        "fault_tolerance",
+        &[
+            "Mode",
+            "C",
+            "Ckpts",
+            "CkptMiB",
+            "Recov",
+            "Replayed",
+            "Retx",
+            "Net_s",
+            "Overhd%",
+            "Identical",
+        ],
+    );
+
+    // Sweep 1: checkpointing with no faults — the pure insurance premium.
+    for c in INTERVALS {
+        let plan = FaultPlan::new(1).with_checkpoint_interval(c);
+        let (idx, stats) = reach_drl_dist::drl::run_with_faults(&g, &ord, NODES, network, plan)
+            .expect("a fault-free plan cannot fail");
+        row_for(
+            &mut report,
+            "ckpt-only",
+            c,
+            &idx,
+            &stats,
+            &baseline_idx,
+            baseline_secs,
+        );
+    }
+
+    // Sweep 2: a node crash plus 20 % drops, recovered at each interval.
+    for c in INTERVALS {
+        let plan = FaultPlan::new(9)
+            .with_crash(3, 3)
+            .with_message_drops(0.2)
+            .with_checkpoint_interval(c);
+        let (idx, stats) = reach_drl_dist::drl::run_with_faults(&g, &ord, NODES, network, plan)
+            .expect("one crash over eight nodes is recoverable");
+        row_for(
+            &mut report,
+            "crash+drop",
+            c,
+            &idx,
+            &stats,
+            &baseline_idx,
+            baseline_secs,
+        );
+    }
+
+    report.finish();
+}

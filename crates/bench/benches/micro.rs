@@ -1,35 +1,66 @@
-//! Criterion micro-benchmarks for the kernels the experiments rest on:
-//! index query latency (the sub-microsecond claim of Table VI), trimmed
-//! BFS throughput, and the sorted-intersection primitive.
+//! Micro-benchmarks for the kernels the experiments rest on: index query
+//! latency (the sub-microsecond claim of Table VI), trimmed BFS throughput,
+//! the sorted-intersection primitive, and a small end-to-end index build.
+//!
+//! A `harness = false` binary like the `exp*` benches: each kernel is timed
+//! with a warmup pass followed by measured batches, reporting the mean
+//! per-iteration latency.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
+
 use reach_core::BatchParams;
 use reach_graph::{Direction, OrderAssignment, OrderKind, VisitBuffer};
 use reach_index::intersects_sorted;
 
-fn bench_query_latency(c: &mut Criterion) {
+/// Times `iters` calls of `f` after `warmup` unmeasured calls; returns mean
+/// seconds per iteration.
+fn time_per_iter<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+fn fmt_latency(name: &str, secs: f64) {
+    let (v, unit) = if secs < 1e-6 {
+        (secs * 1e9, "ns")
+    } else if secs < 1e-3 {
+        (secs * 1e6, "us")
+    } else {
+        (secs * 1e3, "ms")
+    };
+    println!("{name:<32} {v:>10.1} {unit}/iter");
+}
+
+fn bench_query_latency() {
     let spec = reach_datasets::by_name("WEBW").expect("dataset");
     let g = spec.generate();
     let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
     let idx = reach_core::drlb(&g, &ord, BatchParams::default());
     let workload = reach_bench::query_workload(&g, 1024, 7);
     let mut i = 0;
-    c.bench_function("index_query", |b| {
-        b.iter(|| {
+    fmt_latency(
+        "index_query",
+        time_per_iter(10_000, 2_000_000, || {
             let (s, t) = workload[i & 1023];
             i += 1;
-            std::hint::black_box(idx.query(s, t))
-        })
-    });
+            std::hint::black_box(idx.query(s, t));
+        }),
+    );
 }
 
-fn bench_trimmed_bfs(c: &mut Criterion) {
+fn bench_trimmed_bfs() {
     let g = reach_datasets::web(50_000, 120_000, 3);
     let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
     let mut visit = VisitBuffer::new(g.num_vertices());
     let mut v = 0u32;
-    c.bench_function("trimmed_bfs", |b| {
-        b.iter(|| {
+    fmt_latency(
+        "trimmed_bfs",
+        time_per_iter(100, 20_000, || {
             v = (v + 1) % g.num_vertices() as u32;
             std::hint::black_box(reach_core::trimmed::trimmed_bfs(
                 &g,
@@ -37,34 +68,36 @@ fn bench_trimmed_bfs(c: &mut Criterion) {
                 Direction::Forward,
                 &ord,
                 &mut visit,
-            ))
-        })
-    });
+            ));
+        }),
+    );
 }
 
-fn bench_intersection(c: &mut Criterion) {
+fn bench_intersection() {
     let a: Vec<u32> = (0..64).map(|x| x * 3).collect();
     let b: Vec<u32> = (0..64).map(|x| x * 3 + 1).collect();
-    c.bench_function("sorted_intersection_disjoint_64", |bch| {
-        bch.iter(|| std::hint::black_box(intersects_sorted(&a, &b)))
-    });
+    fmt_latency(
+        "sorted_intersection_disjoint_64",
+        time_per_iter(10_000, 5_000_000, || {
+            std::hint::black_box(intersects_sorted(&a, &b));
+        }),
+    );
 }
 
-fn bench_index_build_small(c: &mut Criterion) {
+fn bench_index_build_small() {
     let g = reach_datasets::web(20_000, 48_000, 5);
     let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
-    c.bench_function("drlb_build_20k", |b| {
-        b.iter_batched(
-            || (),
-            |()| std::hint::black_box(reach_core::drlb(&g, &ord, BatchParams::default())),
-            BatchSize::LargeInput,
-        )
-    });
+    fmt_latency(
+        "drlb_build_20k",
+        time_per_iter(1, 5, || {
+            std::hint::black_box(reach_core::drlb(&g, &ord, BatchParams::default()));
+        }),
+    );
 }
 
-criterion_group! {
-    name = micro;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4));
-    targets = bench_query_latency, bench_trimmed_bfs, bench_intersection, bench_index_build_small
+fn main() {
+    bench_query_latency();
+    bench_trimmed_bfs();
+    bench_intersection();
+    bench_index_build_small();
 }
-criterion_main!(micro);

@@ -13,7 +13,14 @@ use reach_graph::{OrderAssignment, OrderKind};
 fn main() {
     let mut report = Report::new(
         "table4_bfs_counts",
-        &["Name", "Method", "Filter_BFS", "Refine_BFS", "Candidates", "Eliminated"],
+        &[
+            "Name",
+            "Method",
+            "Filter_BFS",
+            "Refine_BFS",
+            "Candidates",
+            "Eliminated",
+        ],
     );
     // A single medium suffices for the ablation (the counts are exact,
     // not timings); the Theorem-2 framework is quadratic, so sub-scale it.
@@ -42,6 +49,9 @@ fn main() {
         ]);
     }
     assert_eq!(t4.refine_bfs, 0, "Theorem-4 refinement is BFS-free");
-    assert!(t3.refine_bfs <= t2.refine_bfs, "Lemma 3: |BFS_hig| <= |DES_hig|");
+    assert!(
+        t3.refine_bfs <= t2.refine_bfs,
+        "Lemma 3: |BFS_hig| <= |DES_hig|"
+    );
     report.finish();
 }

@@ -19,7 +19,13 @@ fn main() {
         let (idx, t_tol) = timed(|| reach_tol::pruned::build(&g, &ord));
         let avg = idx.num_entries() as f64 / (2.0 * g.num_vertices() as f64);
         let ((_, st), wall) = timed(|| {
-            reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), 32, NetworkModel::default())
+            reach_drl_dist::drlb::run(
+                &g,
+                &ord,
+                BatchParams::default(),
+                32,
+                NetworkModel::default(),
+            )
         });
         println!(
             "{}: |V|={} |E|={} TOL={t_tol:.2}s avg_label={avg:.1} Δ={} | DRLb32 modeled={:.3}s wall={wall:.1}s ratio={:.1}",

@@ -25,7 +25,10 @@ fn main() {
             );
             if let Some((pm, pe)) = prev {
                 if pm != msgs {
-                    println!("  !! message divergence ({pm} vs {msgs}), entries {pe} vs {}", idx.num_entries());
+                    println!(
+                        "  !! message divergence ({pm} vs {msgs}), entries {pe} vs {}",
+                        idx.num_entries()
+                    );
                 }
             }
             prev = Some((msgs, idx.num_entries()));

@@ -17,15 +17,22 @@ fn main() {
             g.num_edges()
         );
         let (idx_tol, t_tol) = timed(|| reach_tol::pruned::build(&g, &ord));
-        println!("  TOL pruned: {t_tol:.2}s entries={}", idx_tol.num_entries());
+        println!(
+            "  TOL pruned: {t_tol:.2}s entries={}",
+            idx_tol.num_entries()
+        );
         let (_, t_drlb) = timed(|| reach_core::drlb(&g, &ord, BatchParams::default()));
         println!("  DRLb serial: {t_drlb:.2}s");
-        let (_, t_mc) = timed(|| {
-            reach_core::drlb_multicore(&g, &ord, BatchParams::default(), 8)
-        });
+        let (_, t_mc) = timed(|| reach_core::drlb_multicore(&g, &ord, BatchParams::default(), 8));
         println!("  DRLb multicore(8): {t_mc:.2}s");
         let ((_, st), t_dist) = timed(|| {
-            reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), 32, NetworkModel::default())
+            reach_drl_dist::drlb::run(
+                &g,
+                &ord,
+                BatchParams::default(),
+                32,
+                NetworkModel::default(),
+            )
         });
         println!(
             "  DRLb dist(32): wall={t_dist:.2}s modeled={:.2}s (comp {:.2} comm {:.2}) steps={}",
@@ -35,18 +42,19 @@ fn main() {
             st.supersteps
         );
         if name == "WEBW" {
-            let ((_, st), t) = timed(|| {
-                reach_drl_dist::drl::run(&g, &ord, 32, NetworkModel::default())
-            });
+            let ((_, st), t) =
+                timed(|| reach_drl_dist::drl::run(&g, &ord, 32, NetworkModel::default()));
             println!(
                 "  DRL dist(32): wall={t:.2}s modeled={:.2}s",
                 st.total_seconds()
             );
             let (bfl, t_bflc) = timed(|| reach_bfl::BflIndex::build(&g));
-            println!("  BFL^C build: {t_bflc:.2}s rounds={}", bfl.propagation_rounds);
-            let (bd, t_bfld) = timed(|| {
-                reach_bfl::BflDistributed::build(&g, 32, NetworkModel::default())
-            });
+            println!(
+                "  BFL^C build: {t_bflc:.2}s rounds={}",
+                bfl.propagation_rounds
+            );
+            let (bd, t_bfld) =
+                timed(|| reach_bfl::BflDistributed::build(&g, 32, NetworkModel::default()));
             println!(
                 "  BFL^D build: wall={t_bfld:.2}s modeled={:.2}s dfs_hops={}",
                 bd.build_stats.total_seconds(),

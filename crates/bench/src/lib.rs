@@ -167,8 +167,7 @@ impl Report {
     /// Writes the CSV twin under the workspace `target/experiments/`.
     pub fn write_csv(&self) -> std::io::Result<std::path::PathBuf> {
         // Anchor at the workspace root regardless of the bench's cwd.
-        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../../target/experiments");
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.csv", self.name));
         let mut f = std::fs::File::create(&path)?;

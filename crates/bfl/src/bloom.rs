@@ -53,7 +53,10 @@ impl BloomFilter {
     /// `true` iff every set bit of `self` is set in `other` — the sound
     /// subset test (`DES(t) ⊆ DES(s)` necessary condition).
     pub fn subset_of(&self, other: &BloomFilter) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 }
 

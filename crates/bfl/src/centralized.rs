@@ -35,10 +35,8 @@ impl BflIndex {
         // intervals come from a DFS forest; a single-node partition makes
         // the traversal free of (simulated) network cost.
         let dfs = algo::dist_dfs(g, Direction::Forward, &Partition::modulo(1));
-        let (out_filter, rounds_out) =
-            propagate_filters(g, Direction::Forward, bloom_bits, hashes);
-        let (in_filter, rounds_in) =
-            propagate_filters(g, Direction::Backward, bloom_bits, hashes);
+        let (out_filter, rounds_out) = propagate_filters(g, Direction::Forward, bloom_bits, hashes);
+        let (in_filter, rounds_in) = propagate_filters(g, Direction::Backward, bloom_bits, hashes);
         BflIndex {
             pre: dfs.pre,
             max_pre_subtree: dfs.max_pre_subtree,
@@ -52,7 +50,11 @@ impl BflIndex {
     /// vertex.
     pub fn size_bytes(&self) -> usize {
         let n = self.pre.len();
-        let filter_bytes = if n == 0 { 0 } else { self.out_filter[0].bytes() };
+        let filter_bytes = if n == 0 {
+            0
+        } else {
+            self.out_filter[0].bytes()
+        };
         n * (8 + 2 * filter_bytes)
     }
 
@@ -106,10 +108,7 @@ fn propagate_filters(
         let mut changed = false;
         for &v in &sweep {
             // Take the row out to appease the borrow checker cheaply.
-            let mut mine = std::mem::replace(
-                &mut filters[v as usize],
-                BloomFilter::empty(0),
-            );
+            let mut mine = std::mem::replace(&mut filters[v as usize], BloomFilter::empty(0));
             for &w in g.neighbors(v, dir) {
                 if w != v {
                     changed |= mine.union_with(&filters[w as usize]);
@@ -199,11 +198,7 @@ mod tests {
         let oracle = BflOracle::build(g);
         for s in g.vertices() {
             for t in g.vertices() {
-                assert_eq!(
-                    oracle.reachable(s, t),
-                    tc.reaches(s, t),
-                    "q({s}, {t})"
-                );
+                assert_eq!(oracle.reachable(s, t), tc.reaches(s, t), "q({s}, {t})");
             }
         }
     }

@@ -13,8 +13,9 @@
 //! sequential message exchange. This is why BFL^D's query time in Table VI
 //! sits three orders of magnitude above the index-only methods.
 
+use rand::{Rng, SeedableRng};
 use reach_graph::{DiGraph, Direction, VertexId};
-use reach_vcs::{algo, NetworkModel, Partition};
+use reach_vcs::{algo, EngineError, FaultPlan, NetworkModel, Partition};
 
 use crate::centralized::BflIndex;
 use crate::{DEFAULT_BLOOM_BITS, DEFAULT_BLOOM_HASHES};
@@ -34,12 +35,18 @@ pub struct BflBuildStats {
     pub comm_seconds: f64,
     /// Modeled parallel computation seconds.
     pub compute_seconds: f64,
+    /// Token retransmissions caused by injected message drops.
+    pub token_retransmits: usize,
+    /// Remote token hops that straggled.
+    pub token_delays: usize,
+    /// Modeled seconds spent detecting crashes and re-homing the token.
+    pub recovery_seconds: f64,
 }
 
 impl BflBuildStats {
     /// Modeled end-to-end construction seconds.
     pub fn total_seconds(&self) -> f64 {
-        self.comm_seconds + self.compute_seconds
+        self.comm_seconds + self.compute_seconds + self.recovery_seconds
     }
 }
 
@@ -77,6 +84,40 @@ impl BflDistributed {
         bloom_bits: usize,
         hashes: usize,
     ) -> Self {
+        Self::build_impl(g, nodes, network, bloom_bits, hashes, None)
+            .expect("fault-free BFL^D build cannot fail")
+    }
+
+    /// Builds under an injected [`FaultPlan`]. The DFS token is the only
+    /// construction state in flight, so faults never change the labels —
+    /// a dropped token hop is retransmitted, a straggling hop stalls the
+    /// walk, and a crashed node hands its partition's bookkeeping to the
+    /// survivors while the token (held by the walker) re-homes — but every
+    /// fault shows up in the modeled clock and the recovery counters.
+    pub fn build_with_faults(
+        g: &DiGraph,
+        nodes: usize,
+        network: NetworkModel,
+        faults: FaultPlan,
+    ) -> Result<Self, EngineError> {
+        Self::build_impl(
+            g,
+            nodes,
+            network,
+            DEFAULT_BLOOM_BITS,
+            DEFAULT_BLOOM_HASHES,
+            Some(faults),
+        )
+    }
+
+    fn build_impl(
+        g: &DiGraph,
+        nodes: usize,
+        network: NetworkModel,
+        bloom_bits: usize,
+        hashes: usize,
+        faults: Option<FaultPlan>,
+    ) -> Result<Self, EngineError> {
         let partition = Partition::modulo(nodes);
         let t0 = std::time::Instant::now();
 
@@ -92,17 +133,73 @@ impl BflDistributed {
             .edges()
             .filter(|&(u, v)| partition.node_of(u) != partition.node_of(v))
             .count();
-        let prop_remote_bytes =
-            index_rest.propagation_rounds * cross_edges * filter_bytes * 2; // both directions
+        let prop_remote_bytes = index_rest.propagation_rounds * cross_edges * filter_bytes * 2; // both directions
 
         let serial = t0.elapsed().as_secs_f64();
-        let comm_seconds = dfs.stats.modeled_seconds(&network)
+        let mut comm_seconds = dfs.stats.modeled_seconds(&network)
             + if nodes > 1 {
                 index_rest.propagation_rounds as f64 * network.superstep_latency
                     + prop_remote_bytes as f64 / network.bandwidth
             } else {
                 0.0
             };
+
+        // Fault modeling over the token walk: the token itself is the only
+        // in-flight construction state, so no fault can change the labels —
+        // each one just stalls the (strictly sequential) walk.
+        let mut token_retransmits = 0usize;
+        let mut token_delays = 0usize;
+        let mut recovery_seconds = 0.0f64;
+        if let Some(plan) = &faults {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(plan.seed ^ 0x9E37_79B9_7F4A_7C15);
+            for hop in 0..dfs.stats.remote_hops {
+                let mut attempts = 1usize;
+                while plan.drop_prob > 0.0 && rng.gen_bool(plan.drop_prob) {
+                    attempts += 1;
+                    if attempts > plan.max_retries {
+                        return Err(EngineError::MessageLost {
+                            superstep: hop,
+                            retries: plan.max_retries,
+                        });
+                    }
+                }
+                token_retransmits += attempts - 1;
+                comm_seconds += (attempts - 1) as f64
+                    * (network.superstep_latency
+                        + algo::DfsStats::TOKEN_BYTES as f64 / network.bandwidth);
+                if plan.delay_prob > 0.0 && rng.gen_bool(plan.delay_prob) {
+                    token_delays += 1;
+                    comm_seconds +=
+                        rng.gen_range(1..=plan.max_delay) as f64 * network.superstep_latency;
+                }
+            }
+            let mut alive = nodes;
+            for crash in plan.crashes() {
+                if crash.node >= nodes {
+                    return Err(EngineError::UnrecoverableCrash {
+                        node: crash.node,
+                        superstep: crash.superstep,
+                        reason: reach_vcs::CrashReason::UnknownNode,
+                    });
+                }
+                alive -= 1;
+                if alive == 0 {
+                    return Err(EngineError::UnrecoverableCrash {
+                        node: crash.node,
+                        superstep: crash.superstep,
+                        reason: reach_vcs::CrashReason::NoSurvivors,
+                    });
+                }
+                // Heartbeat-timeout detection, then the dead node's DFS
+                // bookkeeping (pre/post/max-pre of its vertices) re-homes
+                // to a survivor.
+                let rehomed_bytes = g.num_vertices().div_ceil(nodes) * 12;
+                recovery_seconds += 10.0 * network.superstep_latency
+                    + network.superstep_latency
+                    + rehomed_bytes as f64 / network.bandwidth;
+            }
+        }
+
         let build_stats = BflBuildStats {
             dfs_hops: dfs.stats.hops,
             dfs_remote_hops: dfs.stats.remote_hops,
@@ -112,9 +209,12 @@ impl BflDistributed {
             // The DFS token is sequential (no parallel speedup); the filter
             // propagation parallelizes across nodes.
             compute_seconds: serial / nodes as f64 + serial * (1.0 - 1.0 / nodes as f64) * 0.5,
+            token_retransmits,
+            token_delays,
+            recovery_seconds,
         };
 
-        BflDistributed {
+        Ok(BflDistributed {
             index: BflIndex {
                 pre: dfs.pre,
                 max_pre_subtree: dfs.max_pre_subtree,
@@ -125,7 +225,7 @@ impl BflDistributed {
             partition,
             network,
             build_stats,
-        }
+        })
     }
 
     /// The underlying index (intervals + filters).
@@ -178,8 +278,7 @@ impl BflDistributed {
             }
             frontier = next;
         }
-        cost.modeled_seconds +=
-            (cost.remote_messages * 8) as f64 / self.network.bandwidth;
+        cost.modeled_seconds += (cost.remote_messages * 8) as f64 / self.network.bandwidth;
         (answer, cost)
     }
 }
@@ -227,6 +326,48 @@ mod tests {
         // Same-node endpoints without fallback are free.
         let (_, cost) = bfl.query(&g, 0, 0);
         assert_eq!(cost.remote_messages, 0);
+    }
+
+    #[test]
+    fn faulty_build_keeps_labels_and_pays_for_recovery() {
+        let g = gen::gnm(60, 200, 11);
+        let tc = TransitiveClosure::compute(&g);
+        let clean = BflDistributed::build(&g, 4, NetworkModel::default());
+        let plan = FaultPlan::new(31)
+            .with_crash(2, 5)
+            .with_message_drops(0.3)
+            .with_message_delays(0.2, 3);
+        let faulty =
+            BflDistributed::build_with_faults(&g, 4, NetworkModel::default(), plan).unwrap();
+        // The labels are unchanged (and therefore still correct).
+        assert_eq!(faulty.index().pre, clean.index().pre);
+        assert_eq!(
+            faulty.index().max_pre_subtree,
+            clean.index().max_pre_subtree
+        );
+        for s in g.vertices().step_by(5) {
+            for t in g.vertices().step_by(3) {
+                assert_eq!(faulty.query(&g, s, t).0, tc.reaches(s, t));
+            }
+        }
+        // The faults show up only in the modeled clock.
+        assert!(faulty.build_stats.token_retransmits > 0);
+        assert!(faulty.build_stats.token_delays > 0);
+        assert!(faulty.build_stats.recovery_seconds > 0.0);
+        assert!(faulty.build_stats.comm_seconds > clean.build_stats.comm_seconds);
+    }
+
+    #[test]
+    fn crashing_every_node_fails_the_build() {
+        let g = fixtures::paper_graph();
+        let plan = FaultPlan::new(1).with_crash(0, 1).with_crash(1, 2);
+        let err = BflDistributed::build_with_faults(&g, 2, NetworkModel::default(), plan)
+            .err()
+            .expect("build must fail");
+        assert!(matches!(
+            err,
+            reach_vcs::EngineError::UnrecoverableCrash { .. }
+        ));
     }
 
     #[test]

@@ -69,10 +69,24 @@ pub fn drl_minus_with_stats(g: &DiGraph, ord: &OrderAssignment) -> (ReachIndex, 
     let mut elim = VisitBuffer::new(n);
     let mut bw = BackwardLabels::new(n);
     for v in g.vertices() {
-        bw.in_sets[v as usize] =
-            backward_labels_of(g, v, Direction::Forward, ord, &mut visit, &mut elim, &mut stats);
-        bw.out_sets[v as usize] =
-            backward_labels_of(g, v, Direction::Backward, ord, &mut visit, &mut elim, &mut stats);
+        bw.in_sets[v as usize] = backward_labels_of(
+            g,
+            v,
+            Direction::Forward,
+            ord,
+            &mut visit,
+            &mut elim,
+            &mut stats,
+        );
+        bw.out_sets[v as usize] = backward_labels_of(
+            g,
+            v,
+            Direction::Backward,
+            ord,
+            &mut visit,
+            &mut elim,
+            &mut stats,
+        );
     }
     bw.finalize();
     (bw.to_index(), stats)

@@ -41,8 +41,7 @@ pub fn drlb_with_stats(
 
     for i in 0..schedule.num_batches() {
         let sources = schedule.batch_vertices(i, ord);
-        let (in_sets, out_sets) =
-            label_batch(g, ord, &labels, &sources, &mut visit, &mut stats);
+        let (in_sets, out_sets) = label_batch(g, ord, &labels, &sources, &mut visit, &mut stats);
         labels.append_batch(ord, &sources, &in_sets, &out_sets);
     }
 
@@ -231,7 +230,14 @@ mod tests {
         let g = gen::gnm(50, 160, 9);
         let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
         let oracle = reach_tol::naive::build(&g, &ord);
-        for (b, k) in [(1, 1.0), (1, 2.0), (2, 2.0), (8, 1.5), (64, 2.0), (100, 2.0)] {
+        for (b, k) in [
+            (1, 1.0),
+            (1, 2.0),
+            (2, 2.0),
+            (8, 1.5),
+            (64, 2.0),
+            (100, 2.0),
+        ] {
             assert_eq!(
                 drlb(&g, &ord, BatchParams::new(b, k)),
                 oracle,
@@ -313,9 +319,10 @@ mod tests {
             let mut fwd: Vec<Vec<VertexId>> = vec![Vec::new(); n];
             let mut bwd: Vec<Vec<VertexId>> = vec![Vec::new(); n];
             for &v in &active {
-                for (dir, store) in
-                    [(Direction::Forward, &mut fwd), (Direction::Backward, &mut bwd)]
-                {
+                for (dir, store) in [
+                    (Direction::Forward, &mut fwd),
+                    (Direction::Backward, &mut bwd),
+                ] {
                     visit.reset();
                     visit.mark(v);
                     let mut low = vec![v];

@@ -47,10 +47,7 @@ pub fn backward_labels_of(
     }
 
     let total = des.len();
-    let kept: Vec<VertexId> = des
-        .into_iter()
-        .filter(|&w| !elim.is_marked(w))
-        .collect();
+    let kept: Vec<VertexId> = des.into_iter().filter(|&w| !elim.is_marked(w)).collect();
     stats.eliminated += total - kept.len();
     kept
 }
@@ -67,10 +64,8 @@ pub fn build_with_stats(g: &DiGraph, ord: &OrderAssignment) -> (ReachIndex, Labe
     let mut stats = LabelingStats::default();
     let mut bw = BackwardLabels::new(n);
     for v in g.vertices() {
-        bw.in_sets[v as usize] =
-            backward_labels_of(g, v, Direction::Forward, ord, &mut stats);
-        bw.out_sets[v as usize] =
-            backward_labels_of(g, v, Direction::Backward, ord, &mut stats);
+        bw.in_sets[v as usize] = backward_labels_of(g, v, Direction::Forward, ord, &mut stats);
+        bw.out_sets[v as usize] = backward_labels_of(g, v, Direction::Backward, ord, &mut stats);
     }
     bw.finalize();
     (bw.to_index(), stats)
@@ -105,7 +100,11 @@ mod tests {
         for seed in 0..6 {
             let g = gen::gnm(35, 110, seed);
             let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
-            assert_eq!(build(&g, &ord), reach_tol::naive::build(&g, &ord), "seed {seed}");
+            assert_eq!(
+                build(&g, &ord),
+                reach_tol::naive::build(&g, &ord),
+                "seed {seed}"
+            );
         }
     }
 }

@@ -91,7 +91,11 @@ mod tests {
         for seed in 0..10 {
             let g = gen::gnm(45, 140, seed);
             let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
-            assert_eq!(drl(&g, &ord), reach_tol::naive::build(&g, &ord), "seed {seed}");
+            assert_eq!(
+                drl(&g, &ord),
+                reach_tol::naive::build(&g, &ord),
+                "seed {seed}"
+            );
         }
     }
 
@@ -100,7 +104,11 @@ mod tests {
         for seed in 0..6 {
             let g = gen::random_dag(45, 120, seed);
             let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
-            assert_eq!(drl(&g, &ord), reach_tol::naive::build(&g, &ord), "seed {seed}");
+            assert_eq!(
+                drl(&g, &ord),
+                reach_tol::naive::build(&g, &ord),
+                "seed {seed}"
+            );
         }
     }
 

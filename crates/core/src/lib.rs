@@ -37,14 +37,14 @@ pub mod batched;
 pub mod dynamic;
 pub mod framework;
 pub mod improved;
-mod refine;
 pub mod multicore;
+mod refine;
 pub mod trimmed;
 
+pub use basic::drl_minus;
 pub use batch::{BatchParams, BatchSchedule};
 pub use batched::drlb;
 pub use dynamic::DynamicIndex;
-pub use basic::drl_minus;
 pub use improved::drl;
 pub use multicore::drlb_multicore;
 

@@ -62,44 +62,42 @@ pub fn drlb_multicore_with_stats(
         // Phase 1: parallel floods. Each worker owns a chunk of sources and
         // returns (vertex, fwd candidates, bwd candidates) triples.
         let chunk = active.len().div_ceil(threads).max(1);
-        let flood_results: Vec<Vec<SourceResult>> =
-            crossbeam::thread::scope(|scope| {
-                let labels = &labels;
-                let handles: Vec<_> = active
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move |_| {
-                            let mut visit = VisitBuffer::new(n);
-                            part.iter()
-                                .map(|&v| {
-                                    let mut st = LabelingStats::default();
-                                    let fwd = pruned_trimmed_bfs(
-                                        g,
-                                        v,
-                                        Direction::Forward,
-                                        ord,
-                                        labels,
-                                        &mut visit,
-                                        &mut st,
-                                    );
-                                    let bwd = pruned_trimmed_bfs(
-                                        g,
-                                        v,
-                                        Direction::Backward,
-                                        ord,
-                                        labels,
-                                        &mut visit,
-                                        &mut st,
-                                    );
-                                    (v, fwd, bwd, st)
-                                })
-                                .collect()
-                        })
+        let flood_results: Vec<Vec<SourceResult>> = std::thread::scope(|scope| {
+            let labels = &labels;
+            let handles: Vec<_> = active
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        let mut visit = VisitBuffer::new(n);
+                        part.iter()
+                            .map(|&v| {
+                                let mut st = LabelingStats::default();
+                                let fwd = pruned_trimmed_bfs(
+                                    g,
+                                    v,
+                                    Direction::Forward,
+                                    ord,
+                                    labels,
+                                    &mut visit,
+                                    &mut st,
+                                );
+                                let bwd = pruned_trimmed_bfs(
+                                    g,
+                                    v,
+                                    Direction::Backward,
+                                    ord,
+                                    labels,
+                                    &mut visit,
+                                    &mut st,
+                                );
+                                (v, fwd, bwd, st)
+                            })
+                            .collect()
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .expect("flood worker panicked");
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
 
         let mut fwd_low: Vec<Vec<VertexId>> = vec![Vec::new(); n];
         let mut bwd_low: Vec<Vec<VertexId>> = vec![Vec::new(); n];
@@ -116,30 +114,28 @@ pub fn drlb_multicore_with_stats(
         let inv_from_fwd = build_inverted(n, &active, &fwd_low);
 
         // Phase 3: parallel refinement over sources.
-        let refine_results: Vec<Vec<SourceResult>> =
-            crossbeam::thread::scope(|scope| {
-                let fwd_low = &fwd_low;
-                let bwd_low = &bwd_low;
-                let inv_from_bwd = &inv_from_bwd;
-                let inv_from_fwd = &inv_from_fwd;
-                let handles: Vec<_> = active
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move |_| {
-                            part.iter()
-                                .map(|&v| {
-                                    let mut st = LabelingStats::default();
-                                    let ins = refine_one(v, fwd_low, inv_from_bwd, &mut st);
-                                    let outs = refine_one(v, bwd_low, inv_from_fwd, &mut st);
-                                    (v, ins, outs, st)
-                                })
-                                .collect()
-                        })
+        let refine_results: Vec<Vec<SourceResult>> = std::thread::scope(|scope| {
+            let fwd_low = &fwd_low;
+            let bwd_low = &bwd_low;
+            let inv_from_bwd = &inv_from_bwd;
+            let inv_from_fwd = &inv_from_fwd;
+            let handles: Vec<_> = active
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|&v| {
+                                let mut st = LabelingStats::default();
+                                let ins = refine_one(v, fwd_low, inv_from_bwd, &mut st);
+                                let outs = refine_one(v, bwd_low, inv_from_fwd, &mut st);
+                                (v, ins, outs, st)
+                            })
+                            .collect()
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .expect("refine worker panicked");
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
 
         let mut in_sets: Vec<Vec<VertexId>> = vec![Vec::new(); n];
         let mut out_sets: Vec<Vec<VertexId>> = vec![Vec::new(); n];

@@ -137,16 +137,11 @@ mod tests {
             for v in g.vertices() {
                 let r = trimmed_bfs(&g, v, Direction::Forward, &ord, &mut visit);
                 let des: Vec<VertexId> = descendants(&g, v);
-                let des_hig: Vec<VertexId> = des
-                    .iter()
-                    .copied()
-                    .filter(|&u| ord.higher(u, v))
-                    .collect();
+                let des_hig: Vec<VertexId> =
+                    des.iter().copied().filter(|&u| ord.higher(u, v)).collect();
                 let union_of = |set: &[VertexId]| {
-                    let mut u: Vec<VertexId> = set
-                        .iter()
-                        .flat_map(|&x| descendants(&g, x))
-                        .collect();
+                    let mut u: Vec<VertexId> =
+                        set.iter().flat_map(|&x| descendants(&g, x)).collect();
                     u.sort_unstable();
                     u.dedup();
                     u

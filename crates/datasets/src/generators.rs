@@ -12,7 +12,10 @@ use reach_graph::{DiGraph, VertexId};
 /// next power of two internally; endpoints are folded back below `n`.
 pub fn rmat(n: usize, m: usize, a: f64, b: f64, c: f64, d: f64, seed: u64) -> DiGraph {
     assert!(n > 0 || m == 0);
-    assert!((a + b + c + d - 1.0).abs() < 1e-9, "quadrants must sum to 1");
+    assert!(
+        (a + b + c + d - 1.0).abs() < 1e-9,
+        "quadrants must sum to 1"
+    );
     let levels = (usize::BITS - (n.max(2) - 1).leading_zeros()) as usize;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(m);
@@ -222,7 +225,11 @@ mod tests {
     fn rmat_is_skewed() {
         let g = rmat(4096, 40_000, 0.57, 0.19, 0.19, 0.05, 3);
         let s = GraphStats::compute(&g);
-        assert!(s.max_out_degree > 100, "hub expected, got {}", s.max_out_degree);
+        assert!(
+            s.max_out_degree > 100,
+            "hub expected, got {}",
+            s.max_out_degree
+        );
     }
 
     #[test]

@@ -106,41 +106,256 @@ pub fn table5() -> Vec<DatasetSpec> {
     // Per-row flags (medium, tol_single_node, bflc_single_node) transcribe
     // Table VI's "-" pattern: TOL and DRLb^M ran only on the mediums plus
     // LINK, GRPH and TWIT; BFL^C additionally ran on SINA.
-    let spec = |name, full_name, kind, vertices, edges, seed, pv, pe, medium, tol1, bflc1, depth| {
-        DatasetSpec {
-            name,
-            full_name,
-            kind,
-            vertices,
-            edges,
-            seed,
-            paper_vertices: pv,
-            paper_edges: pe,
-            medium,
-            tol_single_node: tol1,
-            bflc_single_node: bflc1,
-            depth_frac: depth,
-        }
-    };
+    let spec =
+        |name, full_name, kind, vertices, edges, seed, pv, pe, medium, tol1, bflc1, depth| {
+            DatasetSpec {
+                name,
+                full_name,
+                kind,
+                vertices,
+                edges,
+                seed,
+                paper_vertices: pv,
+                paper_edges: pe,
+                medium,
+                tol_single_node: tol1,
+                bflc_single_node: bflc1,
+                depth_frac: depth,
+            }
+        };
     vec![
-        spec("WEBW", "Web-wikipedia", Web, 40_000, 100_000, 101, 1_864_433, 4_507_315, true, true, true, 0.95),
-        spec("DBPE", "Dbpedia", Knowledge, 50_000, 120_000, 102, 3_365_623, 7_989_191, true, true, true, 0.95),
-        spec("CITE", "Citeseerx", Citation, 60_000, 140_000, 103, 6_540_401, 15_011_260, true, true, true, 1.0),
-        spec("CITP", "Cit-patent", Citation, 40_000, 170_000, 104, 3_774_768, 16_518_947, true, true, true, 1.0),
-        spec("TW", "Twitter", Social, 70_000, 160_000, 105, 18_121_168, 18_359_487, true, true, true, 0.95),
-        spec("GO", "Go-uniprot", Biology, 40_000, 120_000, 106, 6_967_956, 34_770_235, true, true, true, 1.0),
-        spec("SINA", "Soc-sinaweibo", Social, 150_000, 660_000, 107, 58_655_849, 261_321_071, false, false, true, 0.3),
-        spec("LINK", "Wikipedia-link", Web, 150_000, 350_000, 108, 13_593_032, 437_217_424, false, true, true, 0.95),
-        spec("WEBB", "Webbase-2001", Web, 300_000, 1_300_000, 109, 118_142_155, 1_019_903_190, false, false, false, 0.25),
-        spec("GRPH", "Graph500", Synthetic, 100_000, 1_300_000, 110, 17_043_780, 1_046_934_896, false, true, true, 0.0),
-        spec("TWIT", "Twitter-2010", Social, 175_000, 410_000, 111, 41_652_230, 1_468_365_182, false, true, true, 0.95),
-        spec("HOST", "Host-linkage", Web, 190_000, 1_450_000, 112, 57_383_985, 1_643_624_227, false, false, false, 0.25),
-        spec("GSH", "Gsh-2015-host", Web, 210_000, 1_500_000, 113, 68_660_142, 1_802_747_600, false, false, false, 0.25),
-        spec("SK", "Sk-2005", Web, 160_000, 1_550_000, 114, 50_636_154, 1_949_412_601, false, false, false, 0.25),
-        spec("TWIM", "Twitter-mpi", Social, 170_000, 1_600_000, 115, 52_579_682, 1_963_263_821, false, false, false, 0.25),
-        spec("FRIE", "Friendster", Social, 210_000, 1_750_000, 116, 68_349_466, 2_586_147_869, false, false, false, 0.25),
-        spec("UK", "Uk-2006-05", Web, 240_000, 1_850_000, 117, 77_741_046, 2_965_197_340, false, false, false, 0.25),
-        spec("WEBS", "Webspam-uk", Web, 310_000, 2_000_000, 118, 105_896_555, 3_738_733_648, false, false, false, 0.25),
+        spec(
+            "WEBW",
+            "Web-wikipedia",
+            Web,
+            40_000,
+            100_000,
+            101,
+            1_864_433,
+            4_507_315,
+            true,
+            true,
+            true,
+            0.95,
+        ),
+        spec(
+            "DBPE", "Dbpedia", Knowledge, 50_000, 120_000, 102, 3_365_623, 7_989_191, true, true,
+            true, 0.95,
+        ),
+        spec(
+            "CITE",
+            "Citeseerx",
+            Citation,
+            60_000,
+            140_000,
+            103,
+            6_540_401,
+            15_011_260,
+            true,
+            true,
+            true,
+            1.0,
+        ),
+        spec(
+            "CITP",
+            "Cit-patent",
+            Citation,
+            40_000,
+            170_000,
+            104,
+            3_774_768,
+            16_518_947,
+            true,
+            true,
+            true,
+            1.0,
+        ),
+        spec(
+            "TW", "Twitter", Social, 70_000, 160_000, 105, 18_121_168, 18_359_487, true, true,
+            true, 0.95,
+        ),
+        spec(
+            "GO",
+            "Go-uniprot",
+            Biology,
+            40_000,
+            120_000,
+            106,
+            6_967_956,
+            34_770_235,
+            true,
+            true,
+            true,
+            1.0,
+        ),
+        spec(
+            "SINA",
+            "Soc-sinaweibo",
+            Social,
+            150_000,
+            660_000,
+            107,
+            58_655_849,
+            261_321_071,
+            false,
+            false,
+            true,
+            0.3,
+        ),
+        spec(
+            "LINK",
+            "Wikipedia-link",
+            Web,
+            150_000,
+            350_000,
+            108,
+            13_593_032,
+            437_217_424,
+            false,
+            true,
+            true,
+            0.95,
+        ),
+        spec(
+            "WEBB",
+            "Webbase-2001",
+            Web,
+            300_000,
+            1_300_000,
+            109,
+            118_142_155,
+            1_019_903_190,
+            false,
+            false,
+            false,
+            0.25,
+        ),
+        spec(
+            "GRPH",
+            "Graph500",
+            Synthetic,
+            100_000,
+            1_300_000,
+            110,
+            17_043_780,
+            1_046_934_896,
+            false,
+            true,
+            true,
+            0.0,
+        ),
+        spec(
+            "TWIT",
+            "Twitter-2010",
+            Social,
+            175_000,
+            410_000,
+            111,
+            41_652_230,
+            1_468_365_182,
+            false,
+            true,
+            true,
+            0.95,
+        ),
+        spec(
+            "HOST",
+            "Host-linkage",
+            Web,
+            190_000,
+            1_450_000,
+            112,
+            57_383_985,
+            1_643_624_227,
+            false,
+            false,
+            false,
+            0.25,
+        ),
+        spec(
+            "GSH",
+            "Gsh-2015-host",
+            Web,
+            210_000,
+            1_500_000,
+            113,
+            68_660_142,
+            1_802_747_600,
+            false,
+            false,
+            false,
+            0.25,
+        ),
+        spec(
+            "SK",
+            "Sk-2005",
+            Web,
+            160_000,
+            1_550_000,
+            114,
+            50_636_154,
+            1_949_412_601,
+            false,
+            false,
+            false,
+            0.25,
+        ),
+        spec(
+            "TWIM",
+            "Twitter-mpi",
+            Social,
+            170_000,
+            1_600_000,
+            115,
+            52_579_682,
+            1_963_263_821,
+            false,
+            false,
+            false,
+            0.25,
+        ),
+        spec(
+            "FRIE",
+            "Friendster",
+            Social,
+            210_000,
+            1_750_000,
+            116,
+            68_349_466,
+            2_586_147_869,
+            false,
+            false,
+            false,
+            0.25,
+        ),
+        spec(
+            "UK",
+            "Uk-2006-05",
+            Web,
+            240_000,
+            1_850_000,
+            117,
+            77_741_046,
+            2_965_197_340,
+            false,
+            false,
+            false,
+            0.25,
+        ),
+        spec(
+            "WEBS",
+            "Webspam-uk",
+            Web,
+            310_000,
+            2_000_000,
+            118,
+            105_896_555,
+            3_738_733_648,
+            false,
+            false,
+            false,
+            0.25,
+        ),
     ]
 }
 
@@ -194,8 +409,18 @@ mod tests {
         assert_eq!(t.iter().filter(|s| s.tol_single_node).count(), 9);
         assert_eq!(t.iter().filter(|s| s.bflc_single_node).count(), 10);
         // Every medium runs everywhere; larges are strictly larger.
-        let max_medium = t.iter().filter(|s| s.medium).map(|s| s.edges).max().unwrap();
-        let min_large = t.iter().filter(|s| !s.medium).map(|s| s.edges).min().unwrap();
+        let max_medium = t
+            .iter()
+            .filter(|s| s.medium)
+            .map(|s| s.edges)
+            .max()
+            .unwrap();
+        let min_large = t
+            .iter()
+            .filter(|s| !s.medium)
+            .map(|s| s.edges)
+            .min()
+            .unwrap();
         assert!(min_large > max_medium);
     }
 

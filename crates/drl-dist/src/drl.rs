@@ -14,7 +14,9 @@ use std::collections::HashSet;
 
 use reach_graph::{DiGraph, OrderAssignment, VertexId};
 use reach_index::ReachIndex;
-use reach_vcs::{Ctx, Engine, NetworkModel, Partition, RunStats, VertexProgram};
+use reach_vcs::{
+    Ctx, Engine, EngineError, FaultPlan, NetworkModel, Partition, RunStats, VertexProgram,
+};
 
 use crate::{
     account_index_gather, check, Dir, FloodMsg, IbfsEntry, IbfsTables, FLOOD_MSG_BYTES,
@@ -65,10 +67,22 @@ impl VertexProgram for DrlProgram<'_> {
             state.fwd_visited.insert(my_rank);
             state.bwd_visited.insert(my_rank);
             for &nbr in ctx.out_neighbors(w) {
-                ctx.send(nbr, FloodMsg { src_rank: my_rank, dir: Dir::Fwd });
+                ctx.send(
+                    nbr,
+                    FloodMsg {
+                        src_rank: my_rank,
+                        dir: Dir::Fwd,
+                    },
+                );
             }
             for &nbr in ctx.in_neighbors(w) {
-                ctx.send(nbr, FloodMsg { src_rank: my_rank, dir: Dir::Bwd });
+                ctx.send(
+                    nbr,
+                    FloodMsg {
+                        src_rank: my_rank,
+                        dir: Dir::Bwd,
+                    },
+                );
             }
             return;
         }
@@ -165,8 +179,36 @@ pub fn run_with_options(
     network: NetworkModel,
     eager_check: bool,
 ) -> (ReachIndex, RunStats) {
-    let engine = Engine::new(g, Partition::modulo(nodes)).with_network(network);
-    let out = engine.run(&DrlProgram { ord, eager_check });
+    run_under_faults(g, ord, nodes, network, eager_check, None).expect("fault-free DRL cannot fail")
+}
+
+/// [`run`] under an injected [`FaultPlan`]. DRL floods are confluent
+/// (min-rank wins, re-checked in the final pass), so the index is
+/// bit-identical to the fault-free build for every recoverable schedule;
+/// only the stats change.
+pub fn run_with_faults(
+    g: &DiGraph,
+    ord: &OrderAssignment,
+    nodes: usize,
+    network: NetworkModel,
+    faults: FaultPlan,
+) -> Result<(ReachIndex, RunStats), EngineError> {
+    run_under_faults(g, ord, nodes, network, true, Some(faults))
+}
+
+fn run_under_faults(
+    g: &DiGraph,
+    ord: &OrderAssignment,
+    nodes: usize,
+    network: NetworkModel,
+    eager_check: bool,
+    faults: Option<FaultPlan>,
+) -> Result<(ReachIndex, RunStats), EngineError> {
+    let mut engine = Engine::new(g, Partition::modulo(nodes)).with_network(network);
+    if let Some(plan) = faults {
+        engine = engine.with_faults(plan);
+    }
+    let out = engine.run(&DrlProgram { ord, eager_check })?;
 
     let mut idx = ReachIndex::new(g.num_vertices());
     for (w, state) in out.states.iter().enumerate() {
@@ -181,7 +223,7 @@ pub fn run_with_options(
 
     let mut stats = out.stats;
     account_index_gather(&mut stats, &network, nodes, idx.num_entries());
-    (idx, stats)
+    Ok((idx, stats))
 }
 
 #[cfg(test)]
@@ -226,6 +268,19 @@ mod tests {
         let ord = OrderAssignment::new(&g, OrderKind::InverseId);
         let (idx, _) = run(&g, &ord, 2, NetworkModel::default());
         assert_eq!(idx, reach_tol::naive::build(&g, &ord));
+    }
+
+    #[test]
+    fn faulty_build_is_bit_identical_and_reports_recovery() {
+        let g = fixtures::paper_graph();
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let (baseline, _) = run(&g, &ord, 4, NetworkModel::default());
+        let plan = FaultPlan::new(23).with_crash(1, 2).with_message_drops(0.25);
+        let (idx, stats) = run_with_faults(&g, &ord, 4, NetworkModel::default(), plan).unwrap();
+        assert_eq!(idx, baseline);
+        assert_eq!(stats.recovery.recoveries, 1);
+        assert!(stats.recovery.replayed_supersteps > 0);
+        assert!(stats.recovery.retransmits > 0);
     }
 
     #[test]

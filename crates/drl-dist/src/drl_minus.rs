@@ -74,10 +74,22 @@ impl VertexProgram for FloodProgram<'_> {
             state.fwd_visited.insert(my_rank);
             state.bwd_visited.insert(my_rank);
             for &nbr in ctx.out_neighbors(w) {
-                ctx.send(nbr, FloodMsg { src_rank: my_rank, dir: Dir::Fwd });
+                ctx.send(
+                    nbr,
+                    FloodMsg {
+                        src_rank: my_rank,
+                        dir: Dir::Fwd,
+                    },
+                );
             }
             for &nbr in ctx.in_neighbors(w) {
-                ctx.send(nbr, FloodMsg { src_rank: my_rank, dir: Dir::Bwd });
+                ctx.send(
+                    nbr,
+                    FloodMsg {
+                        src_rank: my_rank,
+                        dir: Dir::Bwd,
+                    },
+                );
             }
             return;
         }
@@ -170,13 +182,25 @@ impl VertexProgram for BlockerFloodProgram<'_> {
             if self.fwd_blockers.contains(&my_rank) {
                 state.fwd.insert(my_rank);
                 for &nbr in ctx.out_neighbors(w) {
-                    ctx.send(nbr, FloodMsg { src_rank: my_rank, dir: Dir::Fwd });
+                    ctx.send(
+                        nbr,
+                        FloodMsg {
+                            src_rank: my_rank,
+                            dir: Dir::Fwd,
+                        },
+                    );
                 }
             }
             if self.bwd_blockers.contains(&my_rank) {
                 state.bwd.insert(my_rank);
                 for &nbr in ctx.in_neighbors(w) {
-                    ctx.send(nbr, FloodMsg { src_rank: my_rank, dir: Dir::Bwd });
+                    ctx.send(
+                        nbr,
+                        FloodMsg {
+                            src_rank: my_rank,
+                            dir: Dir::Bwd,
+                        },
+                    );
                 }
             }
             return;
@@ -219,18 +243,22 @@ pub fn run(
 
     // Phase 1: trimmed floods with blocker recording.
     let engine = Engine::new(g, Partition::modulo(nodes)).with_network(network);
-    let flood = engine.run(&FloodProgram { ord });
+    let flood = engine
+        .run(&FloodProgram { ord })
+        .expect("fault-free flood phase cannot fail");
     let mut stats = flood.stats;
     let hig = flood.global;
 
     // Phase 2: full floods from every distinct blocker, per direction.
     let fwd_blockers: HashSet<u32> = hig.fwd.values().flatten().copied().collect();
     let bwd_blockers: HashSet<u32> = hig.bwd.values().flatten().copied().collect();
-    let refine = engine.run(&BlockerFloodProgram {
-        ord,
-        fwd_blockers,
-        bwd_blockers,
-    });
+    let refine = engine
+        .run(&BlockerFloodProgram {
+            ord,
+            fwd_blockers,
+            bwd_blockers,
+        })
+        .expect("fault-free refinement phase cannot fail");
     stats.merge(&refine.stats);
 
     // Phase 3 (local): eliminate every visited mark reached through one of

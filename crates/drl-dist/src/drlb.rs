@@ -23,9 +23,14 @@ use std::collections::{HashMap, HashSet};
 use reach_core::{BatchParams, BatchSchedule};
 use reach_graph::{DiGraph, OrderAssignment, VertexId};
 use reach_index::ReachIndex;
-use reach_vcs::{Ctx, Engine, NetworkModel, Partition, RunStats, VertexProgram};
+use reach_vcs::{
+    Ctx, Engine, EngineError, FaultPlan, NetworkModel, Partition, RunStats, VertexProgram,
+};
 
-use crate::{account_index_gather, check, Dir, FloodMsg, IbfsEntry, IbfsTables, FLOOD_MSG_BYTES, IBFS_ENTRY_BYTES};
+use crate::{
+    account_index_gather, check, Dir, FloodMsg, IbfsEntry, IbfsTables, FLOOD_MSG_BYTES,
+    IBFS_ENTRY_BYTES,
+};
 
 /// Per-vertex state carried across batch runs.
 #[derive(Clone, Debug, Default)]
@@ -117,9 +122,7 @@ impl VertexProgram for DrlbProgram<'_> {
             state.bwd_visited.clear();
             // Line 6: only batch sources participate; a source in an
             // already-covered cycle is pruned outright.
-            if !self.batch.contains(&my_rank)
-                || sorted_intersects(&state.lout, &state.lin)
-            {
+            if !self.batch.contains(&my_rank) || sorted_intersects(&state.lout, &state.lin) {
                 return;
             }
             state.fwd_visited.insert(my_rank);
@@ -131,10 +134,22 @@ impl VertexProgram for DrlbProgram<'_> {
                 lout: state.lout.clone(),
             });
             for &nbr in ctx.out_neighbors(w) {
-                ctx.send(nbr, FloodMsg { src_rank: my_rank, dir: Dir::Fwd });
+                ctx.send(
+                    nbr,
+                    FloodMsg {
+                        src_rank: my_rank,
+                        dir: Dir::Fwd,
+                    },
+                );
             }
             for &nbr in ctx.in_neighbors(w) {
-                ctx.send(nbr, FloodMsg { src_rank: my_rank, dir: Dir::Bwd });
+                ctx.send(
+                    nbr,
+                    FloodMsg {
+                        src_rank: my_rank,
+                        dir: Dir::Bwd,
+                    },
+                );
             }
             return;
         }
@@ -182,10 +197,12 @@ impl VertexProgram for DrlbProgram<'_> {
     fn apply_updates(&self, global: &mut DrlbGlobal, updates: &[DrlbUpdate]) {
         for u in updates {
             match u {
-                DrlbUpdate::SourceLabels { src_rank, lin, lout } => {
-                    global
-                        .labels
-                        .insert(*src_rank, (lin.clone(), lout.clone()));
+                DrlbUpdate::SourceLabels {
+                    src_rank,
+                    lin,
+                    lout,
+                } => {
+                    global.labels.insert(*src_rank, (lin.clone(), lout.clone()));
                 }
                 DrlbUpdate::Ibfs(e) => global.ibfs.apply(e),
             }
@@ -256,9 +273,38 @@ pub fn run(
     nodes: usize,
     network: NetworkModel,
 ) -> (ReachIndex, RunStats) {
+    run_under_faults(g, ord, params, nodes, network, None).expect("fault-free DRLb cannot fail")
+}
+
+/// [`run`] under an injected [`FaultPlan`]; every batch run shares the
+/// plan (and its seed), and the per-batch stats — recovery accounting
+/// included — are merged. Like DRL, the resulting index is bit-identical
+/// to the fault-free build for every recoverable schedule.
+pub fn run_with_faults(
+    g: &DiGraph,
+    ord: &OrderAssignment,
+    params: BatchParams,
+    nodes: usize,
+    network: NetworkModel,
+    faults: FaultPlan,
+) -> Result<(ReachIndex, RunStats), EngineError> {
+    run_under_faults(g, ord, params, nodes, network, Some(faults))
+}
+
+fn run_under_faults(
+    g: &DiGraph,
+    ord: &OrderAssignment,
+    params: BatchParams,
+    nodes: usize,
+    network: NetworkModel,
+    faults: Option<FaultPlan>,
+) -> Result<(ReachIndex, RunStats), EngineError> {
     let n = g.num_vertices();
     let schedule = BatchSchedule::new(n, params);
-    let engine = Engine::new(g, Partition::modulo(nodes)).with_network(network);
+    let mut engine = Engine::new(g, Partition::modulo(nodes)).with_network(network);
+    if let Some(plan) = faults {
+        engine = engine.with_faults(plan);
+    }
 
     let mut states: Vec<DrlbState> = (0..n).map(|_| DrlbState::default()).collect();
     let mut stats = RunStats::default();
@@ -267,7 +313,7 @@ pub fn run(
             ord,
             batch: schedule.batch(i),
         };
-        let out = engine.run_with(&program, states, DrlbGlobal::default());
+        let out = engine.run_with(&program, states, DrlbGlobal::default())?;
         states = out.states;
         stats.merge(&out.stats);
     }
@@ -283,7 +329,7 @@ pub fn run(
     }
     idx.finalize();
     account_index_gather(&mut stats, &network, nodes, idx.num_entries());
-    (idx, stats)
+    Ok((idx, stats))
 }
 
 #[cfg(test)]
@@ -329,6 +375,29 @@ mod tests {
             let (dist, _) = run(&g, &ord, BatchParams::default(), 4, NetworkModel::default());
             assert_eq!(dist, serial, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn faulty_batched_build_is_bit_identical() {
+        let g = gen::gnm(40, 130, 33);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let (baseline, _) = run(&g, &ord, BatchParams::default(), 4, NetworkModel::default());
+        let plan = FaultPlan::new(7)
+            .with_crash(3, 1)
+            .with_message_drops(0.2)
+            .with_message_delays(0.1, 2);
+        let (idx, stats) = run_with_faults(
+            &g,
+            &ord,
+            BatchParams::default(),
+            4,
+            NetworkModel::default(),
+            plan,
+        )
+        .unwrap();
+        assert_eq!(idx, baseline);
+        assert!(stats.recovery.recoveries > 0);
+        assert!(stats.recovery.replayed_supersteps > 0);
     }
 
     #[test]

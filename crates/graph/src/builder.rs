@@ -21,7 +21,10 @@ impl GraphBuilder {
     /// Creates a builder pre-sized for `n` vertices (vertices may still be
     /// added implicitly by edges with larger endpoints).
     pub fn with_vertices(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Pre-allocates room for `m` more edges.

@@ -48,13 +48,19 @@ pub fn paper_graph_edges() -> Vec<(VertexId, VertexId)> {
 
 /// A simple path `0 -> 1 -> ... -> n-1`.
 pub fn path(n: usize) -> DiGraph {
-    DiGraph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i as VertexId, i as VertexId + 1)))
+    DiGraph::from_edges(
+        n,
+        (0..n.saturating_sub(1)).map(|i| (i as VertexId, i as VertexId + 1)),
+    )
 }
 
 /// A directed cycle `0 -> 1 -> ... -> n-1 -> 0`.
 pub fn cycle(n: usize) -> DiGraph {
     assert!(n >= 1);
-    DiGraph::from_edges(n, (0..n).map(|i| (i as VertexId, ((i + 1) % n) as VertexId)))
+    DiGraph::from_edges(
+        n,
+        (0..n).map(|i| (i as VertexId, ((i + 1) % n) as VertexId)),
+    )
 }
 
 /// A star with center 0 and edges `0 -> i` for `i in 1..n`.

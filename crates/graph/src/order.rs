@@ -59,12 +59,8 @@ impl OrderAssignment {
                 });
                 Self::from_processing_sequence(verts)
             }
-            OrderKind::InverseId => {
-                Self::from_processing_sequence((0..n as VertexId).collect())
-            }
-            OrderKind::ById => {
-                Self::from_processing_sequence((0..n as VertexId).rev().collect())
-            }
+            OrderKind::InverseId => Self::from_processing_sequence((0..n as VertexId).collect()),
+            OrderKind::ById => Self::from_processing_sequence((0..n as VertexId).rev().collect()),
         }
     }
 

@@ -57,10 +57,7 @@ mod tests {
 
     #[test]
     fn stats_of_small_index() {
-        let idx = ReachIndex::from_labels(
-            vec![vec![0], vec![0, 1]],
-            vec![vec![0], vec![1]],
-        );
+        let idx = ReachIndex::from_labels(vec![vec![0], vec![0, 1]], vec![vec![0], vec![1]]);
         let s = IndexStats::of(&idx);
         assert_eq!(s.num_entries, 5);
         assert_eq!(s.max_label_size, 2);

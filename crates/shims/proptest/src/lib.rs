@@ -1,0 +1,364 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use — range and
+//! tuple strategies, `prop_map`/`prop_flat_map`, `collection::vec`,
+//! `bool::ANY`, the `proptest!` macro with `#![proptest_config(...)]`, and
+//! the `prop_assert*`/`prop_assume!` macros — on top of the in-tree seeded
+//! PRNG. Unlike the real crate it does no shrinking and no failure
+//! persistence: each test function runs a fixed number of deterministic
+//! cases derived from the test's name, so failures reproduce exactly across
+//! runs and machines.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use rand::RngCore;
+
+/// The per-test case source of randomness.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner whose stream is a deterministic function of `name`.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn new_value(&self, runner: &mut TestRunner) -> T::Value {
+        (self.f)(self.inner.new_value(runner)).new_value(runner)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                use rand::Rng;
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                use rand::Rng;
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// A strategy producing a constant.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::{Strategy, TestRunner};
+
+    /// Uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The `proptest::bool::ANY` strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn new_value(&self, runner: &mut TestRunner) -> bool {
+            use rand::Rng;
+            runner.rng().gen::<bool>()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRunner};
+
+    /// Strategy for `Vec`s with length drawn from `len` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                runner.rng().gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude::*`.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+    pub use crate::{Just, TestRunner};
+
+    /// `any::<bool>()` and friends for the types the shim supports.
+    pub fn any<T: crate::Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = crate::bool::Any;
+    fn arbitrary() -> Self::Strategy {
+        crate::bool::ANY
+    }
+}
+
+/// Like `assert!`, but inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Like `assert_eq!`, but inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Like `assert_ne!`, but inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current generated case when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// The test-declaration macro, mirroring `proptest::proptest!`.
+///
+/// Each declared function becomes an ordinary `#[test]` that runs
+/// `config.cases` deterministic cases. The body runs inside a closure so
+/// `prop_assume!` can early-return out of a single case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut runner = $crate::TestRunner::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut runner);)+
+                    let run_case = move || { $body };
+                    let _ = case;
+                    run_case();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut runner = TestRunner::deterministic("bounds");
+        for _ in 0..500 {
+            let n = (2..30usize).new_value(&mut runner);
+            assert!((2..30).contains(&n));
+            let pair = (0..n as u32, 0..n as u32).new_value(&mut runner);
+            assert!((pair.0 as usize) < n && (pair.1 as usize) < n);
+            let v = crate::collection::vec((0..10u32, crate::bool::ANY), 0..7)
+                .new_value(&mut runner);
+            assert!(v.len() < 7);
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_dependent_values() {
+        let strat = (2..20usize)
+            .prop_flat_map(|n| (0..n as u32).prop_map(move |x| (n, x)));
+        let mut runner = TestRunner::deterministic("flat_map");
+        for _ in 0..500 {
+            let (n, x) = strat.new_value(&mut runner);
+            assert!((x as usize) < n);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let mut a = TestRunner::deterministic("same");
+        let mut b = TestRunner::deterministic("same");
+        let mut c = TestRunner::deterministic("other");
+        let xs: Vec<u64> = (0..4).map(|_| (0..u64::MAX).new_value(&mut a)).collect();
+        let ys: Vec<u64> = (0..4).map(|_| (0..u64::MAX).new_value(&mut b)).collect();
+        let zs: Vec<u64> = (0..4).map(|_| (0..u64::MAX).new_value(&mut c)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: args bind, assume skips, asserts fire.
+        #[test]
+        fn macro_smoke(n in 1usize..50, flip in crate::bool::ANY) {
+            prop_assume!(n != 13);
+            prop_assert!(n >= 1 && n < 50);
+            prop_assert_eq!(flip as u8 <= 1, true);
+            prop_assert_ne!(n, 13);
+        }
+    }
+}

@@ -76,7 +76,11 @@ mod tests {
             fixtures::out_star(7),
             fixtures::two_components(),
         ] {
-            for kind in [OrderKind::InverseId, OrderKind::DegreeProduct, OrderKind::ById] {
+            for kind in [
+                OrderKind::InverseId,
+                OrderKind::DegreeProduct,
+                OrderKind::ById,
+            ] {
                 let ord = OrderAssignment::new(&g, kind);
                 assert_eq!(
                     pruned::build(&g, &ord),

@@ -27,7 +27,14 @@ pub fn build(g: &DiGraph, ord: &OrderAssignment) -> ReachIndex {
         let vi = ord.vertex_at_rank(rank);
 
         // Line 5: DES^{G_i}(v_i) by forward BFS in the remaining graph.
-        let descendants = masked_bfs(g, vi, Direction::Forward, &removed, &mut visit, &mut frontier);
+        let descendants = masked_bfs(
+            g,
+            vi,
+            Direction::Forward,
+            &removed,
+            &mut visit,
+            &mut frontier,
+        );
         // Lines 7-9: pruning operation for in-labels.
         for w in descendants {
             if !labels.out_in_intersect(vi, w) {
@@ -36,7 +43,14 @@ pub fn build(g: &DiGraph, ord: &OrderAssignment) -> ReachIndex {
         }
 
         // Line 6: ANC^{G_i}(v_i) by backward BFS in the remaining graph.
-        let ancestors = masked_bfs(g, vi, Direction::Backward, &removed, &mut visit, &mut frontier);
+        let ancestors = masked_bfs(
+            g,
+            vi,
+            Direction::Backward,
+            &removed,
+            &mut visit,
+            &mut frontier,
+        );
         // Lines 10-12: pruning operation for out-labels.
         for w in ancestors {
             if !labels.out_in_intersect(w, vi) {

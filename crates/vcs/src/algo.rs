@@ -14,6 +14,7 @@ use reach_graph::{DiGraph, Direction, VertexId};
 
 use crate::comm::{NetworkModel, RunStats};
 use crate::engine::{Ctx, Engine, VertexProgram};
+use crate::fault::{EngineError, FaultPlan};
 use crate::partition::Partition;
 
 /// Vertex program computing BFS levels from a single source.
@@ -72,9 +73,27 @@ pub fn dist_bfs_levels(
     partition: Partition,
     network: NetworkModel,
 ) -> (Vec<Option<u32>>, RunStats) {
-    let engine = Engine::new(g, partition).with_network(network);
-    let out = engine.run(&BfsLevelProgram { source, dir });
-    (out.states, out.stats)
+    dist_bfs_levels_with_faults(g, source, dir, partition, network, None)
+        .expect("fault-free BFS cannot fail")
+}
+
+/// [`dist_bfs_levels`] under an optional injected [`FaultPlan`]; BFS-min
+/// is order-insensitive, so any recoverable schedule yields the same
+/// levels as the fault-free run.
+pub fn dist_bfs_levels_with_faults(
+    g: &DiGraph,
+    source: VertexId,
+    dir: Direction,
+    partition: Partition,
+    network: NetworkModel,
+    faults: Option<FaultPlan>,
+) -> Result<(Vec<Option<u32>>, RunStats), EngineError> {
+    let mut engine = Engine::new(g, partition).with_network(network);
+    if let Some(plan) = faults {
+        engine = engine.with_faults(plan);
+    }
+    let out = engine.run(&BfsLevelProgram { source, dir })?;
+    Ok((out.states, out.stats))
 }
 
 /// Result of a distributed DFS over the whole graph (a forest rooted at
@@ -168,8 +187,7 @@ pub fn dist_dfs(g: &DiGraph, dir: Direction, partition: &Partition) -> DistDfs {
                 stack.pop();
                 if let Some(&(parent, _)) = stack.last() {
                     charge_hop(&mut stats, v, parent); // token backtracks
-                    max_pre[parent as usize] =
-                        max_pre[parent as usize].max(max_pre[v as usize]);
+                    max_pre[parent as usize] = max_pre[parent as usize].max(max_pre[v as usize]);
                 }
             }
         }
@@ -241,8 +259,8 @@ mod tests {
         let d = dist_dfs(&g, Direction::Forward, &Partition::modulo(3));
         for s in g.vertices() {
             for t in g.vertices() {
-                let contained =
-                    d.pre[s as usize] <= d.pre[t as usize] && d.pre[t as usize] <= d.max_pre_subtree[s as usize];
+                let contained = d.pre[s as usize] <= d.pre[t as usize]
+                    && d.pre[t as usize] <= d.max_pre_subtree[s as usize];
                 if contained {
                     assert!(tc.reaches(s, t), "interval containment must be sound");
                 }

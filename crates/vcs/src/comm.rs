@@ -17,8 +17,10 @@ pub struct CommStats {
     pub local_bytes: usize,
     /// Payload bytes of remote messages.
     pub remote_bytes: usize,
-    /// Bytes of global updates, counted once per *replica* written (an
-    /// update published on node `i` costs `bytes × (N - 1)` remote).
+    /// Bytes of global updates, counted once per update *payload* (tree-
+    /// broadcast semantics: each node sends/receives one copy, which is
+    /// what the bottleneck-node time model charges, so the logical payload
+    /// crosses the network once regardless of cluster size).
     pub broadcast_bytes: usize,
 }
 
@@ -76,7 +78,8 @@ impl NetworkModel {
 /// Timing + traffic summary of a full engine run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RunStats {
-    /// Number of super-steps executed (including super-step 0).
+    /// Number of super-steps executed (including super-step 0 and any
+    /// super-steps re-executed during crash replay).
     pub supersteps: usize,
     /// Modeled parallel computation seconds: Σ over super-steps of the
     /// maximum per-node compute time.
@@ -87,12 +90,19 @@ pub struct RunStats {
     pub comm_seconds: f64,
     /// Traffic counters.
     pub comm: CommStats,
+    /// Checkpoint/recovery accounting (all zero on fault-free runs with
+    /// checkpointing disabled).
+    pub recovery: crate::fault::RecoveryStats,
 }
 
 impl RunStats {
-    /// Modeled end-to-end seconds (computation + communication).
+    /// Modeled end-to-end seconds (computation + communication +
+    /// checkpointing + crash recovery).
     pub fn total_seconds(&self) -> f64 {
-        self.compute_seconds + self.comm_seconds
+        self.compute_seconds
+            + self.comm_seconds
+            + self.recovery.checkpoint_seconds
+            + self.recovery.recovery_seconds
     }
 
     /// Accumulates a phase into a multi-phase total.
@@ -102,6 +112,7 @@ impl RunStats {
         self.compute_seconds_serial += other.compute_seconds_serial;
         self.comm_seconds += other.comm_seconds;
         self.comm.merge(&other.comm);
+        self.recovery.merge(&other.recovery);
     }
 }
 
@@ -147,6 +158,7 @@ mod tests {
             compute_seconds_serial: 3.0,
             comm_seconds: 0.5,
             comm: CommStats::default(),
+            recovery: Default::default(),
         };
         assert!((r.total_seconds() - 1.5).abs() < 1e-12);
         r.merge(&r.clone());

@@ -12,12 +12,40 @@
 //! compute time is measured independently per super-step and the *maximum*
 //! is charged to the modeled parallel clock — so modeled timings behave as
 //! if nodes ran concurrently, deterministically and without thread jitter.
+//!
+//! # Fault tolerance
+//!
+//! An engine configured with [`Engine::with_faults`] survives the faults a
+//! seeded [`FaultPlan`] injects:
+//!
+//! * **Message drops** are absorbed by the barrier's reliable transport:
+//!   a dropped transmission is retransmitted (each attempt re-drawn from
+//!   the fault stream, bounded by [`FaultPlan::max_retries`]), so delivery
+//!   semantics are untouched — only retransmitted bytes and barrier time
+//!   grow. **Message delays** make a remote message straggle behind its
+//!   barrier; the barrier waits (charging straggler latency to the modeled
+//!   clock) rather than letting the message leak into a later super-step,
+//!   preserving the BSP contract that a message sent at super-step `s` is
+//!   computed on at `s + 1`.
+//! * **Node crashes** are survived by coordinated checkpointing: every
+//!   [`Engine::with_checkpoint_interval`] super-steps the engine snapshots
+//!   all vertex states, the replicated global, and the in-flight inboxes.
+//!   When a node dies, its partition is reassigned round-robin to the
+//!   survivors, the snapshot is restored (in-flight messages re-bucketed
+//!   under the new assignment), and execution replays from the checkpoint
+//!   super-step.
+//!
+//! Because none of the three faults can reorder delivery *across*
+//! super-steps, any program insensitive to the within-inbox message order
+//! produces bit-identical results under every recoverable fault schedule.
 
 use std::time::Instant;
 
+use rand::{Rng, SeedableRng};
 use reach_graph::{DiGraph, VertexId};
 
 use crate::comm::{NetworkModel, RunStats};
+use crate::fault::{CrashReason, EngineError, FaultPlan};
 use crate::partition::Partition;
 
 /// A user-defined vertex-centric computation.
@@ -62,6 +90,17 @@ pub trait VertexProgram {
     fn update_bytes(&self, _u: &Self::Update) -> usize {
         std::mem::size_of::<Self::Update>()
     }
+
+    /// Stable-storage size of one vertex state, for checkpoint accounting.
+    fn state_bytes(&self, _s: &Self::State) -> usize {
+        std::mem::size_of::<Self::State>()
+    }
+
+    /// Stable-storage size of the replicated global, for checkpoint
+    /// accounting.
+    fn global_bytes(&self, _g: &Self::Global) -> usize {
+        std::mem::size_of::<Self::Global>()
+    }
 }
 
 /// Per-vertex execution context handed to [`VertexProgram::compute`].
@@ -74,7 +113,9 @@ pub struct Ctx<'a, M, U> {
 }
 
 impl<'a, M, U> Ctx<'a, M, U> {
-    /// Sends `msg` to vertex `to` for delivery next super-step.
+    /// Sends `msg` to vertex `to` for delivery next super-step. A target
+    /// outside the graph fails the run with
+    /// [`EngineError::InvalidSendTarget`] at the barrier.
     #[inline]
     pub fn send(&mut self, to: VertexId, msg: M) {
         self.sends.push((to, msg));
@@ -105,8 +146,38 @@ pub struct RunOutcome<P: VertexProgram> {
     pub states: Vec<P::State>,
     /// Final replicated global state.
     pub global: P::Global,
-    /// Timing and traffic statistics.
+    /// Timing, traffic, and recovery statistics.
     pub stats: RunStats,
+}
+
+/// Checkpoint interval used when crashes are planned but the caller did
+/// not choose one.
+const DEFAULT_CHECKPOINT_INTERVAL: usize = 4;
+
+/// Heartbeat-timeout cost of detecting a dead node, in super-step
+/// latencies.
+const CRASH_DETECTION_LATENCIES: f64 = 10.0;
+
+/// One coordinated snapshot: everything needed to replay from
+/// `superstep` — vertex states, the replicated global, and the in-flight
+/// messages that were awaiting delivery, flattened in deterministic
+/// (node, emission) order so they can be re-bucketed under a different
+/// partition assignment.
+struct Checkpoint<S, G, M> {
+    superstep: usize,
+    states: Vec<S>,
+    global: G,
+    mail: Vec<(VertexId, M)>,
+    bytes: usize,
+}
+
+/// Buckets vertex ids by their assigned node.
+fn bucket(assignment: &[usize], num_nodes: usize) -> Vec<Vec<VertexId>> {
+    let mut owned = vec![Vec::new(); num_nodes];
+    for (v, &node) in assignment.iter().enumerate() {
+        owned[node].push(v as VertexId);
+    }
+    owned
 }
 
 /// The simulated cluster executor.
@@ -114,8 +185,11 @@ pub struct Engine<'g> {
     graph: &'g DiGraph,
     partition: Partition,
     network: NetworkModel,
-    /// Safety cap; exceeded runs panic (a vertex program that never goes
-    /// quiet is a bug).
+    faults: Option<FaultPlan>,
+    checkpoint_interval: Option<usize>,
+    /// Safety cap; a run that exceeds it fails with
+    /// [`EngineError::SuperstepCapExceeded`] (a vertex program that never
+    /// goes quiet is a bug).
     pub max_supersteps: usize,
 }
 
@@ -126,6 +200,8 @@ impl<'g> Engine<'g> {
             graph,
             partition,
             network: NetworkModel::default(),
+            faults: None,
+            checkpoint_interval: None,
             max_supersteps: 1_000_000,
         }
     }
@@ -134,6 +210,27 @@ impl<'g> Engine<'g> {
     pub fn with_network(mut self, network: NetworkModel) -> Self {
         self.network = network;
         self
+    }
+
+    /// Injects the faults of `plan` into the run. If the plan schedules
+    /// crashes and no checkpoint interval was chosen, checkpointing is
+    /// enabled at [`DEFAULT_CHECKPOINT_INTERVAL`] so recovery has a base.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Takes a coordinated checkpoint every `every` super-steps (also
+    /// useful fault-free, to measure checkpoint overhead).
+    pub fn with_checkpoint_interval(mut self, every: usize) -> Self {
+        assert!(every >= 1, "checkpoint interval must be at least 1");
+        self.checkpoint_interval = Some(every);
+        self
+    }
+
+    /// The fault plan in effect, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Number of simulated nodes.
@@ -147,7 +244,12 @@ impl<'g> Engine<'g> {
     }
 
     /// Runs `program` from freshly initialized states.
-    pub fn run<P: VertexProgram>(&self, program: &P) -> RunOutcome<P> {
+    pub fn run<P>(&self, program: &P) -> Result<RunOutcome<P>, EngineError>
+    where
+        P: VertexProgram,
+        P::State: Clone,
+        P::Global: Clone,
+    {
         let states = (0..self.graph.num_vertices() as VertexId)
             .map(|v| program.init_state(v))
             .collect();
@@ -156,36 +258,171 @@ impl<'g> Engine<'g> {
 
     /// Runs `program` from caller-provided states and global (used by DRLb
     /// to carry labels across batches).
-    pub fn run_with<P: VertexProgram>(
+    pub fn run_with<P>(
         &self,
         program: &P,
         mut states: Vec<P::State>,
         mut global: P::Global,
-    ) -> RunOutcome<P> {
+    ) -> Result<RunOutcome<P>, EngineError>
+    where
+        P: VertexProgram,
+        P::State: Clone,
+        P::Global: Clone,
+    {
         let n = self.graph.num_vertices();
-        assert_eq!(states.len(), n, "one state per vertex");
+        if states.len() != n {
+            return Err(EngineError::StateCountMismatch {
+                expected: n,
+                got: states.len(),
+            });
+        }
         let num_nodes = self.partition.num_nodes();
-        let owned: Vec<Vec<VertexId>> =
-            (0..num_nodes).map(|i| self.partition.owned(i, n)).collect();
+
+        let quiet_plan = FaultPlan::new(0);
+        let plan = self.faults.as_ref().unwrap_or(&quiet_plan);
+        let has_crashes = !plan.crashes().is_empty();
+        let ckpt_every = self
+            .checkpoint_interval
+            .or(plan.checkpoint_interval)
+            .or(if has_crashes {
+                Some(DEFAULT_CHECKPOINT_INTERVAL)
+            } else {
+                None
+            });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(plan.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut pending_crashes: Vec<_> = plan.crashes().to_vec();
+        pending_crashes.reverse(); // pop() yields earliest-superstep first
+
+        // Cluster membership is dynamic: a crash flips `alive` and rewrites
+        // `assignment`, so routing always consults these instead of the
+        // static `Partition`.
+        let mut alive = vec![true; num_nodes];
+        let mut assignment: Vec<usize> = (0..n)
+            .map(|v| self.partition.node_of(v as VertexId))
+            .collect();
+        let mut owned = bucket(&assignment, num_nodes);
 
         let mut stats = RunStats::default();
         // inbox[node] = (target, msg) pairs to deliver this super-step.
         let mut inbox: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); num_nodes];
+        let mut checkpoint: Option<Checkpoint<P::State, P::Global, P::Msg>> = None;
         let mut superstep = 0usize;
 
-        loop {
-            assert!(
-                superstep <= self.max_supersteps,
-                "vertex program exceeded {} super-steps",
-                self.max_supersteps
-            );
+        'superstep: loop {
+            if superstep > self.max_supersteps {
+                return Err(EngineError::SuperstepCapExceeded {
+                    cap: self.max_supersteps,
+                });
+            }
 
-            let mut all_sends: Vec<Vec<(VertexId, P::Msg)>> = Vec::with_capacity(num_nodes);
-            let mut all_updates: Vec<Vec<P::Update>> = Vec::with_capacity(num_nodes);
+            // Coordinated checkpoint at the interval boundary. Skipped when
+            // a snapshot of this exact super-step already exists (i.e. we
+            // just rolled back to it).
+            let due = ckpt_every.is_some_and(|c| superstep.is_multiple_of(c));
+            if due && checkpoint.as_ref().is_none_or(|c| c.superstep != superstep) {
+                // Each node persists its own share (owned states + pending
+                // inbox) in parallel; the first live node also persists the
+                // shared global. The modeled cost is the bottleneck share.
+                let mut node_share = vec![0usize; num_nodes];
+                for (v, st) in states.iter().enumerate() {
+                    node_share[assignment[v]] += program.state_bytes(st);
+                }
+                for (node, mail) in inbox.iter().enumerate() {
+                    for (_, m) in mail {
+                        node_share[node] += program.msg_bytes(m);
+                    }
+                }
+                let coord = alive.iter().position(|&a| a).unwrap_or(0);
+                node_share[coord] += program.global_bytes(&global);
+                let total: usize = node_share.iter().sum();
+                let max_share = node_share.iter().copied().max().unwrap_or(0);
+                stats.recovery.checkpoints += 1;
+                stats.recovery.checkpoint_bytes += total;
+                stats.recovery.checkpoint_seconds +=
+                    self.network.superstep_latency + max_share as f64 / self.network.bandwidth;
+                checkpoint = Some(Checkpoint {
+                    superstep,
+                    states: states.clone(),
+                    global: global.clone(),
+                    mail: inbox.iter().flat_map(|m| m.iter().cloned()).collect(),
+                    bytes: total,
+                });
+            }
+
+            // Crash detection at barrier entry: fire every scheduled crash
+            // whose super-step has arrived, then (if any fired) roll back.
+            let mut crashed = false;
+            while pending_crashes
+                .last()
+                .is_some_and(|c| c.superstep <= superstep)
+            {
+                let crash = pending_crashes.pop().expect("checked non-empty");
+                if crash.node >= num_nodes {
+                    return Err(EngineError::UnrecoverableCrash {
+                        node: crash.node,
+                        superstep,
+                        reason: CrashReason::UnknownNode,
+                    });
+                }
+                if !alive[crash.node] {
+                    continue; // already dead; nothing new to recover
+                }
+                alive[crash.node] = false;
+                let survivors: Vec<usize> = (0..num_nodes).filter(|&i| alive[i]).collect();
+                if survivors.is_empty() {
+                    return Err(EngineError::UnrecoverableCrash {
+                        node: crash.node,
+                        superstep,
+                        reason: CrashReason::NoSurvivors,
+                    });
+                }
+                // Reassign the dead node's partition round-robin across the
+                // survivors.
+                let mut next = 0usize;
+                for node in assignment.iter_mut() {
+                    if *node == crash.node {
+                        *node = survivors[next % survivors.len()];
+                        next += 1;
+                    }
+                }
+                crashed = true;
+            }
+            if crashed {
+                // Rollback-and-replay: restore the snapshot, re-bucket its
+                // in-flight mail under the new assignment, and resume from
+                // the checkpoint super-step. (A crash schedule implies an
+                // initial checkpoint at super-step 0, so one always exists.)
+                let ck = checkpoint
+                    .as_ref()
+                    .expect("crashes imply checkpointing, so a snapshot exists");
+                states = ck.states.clone();
+                global = ck.global.clone();
+                owned = bucket(&assignment, num_nodes);
+                for mail in &mut inbox {
+                    mail.clear();
+                }
+                for (to, msg) in &ck.mail {
+                    inbox[assignment[*to as usize]].push((*to, msg.clone()));
+                }
+                stats.recovery.recoveries += 1;
+                stats.recovery.replayed_supersteps += superstep - ck.superstep;
+                stats.recovery.recovery_seconds += CRASH_DETECTION_LATENCIES
+                    * self.network.superstep_latency
+                    + self.network.superstep_latency
+                    + ck.bytes as f64 / self.network.bandwidth;
+                superstep = ck.superstep;
+                continue 'superstep;
+            }
+
+            let mut all_sends: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); num_nodes];
+            let mut all_updates: Vec<Vec<P::Update>> = vec![Vec::new(); num_nodes];
             let mut step_max_compute = 0.0f64;
             let mut step_sum_compute = 0.0f64;
 
             for node in 0..num_nodes {
+                if !alive[node] {
+                    continue;
+                }
                 let t0 = Instant::now();
                 let mut ctx = Ctx {
                     superstep,
@@ -208,8 +445,7 @@ impl<'g> Engine<'g> {
                         while j < mail.len() && mail[j].0 == v {
                             j += 1;
                         }
-                        let msgs: Vec<P::Msg> =
-                            mail[i..j].iter().map(|(_, m)| m.clone()).collect();
+                        let msgs: Vec<P::Msg> = mail[i..j].iter().map(|(_, m)| m.clone()).collect();
                         program.compute(&mut ctx, v, &mut states[v as usize], &msgs, &global);
                         i = j;
                     }
@@ -218,8 +454,8 @@ impl<'g> Engine<'g> {
                 let dt = t0.elapsed().as_secs_f64();
                 step_max_compute = step_max_compute.max(dt);
                 step_sum_compute += dt;
-                all_sends.push(ctx.sends);
-                all_updates.push(ctx.updates);
+                all_sends[node] = ctx.sends;
+                all_updates[node] = ctx.updates;
             }
 
             stats.compute_seconds += step_max_compute;
@@ -227,13 +463,24 @@ impl<'g> Engine<'g> {
             stats.supersteps += 1;
 
             // Barrier: route messages and replicate updates, with per-node
-            // byte accounting for the network model.
+            // byte accounting for the network model. Injected drops cost
+            // retransmissions; injected delays make the barrier straggle.
+            let num_alive = alive.iter().filter(|&&a| a).count();
             let mut node_bytes = vec![0usize; num_nodes];
             let mut any_traffic = false;
+            let mut straggle = 0usize;
 
-            for (from, sends) in all_sends.into_iter().enumerate() {
-                for (to, msg) in sends {
-                    let dest = self.partition.node_of(to);
+            for from in 0..num_nodes {
+                for (to, msg) in std::mem::take(&mut all_sends[from]) {
+                    if to as usize >= n {
+                        return Err(EngineError::InvalidSendTarget {
+                            from_node: from,
+                            target: to,
+                            num_vertices: n,
+                            superstep,
+                        });
+                    }
+                    let dest = assignment[to as usize];
                     let bytes = program.msg_bytes(&msg);
                     if dest == from {
                         stats.comm.local_messages += 1;
@@ -241,8 +488,29 @@ impl<'g> Engine<'g> {
                     } else {
                         stats.comm.remote_messages += 1;
                         stats.comm.remote_bytes += bytes;
-                        node_bytes[from] += bytes;
-                        node_bytes[dest] += bytes;
+                        // Reliable transport: resend until the transfer
+                        // survives the drop coin, within the retry budget.
+                        // Every attempt consumes sender and receiver
+                        // bandwidth; only the last delivers.
+                        let mut attempts = 1usize;
+                        while plan.drop_prob > 0.0 && rng.gen_bool(plan.drop_prob) {
+                            attempts += 1;
+                            if attempts > plan.max_retries {
+                                return Err(EngineError::MessageLost {
+                                    superstep,
+                                    retries: plan.max_retries,
+                                });
+                            }
+                        }
+                        stats.recovery.retransmits += attempts - 1;
+                        if plan.delay_prob > 0.0 && rng.gen_bool(plan.delay_prob) {
+                            // A straggler stalls the barrier; the slowest
+                            // one sets the stall for the super-step.
+                            straggle = straggle.max(rng.gen_range(1..=plan.max_delay));
+                            stats.recovery.delayed_messages += 1;
+                        }
+                        node_bytes[from] += attempts * bytes;
+                        node_bytes[dest] += attempts * bytes;
                     }
                     inbox[dest].push((to, msg));
                     any_traffic = true;
@@ -250,10 +518,10 @@ impl<'g> Engine<'g> {
             }
 
             let mut updates_flat: Vec<P::Update> = Vec::new();
-            for (from, updates) in all_updates.into_iter().enumerate() {
-                for u in updates {
+            for from in 0..num_nodes {
+                for u in std::mem::take(&mut all_updates[from]) {
                     let bytes = program.update_bytes(&u);
-                    if num_nodes > 1 {
+                    if num_alive > 1 {
                         // Tree-broadcast semantics, matching the paper's
                         // Lemma 7 accounting: the shared payload is counted
                         // once (the sender injects one copy; every node
@@ -261,9 +529,9 @@ impl<'g> Engine<'g> {
                         // node time model charges).
                         stats.comm.broadcast_bytes += bytes;
                         node_bytes[from] += bytes;
-                        for (other, nb) in node_bytes.iter_mut().enumerate() {
-                            if other != from {
-                                *nb += bytes;
+                        for other in 0..num_nodes {
+                            if other != from && alive[other] {
+                                node_bytes[other] += bytes;
                             }
                         }
                     }
@@ -274,7 +542,8 @@ impl<'g> Engine<'g> {
 
             if any_traffic {
                 let max_bytes = node_bytes.iter().copied().max().unwrap_or(0);
-                stats.comm_seconds += self.network.superstep_seconds(num_nodes, max_bytes);
+                stats.comm_seconds += self.network.superstep_seconds(num_alive, max_bytes)
+                    + straggle as f64 * self.network.superstep_latency;
             }
 
             if !updates_flat.is_empty() {
@@ -300,11 +569,11 @@ impl<'g> Engine<'g> {
         stats.compute_seconds += fin_max;
         stats.compute_seconds_serial += t0.elapsed().as_secs_f64();
 
-        RunOutcome {
+        Ok(RunOutcome {
             states,
             global,
             stats,
-        }
+        })
     }
 }
 
@@ -357,7 +626,7 @@ mod tests {
     fn bfs_levels_on_diamond() {
         let g = fixtures::diamond();
         let engine = Engine::new(&g, Partition::modulo(2));
-        let out = engine.run(&BfsLevels);
+        let out = engine.run(&BfsLevels).unwrap();
         assert_eq!(out.states, vec![Some(0), Some(1), Some(1), Some(2)]);
         assert!(out.stats.supersteps >= 3);
     }
@@ -365,9 +634,15 @@ mod tests {
     #[test]
     fn results_are_identical_across_node_counts() {
         let g = fixtures::paper_graph();
-        let baseline = Engine::new(&g, Partition::modulo(1)).run(&BfsLevels).states;
+        let baseline = Engine::new(&g, Partition::modulo(1))
+            .run(&BfsLevels)
+            .unwrap()
+            .states;
         for nodes in [2, 3, 8, 32] {
-            let got = Engine::new(&g, Partition::modulo(nodes)).run(&BfsLevels).states;
+            let got = Engine::new(&g, Partition::modulo(nodes))
+                .run(&BfsLevels)
+                .unwrap()
+                .states;
             assert_eq!(got, baseline, "nodes={nodes}");
         }
     }
@@ -375,7 +650,9 @@ mod tests {
     #[test]
     fn single_node_run_has_no_remote_traffic() {
         let g = fixtures::paper_graph();
-        let out = Engine::new(&g, Partition::modulo(1)).run(&BfsLevels);
+        let out = Engine::new(&g, Partition::modulo(1))
+            .run(&BfsLevels)
+            .unwrap();
         assert_eq!(out.stats.comm.remote_messages, 0);
         assert_eq!(out.stats.comm_seconds, 0.0);
         assert!(out.stats.comm.local_messages > 0);
@@ -384,7 +661,9 @@ mod tests {
     #[test]
     fn multi_node_run_counts_remote_traffic() {
         let g = fixtures::paper_graph();
-        let out = Engine::new(&g, Partition::modulo(4)).run(&BfsLevels);
+        let out = Engine::new(&g, Partition::modulo(4))
+            .run(&BfsLevels)
+            .unwrap();
         assert!(out.stats.comm.remote_messages > 0);
         assert!(out.stats.comm_seconds > 0.0);
         assert_eq!(
@@ -426,7 +705,9 @@ mod tests {
     #[test]
     fn global_updates_replicate_and_cost_broadcast_bytes() {
         let g = fixtures::paper_graph();
-        let out = Engine::new(&g, Partition::modulo(4)).run(&CollectIds);
+        let out = Engine::new(&g, Partition::modulo(4))
+            .run(&CollectIds)
+            .unwrap();
         let mut ids = out.global.clone();
         ids.sort_unstable();
         assert_eq!(ids, (0..11).collect::<Vec<_>>());
@@ -459,9 +740,216 @@ mod tests {
         let g = fixtures::path(2);
         let mut engine = Engine::new(&g, Partition::modulo(1));
         engine.max_supersteps = 10;
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            engine.run(&PingPong)
-        }));
-        assert!(result.is_err(), "must panic at the cap");
+        assert_eq!(
+            engine.run(&PingPong).err().expect("run must fail"),
+            EngineError::SuperstepCapExceeded { cap: 10 }
+        );
+    }
+
+    /// A program whose only act is to send one message to a bogus target.
+    struct WildSend;
+
+    impl VertexProgram for WildSend {
+        type State = ();
+        type Msg = ();
+        type Global = ();
+        type Update = ();
+        fn init_state(&self, _v: VertexId) {}
+        fn compute(&self, ctx: &mut Ctx<'_, (), ()>, v: VertexId, _s: &mut (), _m: &[()], _g: &()) {
+            if v == 3 && ctx.superstep == 0 {
+                ctx.send(1_000_000, ());
+            }
+        }
+        fn apply_updates(&self, _g: &mut (), _u: &[()]) {}
+    }
+
+    #[test]
+    fn send_to_out_of_range_vertex_is_a_typed_error() {
+        let g = fixtures::paper_graph();
+        let err = Engine::new(&g, Partition::modulo(2))
+            .run(&WildSend)
+            .err()
+            .expect("run must fail");
+        assert_eq!(
+            err,
+            EngineError::InvalidSendTarget {
+                from_node: 1, // vertex 3 lives on node 3 % 2
+                target: 1_000_000,
+                num_vertices: g.num_vertices(),
+                superstep: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn run_with_wrong_state_count_is_a_typed_error() {
+        let g = fixtures::diamond();
+        let engine = Engine::new(&g, Partition::modulo(1));
+        let err = engine
+            .run_with(&BfsLevels, vec![None; 2], ())
+            .err()
+            .expect("run must fail");
+        assert_eq!(
+            err,
+            EngineError::StateCountMismatch {
+                expected: 4,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn crash_recovery_reproduces_fault_free_states() {
+        let g = fixtures::paper_graph();
+        let baseline = Engine::new(&g, Partition::modulo(4))
+            .run(&BfsLevels)
+            .unwrap()
+            .states;
+        let out = Engine::new(&g, Partition::modulo(4))
+            .with_faults(FaultPlan::new(11).with_crash(2, 2))
+            .run(&BfsLevels)
+            .unwrap();
+        assert_eq!(out.states, baseline);
+        assert_eq!(out.stats.recovery.recoveries, 1);
+        assert!(out.stats.recovery.replayed_supersteps > 0);
+        assert!(out.stats.recovery.checkpoints > 0);
+        assert!(out.stats.recovery.recovery_seconds > 0.0);
+    }
+
+    #[test]
+    fn cascading_crashes_down_to_one_node_still_recover() {
+        let g = fixtures::paper_graph();
+        let baseline = Engine::new(&g, Partition::modulo(3))
+            .run(&BfsLevels)
+            .unwrap()
+            .states;
+        let out = Engine::new(&g, Partition::modulo(3))
+            .with_faults(FaultPlan::new(5).with_crash(0, 1).with_crash(2, 2))
+            .with_checkpoint_interval(1)
+            .run(&BfsLevels)
+            .unwrap();
+        assert_eq!(out.states, baseline);
+        assert_eq!(out.stats.recovery.recoveries, 2);
+    }
+
+    #[test]
+    fn losing_every_node_is_unrecoverable() {
+        let g = fixtures::diamond();
+        let err = Engine::new(&g, Partition::modulo(2))
+            .with_faults(FaultPlan::new(3).with_crash(0, 1).with_crash(1, 1))
+            .run(&BfsLevels)
+            .err()
+            .expect("run must fail");
+        assert_eq!(
+            err,
+            EngineError::UnrecoverableCrash {
+                node: 1,
+                superstep: 1,
+                reason: CrashReason::NoSurvivors
+            }
+        );
+    }
+
+    #[test]
+    fn crashing_an_unknown_node_is_an_error() {
+        let g = fixtures::diamond();
+        let err = Engine::new(&g, Partition::modulo(2))
+            .with_faults(FaultPlan::new(3).with_crash(9, 1))
+            .run(&BfsLevels)
+            .err()
+            .expect("run must fail");
+        assert!(matches!(
+            err,
+            EngineError::UnrecoverableCrash {
+                node: 9,
+                reason: CrashReason::UnknownNode,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn message_drops_retransmit_without_changing_results() {
+        let g = fixtures::paper_graph();
+        let clean = Engine::new(&g, Partition::modulo(4))
+            .run(&BfsLevels)
+            .unwrap();
+        let noisy = Engine::new(&g, Partition::modulo(4))
+            .with_faults(FaultPlan::new(42).with_message_drops(0.5))
+            .run(&BfsLevels)
+            .unwrap();
+        assert_eq!(noisy.states, clean.states);
+        assert!(noisy.stats.recovery.retransmits > 0);
+        // Goodput accounting is unchanged; only modeled time grows.
+        assert_eq!(noisy.stats.comm.remote_bytes, clean.stats.comm.remote_bytes);
+        assert!(noisy.stats.comm_seconds > clean.stats.comm_seconds);
+    }
+
+    #[test]
+    fn exhausting_the_retry_budget_loses_the_message() {
+        let g = fixtures::paper_graph();
+        let err = Engine::new(&g, Partition::modulo(4))
+            .with_faults(
+                FaultPlan::new(8)
+                    .with_message_drops(0.999)
+                    .with_max_retries(2),
+            )
+            .run(&BfsLevels)
+            .err()
+            .expect("run must fail");
+        assert!(matches!(err, EngineError::MessageLost { retries: 2, .. }));
+    }
+
+    #[test]
+    fn message_delays_straggle_the_barrier_without_changing_results() {
+        let g = fixtures::paper_graph();
+        let clean = Engine::new(&g, Partition::modulo(4))
+            .run(&BfsLevels)
+            .unwrap();
+        let slow = Engine::new(&g, Partition::modulo(4))
+            .with_faults(FaultPlan::new(17).with_message_delays(0.7, 6))
+            .run(&BfsLevels)
+            .unwrap();
+        assert_eq!(slow.states, clean.states);
+        assert!(slow.stats.recovery.delayed_messages > 0);
+        assert!(slow.stats.comm_seconds > clean.stats.comm_seconds);
+    }
+
+    #[test]
+    fn fault_free_checkpointing_only_adds_overhead() {
+        let g = fixtures::paper_graph();
+        let clean = Engine::new(&g, Partition::modulo(2))
+            .run(&BfsLevels)
+            .unwrap();
+        let ckpt = Engine::new(&g, Partition::modulo(2))
+            .with_checkpoint_interval(2)
+            .run(&BfsLevels)
+            .unwrap();
+        assert_eq!(ckpt.states, clean.states);
+        assert!(ckpt.stats.recovery.checkpoints > 0);
+        assert!(ckpt.stats.recovery.checkpoint_bytes > 0);
+        assert_eq!(ckpt.stats.recovery.recoveries, 0);
+        assert!(ckpt.stats.total_seconds() > clean.stats.total_seconds());
+        // The non-recovery portions of the run are untouched.
+        assert_eq!(ckpt.stats.supersteps, clean.stats.supersteps);
+        assert_eq!(ckpt.stats.comm, clean.stats.comm);
+    }
+
+    #[test]
+    fn same_fault_seed_gives_identical_stats() {
+        let g = fixtures::paper_graph();
+        let plan = FaultPlan::new(99).with_message_drops(0.3).with_crash(1, 2);
+        let a = Engine::new(&g, Partition::modulo(4))
+            .with_faults(plan.clone())
+            .run(&BfsLevels)
+            .unwrap();
+        let b = Engine::new(&g, Partition::modulo(4))
+            .with_faults(plan)
+            .run(&BfsLevels)
+            .unwrap();
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.stats.recovery.retransmits, b.stats.recovery.retransmits);
+        assert_eq!(a.stats.recovery.recoveries, b.stats.recovery.recoveries);
+        assert_eq!(a.stats.comm, b.stats.comm);
     }
 }

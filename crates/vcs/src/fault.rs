@@ -1,0 +1,333 @@
+//! The engine's failure model: seeded fault injection, typed errors, and
+//! recovery accounting.
+//!
+//! A [`FaultPlan`] describes, deterministically from a seed, every fault an
+//! engine run will experience:
+//!
+//! * **node crashes** at chosen super-steps — recovered by rolling back to
+//!   the last coordinated checkpoint, reassigning the dead node's partition
+//!   to the survivors, and replaying;
+//! * **message drops** with a per-remote-message probability — recovered by
+//!   the barrier's ack/retransmit protocol (bounded by
+//!   [`FaultPlan::max_retries`]), which keeps the BSP contract intact:
+//!   a message sent in super-step `s` is always *delivered* in `s + 1`,
+//!   it just costs retransmitted bytes and exponential-backoff stalls;
+//! * **message delays** of up to [`FaultPlan::max_delay`] super-step
+//!   latencies — stragglers that stall the barrier (charged to the modeled
+//!   clock) without reordering delivery across super-steps.
+//!
+//! Because drops and delays never leak past the barrier, and crash recovery
+//! replays from a bit-exact snapshot, a vertex program that is insensitive
+//! to the *within-super-step* ordering of its inbox produces **identical
+//! results under any recoverable fault schedule** — the property the
+//! DRL/DRLb fault tests pin down.
+
+/// One scheduled node crash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The node that fails.
+    pub node: usize,
+    /// The super-step at whose barrier entry the failure is detected.
+    pub superstep: usize,
+}
+
+/// A deterministic, seeded schedule of faults for one engine run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault stream; two runs with equal plans experience
+    /// identical faults.
+    pub seed: u64,
+    /// Probability that a remote message transmission attempt is lost.
+    pub drop_prob: f64,
+    /// Probability that a remote message straggles behind the barrier.
+    pub delay_prob: f64,
+    /// Maximum straggler delay, in super-step latencies.
+    pub max_delay: usize,
+    /// Retransmission attempts before the run aborts with
+    /// [`EngineError::MessageLost`].
+    pub max_retries: usize,
+    /// Checkpoint interval carried with the plan, used when the engine has
+    /// no explicit [`crate::Engine::with_checkpoint_interval`] setting.
+    pub checkpoint_interval: Option<usize>,
+    crashes: Vec<CrashEvent>,
+}
+
+impl FaultPlan {
+    /// A fault-free plan with the given seed; add faults with the builder
+    /// methods.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay: 4,
+            max_retries: 64,
+            checkpoint_interval: None,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Schedules `node` to crash at `superstep`.
+    pub fn with_crash(mut self, node: usize, superstep: usize) -> Self {
+        self.crashes.push(CrashEvent { node, superstep });
+        self.crashes.sort_by_key(|c| (c.superstep, c.node));
+        self
+    }
+
+    /// Drops each remote message attempt with probability `p`.
+    pub fn with_message_drops(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
+        self.drop_prob = p;
+        self
+    }
+
+    /// Delays each remote message with probability `p` by 1..=`max_delay`
+    /// super-step latencies.
+    pub fn with_message_delays(mut self, p: f64, max_delay: usize) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "delay probability must be in [0, 1]"
+        );
+        assert!(max_delay >= 1, "a delay of zero super-steps is not a fault");
+        self.delay_prob = p;
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Caps per-message retransmission attempts.
+    pub fn with_max_retries(mut self, retries: usize) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Carries a checkpoint interval with the plan (useful when the engine
+    /// is owned by a higher-level builder like `drl::run_with_faults`).
+    /// An explicit engine-level interval takes precedence.
+    pub fn with_checkpoint_interval(mut self, every: usize) -> Self {
+        assert!(every >= 1, "checkpoint interval must be at least 1");
+        self.checkpoint_interval = Some(every);
+        self
+    }
+
+    /// The scheduled crashes, ordered by super-step.
+    pub fn crashes(&self) -> &[CrashEvent] {
+        &self.crashes
+    }
+
+    /// Whether the plan can perturb a run at all.
+    pub fn is_active(&self) -> bool {
+        !self.crashes.is_empty() || self.drop_prob > 0.0 || self.delay_prob > 0.0
+    }
+}
+
+/// Typed failures of an engine run.
+///
+/// Before the fault layer existed these were library panics; they are now
+/// surfaced so callers can distinguish "the program is buggy" (cap
+/// exceeded, bad send target) from "the fault schedule was unsurvivable"
+/// (all nodes dead, retransmission budget exhausted).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The vertex program ran past [`crate::Engine::max_supersteps`]
+    /// without quiescing.
+    SuperstepCapExceeded {
+        /// The configured cap.
+        cap: usize,
+    },
+    /// A crash left no live node to take over the dead node's partition,
+    /// or no checkpoint exists to recover from.
+    UnrecoverableCrash {
+        /// The node whose crash was unrecoverable.
+        node: usize,
+        /// The super-step at which it failed.
+        superstep: usize,
+        /// Why recovery was impossible.
+        reason: CrashReason,
+    },
+    /// A vertex sent a message to a vertex id outside the graph.
+    InvalidSendTarget {
+        /// The node whose vertex issued the send.
+        from_node: usize,
+        /// The out-of-range target id.
+        target: u32,
+        /// Number of vertices in the graph.
+        num_vertices: usize,
+        /// The super-step of the offending send.
+        superstep: usize,
+    },
+    /// A remote message exceeded [`FaultPlan::max_retries`] retransmission
+    /// attempts.
+    MessageLost {
+        /// The super-step whose barrier gave up.
+        superstep: usize,
+        /// The retry budget that was exhausted.
+        retries: usize,
+    },
+    /// `run_with` was handed a state vector of the wrong length.
+    StateCountMismatch {
+        /// One state per vertex is required.
+        expected: usize,
+        /// What the caller supplied.
+        got: usize,
+    },
+}
+
+/// Why a crash could not be recovered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashReason {
+    /// Every computation node is dead.
+    NoSurvivors,
+    /// The crashed node id does not exist in the cluster.
+    UnknownNode,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::SuperstepCapExceeded { cap } => {
+                write!(
+                    f,
+                    "vertex program exceeded {cap} super-steps without quiescing"
+                )
+            }
+            EngineError::UnrecoverableCrash {
+                node,
+                superstep,
+                reason,
+            } => {
+                let why = match reason {
+                    CrashReason::NoSurvivors => "no surviving node can adopt its partition",
+                    CrashReason::UnknownNode => "the node id is outside the cluster",
+                };
+                write!(
+                    f,
+                    "unrecoverable crash of node {node} at super-step {superstep}: {why}"
+                )
+            }
+            EngineError::InvalidSendTarget {
+                from_node,
+                target,
+                num_vertices,
+                superstep,
+            } => write!(
+                f,
+                "node {from_node} sent to vertex {target} at super-step {superstep}, \
+                 but the graph has only {num_vertices} vertices"
+            ),
+            EngineError::MessageLost { superstep, retries } => write!(
+                f,
+                "a remote message at super-step {superstep} was lost after {retries} retries"
+            ),
+            EngineError::StateCountMismatch { expected, got } => write!(
+                f,
+                "run_with needs one state per vertex ({expected}), got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Recovery-related accounting of one engine run, reported inside
+/// [`crate::RunStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Coordinated checkpoints taken.
+    pub checkpoints: usize,
+    /// Total snapshot volume (states + global + in-flight inboxes).
+    pub checkpoint_bytes: usize,
+    /// Crash recoveries performed (rollback + partition reassignment).
+    pub recoveries: usize,
+    /// Super-steps re-executed because of rollbacks.
+    pub replayed_supersteps: usize,
+    /// Remote message retransmissions caused by injected drops.
+    pub retransmits: usize,
+    /// Remote messages that straggled behind their barrier.
+    pub delayed_messages: usize,
+    /// Modeled seconds spent writing checkpoints (charged via the
+    /// [`crate::NetworkModel`]).
+    pub checkpoint_seconds: f64,
+    /// Modeled seconds spent detecting crashes and restoring snapshots.
+    pub recovery_seconds: f64,
+}
+
+impl RecoveryStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.checkpoints += other.checkpoints;
+        self.checkpoint_bytes += other.checkpoint_bytes;
+        self.recoveries += other.recoveries;
+        self.replayed_supersteps += other.replayed_supersteps;
+        self.retransmits += other.retransmits;
+        self.delayed_messages += other.delayed_messages;
+        self.checkpoint_seconds += other.checkpoint_seconds;
+        self.recovery_seconds += other.recovery_seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sorts_crashes_and_reports_activity() {
+        let plan = FaultPlan::new(1)
+            .with_crash(3, 9)
+            .with_crash(1, 2)
+            .with_message_drops(0.25);
+        assert_eq!(
+            plan.crashes(),
+            &[
+                CrashEvent {
+                    node: 1,
+                    superstep: 2
+                },
+                CrashEvent {
+                    node: 3,
+                    superstep: 9
+                }
+            ]
+        );
+        assert!(plan.is_active());
+        assert!(!FaultPlan::new(7).is_active());
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = EngineError::InvalidSendTarget {
+            from_node: 2,
+            target: 99,
+            num_vertices: 10,
+            superstep: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("vertex 99") && msg.contains("10 vertices"));
+        let e = EngineError::UnrecoverableCrash {
+            node: 0,
+            superstep: 1,
+            reason: CrashReason::NoSurvivors,
+        };
+        assert!(e.to_string().contains("no surviving node"));
+    }
+
+    #[test]
+    fn recovery_stats_merge_accumulates() {
+        let mut a = RecoveryStats {
+            checkpoints: 1,
+            checkpoint_bytes: 100,
+            recoveries: 1,
+            replayed_supersteps: 3,
+            retransmits: 5,
+            delayed_messages: 2,
+            checkpoint_seconds: 0.25,
+            recovery_seconds: 0.5,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.checkpoints, 2);
+        assert_eq!(a.replayed_supersteps, 6);
+        assert!((a.recovery_seconds - 1.0).abs() < 1e-12);
+    }
+}

@@ -26,12 +26,20 @@
 //!
 //! [`algo`] provides the distributed traversal primitives (BFS levels,
 //! token-based DFS) that the BFL baseline needs.
+//!
+//! The engine is additionally **fault-tolerant**: a seeded [`FaultPlan`]
+//! injects node crashes, message drops, and barrier stragglers, which the
+//! engine survives via coordinated super-step checkpoints, ack/retransmit,
+//! and rollback-and-replay with partition reassignment ([`fault`] has the
+//! model; DESIGN.md §"Fault model and recovery" the rationale).
 
 pub mod algo;
 pub mod comm;
 pub mod engine;
+pub mod fault;
 pub mod partition;
 
 pub use comm::{CommStats, NetworkModel, RunStats};
 pub use engine::{Ctx, Engine, RunOutcome, VertexProgram};
+pub use fault::{CrashEvent, CrashReason, EngineError, FaultPlan, RecoveryStats};
 pub use partition::Partition;

@@ -1,8 +1,9 @@
 //! Behavioral tests of the simulated cluster engine beyond the unit tests:
-//! state carry-over across runs, determinism, and accounting invariants.
+//! state carry-over across runs, determinism, fault recovery, and
+//! accounting invariants.
 
 use reach_graph::{fixtures, VertexId};
-use reach_vcs::{Ctx, Engine, NetworkModel, Partition, VertexProgram};
+use reach_vcs::{Ctx, Engine, FaultPlan, NetworkModel, Partition, VertexProgram};
 
 /// Counts, per vertex, how many times compute ran; used to check restarts.
 struct CountRuns;
@@ -41,10 +42,10 @@ impl VertexProgram for CountRuns {
 fn run_with_carries_states_across_runs() {
     let g = fixtures::diamond();
     let engine = Engine::new(&g, Partition::modulo(2));
-    let first = engine.run(&CountRuns);
+    let first = engine.run(&CountRuns).unwrap();
     // Vertices 1 and 2 got a message: ran twice; others once.
     assert_eq!(first.states, vec![1, 2, 2, 1]);
-    let second = engine.run_with(&CountRuns, first.states, ());
+    let second = engine.run_with(&CountRuns, first.states, ()).unwrap();
     assert_eq!(second.states, vec![2, 4, 4, 2], "states accumulated");
 }
 
@@ -52,8 +53,8 @@ fn run_with_carries_states_across_runs() {
 fn engine_is_deterministic() {
     let g = reach_graph::gen::gnm(60, 220, 9);
     let engine = Engine::new(&g, Partition::modulo(5));
-    let a = engine.run(&CountRuns);
-    let b = engine.run(&CountRuns);
+    let a = engine.run(&CountRuns).unwrap();
+    let b = engine.run(&CountRuns).unwrap();
     assert_eq!(a.states, b.states);
     assert_eq!(a.stats.supersteps, b.stats.supersteps);
     assert_eq!(a.stats.comm.remote_messages, b.stats.comm.remote_messages);
@@ -66,7 +67,7 @@ fn local_plus_remote_is_total_message_count() {
     let g = fixtures::diamond();
     for nodes in [1usize, 2, 4] {
         let engine = Engine::new(&g, Partition::modulo(nodes));
-        let out = engine.run(&CountRuns);
+        let out = engine.run(&CountRuns).unwrap();
         assert_eq!(
             out.stats.comm.local_messages + out.stats.comm.remote_messages,
             2,
@@ -80,10 +81,7 @@ fn modulo_partition_is_balanced() {
     let p = Partition::modulo(7);
     let n = 1000;
     let sizes: Vec<usize> = (0..7).map(|i| p.owned(i, n).len()).collect();
-    let (min, max) = (
-        *sizes.iter().min().unwrap(),
-        *sizes.iter().max().unwrap(),
-    );
+    let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
     assert!(max - min <= 1, "{sizes:?}");
     assert_eq!(sizes.iter().sum::<usize>(), n);
 }
@@ -98,13 +96,118 @@ fn network_model_charges_nothing_without_traffic() {
         type Global = ();
         type Update = ();
         fn init_state(&self, _v: VertexId) {}
-        fn compute(&self, _c: &mut Ctx<'_, (), ()>, _v: VertexId, _s: &mut (), _m: &[()], _g: &()) {}
+        fn compute(&self, _c: &mut Ctx<'_, (), ()>, _v: VertexId, _s: &mut (), _m: &[()], _g: &()) {
+        }
         fn apply_updates(&self, _g: &mut (), _u: &[()]) {}
     }
     let g = fixtures::paper_graph();
     let out = Engine::new(&g, Partition::modulo(8))
         .with_network(NetworkModel::default())
-        .run(&Silent);
+        .run(&Silent)
+        .unwrap();
     assert_eq!(out.stats.comm_seconds, 0.0);
     assert_eq!(out.stats.supersteps, 1);
+}
+
+/// BFS levels from vertex 0, the canonical order-insensitive program for
+/// end-to-end fault checks.
+struct Levels;
+
+impl VertexProgram for Levels {
+    type State = Option<u32>;
+    type Msg = u32;
+    type Global = ();
+    type Update = ();
+
+    fn init_state(&self, _v: VertexId) -> Self::State {
+        None
+    }
+
+    fn compute(
+        &self,
+        ctx: &mut Ctx<'_, u32, ()>,
+        v: VertexId,
+        state: &mut Self::State,
+        msgs: &[u32],
+        _global: &(),
+    ) {
+        let level = if ctx.superstep == 0 {
+            if v != 0 {
+                return;
+            }
+            0
+        } else if state.is_some() {
+            return;
+        } else {
+            *msgs.iter().min().unwrap()
+        };
+        *state = Some(level);
+        for &w in ctx.out_neighbors(v) {
+            ctx.send(w, level + 1);
+        }
+    }
+
+    fn apply_updates(&self, _g: &mut (), _u: &[()]) {}
+}
+
+#[test]
+fn combined_crash_drop_delay_schedule_recovers_bit_identically() {
+    let g = reach_graph::gen::gnm(80, 260, 13);
+    let baseline = Engine::new(&g, Partition::modulo(4))
+        .run(&Levels)
+        .unwrap()
+        .states;
+    for seed in 0..8u64 {
+        let plan = FaultPlan::new(seed)
+            .with_crash(1, 1 + (seed as usize % 3))
+            .with_message_drops(0.3)
+            .with_message_delays(0.2, 3);
+        let out = Engine::new(&g, Partition::modulo(4))
+            .with_faults(plan)
+            .with_checkpoint_interval(2)
+            .run(&Levels)
+            .unwrap();
+        assert_eq!(out.states, baseline, "seed {seed}");
+        assert_eq!(out.stats.recovery.recoveries, 1, "seed {seed}");
+    }
+}
+
+#[test]
+fn recovery_overhead_shrinks_with_tighter_checkpoints() {
+    // A crash late in the run replays fewer super-steps when checkpoints
+    // are frequent: the checkpoint interval trades steady-state overhead
+    // against replay work.
+    let g = reach_graph::gen::gnm(120, 420, 3);
+    let crash_at = 4;
+    let replayed = |interval: usize| {
+        Engine::new(&g, Partition::modulo(4))
+            .with_faults(FaultPlan::new(1).with_crash(2, crash_at))
+            .with_checkpoint_interval(interval)
+            .run(&Levels)
+            .unwrap()
+            .stats
+            .recovery
+            .replayed_supersteps
+    };
+    assert!(replayed(1) <= replayed(4), "tighter interval replays less");
+    assert_eq!(replayed(1), 0, "checkpoint every step means no replay");
+}
+
+#[test]
+fn dead_node_owns_nothing_after_recovery() {
+    let g = fixtures::paper_graph();
+    let baseline = Engine::new(&g, Partition::modulo(3))
+        .run(&Levels)
+        .unwrap()
+        .states;
+    let out = Engine::new(&g, Partition::modulo(3))
+        .with_faults(FaultPlan::new(2).with_crash(0, 1))
+        .run(&Levels)
+        .unwrap();
+    // The run finished with baseline-identical states despite losing a
+    // third of the cluster, and did real replay work to get there.
+    assert_eq!(out.states, baseline);
+    assert_eq!(out.stats.recovery.recoveries, 1);
+    assert!(out.stats.recovery.recovery_seconds > 0.0);
+    assert!(out.stats.total_seconds() >= out.stats.compute_seconds + out.stats.comm_seconds);
 }

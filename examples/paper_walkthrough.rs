@@ -83,7 +83,10 @@ fn main() {
     println!("\nCross-algorithm equivalence:");
     let algorithms: Vec<(&str, reachability::index::ReachIndex)> = vec![
         ("TOL (pruned)", reachability::tol::pruned::build(&g, &ord)),
-        ("Theorem-2 framework", reachability::drl::framework::build(&g, &ord)),
+        (
+            "Theorem-2 framework",
+            reachability::drl::framework::build(&g, &ord),
+        ),
         ("DRL⁻ (basic)", reachability::drl::drl_minus(&g, &ord)),
         ("DRL (improved)", reachability::drl::drl(&g, &ord)),
         (
@@ -100,7 +103,14 @@ fn main() {
         ),
         (
             "DRLb distributed (4 nodes)",
-            reachability::dist::drlb::run(&g, &ord, BatchParams::default(), 4, NetworkModel::default()).0,
+            reachability::dist::drlb::run(
+                &g,
+                &ord,
+                BatchParams::default(),
+                4,
+                NetworkModel::default(),
+            )
+            .0,
         ),
     ];
     for (name, idx) in algorithms {

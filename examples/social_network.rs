@@ -20,7 +20,8 @@ use reachability::index::{OnlineBfsOracle, ReachabilityOracle};
 fn main() {
     // A 50k-member follower network with reciprocated edges and deep
     // influence chains.
-    let graph = reachability::datasets::generators::social_with_depth(50_000, 120_000, 0.25, 0.7, 42);
+    let graph =
+        reachability::datasets::generators::social_with_depth(50_000, 120_000, 0.25, 0.7, 42);
     println!("social graph: {}", GraphStats::compute(&graph));
 
     // Build the index with the batched parallel labeling (DRLb).
@@ -49,10 +50,7 @@ fn main() {
     // Index-only answering (no graph access — this is what makes the
     // approach viable when the graph itself is distributed).
     let t0 = Instant::now();
-    let reachable_pairs = workload
-        .iter()
-        .filter(|&&(s, t)| index.query(s, t))
-        .count();
+    let reachable_pairs = workload.iter().filter(|&&(s, t)| index.query(s, t)).count();
     let index_time = t0.elapsed().as_secs_f64();
     println!(
         "index-only: {} / {} pairs reachable, {:.2} ns/query",

@@ -158,7 +158,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     };
 
     if pos.len() > 1 {
-        if pos.len() % 2 == 0 {
+        if pos.len().is_multiple_of(2) {
             return Err("queries come in s t pairs".into());
         }
         for pair in pos[1..].chunks(2) {

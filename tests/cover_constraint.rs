@@ -16,7 +16,8 @@ fn check_all_builders(g: &reach_graph::DiGraph, label: &str) {
         ("drlb", reach_core::drlb(g, &ord, BatchParams::default())),
         (
             "drlb-dist",
-            reach_drl_dist::drlb::run(g, &ord, BatchParams::default(), 4, NetworkModel::default()).0,
+            reach_drl_dist::drlb::run(g, &ord, BatchParams::default(), 4, NetworkModel::default())
+                .0,
         ),
     ];
     for (name, idx) in builders {
@@ -58,7 +59,10 @@ fn cover_on_dataset_generators() {
         "layered",
     );
     check_all_builders(&reach_datasets::citation_dag(250, 700, 5), "citation");
-    check_all_builders(&reach_datasets::rmat(256, 700, 0.57, 0.19, 0.19, 0.05, 6), "rmat");
+    check_all_builders(
+        &reach_datasets::rmat(256, 700, 0.57, 0.19, 0.19, 0.05, 6),
+        "rmat",
+    );
 }
 
 /// The query is symmetric to the online search on every pair, including

@@ -31,8 +31,13 @@ fn remote_traffic_grows_with_node_count() {
     let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
     let mut last = 0usize;
     for nodes in [2usize, 4, 16] {
-        let (_, st) =
-            reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), nodes, NetworkModel::default());
+        let (_, st) = reach_drl_dist::drlb::run(
+            &g,
+            &ord,
+            BatchParams::default(),
+            nodes,
+            NetworkModel::default(),
+        );
         assert!(
             st.comm.remote_messages >= last,
             "traffic should not shrink as nodes grow"
@@ -142,10 +147,8 @@ fn network_model_only_affects_modeled_time() {
         superstep_latency: 1e-6,
         bandwidth: 1e12,
     };
-    let (idx_slow, st_slow) =
-        reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), 8, slow);
-    let (idx_fast, st_fast) =
-        reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), 8, fast);
+    let (idx_slow, st_slow) = reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), 8, slow);
+    let (idx_fast, st_fast) = reach_drl_dist::drlb::run(&g, &ord, BatchParams::default(), 8, fast);
     assert_eq!(idx_slow, idx_fast);
     assert_eq!(st_slow.comm.remote_bytes, st_fast.comm.remote_bytes);
     assert!(st_slow.comm_seconds > st_fast.comm_seconds);

@@ -21,7 +21,11 @@ fn dynamic_index_survives_a_long_mixed_workload() {
         if step % 10 == 9 {
             // Periodic deep checks: equality with rebuild + cover.
             let now = idx.graph().to_digraph();
-            assert_eq!(idx.to_index(), reach_core::drl(&now, idx.order()), "step {step}");
+            assert_eq!(
+                idx.to_index(),
+                reach_core::drl(&now, idx.order()),
+                "step {step}"
+            );
             idx.to_index().validate_cover_on(&now).unwrap();
         }
     }

@@ -38,14 +38,24 @@ fn every_algorithm_reproduces_tol() {
             let oracle = reach_tol::naive::build(&g, &ord);
             let ctx = |alg: &str| format!("{name}/{kind:?}/{alg}");
 
-            assert_eq!(reach_tol::pruned::build(&g, &ord), oracle, "{}", ctx("tol-pruned"));
+            assert_eq!(
+                reach_tol::pruned::build(&g, &ord),
+                oracle,
+                "{}",
+                ctx("tol-pruned")
+            );
             assert_eq!(
                 reach_core::framework::build(&g, &ord),
                 oracle,
                 "{}",
                 ctx("framework")
             );
-            assert_eq!(reach_core::drl_minus(&g, &ord), oracle, "{}", ctx("drl-minus"));
+            assert_eq!(
+                reach_core::drl_minus(&g, &ord),
+                oracle,
+                "{}",
+                ctx("drl-minus")
+            );
             assert_eq!(reach_core::drl(&g, &ord), oracle, "{}", ctx("drl"));
             assert_eq!(
                 reach_core::drlb(&g, &ord, BatchParams::default()),
@@ -118,10 +128,7 @@ fn explicit_custom_order_is_respected_by_all() {
     let ord = OrderAssignment::from_processing_sequence(seq);
     let oracle = reach_tol::naive::build(&g, &ord);
     assert_eq!(reach_core::drl(&g, &ord), oracle);
-    assert_eq!(
-        reach_core::drlb(&g, &ord, BatchParams::default()),
-        oracle
-    );
+    assert_eq!(reach_core::drlb(&g, &ord, BatchParams::default()), oracle);
     assert_eq!(
         reach_drl_dist::drl::run(&g, &ord, 3, NetworkModel::default()).0,
         oracle
