@@ -84,6 +84,38 @@ fn bench_intersection() {
     );
 }
 
+/// Demonstrates the zero-overhead-when-disabled guarantee of `reach-obs`:
+/// the same sorted-intersection kernel is timed bare and with two recorder
+/// calls per iteration. Each variant is measured in several alternating
+/// rounds and the minimum is reported, so one-time warmup / code-placement
+/// effects don't masquerade as recorder overhead. Without the `obs` feature
+/// the instrumented variant must match the plain one; with it, the delta is
+/// the true recording cost.
+fn bench_obs_overhead() {
+    let a: Vec<u32> = (0..64).map(|x| x * 3).collect();
+    let b: Vec<u32> = (0..64).map(|x| x * 3 + 1).collect();
+
+    let mut plain = f64::INFINITY;
+    let mut instrumented = f64::INFINITY;
+    for _ in 0..3 {
+        plain = plain.min(time_per_iter(10_000, 2_000_000, || {
+            std::hint::black_box(intersects_sorted(&a, &b));
+        }));
+        instrumented = instrumented.min(time_per_iter(10_000, 2_000_000, || {
+            reach_obs::counter_add("micro.calls", 1);
+            reach_obs::record("micro.len", (a.len() + b.len()) as u64);
+            std::hint::black_box(intersects_sorted(&a, &b));
+        }));
+    }
+    let status = if reach_obs::is_enabled() {
+        "obs_enabled"
+    } else {
+        "obs_disabled"
+    };
+    fmt_latency("sorted_intersection_plain", plain);
+    fmt_latency(&format!("sorted_intersection_{status}"), instrumented);
+}
+
 fn bench_index_build_small() {
     let g = reach_datasets::web(20_000, 48_000, 5);
     let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
@@ -99,5 +131,6 @@ fn main() {
     bench_query_latency();
     bench_trimmed_bfs();
     bench_intersection();
+    bench_obs_overhead();
     bench_index_build_small();
 }

@@ -1,0 +1,313 @@
+//! `run_report` — one labeled run, fully measured.
+//!
+//! Executes the DRL family (DRL, DRL⁻, DRLb) plus a query workload on the
+//! paper graph and a synthetic dataset, with the `reach-obs` recorder on,
+//! and emits a JSON + Markdown report per dataset under `target/reports/`:
+//! per-phase wall time (filter/refine/eliminate, flood/gather, batches),
+//! per-super-step message bytes, and the label-size distribution — the
+//! axes of the paper's Table 6 and Fig. 5, from one command.
+//!
+//! Requires the `obs` feature (enforced by `required-features`):
+//!
+//! ```text
+//! cargo run --release -p reach-bench --features obs --bin run_report
+//! cargo run --release -p reach-bench --features obs --bin run_report -- WEBW CITE --nodes 8
+//! ```
+//!
+//! `REACH_BENCH_SCALE` scales the synthetic dataset sizes as in the other
+//! benches.
+
+use reach_bench::{mean_query_seconds, query_workload, scaled};
+use reach_core::BatchParams;
+use reach_drl_dist::{drl, drl_minus, drlb};
+use reach_graph::{fixtures, DiGraph, OrderAssignment, OrderKind};
+use reach_index::ReachIndex;
+use reach_obs::{snapshot_to_json, Snapshot};
+use reach_vcs::{NetworkModel, RunStats};
+
+/// One measured algorithm run on one dataset.
+struct AlgoRun {
+    name: &'static str,
+    stats: RunStats,
+    snap: Snapshot,
+}
+
+struct DatasetReport {
+    name: String,
+    vertices: usize,
+    edges: usize,
+    nodes: usize,
+    runs: Vec<AlgoRun>,
+    /// Snapshot of the query workload over the DRL index.
+    query_snap: Snapshot,
+    query_mean_seconds: f64,
+    index_entries: usize,
+    index_bytes: usize,
+    max_label: usize,
+}
+
+fn main() {
+    assert!(
+        reach_obs::is_enabled(),
+        "run_report requires the obs feature (cargo enforces this)"
+    );
+    let (datasets, nodes, queries) = parse_args();
+    let out_dir = report_dir();
+    std::fs::create_dir_all(&out_dir).expect("create target/reports");
+
+    for name in &datasets {
+        let (graph, label) = load(name);
+        let report = measure(&label, &graph, nodes, queries);
+        let json_path = out_dir.join(format!("run_report_{}.json", report.name.to_lowercase()));
+        let md_path = out_dir.join(format!("run_report_{}.md", report.name.to_lowercase()));
+        std::fs::write(&json_path, to_json(&report)).expect("write JSON report");
+        std::fs::write(&md_path, to_markdown(&report)).expect("write Markdown report");
+        println!(
+            "[{}] |V|={} |E|={} nodes={} -> {} + {}",
+            report.name,
+            report.vertices,
+            report.edges,
+            report.nodes,
+            json_path.display(),
+            md_path.display()
+        );
+    }
+}
+
+fn parse_args() -> (Vec<String>, usize, usize) {
+    let mut datasets = Vec::new();
+    let mut nodes = 4usize;
+    let mut queries = 10_000usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--nodes" => {
+                nodes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--nodes takes a positive integer");
+            }
+            "--queries" => {
+                queries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--queries takes a positive integer");
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: run_report [DATASET ...] [--nodes N] [--queries Q]\n\
+                     DATASET: 'paper' or a Table V short name (WEBW, CITE, ...);\n\
+                     default: paper + WEBW"
+                );
+                std::process::exit(0);
+            }
+            other => datasets.push(other.to_string()),
+        }
+    }
+    if datasets.is_empty() {
+        datasets = vec!["paper".into(), "WEBW".into()];
+    }
+    (datasets, nodes, queries)
+}
+
+fn report_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/reports")
+}
+
+fn load(name: &str) -> (DiGraph, String) {
+    if name.eq_ignore_ascii_case("paper") {
+        return (fixtures::paper_graph(), "paper".into());
+    }
+    let spec = reach_datasets::by_name(&name.to_uppercase())
+        .unwrap_or_else(|| panic!("unknown dataset {name:?}; try 'paper' or a Table V name"));
+    (scaled(&spec).generate(), spec.name.to_string())
+}
+
+/// Runs every algorithm (recorder reset in between) and the query workload.
+fn measure(name: &str, g: &DiGraph, nodes: usize, queries: usize) -> DatasetReport {
+    let ord = OrderAssignment::new(g, OrderKind::DegreeProduct);
+    let network = NetworkModel::default();
+
+    let mut runs = Vec::new();
+    reach_obs::reset();
+    let (drl_idx, drl_stats) = drl::run(g, &ord, nodes, network);
+    runs.push(AlgoRun {
+        name: "drl",
+        stats: drl_stats,
+        snap: reach_obs::snapshot().expect("obs enabled"),
+    });
+
+    reach_obs::reset();
+    let (minus_idx, minus_stats) = drl_minus::run(g, &ord, nodes, network);
+    assert_eq!(minus_idx, drl_idx, "DRL and DRL⁻ must agree");
+    runs.push(AlgoRun {
+        name: "drl_minus",
+        stats: minus_stats,
+        snap: reach_obs::snapshot().expect("obs enabled"),
+    });
+
+    reach_obs::reset();
+    let (drlb_idx, drlb_stats) = drlb::run(g, &ord, BatchParams::default(), nodes, network);
+    assert_eq!(drlb_idx, drl_idx, "DRL and DRLb must agree");
+    runs.push(AlgoRun {
+        name: "drlb",
+        stats: drlb_stats,
+        snap: reach_obs::snapshot().expect("obs enabled"),
+    });
+
+    reach_obs::reset();
+    let workload = query_workload(g, queries, 7);
+    let query_mean_seconds = mean_query_seconds(&workload, |s, t| drl_idx.query(s, t));
+    let query_snap = reach_obs::snapshot().expect("obs enabled");
+
+    DatasetReport {
+        name: name.to_string(),
+        vertices: g.num_vertices(),
+        edges: g.num_edges(),
+        nodes,
+        runs,
+        query_snap,
+        query_mean_seconds,
+        index_entries: drl_idx.num_entries(),
+        index_bytes: drl_idx.size_bytes(),
+        max_label: ReachIndex::max_label_size(&drl_idx),
+    }
+}
+
+fn to_json(r: &DatasetReport) -> String {
+    let mut out = format!(
+        "{{\"dataset\":\"{}\",\"vertices\":{},\"edges\":{},\"nodes\":{},\
+         \"index\":{{\"entries\":{},\"bytes\":{},\"max_label\":{}}},\
+         \"query_mean_seconds\":{:.9},\"algorithms\":{{",
+        r.name,
+        r.vertices,
+        r.edges,
+        r.nodes,
+        r.index_entries,
+        r.index_bytes,
+        r.max_label,
+        r.query_mean_seconds
+    );
+    for (i, run) in r.runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"modeled\":{{\"supersteps\":{},\"total_seconds\":{:.6},\
+             \"local_bytes\":{},\"remote_bytes\":{},\"broadcast_bytes\":{}}},\
+             \"metrics\":{}}}",
+            run.name,
+            run.stats.supersteps,
+            run.stats.total_seconds(),
+            run.stats.comm.local_bytes,
+            run.stats.comm.remote_bytes,
+            run.stats.comm.broadcast_bytes,
+            snapshot_to_json(&run.snap)
+        ));
+    }
+    out.push_str(&format!(
+        "}},\"queries\":{}}}",
+        snapshot_to_json(&r.query_snap)
+    ));
+    out
+}
+
+fn to_markdown(r: &DatasetReport) -> String {
+    let mut md = format!(
+        "# Run report: {}\n\n\
+         | | |\n|---|---|\n\
+         | vertices | {} |\n| edges | {} |\n| nodes | {} |\n\
+         | index entries | {} |\n| index bytes | {} |\n| max label size | {} |\n\
+         | mean query time | {:.3e} s |\n",
+        r.name,
+        r.vertices,
+        r.edges,
+        r.nodes,
+        r.index_entries,
+        r.index_bytes,
+        r.max_label,
+        r.query_mean_seconds
+    );
+
+    for run in &r.runs {
+        md.push_str(&format!(
+            "\n## {} — modeled {} supersteps, {:.4} s\n",
+            run.name,
+            run.stats.supersteps,
+            run.stats.total_seconds()
+        ));
+
+        md.push_str("\n### Phase wall time\n\n| span | count | total (s) |\n|---|---:|---:|\n");
+        for (name, s) in &run.snap.spans {
+            md.push_str(&format!(
+                "| {} | {} | {:.6} |\n",
+                name,
+                s.count,
+                s.total.as_secs_f64()
+            ));
+        }
+
+        md.push_str("\n### Counters\n\n| counter | value |\n|---|---:|\n");
+        for (name, v) in &run.snap.counters {
+            md.push_str(&format!("| {name} | {v} |\n"));
+        }
+
+        md.push_str(
+            "\n### Per-superstep message bytes\n\n\
+             | superstep | local | remote | broadcast |\n|---:|---:|---:|---:|\n",
+        );
+        let local = run
+            .snap
+            .series("engine.superstep.local_bytes")
+            .unwrap_or(&[]);
+        let remote = run
+            .snap
+            .series("engine.superstep.remote_bytes")
+            .unwrap_or(&[]);
+        let bcast = run
+            .snap
+            .series("engine.superstep.broadcast_bytes")
+            .unwrap_or(&[]);
+        let len = local.len().max(remote.len()).max(bcast.len());
+        let at = |s: &[u64], i: usize| s.get(i).copied().unwrap_or(0);
+        for i in 0..len {
+            md.push_str(&format!(
+                "| {} | {} | {} | {} |\n",
+                i,
+                at(local, i),
+                at(remote, i),
+                at(bcast, i)
+            ));
+        }
+
+        for (title, metric) in [
+            ("In-label sizes", "index.label_size.in"),
+            ("Out-label sizes", "index.label_size.out"),
+        ] {
+            if let Some(h) = run.snap.histogram(metric) {
+                md.push_str(&format!(
+                    "\n### {title}\n\ncount {}, mean {:.2}, max {}\n\n| range | vertices |\n|---|---:|\n",
+                    h.count(),
+                    h.mean(),
+                    h.max()
+                ));
+                for (lo, hi, c) in h.nonzero_buckets() {
+                    md.push_str(&format!("| {lo}–{hi} | {c} |\n"));
+                }
+            }
+        }
+    }
+
+    md.push_str("\n## Query workload\n\n| metric | value |\n|---|---:|\n");
+    for (name, v) in &r.query_snap.counters {
+        md.push_str(&format!("| {name} | {v} |\n"));
+    }
+    if let Some(h) = r.query_snap.histogram("index.query.scan_len") {
+        md.push_str(&format!(
+            "| scanned labels / query (mean) | {:.2} |\n| scanned labels / query (max) | {} |\n",
+            h.mean(),
+            h.max()
+        ));
+    }
+    md
+}

@@ -119,6 +119,7 @@ impl BflDistributed {
         faults: Option<FaultPlan>,
     ) -> Result<Self, EngineError> {
         let partition = Partition::modulo(nodes);
+        let _obs_build = reach_obs::span("bfl.build");
         let t0 = std::time::Instant::now();
 
         // The interval labels: one token-based distributed DFS.
@@ -200,6 +201,13 @@ impl BflDistributed {
             }
         }
 
+        reach_obs::counter_add("bfl.dfs.hops", dfs.stats.hops as u64);
+        reach_obs::counter_add("bfl.dfs.remote_hops", dfs.stats.remote_hops as u64);
+        reach_obs::counter_add(
+            "bfl.propagation.rounds",
+            index_rest.propagation_rounds as u64,
+        );
+        reach_obs::counter_add("bfl.propagation.remote_bytes", prop_remote_bytes as u64);
         let build_stats = BflBuildStats {
             dfs_hops: dfs.stats.hops,
             dfs_remote_hops: dfs.stats.remote_hops,

@@ -60,6 +60,10 @@ pub fn trimmed_bfs<G: GraphView + ?Sized>(
             }
         }
     }
+    reach_obs::counter_add("trimmed_bfs.runs", 1);
+    reach_obs::counter_add("trimmed_bfs.edge_scans", out.edge_scans as u64);
+    reach_obs::record("trimmed_bfs.low_size", out.low.len() as u64);
+    reach_obs::record("trimmed_bfs.hig_size", out.hig.len() as u64);
     out
 }
 

@@ -133,8 +133,16 @@ impl VertexProgram for DrlProgram<'_> {
     fn finalize(&self, _v: VertexId, state: &mut DrlState, global: &IbfsTables) {
         // Lines 19-20: re-check every visited mark now that the inverted
         // lists are complete.
+        reach_obs::record(
+            "drl.finalize.candidates",
+            (state.fwd_visited.len() + state.bwd_visited.len()) as u64,
+        );
         retain_checked(&mut state.fwd_visited, Dir::Fwd, global);
         retain_checked(&mut state.bwd_visited, Dir::Bwd, global);
+        reach_obs::record(
+            "drl.finalize.survivors",
+            (state.fwd_visited.len() + state.bwd_visited.len()) as u64,
+        );
     }
 
     fn msg_bytes(&self, _m: &FloodMsg) -> usize {
@@ -208,10 +216,15 @@ fn run_under_faults(
     if let Some(plan) = faults {
         engine = engine.with_faults(plan);
     }
+    let flood_span = reach_obs::span("drl.flood");
     let out = engine.run(&DrlProgram { ord, eager_check })?;
+    drop(flood_span);
 
+    let _obs_gather = reach_obs::span("drl.gather");
     let mut idx = ReachIndex::new(g.num_vertices());
     for (w, state) in out.states.iter().enumerate() {
+        reach_obs::record("index.label_size.in", state.fwd_visited.len() as u64);
+        reach_obs::record("index.label_size.out", state.bwd_visited.len() as u64);
         for &r in &state.fwd_visited {
             idx.add_in_label(w as VertexId, ord.vertex_at_rank(r));
         }

@@ -242,16 +242,23 @@ pub fn run(
     let n = g.num_vertices();
 
     // Phase 1: trimmed floods with blocker recording.
+    let filter_span = reach_obs::span("drl_minus.filter");
     let engine = Engine::new(g, Partition::modulo(nodes)).with_network(network);
     let flood = engine
         .run(&FloodProgram { ord })
         .expect("fault-free flood phase cannot fail");
     let mut stats = flood.stats;
     let hig = flood.global;
+    drop(filter_span);
 
     // Phase 2: full floods from every distinct blocker, per direction.
+    let refine_span = reach_obs::span("drl_minus.refine");
     let fwd_blockers: HashSet<u32> = hig.fwd.values().flatten().copied().collect();
     let bwd_blockers: HashSet<u32> = hig.bwd.values().flatten().copied().collect();
+    reach_obs::counter_add(
+        "drl_minus.blockers",
+        (fwd_blockers.len() + bwd_blockers.len()) as u64,
+    );
     let refine = engine
         .run(&BlockerFloodProgram {
             ord,
@@ -260,27 +267,38 @@ pub fn run(
         })
         .expect("fault-free refinement phase cannot fail");
     stats.merge(&refine.stats);
+    drop(refine_span);
 
     // Phase 3 (local): eliminate every visited mark reached through one of
     // its blockers; assemble the index.
+    let _obs_elim = reach_obs::span("drl_minus.eliminate");
     let t0 = std::time::Instant::now();
     let mut idx = ReachIndex::new(n);
     let empty: Vec<u32> = Vec::new();
     for w in 0..n as VertexId {
         let fs = &flood.states[w as usize];
         let rs = &refine.states[w as usize];
+        reach_obs::record(
+            "drl_minus.candidates",
+            (fs.fwd_visited.len() + fs.bwd_visited.len()) as u64,
+        );
+        let (mut in_size, mut out_size) = (0u64, 0u64);
         for &r in &fs.fwd_visited {
             let blockers = hig.fwd.get(&r).unwrap_or(&empty);
             if !blockers.iter().any(|b| rs.fwd.contains(b)) {
                 idx.add_in_label(w, ord.vertex_at_rank(r));
+                in_size += 1;
             }
         }
         for &r in &fs.bwd_visited {
             let blockers = hig.bwd.get(&r).unwrap_or(&empty);
             if !blockers.iter().any(|b| rs.bwd.contains(b)) {
                 idx.add_out_label(w, ord.vertex_at_rank(r));
+                out_size += 1;
             }
         }
+        reach_obs::record("index.label_size.in", in_size);
+        reach_obs::record("index.label_size.out", out_size);
     }
     idx.finalize();
     // Local elimination is embarrassingly parallel across nodes; charge the

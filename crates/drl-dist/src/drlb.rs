@@ -309,17 +309,21 @@ fn run_under_faults(
     let mut states: Vec<DrlbState> = (0..n).map(|_| DrlbState::default()).collect();
     let mut stats = RunStats::default();
     for i in 0..schedule.num_batches() {
-        let program = DrlbProgram {
-            ord,
-            batch: schedule.batch(i),
-        };
+        let _obs_batch = reach_obs::span("drlb.batch");
+        let batch = schedule.batch(i);
+        reach_obs::counter_add("drlb.batches", 1);
+        reach_obs::record("drlb.batch.width", (batch.end - batch.start) as u64);
+        let program = DrlbProgram { ord, batch };
         let out = engine.run_with(&program, states, DrlbGlobal::default())?;
         states = out.states;
         stats.merge(&out.stats);
     }
 
+    let _obs_gather = reach_obs::span("drlb.gather");
     let mut idx = ReachIndex::new(n);
     for (w, state) in states.iter().enumerate() {
+        reach_obs::record("index.label_size.in", state.lin.len() as u64);
+        reach_obs::record("index.label_size.out", state.lout.len() as u64);
         for &r in &state.lin {
             idx.add_in_label(w as VertexId, ord.vertex_at_rank(r));
         }

@@ -18,6 +18,8 @@
 //! a [`reach_vcs::RunStats`] with the modeled computation/communication
 //! split used by the experiment harness.
 
+#![warn(missing_docs)]
+
 pub mod drl;
 pub mod drl_minus;
 pub mod drlb;

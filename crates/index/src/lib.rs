@@ -22,6 +22,8 @@
 //! * Validation ([`ReachIndex::validate_cover`]) and size accounting used by
 //!   the experiment harness.
 
+#![warn(missing_docs)]
+
 use reach_graph::{DiGraph, TransitiveClosure, VertexId};
 
 pub mod oracle;
@@ -105,7 +107,10 @@ impl ReachIndex {
     /// The reachability query `q(s, t)` (Definition 3): sorted-merge
     /// intersection test over `L_out(s)` and `L_in(t)`.
     pub fn query(&self, s: VertexId, t: VertexId) -> bool {
-        intersects_sorted(self.out_label(s), self.in_label(t))
+        let (lout, lin) = (self.out_label(s), self.in_label(t));
+        reach_obs::counter_add("index.query.probes", 1);
+        reach_obs::record("index.query.scan_len", (lout.len() + lin.len()) as u64);
+        intersects_sorted(lout, lin)
     }
 
     /// Like [`ReachIndex::query`], but returns the *witness* hub `w` with

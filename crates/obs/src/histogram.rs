@@ -1,0 +1,229 @@
+//! A fixed-footprint log₂-bucketed histogram for `u64` samples.
+//!
+//! Metric values in this workspace (label sizes, frontier sizes, per-step
+//! byte counts) span many orders of magnitude, so the recorder keeps one
+//! bucket per power of two — 65 buckets cover the whole `u64` range — plus
+//! exact `count`/`sum`/`min`/`max`. Recording is O(1) with no allocation,
+//! which keeps instrumented hot loops cheap even when recording is on.
+
+/// Number of buckets: one for zero plus one per power of two.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram over `u64` samples.
+///
+/// Bucket `0` counts the value `0`; bucket `i ≥ 1` counts values in
+/// `[2^(i-1), 2^i - 1]`. The struct is always compiled (it is plain data);
+/// only the global recording entry points in the crate root are
+/// feature-gated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// The bucket index of `value`: 0 for 0, else `⌊log₂ value⌋ + 1`.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts (`buckets[0]` = zeros, `buckets[i]` = values
+    /// in `[2^(i-1), 2^i)`).
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`q ∈ [0, 1]`): the
+    /// inclusive upper edge of the bucket containing the `⌈q·count⌉`-th
+    /// smallest sample, clamped to the observed `max`. Returns 0 if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i == 0 {
+                    0
+                } else {
+                    (1u64 << i) - (1 << (i - 1)) + ((1u64 << (i - 1)) - 1)
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// The non-empty buckets as `(lower_bound, upper_bound, count)` rows —
+    /// the shape the run-report renders.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                if i == 0 {
+                    (0, 0, c)
+                } else {
+                    (1u64 << (i - 1), (1u64 << (i - 1)) * 2 - 1, c)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn record_tracks_exact_aggregates() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 21.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn quantile_upper_bounds_the_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // The median (50th sample = 50) lives in bucket [32, 63].
+        let q50 = h.quantile(0.5);
+        assert!((50..=63).contains(&q50), "q50 = {q50}");
+        // The extreme quantiles clamp to observed bounds.
+        assert_eq!(h.quantile(1.0), 100);
+        assert!(h.quantile(0.0) >= 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        a.record(4);
+        let mut b = Histogram::new();
+        b.record(1);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 1005);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn nonzero_buckets_report_ranges() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(6);
+        let rows = h.nonzero_buckets();
+        assert_eq!(rows, vec![(0, 0, 1), (4, 7, 2)]);
+    }
+}

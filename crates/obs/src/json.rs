@@ -1,0 +1,141 @@
+//! Minimal hand-rolled JSON emission for [`Snapshot`]s.
+//!
+//! The workspace has no serde (no registry access), so the run-report JSON
+//! is built by hand here. Output is deterministic: every map in a
+//! [`Snapshot`] is a `BTreeMap`, so keys serialize in sorted order.
+
+use crate::histogram::Histogram;
+use crate::recorder::{Snapshot, SpanStats};
+
+/// Escapes `s` for use inside a JSON string literal (quotes not included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_histogram(out: &mut String, h: &Histogram) {
+    out.push_str(&format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\"buckets\":[",
+        h.count(),
+        h.sum(),
+        h.min(),
+        h.max(),
+        h.mean()
+    ));
+    for (i, (lo, hi, count)) in h.nonzero_buckets().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"lo\":{lo},\"hi\":{hi},\"count\":{count}}}"));
+    }
+    out.push_str("]}");
+}
+
+fn push_span(out: &mut String, s: &SpanStats) {
+    out.push_str(&format!(
+        "{{\"count\":{},\"total_seconds\":{:.6}}}",
+        s.count,
+        s.total.as_secs_f64()
+    ));
+}
+
+/// Renders `snapshot` as a pretty-stable, single-line JSON object with
+/// top-level keys `counters`, `histograms`, `series`, and `spans`.
+pub fn snapshot_to_json(snapshot: &Snapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", escape(name), value));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":", escape(name)));
+        push_histogram(&mut out, h);
+    }
+    out.push_str("},\"series\":{");
+    for (i, (name, values)) in snapshot.series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":[", escape(name)));
+        for (j, v) in values.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push(']');
+    }
+    out.push_str("},\"spans\":{");
+    for (i, (name, s)) in snapshot.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":", escape(name)));
+        push_span(&mut out, s);
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use std::time::Duration;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn snapshot_serializes_all_sections() {
+        let mut r = Recorder::new();
+        r.counter_add("c.one", 3);
+        r.record("h.sizes", 5);
+        r.series_add("s.bytes", 1, 7);
+        r.span_record("p.phase", Duration::from_millis(1500));
+        let json = snapshot_to_json(&r.snapshot());
+        assert!(json.contains("\"c.one\":3"), "{json}");
+        assert!(
+            json.contains("\"h.sizes\":{\"count\":1,\"sum\":5"),
+            "{json}"
+        );
+        assert!(json.contains("\"s.bytes\":[0,7]"), "{json}");
+        assert!(
+            json.contains("\"p.phase\":{\"count\":1,\"total_seconds\":1.500000"),
+            "{json}"
+        );
+        // Must be syntactically balanced (cheap sanity check without a parser).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json_skeleton() {
+        let json = snapshot_to_json(&Recorder::new().snapshot());
+        assert_eq!(
+            json,
+            "{\"counters\":{},\"histograms\":{},\"series\":{},\"spans\":{}}"
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! `reach-obs` — feature-gated observability for the reachability workspace.
+//!
+//! The paper's evaluation (§V) judges distributed reachability labeling on
+//! three axes: supersteps, communication volume, and response time. This
+//! crate is the measurement substrate for those axes. It offers four
+//! instruments, all keyed by dotted static names:
+//!
+//! * [`counter_add`] — monotonic totals (`engine.supersteps.first`, …),
+//! * [`record`] — log₂-bucketed [`Histogram`] samples (label sizes,
+//!   frontier sizes, intersection lengths),
+//! * [`series_add`] — per-superstep accumulators (message bytes per
+//!   logical superstep, replays folded into the original slot),
+//! * [`span`] — RAII wall-clock timers for phase boundaries
+//!   (filter/refine, checkpoint, recovery).
+//!
+//! # Zero overhead when disabled
+//!
+//! Recording is compiled out unless the `enabled` cargo feature is on.
+//! Every entry point below is cfg-paired: with the feature it touches a
+//! thread-local [`Recorder`]; without it, it is an empty `#[inline(always)]`
+//! function (and [`Span`] is a zero-sized type), so instrumented call
+//! sites optimize to nothing. Downstream crates expose an `obs` feature
+//! that forwards to `reach-obs/enabled`, so a single
+//! `cargo run -p reach-bench --features obs --bin run_report` flips
+//! recording on across the whole workspace.
+//!
+//! The data structures ([`Recorder`], [`Histogram`], [`Snapshot`]) are
+//! always compiled so their correctness tests run in default builds; only
+//! the *global* entry points are gated.
+//!
+//! # Thread locality
+//!
+//! The global recorder is thread-local: metrics recorded on one thread are
+//! invisible to others, so `cargo test`'s parallel test threads cannot
+//! cross-contaminate. Single-threaded drivers (the simulated cluster and
+//! the benches are single-threaded) see every metric they caused.
+//!
+//! # Example
+//!
+//! ```
+//! reach_obs::reset();
+//! {
+//!     let _t = reach_obs::span("demo.phase");
+//!     reach_obs::counter_add("demo.items", 3);
+//!     reach_obs::record("demo.sizes", 17);
+//!     reach_obs::series_add("demo.bytes", 0, 128);
+//! }
+//! if let Some(snap) = reach_obs::snapshot() {
+//!     // Only reachable when built with `--features enabled`.
+//!     assert_eq!(snap.counter("demo.items"), 3);
+//!     assert_eq!(snap.span("demo.phase").unwrap().count, 1);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod json;
+pub mod recorder;
+
+pub use histogram::Histogram;
+pub use json::snapshot_to_json;
+pub use recorder::{Recorder, Snapshot, SpanStats};
+
+/// True when the crate was built with the `enabled` feature, i.e. the
+/// entry points below actually record.
+pub const fn is_enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+#[cfg(feature = "enabled")]
+mod active {
+    use super::recorder::{Recorder, Snapshot};
+    use std::cell::RefCell;
+    use std::time::Instant;
+
+    thread_local! {
+        static RECORDER: RefCell<Recorder> = RefCell::new(Recorder::new());
+    }
+
+    #[inline]
+    pub fn with_recorder<R>(f: impl FnOnce(&mut Recorder) -> R) -> R {
+        RECORDER.with(|r| f(&mut r.borrow_mut()))
+    }
+
+    /// Live span guard: measures from construction to drop.
+    pub struct Span {
+        name: &'static str,
+        start: Instant,
+    }
+
+    impl Span {
+        pub(super) fn new(name: &'static str) -> Self {
+            Span {
+                name,
+                start: Instant::now(),
+            }
+        }
+    }
+
+    impl Drop for Span {
+        fn drop(&mut self) {
+            let elapsed = self.start.elapsed();
+            with_recorder(|r| r.span_record(self.name, elapsed));
+        }
+    }
+
+    pub fn snapshot() -> Snapshot {
+        with_recorder(|r| r.snapshot())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording entry points — real implementations (feature `enabled`).
+// ---------------------------------------------------------------------------
+
+/// Discards all metrics recorded on the current thread. No-op when disabled.
+#[cfg(feature = "enabled")]
+pub fn reset() {
+    active::with_recorder(|r| r.reset());
+}
+
+/// Adds `delta` to the counter `name`. No-op when disabled.
+#[cfg(feature = "enabled")]
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    active::with_recorder(|r| r.counter_add(name, delta));
+}
+
+/// Records `value` into the histogram `name`. No-op when disabled.
+#[cfg(feature = "enabled")]
+#[inline]
+pub fn record(name: &'static str, value: u64) {
+    active::with_recorder(|r| r.record(name, value));
+}
+
+/// Adds `delta` to slot `index` of the series `name` (index = logical
+/// superstep; replays fold into their original slot). No-op when disabled.
+#[cfg(feature = "enabled")]
+#[inline]
+pub fn series_add(name: &'static str, index: usize, delta: u64) {
+    active::with_recorder(|r| r.series_add(name, index, delta));
+}
+
+/// A RAII phase timer returned by [`span`]: the wall-clock time between
+/// construction and drop is folded into the span's [`SpanStats`].
+///
+/// When the `enabled` feature is off this is a zero-sized type with a
+/// trivial drop, so `let _t = span("...")` costs nothing.
+#[cfg(feature = "enabled")]
+pub struct Span {
+    _guard: active::Span,
+}
+
+/// Starts timing the span `name`; the guard records on drop.
+#[cfg(feature = "enabled")]
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    Span {
+        _guard: active::Span::new(name),
+    }
+}
+
+/// A copy of every metric recorded on the current thread, or `None` when
+/// the crate is built without the `enabled` feature.
+#[cfg(feature = "enabled")]
+pub fn snapshot() -> Option<Snapshot> {
+    Some(active::snapshot())
+}
+
+// ---------------------------------------------------------------------------
+// Recording entry points — empty stand-ins (default build).
+// ---------------------------------------------------------------------------
+
+/// Discards all metrics recorded on the current thread. No-op when disabled.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn reset() {}
+
+/// Adds `delta` to the counter `name`. No-op when disabled.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn counter_add(_name: &'static str, _delta: u64) {}
+
+/// Records `value` into the histogram `name`. No-op when disabled.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn record(_name: &'static str, _value: u64) {}
+
+/// Adds `delta` to slot `index` of the series `name`. No-op when disabled.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn series_add(_name: &'static str, _index: usize, _delta: u64) {}
+
+/// A RAII phase timer returned by [`span`]: the wall-clock time between
+/// construction and drop is folded into the span's [`SpanStats`].
+///
+/// When the `enabled` feature is off this is a zero-sized type whose
+/// `Drop` does nothing (the impl exists so drop semantics — and explicit
+/// `drop(span)` calls at phase ends — are identical in both builds), so
+/// `let _t = span("...")` costs nothing.
+#[cfg(not(feature = "enabled"))]
+pub struct Span;
+
+#[cfg(not(feature = "enabled"))]
+impl Drop for Span {
+    #[inline(always)]
+    fn drop(&mut self) {}
+}
+
+/// Starts timing the span `name`; the guard records on drop.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn span(_name: &'static str) -> Span {
+    Span
+}
+
+/// A copy of every metric recorded on the current thread, or `None` when
+/// the crate is built without the `enabled` feature.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn snapshot() -> Option<Snapshot> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn is_enabled_matches_feature() {
+        assert_eq!(super::is_enabled(), cfg!(feature = "enabled"));
+    }
+
+    #[test]
+    fn entry_points_are_callable_either_way() {
+        super::reset();
+        super::counter_add("t.counter", 1);
+        super::record("t.hist", 42);
+        super::series_add("t.series", 3, 9);
+        {
+            let _t = super::span("t.span");
+        }
+        match super::snapshot() {
+            Some(snap) => {
+                assert_eq!(snap.counter("t.counter"), 1);
+                assert_eq!(snap.histogram("t.hist").unwrap().count(), 1);
+                assert_eq!(snap.series("t.series"), Some(&[0, 0, 0, 9][..]));
+                assert_eq!(snap.span("t.span").unwrap().count, 1);
+            }
+            None => assert!(!super::is_enabled()),
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn reset_isolates_runs() {
+        super::reset();
+        super::counter_add("iso.c", 7);
+        assert_eq!(super::snapshot().unwrap().counter("iso.c"), 7);
+        super::reset();
+        assert_eq!(super::snapshot().unwrap().counter("iso.c"), 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! The metric store behind the crate's recording entry points.
+//!
+//! A [`Recorder`] owns four kinds of instruments, all keyed by `&'static
+//! str` metric names (dotted lowercase, e.g. `engine.superstep.remote_bytes`):
+//!
+//! * **counters** — monotonically increasing `u64` totals,
+//! * **histograms** — log₂-bucketed sample distributions ([`Histogram`]),
+//! * **series** — per-index `u64` accumulators (index = logical superstep),
+//! * **spans** — wall-clock time totals per named phase.
+//!
+//! The crate root wraps one `Recorder` in a thread local, so parallel test
+//! threads never see each other's metrics. The types here are always
+//! compiled (instrumentation tests construct them directly); only the
+//! global entry points in the crate root are feature-gated.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::histogram::Histogram;
+
+/// Aggregated timings for one named span (phase).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// How many times the span was entered and exited.
+    pub count: u64,
+    /// Total wall-clock time spent inside the span.
+    pub total: Duration,
+}
+
+/// An in-memory metric store: counters, histograms, per-index series, and
+/// span timings, each keyed by a static metric name.
+///
+/// `BTreeMap` keys give deterministic iteration order, so snapshots (and
+/// the JSON/Markdown reports built from them) are stable across runs.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    series: BTreeMap<&'static str, Vec<u64>>,
+    spans: BTreeMap<&'static str, SpanStats>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Discards all recorded metrics.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+        self.series.clear();
+        self.spans.clear();
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero first.
+    #[inline]
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Records `value` into the histogram `name`.
+    #[inline]
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// Adds `delta` to slot `index` of the series `name`, growing the
+    /// series with zeros as needed. Replayed supersteps re-use their
+    /// original index, so their traffic folds into the same slot — exactly
+    /// how the engine's `CommStats` aggregates accumulate across recoveries.
+    #[inline]
+    pub fn series_add(&mut self, name: &'static str, index: usize, delta: u64) {
+        let series = self.series.entry(name).or_default();
+        if series.len() <= index {
+            series.resize(index + 1, 0);
+        }
+        series[index] += delta;
+    }
+
+    /// Folds `elapsed` into the span `name`.
+    #[inline]
+    pub fn span_record(&mut self, name: &'static str, elapsed: Duration) {
+        let s = self.spans.entry(name).or_default();
+        s.count += 1;
+        s.total += elapsed;
+    }
+
+    /// Current value of the counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram `name`, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// The series `name`, if any slot was touched.
+    pub fn series(&self, name: &str) -> Option<&[u64]> {
+        self.series.get(name).map(|v| v.as_slice())
+    }
+
+    /// The span stats for `name`, if the span ever closed.
+    pub fn span(&self, name: &str) -> Option<SpanStats> {
+        self.spans.get(name).copied()
+    }
+
+    /// A point-in-time copy of every metric, for reporting.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            series: self
+                .series
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            spans: self
+                .spans
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+}
+
+/// An owned, ordered copy of a [`Recorder`]'s contents.
+///
+/// Snapshots decouple reporting from the thread-local store: `run_report`
+/// takes one snapshot per pipeline run and renders JSON/Markdown from it
+/// while the recorder keeps accumulating.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counter totals, ordered by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms, ordered by metric name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Per-index series, ordered by metric name.
+    pub series: BTreeMap<String, Vec<u64>>,
+    /// Span timings, ordered by metric name.
+    pub spans: BTreeMap<String, SpanStats>,
+}
+
+impl Snapshot {
+    /// Current value of the counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// The series `name`, if present.
+    pub fn series(&self, name: &str) -> Option<&[u64]> {
+        self.series.get(name).map(|v| v.as_slice())
+    }
+
+    /// The span stats for `name`, if present.
+    pub fn span(&self, name: &str) -> Option<SpanStats> {
+        self.spans.get(name).copied()
+    }
+
+    /// True when no metric of any kind was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.series.is_empty()
+            && self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Recorder::new();
+        r.counter_add("a.b", 2);
+        r.counter_add("a.b", 3);
+        assert_eq!(r.counter("a.b"), 5);
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn series_grow_and_accumulate() {
+        let mut r = Recorder::new();
+        r.series_add("s", 2, 10);
+        r.series_add("s", 0, 1);
+        r.series_add("s", 2, 5); // replay of superstep 2 folds in
+        assert_eq!(r.series("s"), Some(&[1, 0, 15][..]));
+    }
+
+    #[test]
+    fn spans_fold_durations() {
+        let mut r = Recorder::new();
+        r.span_record("p", Duration::from_millis(10));
+        r.span_record("p", Duration::from_millis(5));
+        let s = r.span("p").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total, Duration::from_millis(15));
+    }
+
+    #[test]
+    fn snapshot_is_decoupled_and_ordered() {
+        let mut r = Recorder::new();
+        r.counter_add("z", 1);
+        r.counter_add("a", 1);
+        r.record("h", 7);
+        let snap = r.snapshot();
+        r.counter_add("z", 100); // must not affect the snapshot
+        assert_eq!(snap.counter("z"), 1);
+        let names: Vec<_> = snap.counters.keys().cloned().collect();
+        assert_eq!(names, vec!["a".to_string(), "z".to_string()]);
+        assert_eq!(snap.histogram("h").unwrap().count(), 1);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut r = Recorder::new();
+        r.counter_add("c", 1);
+        r.record("h", 1);
+        r.series_add("s", 0, 1);
+        r.span_record("p", Duration::from_secs(1));
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+}

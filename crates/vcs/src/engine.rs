@@ -214,7 +214,8 @@ impl<'g> Engine<'g> {
 
     /// Injects the faults of `plan` into the run. If the plan schedules
     /// crashes and no checkpoint interval was chosen, checkpointing is
-    /// enabled at [`DEFAULT_CHECKPOINT_INTERVAL`] so recovery has a base.
+    /// enabled at a default interval (`DEFAULT_CHECKPOINT_INTERVAL`, 4
+    /// super-steps) so recovery has a base.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
         self
@@ -307,6 +308,10 @@ impl<'g> Engine<'g> {
         let mut inbox: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); num_nodes];
         let mut checkpoint: Option<Checkpoint<P::State, P::Global, P::Msg>> = None;
         let mut superstep = 0usize;
+        // High-water mark of executed super-steps: a super-step below it
+        // has run before, i.e. it is being replayed after a rollback. Used
+        // only to tag obs counters; recovery logic never consults it.
+        let mut executed_high_water = 0usize;
 
         'superstep: loop {
             if superstep > self.max_supersteps {
@@ -320,6 +325,7 @@ impl<'g> Engine<'g> {
             // just rolled back to it).
             let due = ckpt_every.is_some_and(|c| superstep.is_multiple_of(c));
             if due && checkpoint.as_ref().is_none_or(|c| c.superstep != superstep) {
+                let _obs_ckpt = reach_obs::span("engine.checkpoint");
                 // Each node persists its own share (owned states + pending
                 // inbox) in parallel; the first live node also persists the
                 // shared global. The modeled cost is the bottleneck share.
@@ -338,6 +344,8 @@ impl<'g> Engine<'g> {
                 let max_share = node_share.iter().copied().max().unwrap_or(0);
                 stats.recovery.checkpoints += 1;
                 stats.recovery.checkpoint_bytes += total;
+                reach_obs::counter_add("engine.checkpoints", 1);
+                reach_obs::record("engine.checkpoint.bytes", total as u64);
                 stats.recovery.checkpoint_seconds +=
                     self.network.superstep_latency + max_share as f64 / self.network.bandwidth;
                 checkpoint = Some(Checkpoint {
@@ -388,6 +396,7 @@ impl<'g> Engine<'g> {
                 crashed = true;
             }
             if crashed {
+                let _obs_rec = reach_obs::span("engine.recovery");
                 // Rollback-and-replay: restore the snapshot, re-bucket its
                 // in-flight mail under the new assignment, and resume from
                 // the checkpoint super-step. (A crash schedule implies an
@@ -406,6 +415,7 @@ impl<'g> Engine<'g> {
                 }
                 stats.recovery.recoveries += 1;
                 stats.recovery.replayed_supersteps += superstep - ck.superstep;
+                reach_obs::counter_add("engine.recoveries", 1);
                 stats.recovery.recovery_seconds += CRASH_DETECTION_LATENCIES
                     * self.network.superstep_latency
                     + self.network.superstep_latency
@@ -419,6 +429,7 @@ impl<'g> Engine<'g> {
             let mut step_max_compute = 0.0f64;
             let mut step_sum_compute = 0.0f64;
 
+            let obs_compute = reach_obs::span("engine.compute");
             for node in 0..num_nodes {
                 if !alive[node] {
                     continue;
@@ -458,9 +469,19 @@ impl<'g> Engine<'g> {
                 all_updates[node] = ctx.updates;
             }
 
+            drop(obs_compute);
+
             stats.compute_seconds += step_max_compute;
             stats.compute_seconds_serial += step_sum_compute;
             stats.supersteps += 1;
+            // Tag replayed super-steps (rollback landed us below the
+            // high-water mark) distinctly from first executions.
+            if superstep < executed_high_water {
+                reach_obs::counter_add("engine.supersteps.replayed", 1);
+            } else {
+                reach_obs::counter_add("engine.supersteps.first", 1);
+                executed_high_water = superstep + 1;
+            }
 
             // Barrier: route messages and replicate updates, with per-node
             // byte accounting for the network model. Injected drops cost
@@ -469,6 +490,14 @@ impl<'g> Engine<'g> {
             let mut node_bytes = vec![0usize; num_nodes];
             let mut any_traffic = false;
             let mut straggle = 0usize;
+            let _obs_barrier = reach_obs::span("engine.barrier");
+            // Per-super-step traffic, mirroring the `stats.comm` increments
+            // below exactly: the recorder's series accumulate at the logical
+            // super-step index across replays, just as the aggregates do, so
+            // summed series equal the CommStats totals.
+            let mut step_local_bytes = 0u64;
+            let mut step_remote_bytes = 0u64;
+            let mut step_broadcast_bytes = 0u64;
 
             for from in 0..num_nodes {
                 for (to, msg) in std::mem::take(&mut all_sends[from]) {
@@ -485,9 +514,11 @@ impl<'g> Engine<'g> {
                     if dest == from {
                         stats.comm.local_messages += 1;
                         stats.comm.local_bytes += bytes;
+                        step_local_bytes += bytes as u64;
                     } else {
                         stats.comm.remote_messages += 1;
                         stats.comm.remote_bytes += bytes;
+                        step_remote_bytes += bytes as u64;
                         // Reliable transport: resend until the transfer
                         // survives the drop coin, within the retry budget.
                         // Every attempt consumes sender and receiver
@@ -528,6 +559,7 @@ impl<'g> Engine<'g> {
                         // receives one copy, which is what the bottleneck-
                         // node time model charges).
                         stats.comm.broadcast_bytes += bytes;
+                        step_broadcast_bytes += bytes as u64;
                         node_bytes[from] += bytes;
                         for other in 0..num_nodes {
                             if other != from && alive[other] {
@@ -545,6 +577,17 @@ impl<'g> Engine<'g> {
                 stats.comm_seconds += self.network.superstep_seconds(num_alive, max_bytes)
                     + straggle as f64 * self.network.superstep_latency;
             }
+            reach_obs::series_add("engine.superstep.local_bytes", superstep, step_local_bytes);
+            reach_obs::series_add(
+                "engine.superstep.remote_bytes",
+                superstep,
+                step_remote_bytes,
+            );
+            reach_obs::series_add(
+                "engine.superstep.broadcast_bytes",
+                superstep,
+                step_broadcast_bytes,
+            );
 
             if !updates_flat.is_empty() {
                 program.apply_updates(&mut global, &updates_flat);
@@ -557,6 +600,7 @@ impl<'g> Engine<'g> {
         }
 
         // Final pass ("only run after the final super-step").
+        let _obs_fin = reach_obs::span("engine.finalize");
         let t0 = Instant::now();
         let mut fin_max = 0.0f64;
         for owned_by_node in &owned {

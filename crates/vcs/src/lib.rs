@@ -33,6 +33,8 @@
 //! and rollback-and-replay with partition reassignment ([`fault`] has the
 //! model; DESIGN.md §"Fault model and recovery" the rationale).
 
+#![warn(missing_docs)]
+
 pub mod algo;
 pub mod comm;
 pub mod engine;

@@ -1,0 +1,161 @@
+//! Integration tests for engine instrumentation (feature `obs` only).
+//!
+//! These assert the two invariants the observability layer promises:
+//!
+//! 1. **Byte-sum**: per-super-step byte series summed over all slots equal
+//!    the `CommStats` aggregates, including under crash/replay (both
+//!    accumulate at the logical super-step, never roll back).
+//! 2. **Replay tagging**: super-steps re-executed after a rollback are
+//!    counted under `engine.supersteps.replayed`, never under
+//!    `engine.supersteps.first`, and the two together equal
+//!    `RunStats::supersteps`.
+
+#![cfg(feature = "obs")]
+
+use reach_graph::{fixtures, VertexId};
+use reach_vcs::{Ctx, Engine, FaultPlan, Partition, VertexProgram};
+
+/// Forward BFS levels from vertex 0 — enough traffic on the paper graph to
+/// exercise local, remote, and broadcast accounting.
+struct BfsLevels;
+
+impl VertexProgram for BfsLevels {
+    type State = Option<u32>;
+    type Msg = u32;
+    type Global = Vec<VertexId>;
+    type Update = VertexId;
+
+    fn init_state(&self, _v: VertexId) -> Self::State {
+        None
+    }
+
+    fn compute(
+        &self,
+        ctx: &mut Ctx<'_, u32, VertexId>,
+        v: VertexId,
+        state: &mut Self::State,
+        msgs: &[u32],
+        _global: &Vec<VertexId>,
+    ) {
+        if ctx.superstep == 0 {
+            if v == 0 {
+                *state = Some(0);
+                ctx.publish(v); // some broadcast traffic as well
+                for &w in ctx.out_neighbors(v) {
+                    ctx.send(w, 1);
+                }
+            }
+        } else if state.is_none() {
+            let level = *msgs.iter().min().expect("compute only with messages");
+            *state = Some(level);
+            ctx.publish(v);
+            for &w in ctx.out_neighbors(v) {
+                ctx.send(w, level + 1);
+            }
+        }
+    }
+
+    fn apply_updates(&self, global: &mut Vec<VertexId>, updates: &[VertexId]) {
+        global.extend_from_slice(updates);
+    }
+}
+
+fn series_sum(snap: &reach_obs::Snapshot, name: &str) -> u64 {
+    snap.series(name).map(|s| s.iter().sum()).unwrap_or(0)
+}
+
+#[test]
+fn superstep_byte_series_sum_to_comm_stats() {
+    reach_obs::reset();
+    let g = fixtures::paper_graph();
+    let out = Engine::new(&g, Partition::modulo(4))
+        .run(&BfsLevels)
+        .unwrap();
+    let snap = reach_obs::snapshot().expect("obs feature is on");
+
+    assert_eq!(
+        series_sum(&snap, "engine.superstep.local_bytes"),
+        out.stats.comm.local_bytes as u64
+    );
+    assert_eq!(
+        series_sum(&snap, "engine.superstep.remote_bytes"),
+        out.stats.comm.remote_bytes as u64
+    );
+    assert_eq!(
+        series_sum(&snap, "engine.superstep.broadcast_bytes"),
+        out.stats.comm.broadcast_bytes as u64
+    );
+    // Sanity: this workload produces traffic of all three kinds.
+    assert!(out.stats.comm.local_bytes > 0);
+    assert!(out.stats.comm.remote_bytes > 0);
+    assert!(out.stats.comm.broadcast_bytes > 0);
+}
+
+#[test]
+fn byte_series_track_comm_stats_across_recovery_replays() {
+    reach_obs::reset();
+    let g = fixtures::paper_graph();
+    let out = Engine::new(&g, Partition::modulo(4))
+        .with_faults(FaultPlan::new(11).with_crash(2, 2))
+        .run(&BfsLevels)
+        .unwrap();
+    let snap = reach_obs::snapshot().expect("obs feature is on");
+
+    assert!(out.stats.recovery.recoveries >= 1, "crash must fire");
+    // CommStats accumulate across replays and so do the series: the sums
+    // must agree exactly even though some super-steps ran twice.
+    assert_eq!(
+        series_sum(&snap, "engine.superstep.local_bytes"),
+        out.stats.comm.local_bytes as u64
+    );
+    assert_eq!(
+        series_sum(&snap, "engine.superstep.remote_bytes"),
+        out.stats.comm.remote_bytes as u64
+    );
+    assert_eq!(
+        series_sum(&snap, "engine.superstep.broadcast_bytes"),
+        out.stats.comm.broadcast_bytes as u64
+    );
+}
+
+#[test]
+fn replayed_supersteps_are_tagged_distinctly() {
+    reach_obs::reset();
+    let g = fixtures::paper_graph();
+    let out = Engine::new(&g, Partition::modulo(4))
+        .with_faults(FaultPlan::new(11).with_crash(2, 2))
+        .run(&BfsLevels)
+        .unwrap();
+    let snap = reach_obs::snapshot().expect("obs feature is on");
+
+    let first = snap.counter("engine.supersteps.first");
+    let replayed = snap.counter("engine.supersteps.replayed");
+    assert!(out.stats.recovery.replayed_supersteps > 0);
+    assert_eq!(replayed, out.stats.recovery.replayed_supersteps as u64);
+    assert_eq!(first + replayed, out.stats.supersteps as u64);
+    assert_eq!(snap.counter("engine.recoveries"), 1);
+    assert!(snap.counter("engine.checkpoints") >= 1);
+    assert!(snap.span("engine.recovery").unwrap().count >= 1);
+}
+
+#[test]
+fn fault_free_run_has_no_replayed_supersteps() {
+    reach_obs::reset();
+    let g = fixtures::paper_graph();
+    let out = Engine::new(&g, Partition::modulo(2))
+        .run(&BfsLevels)
+        .unwrap();
+    let snap = reach_obs::snapshot().expect("obs feature is on");
+
+    assert_eq!(snap.counter("engine.supersteps.replayed"), 0);
+    assert_eq!(
+        snap.counter("engine.supersteps.first"),
+        out.stats.supersteps as u64
+    );
+    assert_eq!(snap.counter("engine.recoveries"), 0);
+    assert_eq!(
+        snap.span("engine.compute").unwrap().count,
+        out.stats.supersteps as u64
+    );
+    assert_eq!(snap.span("engine.finalize").unwrap().count, 1);
+}
