@@ -1,0 +1,159 @@
+//! Worker-thread speedup of the threaded engine: builds DRL and DRLb on
+//! the Table-V medium synthetics at 1/2/4/8 worker threads and records
+//! wall-clock, speedup vs the single-thread run, and the ratio of the
+//! *modeled* cluster time to the measured wall-clock.
+//!
+//! Every multi-threaded build is checked bit-identical against the
+//! single-thread index — a speedup that changes the answer is a bug, not
+//! a result. Results land in `BENCH_parallel_engine.json` at the repo
+//! root (plus the usual stdout/CSV report).
+//!
+//! Honors `REACH_BENCH_SCALE` and `REACH_BENCH_DATASETS` like every other
+//! bench. Speedup > 1 naturally requires more than one hardware core;
+//! `available_parallelism` is recorded in the JSON so a 1-core run is
+//! self-describing rather than misleading.
+
+use std::path::Path;
+
+use reach_bench::{dataset_filter, scaled, timed, Report};
+use reach_core::BatchParams;
+use reach_graph::{OrderAssignment, OrderKind};
+use reach_vcs::NetworkModel;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SIM_NODES: usize = 8;
+
+struct Run {
+    dataset: &'static str,
+    alg: &'static str,
+    threads: usize,
+    wall_seconds: f64,
+    speedup_vs_1: f64,
+    modeled_seconds: f64,
+    modeled_over_wall: f64,
+    identical_index: bool,
+}
+
+fn main() {
+    let filter = dataset_filter();
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut report = Report::new(
+        "parallel_engine",
+        &[
+            "Name",
+            "Alg",
+            "Threads",
+            "Wall_s",
+            "Speedup",
+            "Modeled/Wall",
+        ],
+    );
+    let mut runs: Vec<Run> = Vec::new();
+
+    for spec in reach_datasets::mediums() {
+        if let Some(f) = &filter {
+            if !f.contains(&spec.name.to_string()) {
+                continue;
+            }
+        }
+        let spec = scaled(&spec);
+        let g = spec.generate();
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+
+        for alg in ["DRL", "DRLb"] {
+            let mut baseline: Option<(reach_index::ReachIndex, f64)> = None;
+            for threads in THREAD_COUNTS {
+                let ((idx, stats), wall) = timed(|| match alg {
+                    "DRL" => reach_drl_dist::drl::run_configured(
+                        &g,
+                        &ord,
+                        SIM_NODES,
+                        NetworkModel::default(),
+                        true,
+                        None,
+                        Some(threads),
+                    )
+                    .expect("fault-free run"),
+                    _ => reach_drl_dist::drlb::run_configured(
+                        &g,
+                        &ord,
+                        BatchParams::default(),
+                        SIM_NODES,
+                        NetworkModel::default(),
+                        None,
+                        Some(threads),
+                    )
+                    .expect("fault-free run"),
+                });
+                let (identical, speedup) = match &baseline {
+                    None => {
+                        baseline = Some((idx, wall));
+                        (true, 1.0)
+                    }
+                    Some((base_idx, base_wall)) => (idx == *base_idx, base_wall / wall),
+                };
+                assert!(
+                    identical,
+                    "{} {alg}: index at {threads} threads differs from 1 thread",
+                    spec.name
+                );
+                let modeled = stats.total_seconds();
+                report.row(vec![
+                    spec.name.into(),
+                    alg.into(),
+                    threads.to_string(),
+                    format!("{wall:.4}"),
+                    format!("{speedup:.2}"),
+                    format!("{:.2}", modeled / wall),
+                ]);
+                runs.push(Run {
+                    dataset: spec.name,
+                    alg,
+                    threads,
+                    wall_seconds: wall,
+                    speedup_vs_1: speedup,
+                    modeled_seconds: modeled,
+                    modeled_over_wall: modeled / wall,
+                    identical_index: identical,
+                });
+            }
+        }
+    }
+
+    let json_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel_engine.json");
+    std::fs::write(&json_path, render_json(parallelism, &runs)).expect("write bench json");
+    println!("wrote {}", json_path.display());
+    report.finish();
+}
+
+/// Hand-rolled JSON (the workspace deliberately carries no serde).
+fn render_json(parallelism: usize, runs: &[Run]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"parallel_engine\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", reach_bench::scale()));
+    out.push_str(&format!("  \"available_parallelism\": {parallelism},\n"));
+    out.push_str(&format!("  \"sim_nodes\": {SIM_NODES},\n"));
+    out.push_str(&format!("  \"thread_counts\": {THREAD_COUNTS:?},\n"));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"alg\": \"{}\", \"threads\": {}, \
+             \"wall_seconds\": {:.6}, \"speedup_vs_1\": {:.4}, \
+             \"modeled_seconds\": {:.6}, \"modeled_over_wall\": {:.4}, \
+             \"identical_index\": {}}}{}\n",
+            r.dataset,
+            r.alg,
+            r.threads,
+            r.wall_seconds,
+            r.speedup_vs_1,
+            r.modeled_seconds,
+            r.modeled_over_wall,
+            r.identical_index,
+            if i + 1 == runs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -187,7 +187,8 @@ pub fn run_with_options(
     network: NetworkModel,
     eager_check: bool,
 ) -> (ReachIndex, RunStats) {
-    run_under_faults(g, ord, nodes, network, eager_check, None).expect("fault-free DRL cannot fail")
+    run_under_faults(g, ord, nodes, network, eager_check, None, None)
+        .expect("fault-free DRL cannot fail")
 }
 
 /// [`run`] under an injected [`FaultPlan`]. DRL floods are confluent
@@ -201,7 +202,23 @@ pub fn run_with_faults(
     network: NetworkModel,
     faults: FaultPlan,
 ) -> Result<(ReachIndex, RunStats), EngineError> {
-    run_under_faults(g, ord, nodes, network, true, Some(faults))
+    run_under_faults(g, ord, nodes, network, true, Some(faults), None)
+}
+
+/// [`run`] with every knob exposed: the eager-`Check` toggle, an optional
+/// fault plan, and the engine worker-thread count (`None` = the engine
+/// default, i.e. `REACH_ENGINE_THREADS` or available parallelism). The
+/// thread count never changes the index — only wall-clock.
+pub fn run_configured(
+    g: &DiGraph,
+    ord: &OrderAssignment,
+    nodes: usize,
+    network: NetworkModel,
+    eager_check: bool,
+    faults: Option<FaultPlan>,
+    threads: Option<usize>,
+) -> Result<(ReachIndex, RunStats), EngineError> {
+    run_under_faults(g, ord, nodes, network, eager_check, faults, threads)
 }
 
 fn run_under_faults(
@@ -211,10 +228,14 @@ fn run_under_faults(
     network: NetworkModel,
     eager_check: bool,
     faults: Option<FaultPlan>,
+    threads: Option<usize>,
 ) -> Result<(ReachIndex, RunStats), EngineError> {
     let mut engine = Engine::new(g, Partition::modulo(nodes)).with_network(network);
     if let Some(plan) = faults {
         engine = engine.with_faults(plan);
+    }
+    if let Some(threads) = threads {
+        engine = engine.with_threads(threads);
     }
     let flood_span = reach_obs::span("drl.flood");
     let out = engine.run(&DrlProgram { ord, eager_check })?;

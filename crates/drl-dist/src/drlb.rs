@@ -273,7 +273,8 @@ pub fn run(
     nodes: usize,
     network: NetworkModel,
 ) -> (ReachIndex, RunStats) {
-    run_under_faults(g, ord, params, nodes, network, None).expect("fault-free DRLb cannot fail")
+    run_under_faults(g, ord, params, nodes, network, None, None)
+        .expect("fault-free DRLb cannot fail")
 }
 
 /// [`run`] under an injected [`FaultPlan`]; every batch run shares the
@@ -288,7 +289,23 @@ pub fn run_with_faults(
     network: NetworkModel,
     faults: FaultPlan,
 ) -> Result<(ReachIndex, RunStats), EngineError> {
-    run_under_faults(g, ord, params, nodes, network, Some(faults))
+    run_under_faults(g, ord, params, nodes, network, Some(faults), None)
+}
+
+/// [`run`] with every knob exposed: an optional fault plan and the engine
+/// worker-thread count (`None` = the engine default, i.e.
+/// `REACH_ENGINE_THREADS` or available parallelism). The thread count
+/// never changes the index — only wall-clock.
+pub fn run_configured(
+    g: &DiGraph,
+    ord: &OrderAssignment,
+    params: BatchParams,
+    nodes: usize,
+    network: NetworkModel,
+    faults: Option<FaultPlan>,
+    threads: Option<usize>,
+) -> Result<(ReachIndex, RunStats), EngineError> {
+    run_under_faults(g, ord, params, nodes, network, faults, threads)
 }
 
 fn run_under_faults(
@@ -298,12 +315,16 @@ fn run_under_faults(
     nodes: usize,
     network: NetworkModel,
     faults: Option<FaultPlan>,
+    threads: Option<usize>,
 ) -> Result<(ReachIndex, RunStats), EngineError> {
     let n = g.num_vertices();
     let schedule = BatchSchedule::new(n, params);
     let mut engine = Engine::new(g, Partition::modulo(nodes)).with_network(network);
     if let Some(plan) = faults {
         engine = engine.with_faults(plan);
+    }
+    if let Some(threads) = threads {
+        engine = engine.with_threads(threads);
     }
 
     let mut states: Vec<DrlbState> = (0..n).map(|_| DrlbState::default()).collect();

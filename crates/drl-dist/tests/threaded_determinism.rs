@@ -1,0 +1,149 @@
+//! Index-level corollary of the engine's thread-count invariance: DRL and
+//! DRLb builds produce **bit-identical `ReachIndex` output and identical
+//! communication stats at every worker-thread count**, with and without
+//! injected faults. Wall-clock is the only thing threads may change.
+
+use proptest::prelude::*;
+use reach_core::BatchParams;
+use reach_graph::{fixtures, gen, OrderAssignment, OrderKind};
+use reach_vcs::{FaultPlan, NetworkModel};
+
+/// A crash-plus-noise schedule derived deterministically from `seed`.
+fn schedule(seed: u64, nodes: usize) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_crash((seed as usize) % nodes, 1 + (seed as usize / nodes) % 3)
+        .with_message_drops(0.2 + 0.2 * ((seed % 3) as f64 / 3.0))
+        .with_message_delays(0.15, 1 + (seed % 4) as usize)
+}
+
+#[test]
+fn drl_build_is_identical_at_every_thread_count() {
+    let datasets = [
+        ("paper", fixtures::paper_graph()),
+        ("gnm-sparse", gen::gnm(90, 280, 4)),
+        ("dag-dense", gen::random_dag(70, 420, 9)),
+    ];
+    for (name, g) in &datasets {
+        let ord = OrderAssignment::new(g, OrderKind::DegreeProduct);
+        let (baseline, base_stats) = reach_drl_dist::drl::run_configured(
+            g,
+            &ord,
+            4,
+            NetworkModel::default(),
+            true,
+            None,
+            Some(1),
+        )
+        .unwrap();
+        for threads in [2usize, 4, 8] {
+            let (idx, stats) = reach_drl_dist::drl::run_configured(
+                g,
+                &ord,
+                4,
+                NetworkModel::default(),
+                true,
+                None,
+                Some(threads),
+            )
+            .unwrap();
+            assert_eq!(idx, baseline, "{name} threads={threads}");
+            assert_eq!(stats.comm, base_stats.comm, "{name} threads={threads}");
+            assert_eq!(
+                stats.supersteps, base_stats.supersteps,
+                "{name} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn drlb_build_under_faults_is_identical_at_every_thread_count() {
+    let g = gen::gnm(90, 280, 4);
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+    let params = BatchParams::default();
+    let plan = schedule(17, 4);
+    let (baseline, base_stats) = reach_drl_dist::drlb::run_configured(
+        &g,
+        &ord,
+        params,
+        4,
+        NetworkModel::default(),
+        Some(plan.clone()),
+        Some(1),
+    )
+    .unwrap();
+    assert!(base_stats.recovery.recoveries > 0, "crash must fire");
+    for threads in [2usize, 4, 8] {
+        let (idx, stats) = reach_drl_dist::drlb::run_configured(
+            &g,
+            &ord,
+            params,
+            4,
+            NetworkModel::default(),
+            Some(plan.clone()),
+            Some(threads),
+        )
+        .unwrap();
+        assert_eq!(idx, baseline, "threads={threads}");
+        assert_eq!(stats.comm, base_stats.comm, "threads={threads}");
+        assert_eq!(
+            stats.recovery.recoveries, base_stats.recovery.recoveries,
+            "threads={threads}"
+        );
+        assert_eq!(
+            stats.recovery.replayed_supersteps, base_stats.recovery.replayed_supersteps,
+            "threads={threads}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The DRL index is thread-count-invariant across random graphs ×
+    /// fault schedules × cluster sizes.
+    #[test]
+    fn drl_index_is_thread_count_invariant(
+        graph_seed in 0u64..20,
+        fault_seed in 0u64..1000,
+        nodes_pick in 0usize..3,
+    ) {
+        let nodes = [2usize, 4, 8][nodes_pick];
+        let g = gen::gnm(40, 130, graph_seed);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let plan = schedule(fault_seed, nodes);
+        let (baseline, base_stats) = reach_drl_dist::drl::run_configured(
+            &g, &ord, nodes, NetworkModel::default(), true, Some(plan.clone()), Some(1))
+            .expect("schedule is recoverable");
+        for threads in [2usize, 4, 8] {
+            let (idx, stats) = reach_drl_dist::drl::run_configured(
+                &g, &ord, nodes, NetworkModel::default(), true, Some(plan.clone()), Some(threads))
+                .expect("schedule is recoverable");
+            prop_assert_eq!(&idx, &baseline, "threads={}", threads);
+            prop_assert_eq!(&stats.comm, &base_stats.comm, "threads={}", threads);
+        }
+    }
+
+    /// Same for DRLb, whose label batches chain many engine runs — states
+    /// carried across `run_with` calls must also be thread-invariant.
+    #[test]
+    fn drlb_index_is_thread_count_invariant(
+        graph_seed in 0u64..20,
+        fault_seed in 0u64..1000,
+    ) {
+        let g = gen::gnm(40, 130, graph_seed);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let params = BatchParams::default();
+        let plan = schedule(fault_seed, 4);
+        let (baseline, base_stats) = reach_drl_dist::drlb::run_configured(
+            &g, &ord, params, 4, NetworkModel::default(), Some(plan.clone()), Some(1))
+            .expect("schedule is recoverable");
+        for threads in [2usize, 4, 8] {
+            let (idx, stats) = reach_drl_dist::drlb::run_configured(
+                &g, &ord, params, 4, NetworkModel::default(), Some(plan.clone()), Some(threads))
+                .expect("schedule is recoverable");
+            prop_assert_eq!(&idx, &baseline, "threads={}", threads);
+            prop_assert_eq!(&stats.comm, &base_stats.comm, "threads={}", threads);
+        }
+    }
+}

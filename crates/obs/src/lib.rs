@@ -32,8 +32,15 @@
 //!
 //! The global recorder is thread-local: metrics recorded on one thread are
 //! invisible to others, so `cargo test`'s parallel test threads cannot
-//! cross-contaminate. Single-threaded drivers (the simulated cluster and
-//! the benches are single-threaded) see every metric they caused.
+//! cross-contaminate. Fork/join drivers (the threaded superstep engine)
+//! bridge the gap explicitly: a worker wraps its slice of work in
+//! [`scoped_worker`], which captures everything it records into a
+//! detached, `Send`able [`WorkerMetrics`] bundle, and the coordinator
+//! folds the bundles into its own recorder with [`merge_worker`] at the
+//! barrier. Merging is commutative and associative, so the combined
+//! metrics of any worker schedule are identical to a single-threaded
+//! recording (span *totals* excepted — those sum real per-thread
+//! wall-clock, which is the point of running concurrently).
 //!
 //! # Example
 //!
@@ -108,6 +115,17 @@ mod active {
     pub fn snapshot() -> Snapshot {
         with_recorder(|r| r.snapshot())
     }
+
+    pub fn scoped_worker<R>(f: impl FnOnce() -> R) -> (R, Recorder) {
+        // Swap the thread-local store out so `f`'s metrics land in a fresh
+        // recorder, then restore whatever the thread had recorded before.
+        // This makes the call safe on any thread, not just pristine pool
+        // threads.
+        let saved = with_recorder(std::mem::take);
+        let out = f();
+        let captured = with_recorder(|r| std::mem::replace(r, saved));
+        (out, captured)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -168,6 +186,36 @@ pub fn snapshot() -> Option<Snapshot> {
     Some(active::snapshot())
 }
 
+/// Metrics captured on a worker thread by [`scoped_worker`], to be folded
+/// into another thread's recorder with [`merge_worker`].
+///
+/// The bundle is `Send`, so a fork/join executor (the threaded superstep
+/// engine) can record on its workers and absorb everything into the
+/// coordinator's thread-local store at the barrier. When the `enabled`
+/// feature is off this is a zero-sized type.
+#[cfg(feature = "enabled")]
+pub struct WorkerMetrics(Recorder);
+
+/// Runs `f`, capturing every metric it records into a detached
+/// [`WorkerMetrics`] bundle instead of the calling thread's recorder.
+///
+/// Metrics the thread recorded *before* the call are preserved untouched.
+/// Pass the bundle to [`merge_worker`] (typically on the parent thread) to
+/// fold the captured counters, histograms, series, and span timings in —
+/// merging is commutative, so the combined metrics of any fork/join
+/// schedule equal a single-threaded recording.
+#[cfg(feature = "enabled")]
+pub fn scoped_worker<R>(f: impl FnOnce() -> R) -> (R, WorkerMetrics) {
+    let (out, captured) = active::scoped_worker(f);
+    (out, WorkerMetrics(captured))
+}
+
+/// Folds a [`scoped_worker`] capture into the current thread's recorder.
+#[cfg(feature = "enabled")]
+pub fn merge_worker(metrics: WorkerMetrics) {
+    active::with_recorder(|r| r.merge(&metrics.0));
+}
+
 // ---------------------------------------------------------------------------
 // Recording entry points — empty stand-ins (default build).
 // ---------------------------------------------------------------------------
@@ -223,6 +271,31 @@ pub fn snapshot() -> Option<Snapshot> {
     None
 }
 
+/// Metrics captured on a worker thread by [`scoped_worker`], to be folded
+/// into another thread's recorder with [`merge_worker`].
+///
+/// The bundle is `Send`, so a fork/join executor (the threaded superstep
+/// engine) can record on its workers and absorb everything into the
+/// coordinator's thread-local store at the barrier. When the `enabled`
+/// feature is off this is a zero-sized type.
+#[cfg(not(feature = "enabled"))]
+pub struct WorkerMetrics;
+
+/// Runs `f`, capturing every metric it records into a detached
+/// [`WorkerMetrics`] bundle instead of the calling thread's recorder.
+/// No-op wrapper when disabled: `f` just runs.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn scoped_worker<R>(f: impl FnOnce() -> R) -> (R, WorkerMetrics) {
+    (f(), WorkerMetrics)
+}
+
+/// Folds a [`scoped_worker`] capture into the current thread's recorder.
+/// No-op when disabled.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn merge_worker(_metrics: WorkerMetrics) {}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -248,6 +321,58 @@ mod tests {
             }
             None => assert!(!super::is_enabled()),
         }
+    }
+
+    #[test]
+    fn scoped_worker_is_callable_either_way() {
+        super::reset();
+        super::counter_add("sw.outer", 1);
+        let (value, metrics) = super::scoped_worker(|| {
+            super::counter_add("sw.inner", 5);
+            42
+        });
+        assert_eq!(value, 42);
+        super::merge_worker(metrics);
+        if let Some(snap) = super::snapshot() {
+            // The capture must not have eaten the pre-existing metrics, and
+            // the merge must have folded the worker's in.
+            assert_eq!(snap.counter("sw.outer"), 1);
+            assert_eq!(snap.counter("sw.inner"), 5);
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn worker_capture_matches_inline_recording() {
+        let record_all = || {
+            super::counter_add("wk.c", 3);
+            super::record("wk.h", 17);
+            super::series_add("wk.s", 2, 9);
+            drop(super::span("wk.p"));
+        };
+        super::reset();
+        record_all();
+        let inline = super::snapshot().unwrap();
+
+        super::reset();
+        let handle = std::thread::scope(|s| {
+            s.spawn(|| {
+                let ((), m) = super::scoped_worker(record_all);
+                m
+            })
+            .join()
+            .unwrap()
+        });
+        super::merge_worker(handle);
+        let merged = super::snapshot().unwrap();
+        assert_eq!(merged.counters, inline.counters);
+        assert_eq!(merged.histograms, inline.histograms);
+        assert_eq!(merged.series, inline.series);
+        // Span totals are wall-clock, so only the counts are comparable.
+        assert_eq!(
+            merged.span("wk.p").unwrap().count,
+            inline.span("wk.p").unwrap().count
+        );
     }
 
     #[cfg(feature = "enabled")]

@@ -107,6 +107,36 @@ impl Recorder {
         self.spans.get(name).copied()
     }
 
+    /// Folds every metric of `other` into `self`: counters and span stats
+    /// add, histograms merge bucket-wise, series add element-wise (growing
+    /// `self`'s series as needed).
+    ///
+    /// Merging is commutative and associative, so folding any number of
+    /// worker-thread recorders into a parent — in any order — yields
+    /// exactly the metrics a single-threaded run would have recorded.
+    pub fn merge(&mut self, other: &Recorder) {
+        for (&name, &delta) in &other.counters {
+            self.counter_add(name, delta);
+        }
+        for (&name, hist) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(hist);
+        }
+        for (&name, series) in &other.series {
+            let own = self.series.entry(name).or_default();
+            if own.len() < series.len() {
+                own.resize(series.len(), 0);
+            }
+            for (slot, &delta) in own.iter_mut().zip(series.iter()) {
+                *slot += delta;
+            }
+        }
+        for (&name, stats) in &other.spans {
+            let s = self.spans.entry(name).or_default();
+            s.count += stats.count;
+            s.total += stats.total;
+        }
+    }
+
     /// A point-in-time copy of every metric, for reporting.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
@@ -226,6 +256,52 @@ mod tests {
         assert_eq!(names, vec!["a".to_string(), "z".to_string()]);
         assert_eq!(snap.histogram("h").unwrap().count(), 1);
         assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn merge_folds_every_instrument() {
+        let mut parent = Recorder::new();
+        parent.counter_add("c", 1);
+        parent.record("h", 4);
+        parent.series_add("s", 0, 10);
+        parent.span_record("p", Duration::from_millis(10));
+
+        let mut worker = Recorder::new();
+        worker.counter_add("c", 2);
+        worker.counter_add("c2", 5);
+        worker.record("h", 100);
+        worker.series_add("s", 2, 7); // longer series than the parent's
+        worker.span_record("p", Duration::from_millis(5));
+
+        parent.merge(&worker);
+        assert_eq!(parent.counter("c"), 3);
+        assert_eq!(parent.counter("c2"), 5);
+        let h = parent.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 100);
+        assert_eq!(parent.series("s"), Some(&[10, 0, 7][..]));
+        let p = parent.span("p").unwrap();
+        assert_eq!(p.count, 2);
+        assert_eq!(p.total, Duration::from_millis(15));
+    }
+
+    #[test]
+    fn merge_order_is_immaterial() {
+        let mut a = Recorder::new();
+        a.counter_add("x", 1);
+        a.series_add("s", 1, 2);
+        let mut b = Recorder::new();
+        b.counter_add("x", 4);
+        b.series_add("s", 0, 3);
+
+        let mut ab = Recorder::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = Recorder::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab.counter("x"), ba.counter("x"));
+        assert_eq!(ab.series("s"), ba.series("s"));
     }
 
     #[test]

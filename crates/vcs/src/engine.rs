@@ -8,10 +8,29 @@
 //! `finalize` runs once per vertex (the paper's "only run after the final
 //! super-step" blocks in Algorithms 3–4).
 //!
-//! The cluster is simulated: nodes execute sequentially, but each node's
-//! compute time is measured independently per super-step and the *maximum*
-//! is charged to the modeled parallel clock — so modeled timings behave as
-//! if nodes ran concurrently, deterministically and without thread jitter.
+//! # Threaded execution
+//!
+//! The cluster is simulated, but the compute phase is genuinely parallel:
+//! each super-step's per-node `compute` calls run on a pool of OS worker
+//! threads ([`Engine::with_threads`]; the default honors the
+//! `REACH_ENGINE_THREADS` environment variable, falling back to the
+//! machine's available parallelism). Threading never changes results:
+//!
+//! * each simulated node owns a disjoint slice of vertex state, and each
+//!   node is processed by exactly one worker per round, so computes never
+//!   race;
+//! * everything order-sensitive — message routing, fault-injection RNG
+//!   draws, global-update application, byte accounting, checkpointing,
+//!   crash recovery — happens on the coordinator thread, in node order,
+//!   while the workers are parked at the round barrier.
+//!
+//! Any thread count (including `1`, which runs the whole round inline on
+//! the calling thread) therefore produces bit-identical states, globals,
+//! and [`RunStats`]. The modeled clock is also unchanged: each node's
+//! compute time is still measured independently per super-step and the
+//! *maximum* is charged to the modeled parallel time, so modeled timings
+//! stay deterministic in shape even though real wall-clock now shrinks
+//! with the worker count.
 //!
 //! # Fault tolerance
 //!
@@ -39,6 +58,11 @@
 //! super-steps, any program insensitive to the within-inbox message order
 //! produces bit-identical results under every recoverable fault schedule.
 
+use std::cell::UnsafeCell;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard};
 use std::time::Instant;
 
 use rand::{Rng, SeedableRng};
@@ -104,12 +128,24 @@ pub trait VertexProgram {
 }
 
 /// Per-vertex execution context handed to [`VertexProgram::compute`].
+///
+/// Outgoing messages are bucketed by destination node at send time (the
+/// home node of the target vertex under the current assignment), so the
+/// barrier can route them without rescanning every send.
 pub struct Ctx<'a, M, U> {
     /// Current super-step number (0 = initialization step).
     pub superstep: usize,
     graph: &'a DiGraph,
-    sends: Vec<(VertexId, M)>,
-    updates: Vec<U>,
+    /// The simulated node whose vertices this context computes for.
+    node: usize,
+    num_vertices: usize,
+    /// Vertex → home-node map in effect this super-step.
+    assignment: &'a [usize],
+    /// `sends[dest]` = messages bound for node `dest`, in emission order.
+    sends: &'a mut [Vec<(VertexId, M)>],
+    updates: &'a mut Vec<U>,
+    /// First invalid send of the round, surfaced at the barrier.
+    error: &'a mut Option<EngineError>,
 }
 
 impl<'a, M, U> Ctx<'a, M, U> {
@@ -118,7 +154,16 @@ impl<'a, M, U> Ctx<'a, M, U> {
     /// [`EngineError::InvalidSendTarget`] at the barrier.
     #[inline]
     pub fn send(&mut self, to: VertexId, msg: M) {
-        self.sends.push((to, msg));
+        if (to as usize) < self.num_vertices {
+            self.sends[self.assignment[to as usize]].push((to, msg));
+        } else if self.error.is_none() {
+            *self.error = Some(EngineError::InvalidSendTarget {
+                from_node: self.node,
+                target: to,
+                num_vertices: self.num_vertices,
+                superstep: self.superstep,
+            });
+        }
     }
 
     /// Publishes a global update, replicated to all nodes at the barrier.
@@ -180,6 +225,357 @@ fn bucket(assignment: &[usize], num_nodes: usize) -> Vec<Vec<VertexId>> {
     owned
 }
 
+/// Default worker-thread count: `REACH_ENGINE_THREADS` when set to a
+/// positive integer, else the machine's available parallelism.
+fn default_worker_threads() -> usize {
+    if let Ok(raw) = std::env::var("REACH_ENGINE_THREADS") {
+        if let Ok(threads) = raw.trim().parse::<usize>() {
+            if threads >= 1 {
+                return threads;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+// ---------------------------------------------------------------------------
+// Worker-pool plumbing.
+//
+// One pool is spawned per run (`std::thread::scope`), and every round —
+// one compute phase or the finalize phase — is a pair of barrier waits:
+// the coordinator publishes the phase and super-step, everyone crosses the
+// entry barrier, each participant (the coordinator doubles as worker 0)
+// processes its fixed chunk of node slots, and everyone crosses the exit
+// barrier. Between rounds the workers are parked inside `Barrier::wait`,
+// which is what makes the coordinator's lock-free access to the shared
+// state below sound: the barrier's internal lock/condvar pair provides the
+// happens-before edge on every transfer of ownership.
+// ---------------------------------------------------------------------------
+
+/// Round phase: run `compute` over the chunk's node slots.
+const PHASE_COMPUTE: u8 = 0;
+/// Round phase: run `finalize` over the chunk's node slots.
+const PHASE_FINALIZE: u8 = 1;
+/// Round phase: the run is over; workers exit their loop.
+const PHASE_SHUTDOWN: u8 = 2;
+
+/// A shared, unsynchronized view of the per-vertex state vector.
+///
+/// # Safety protocol
+///
+/// During a round, a worker only touches states of vertices owned by the
+/// node slot it currently holds locked, and `bucket` assigns every vertex
+/// to exactly one node, so concurrent `get_mut` calls never alias.
+/// Between rounds — all workers parked at the round barrier — the
+/// coordinator has exclusive access to the whole table (checkpoint
+/// snapshots, rollback restores).
+struct StateTable<S> {
+    ptr: *mut S,
+    len: usize,
+}
+
+// SAFETY: see the protocol above; `S: Send` because worker threads obtain
+// `&mut S` and could move values out/in.
+unsafe impl<S: Send> Sync for StateTable<S> {}
+
+impl<S> StateTable<S> {
+    fn new(states: &mut [S]) -> Self {
+        StateTable {
+            ptr: states.as_mut_ptr(),
+            len: states.len(),
+        }
+    }
+
+    /// Shared reference to state `i`.
+    ///
+    /// # Safety
+    /// The caller must hold access to `i` under the table's protocol, and
+    /// no `&mut` to the same element may be live.
+    unsafe fn get_ref(&self, i: usize) -> &S {
+        debug_assert!(i < self.len);
+        &*self.ptr.add(i)
+    }
+
+    /// Exclusive reference to state `i`.
+    ///
+    /// # Safety
+    /// The caller must hold *exclusive* access to `i` under the table's
+    /// protocol (own the node slot that owns vertex `i`, or be the
+    /// coordinator between rounds).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self, i: usize) -> &mut S {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+/// An [`UnsafeCell`] shared under the round protocol: workers take shared
+/// references during a round; the coordinator mutates only between rounds,
+/// while every worker is parked at the round barrier.
+struct SyncCell<T>(UnsafeCell<T>);
+
+// SAFETY: mutation is coordinator-exclusive between rounds; rounds only
+// read. The round barrier orders the two.
+unsafe impl<T: Send + Sync> Sync for SyncCell<T> {}
+
+impl<T> SyncCell<T> {
+    fn new(value: T) -> Self {
+        SyncCell(UnsafeCell::new(value))
+    }
+
+    /// # Safety
+    /// No `&mut` from [`SyncCell::get_mut`] may be live.
+    unsafe fn get_ref(&self) -> &T {
+        &*self.0.get()
+    }
+
+    /// # Safety
+    /// The caller must be the only thread touching the cell (the
+    /// coordinator between rounds), and no other reference may be live.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self) -> &mut T {
+        &mut *self.0.get()
+    }
+
+    fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+/// Per-simulated-node working set. Owned by exactly one worker during a
+/// round and by the coordinator between rounds. All buffers are allocated
+/// once per run and reused across super-steps, so the steady-state hot
+/// path allocates nothing (capacities implicitly stay pre-sized at each
+/// node's high-water message volume).
+struct NodeSlot<P: VertexProgram> {
+    /// Vertices homed on this node under the current assignment.
+    owned: Vec<VertexId>,
+    /// `(target, msg)` pairs to deliver to this node this super-step.
+    inbox: Vec<(VertexId, P::Msg)>,
+    /// Delivery scratch: targets of the sorted inbox, aligned with
+    /// `delivery`, so grouped messages reach `compute` as borrowed slices
+    /// instead of per-vertex cloned `Vec`s.
+    delivery_targets: Vec<VertexId>,
+    /// Delivery scratch: message payloads, moved (not cloned) out of the
+    /// inbox.
+    delivery: Vec<P::Msg>,
+    /// Outgoing messages bucketed by destination node at send time.
+    sends: Vec<Vec<(VertexId, P::Msg)>>,
+    /// Global updates published this super-step, in emission order.
+    updates: Vec<P::Update>,
+    /// Wall-clock seconds of this node's last compute/finalize phase.
+    seconds: f64,
+    /// First invalid send of the round, surfaced at the barrier in node
+    /// order.
+    error: Option<EngineError>,
+}
+
+/// Everything the coordinator and the workers share for one run.
+struct ClusterShared<'e, P: VertexProgram> {
+    program: &'e P,
+    graph: &'e DiGraph,
+    num_vertices: usize,
+    states: StateTable<P::State>,
+    /// Replicated global state (read-only during rounds).
+    global: SyncCell<P::Global>,
+    /// Vertex → home-node map (rewritten only on crash recovery).
+    assignment: SyncCell<Vec<usize>>,
+    slots: Vec<Mutex<NodeSlot<P>>>,
+    /// Per-worker obs captures, folded into the coordinator's recorder at
+    /// the exit barrier of every round.
+    worker_obs: Vec<Mutex<Option<reach_obs::WorkerMetrics>>>,
+    barrier: Barrier,
+    superstep: AtomicUsize,
+    phase: AtomicU8,
+    /// First panic payload raised inside a round, re-raised on the caller
+    /// thread after the pool shuts down.
+    panicked: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Locks ignoring poisoning: a panic inside a round is caught, parked in
+/// `ClusterShared::panicked`, and re-raised on the caller thread, so a
+/// poisoned mutex only means "a panic is already in flight".
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Locks every node slot, in node order.
+fn lock_slots<'s, P: VertexProgram>(
+    slots: &'s [Mutex<NodeSlot<P>>],
+) -> Vec<MutexGuard<'s, NodeSlot<P>>> {
+    slots.iter().map(lock).collect()
+}
+
+/// Why the coordinator stopped: a typed engine error for the caller, or
+/// "a panic payload is parked in `ClusterShared::panicked`".
+enum Halt {
+    Err(EngineError),
+    Panic,
+}
+
+/// Processes one chunk of node slots for the current round. Runs on every
+/// pool participant, including the coordinator.
+fn run_chunk<P: VertexProgram>(shared: &ClusterShared<'_, P>, nodes: Range<usize>, phase: u8) {
+    let superstep = shared.superstep.load(Ordering::Acquire);
+    // SAFETY: during a round the coordinator never touches the global or
+    // the assignment, so shared references are sound on every thread.
+    let global = unsafe { shared.global.get_ref() };
+    let assignment = unsafe { shared.assignment.get_ref() };
+    for node in nodes {
+        let mut guard = lock(&shared.slots[node]);
+        let slot = &mut *guard;
+        if phase == PHASE_FINALIZE {
+            finalize_node(shared, slot, global);
+        } else {
+            compute_node(shared, node, slot, assignment, global, superstep);
+        }
+    }
+}
+
+/// One node's compute phase: deliver the inbox grouped by target vertex
+/// and call the program, bucketing sends by destination node.
+fn compute_node<P: VertexProgram>(
+    shared: &ClusterShared<'_, P>,
+    node: usize,
+    slot: &mut NodeSlot<P>,
+    assignment: &[usize],
+    global: &P::Global,
+    superstep: usize,
+) {
+    // Dead nodes own nothing and receive nothing, so this also skips them.
+    let idle = if superstep == 0 {
+        slot.owned.is_empty()
+    } else {
+        slot.inbox.is_empty()
+    };
+    if idle {
+        slot.seconds = 0.0;
+        return;
+    }
+    let t0 = Instant::now();
+    let mut ctx = Ctx {
+        superstep,
+        graph: shared.graph,
+        node,
+        num_vertices: shared.num_vertices,
+        assignment,
+        sends: &mut slot.sends,
+        updates: &mut slot.updates,
+        error: &mut slot.error,
+    };
+    if superstep == 0 {
+        for &v in &slot.owned {
+            // SAFETY: vertex-state disjointness — `v` is owned by this
+            // node and this node's slot is held by exactly one worker.
+            let state = unsafe { shared.states.get_mut(v as usize) };
+            shared.program.compute(&mut ctx, v, state, &[], global);
+        }
+    } else {
+        // Deliver grouped by target vertex, deterministically: the stable
+        // sort keeps each sender's emission order within a target's batch,
+        // and payloads move into the scratch buffer so each group reaches
+        // `compute` as a borrowed slice, clone-free.
+        slot.inbox.sort_by_key(|&(t, _)| t);
+        slot.delivery_targets.clear();
+        slot.delivery.clear();
+        for (to, msg) in slot.inbox.drain(..) {
+            slot.delivery_targets.push(to);
+            slot.delivery.push(msg);
+        }
+        let targets = &slot.delivery_targets;
+        let msgs = &slot.delivery;
+        let mut i = 0;
+        while i < targets.len() {
+            let v = targets[i];
+            let mut j = i + 1;
+            while j < targets.len() && targets[j] == v {
+                j += 1;
+            }
+            // SAFETY: as above — delivery targets are owned by this node.
+            let state = unsafe { shared.states.get_mut(v as usize) };
+            shared
+                .program
+                .compute(&mut ctx, v, state, &msgs[i..j], global);
+            i = j;
+        }
+    }
+    slot.seconds = t0.elapsed().as_secs_f64();
+}
+
+/// One node's finalize phase.
+fn finalize_node<P: VertexProgram>(
+    shared: &ClusterShared<'_, P>,
+    slot: &mut NodeSlot<P>,
+    global: &P::Global,
+) {
+    let t0 = Instant::now();
+    for &v in &slot.owned {
+        // SAFETY: vertex-state disjointness, as in `compute_node`.
+        let state = unsafe { shared.states.get_mut(v as usize) };
+        shared.program.finalize(v, state, global);
+    }
+    slot.seconds = t0.elapsed().as_secs_f64();
+}
+
+/// A pool worker: park at the barrier, run the published phase over a
+/// fixed node chunk, park again. Metrics recorded inside the chunk are
+/// captured per round and handed to the coordinator, which merges them so
+/// obs output matches a single-threaded run. Panics are caught (keeping
+/// the barrier protocol alive) and re-raised on the caller thread.
+fn worker_loop<P: VertexProgram>(
+    shared: &ClusterShared<'_, P>,
+    worker: usize,
+    nodes: Range<usize>,
+) {
+    loop {
+        shared.barrier.wait();
+        let phase = shared.phase.load(Ordering::Acquire);
+        if phase == PHASE_SHUTDOWN {
+            return;
+        }
+        let (result, metrics) = reach_obs::scoped_worker(|| {
+            panic::catch_unwind(AssertUnwindSafe(|| run_chunk(shared, nodes.clone(), phase)))
+        });
+        *lock(&shared.worker_obs[worker]) = Some(metrics);
+        if let Err(payload) = result {
+            lock(&shared.panicked).get_or_insert(payload);
+        }
+        shared.barrier.wait();
+    }
+}
+
+/// Runs one barrier-to-barrier round: releases the workers, executes the
+/// coordinator's own chunk, waits for everyone, then folds the workers'
+/// obs captures into this thread's recorder. `Halt::Panic` means some
+/// participant panicked and parked its payload.
+fn run_round<P: VertexProgram>(
+    shared: &ClusterShared<'_, P>,
+    my_nodes: Range<usize>,
+    phase: u8,
+) -> Result<(), Halt> {
+    shared.barrier.wait();
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        run_chunk(shared, my_nodes, phase);
+    }));
+    if let Err(payload) = result {
+        lock(&shared.panicked).get_or_insert(payload);
+    }
+    shared.barrier.wait();
+    for cell in &shared.worker_obs {
+        if let Some(metrics) = lock(cell).take() {
+            reach_obs::merge_worker(metrics);
+        }
+    }
+    if lock(&shared.panicked).is_some() {
+        return Err(Halt::Panic);
+    }
+    Ok(())
+}
+
 /// The simulated cluster executor.
 pub struct Engine<'g> {
     graph: &'g DiGraph,
@@ -187,6 +583,7 @@ pub struct Engine<'g> {
     network: NetworkModel,
     faults: Option<FaultPlan>,
     checkpoint_interval: Option<usize>,
+    threads: Option<usize>,
     /// Safety cap; a run that exceeds it fails with
     /// [`EngineError::SuperstepCapExceeded`] (a vertex program that never
     /// goes quiet is a bug).
@@ -202,6 +599,7 @@ impl<'g> Engine<'g> {
             network: NetworkModel::default(),
             faults: None,
             checkpoint_interval: None,
+            threads: None,
             max_supersteps: 1_000_000,
         }
     }
@@ -229,6 +627,24 @@ impl<'g> Engine<'g> {
         self
     }
 
+    /// Executes each super-step's compute phase on `threads` OS worker
+    /// threads (capped at the node count; `1` runs everything inline on
+    /// the calling thread). The default honors `REACH_ENGINE_THREADS`,
+    /// falling back to the machine's available parallelism. The thread
+    /// count never changes results — see the module docs for the
+    /// determinism argument.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "worker thread count must be at least 1");
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The worker-thread count the next run will request (before the
+    /// per-run cap at the node count).
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(default_worker_threads)
+    }
+
     /// The fault plan in effect, if any.
     pub fn faults(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
@@ -247,9 +663,11 @@ impl<'g> Engine<'g> {
     /// Runs `program` from freshly initialized states.
     pub fn run<P>(&self, program: &P) -> Result<RunOutcome<P>, EngineError>
     where
-        P: VertexProgram,
-        P::State: Clone,
-        P::Global: Clone,
+        P: VertexProgram + Sync,
+        P::State: Clone + Send,
+        P::Msg: Send,
+        P::Update: Send,
+        P::Global: Clone + Send + Sync,
     {
         let states = (0..self.graph.num_vertices() as VertexId)
             .map(|v| program.init_state(v))
@@ -263,12 +681,14 @@ impl<'g> Engine<'g> {
         &self,
         program: &P,
         mut states: Vec<P::State>,
-        mut global: P::Global,
+        global: P::Global,
     ) -> Result<RunOutcome<P>, EngineError>
     where
-        P: VertexProgram,
-        P::State: Clone,
-        P::Global: Clone,
+        P: VertexProgram + Sync,
+        P::State: Clone + Send,
+        P::Msg: Send,
+        P::Update: Send,
+        P::Global: Clone + Send + Sync,
     {
         let n = self.graph.num_vertices();
         if states.len() != n {
@@ -277,6 +697,104 @@ impl<'g> Engine<'g> {
                 got: states.len(),
             });
         }
+        let num_nodes = self.partition.num_nodes();
+        let workers = self.threads().min(num_nodes.max(1));
+
+        let assignment: Vec<usize> = (0..n)
+            .map(|v| self.partition.node_of(v as VertexId))
+            .collect();
+        let slots: Vec<Mutex<NodeSlot<P>>> = bucket(&assignment, num_nodes)
+            .into_iter()
+            .map(|owned| {
+                Mutex::new(NodeSlot {
+                    owned,
+                    inbox: Vec::new(),
+                    delivery_targets: Vec::new(),
+                    delivery: Vec::new(),
+                    sends: (0..num_nodes).map(|_| Vec::new()).collect(),
+                    updates: Vec::new(),
+                    seconds: 0.0,
+                    error: None,
+                })
+            })
+            .collect();
+
+        let shared = ClusterShared {
+            program,
+            graph: self.graph,
+            num_vertices: n,
+            states: StateTable::new(&mut states),
+            global: SyncCell::new(global),
+            assignment: SyncCell::new(assignment),
+            slots,
+            worker_obs: (0..workers).map(|_| Mutex::new(None)).collect(),
+            barrier: Barrier::new(workers),
+            superstep: AtomicUsize::new(0),
+            phase: AtomicU8::new(PHASE_COMPUTE),
+            panicked: Mutex::new(None),
+        };
+
+        // Fixed, contiguous, near-even node chunks; chunk 0 belongs to the
+        // coordinator, which doubles as a pool participant.
+        let chunk = num_nodes.div_ceil(workers);
+        let outcome = std::thread::scope(|scope| {
+            for w in 1..workers {
+                let shared = &shared;
+                let range = (w * chunk).min(num_nodes)..((w + 1) * chunk).min(num_nodes);
+                std::thread::Builder::new()
+                    .name(format!("reach-engine-{w}"))
+                    .spawn_scoped(scope, move || worker_loop(shared, w, range))
+                    .expect("spawn engine worker");
+            }
+            // Whatever happens — normal completion, engine error, or a
+            // coordinator-side panic — the pool must be released before
+            // the scope joins, or the workers would park forever.
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                self.coordinate(&shared, 0..chunk.min(num_nodes))
+            }));
+            shared.phase.store(PHASE_SHUTDOWN, Ordering::Release);
+            shared.barrier.wait();
+            outcome
+        });
+        let outcome = match outcome {
+            Ok(result) => result,
+            // A coordinator panic outside a round (routing, checkpointing,
+            // `apply_updates`): re-raise now that the pool is down.
+            Err(payload) => panic::resume_unwind(payload),
+        };
+        if let Some(payload) = lock(&shared.panicked).take() {
+            // A vertex program panicked inside a round; surface it on the
+            // caller thread exactly like a single-threaded run would.
+            panic::resume_unwind(payload);
+        }
+        let stats = match outcome {
+            Ok(stats) => stats,
+            Err(Halt::Err(e)) => return Err(e),
+            Err(Halt::Panic) => unreachable!("panic payload re-raised above"),
+        };
+        Ok(RunOutcome {
+            states,
+            global: shared.global.into_inner(),
+            stats,
+        })
+    }
+
+    /// The coordinator's side of a run: drives super-step rounds through
+    /// the pool and performs every order-sensitive step itself — fault
+    /// draws, routing, update application, checkpointing, recovery — in
+    /// node order, while the workers are parked at the round barrier.
+    fn coordinate<P>(
+        &self,
+        shared: &ClusterShared<'_, P>,
+        my_nodes: Range<usize>,
+    ) -> Result<RunStats, Halt>
+    where
+        P: VertexProgram,
+        P::State: Clone,
+        P::Global: Clone,
+    {
+        let program = shared.program;
+        let n = shared.num_vertices;
         let num_nodes = self.partition.num_nodes();
 
         let quiet_plan = FaultPlan::new(0);
@@ -295,182 +813,182 @@ impl<'g> Engine<'g> {
         pending_crashes.reverse(); // pop() yields earliest-superstep first
 
         // Cluster membership is dynamic: a crash flips `alive` and rewrites
-        // `assignment`, so routing always consults these instead of the
-        // static `Partition`.
+        // the shared assignment, so routing always consults these instead
+        // of the static `Partition`.
         let mut alive = vec![true; num_nodes];
-        let mut assignment: Vec<usize> = (0..n)
-            .map(|v| self.partition.node_of(v as VertexId))
-            .collect();
-        let mut owned = bucket(&assignment, num_nodes);
-
         let mut stats = RunStats::default();
-        // inbox[node] = (target, msg) pairs to deliver this super-step.
-        let mut inbox: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); num_nodes];
         let mut checkpoint: Option<Checkpoint<P::State, P::Global, P::Msg>> = None;
         let mut superstep = 0usize;
         // High-water mark of executed super-steps: a super-step below it
         // has run before, i.e. it is being replayed after a rollback. Used
         // only to tag obs counters; recovery logic never consults it.
         let mut executed_high_water = 0usize;
+        // Barrier scratch, reused across super-steps.
+        let mut node_bytes = vec![0usize; num_nodes];
+        let mut updates_flat: Vec<P::Update> = Vec::new();
 
         'superstep: loop {
             if superstep > self.max_supersteps {
-                return Err(EngineError::SuperstepCapExceeded {
+                return Err(Halt::Err(EngineError::SuperstepCapExceeded {
                     cap: self.max_supersteps,
-                });
+                }));
             }
 
-            // Coordinated checkpoint at the interval boundary. Skipped when
-            // a snapshot of this exact super-step already exists (i.e. we
-            // just rolled back to it).
-            let due = ckpt_every.is_some_and(|c| superstep.is_multiple_of(c));
-            if due && checkpoint.as_ref().is_none_or(|c| c.superstep != superstep) {
-                let _obs_ckpt = reach_obs::span("engine.checkpoint");
-                // Each node persists its own share (owned states + pending
-                // inbox) in parallel; the first live node also persists the
-                // shared global. The modeled cost is the bottleneck share.
-                let mut node_share = vec![0usize; num_nodes];
-                for (v, st) in states.iter().enumerate() {
-                    node_share[assignment[v]] += program.state_bytes(st);
-                }
-                for (node, mail) in inbox.iter().enumerate() {
-                    for (_, m) in mail {
-                        node_share[node] += program.msg_bytes(m);
-                    }
-                }
-                let coord = alive.iter().position(|&a| a).unwrap_or(0);
-                node_share[coord] += program.global_bytes(&global);
-                let total: usize = node_share.iter().sum();
-                let max_share = node_share.iter().copied().max().unwrap_or(0);
-                stats.recovery.checkpoints += 1;
-                stats.recovery.checkpoint_bytes += total;
-                reach_obs::counter_add("engine.checkpoints", 1);
-                reach_obs::record("engine.checkpoint.bytes", total as u64);
-                stats.recovery.checkpoint_seconds +=
-                    self.network.superstep_latency + max_share as f64 / self.network.bandwidth;
-                checkpoint = Some(Checkpoint {
-                    superstep,
-                    states: states.clone(),
-                    global: global.clone(),
-                    mail: inbox.iter().flat_map(|m| m.iter().cloned()).collect(),
-                    bytes: total,
-                });
-            }
-
-            // Crash detection at barrier entry: fire every scheduled crash
-            // whose super-step has arrived, then (if any fired) roll back.
-            let mut crashed = false;
-            while pending_crashes
-                .last()
-                .is_some_and(|c| c.superstep <= superstep)
             {
-                let crash = pending_crashes.pop().expect("checked non-empty");
-                if crash.node >= num_nodes {
-                    return Err(EngineError::UnrecoverableCrash {
-                        node: crash.node,
-                        superstep,
-                        reason: CrashReason::UnknownNode,
-                    });
-                }
-                if !alive[crash.node] {
-                    continue; // already dead; nothing new to recover
-                }
-                alive[crash.node] = false;
-                let survivors: Vec<usize> = (0..num_nodes).filter(|&i| alive[i]).collect();
-                if survivors.is_empty() {
-                    return Err(EngineError::UnrecoverableCrash {
-                        node: crash.node,
-                        superstep,
-                        reason: CrashReason::NoSurvivors,
-                    });
-                }
-                // Reassign the dead node's partition round-robin across the
-                // survivors.
-                let mut next = 0usize;
-                for node in assignment.iter_mut() {
-                    if *node == crash.node {
-                        *node = survivors[next % survivors.len()];
-                        next += 1;
-                    }
-                }
-                crashed = true;
-            }
-            if crashed {
-                let _obs_rec = reach_obs::span("engine.recovery");
-                // Rollback-and-replay: restore the snapshot, re-bucket its
-                // in-flight mail under the new assignment, and resume from
-                // the checkpoint super-step. (A crash schedule implies an
-                // initial checkpoint at super-step 0, so one always exists.)
-                let ck = checkpoint
-                    .as_ref()
-                    .expect("crashes imply checkpointing, so a snapshot exists");
-                states = ck.states.clone();
-                global = ck.global.clone();
-                owned = bucket(&assignment, num_nodes);
-                for mail in &mut inbox {
-                    mail.clear();
-                }
-                for (to, msg) in &ck.mail {
-                    inbox[assignment[*to as usize]].push((*to, msg.clone()));
-                }
-                stats.recovery.recoveries += 1;
-                stats.recovery.replayed_supersteps += superstep - ck.superstep;
-                reach_obs::counter_add("engine.recoveries", 1);
-                stats.recovery.recovery_seconds += CRASH_DETECTION_LATENCIES
-                    * self.network.superstep_latency
-                    + self.network.superstep_latency
-                    + ck.bytes as f64 / self.network.bandwidth;
-                superstep = ck.superstep;
-                continue 'superstep;
-            }
+                // Workers are parked at the round barrier, so the
+                // coordinator holds every slot plus exclusive access to the
+                // states, the global, and the assignment.
+                let mut slots = lock_slots(&shared.slots);
 
-            let mut all_sends: Vec<Vec<(VertexId, P::Msg)>> = vec![Vec::new(); num_nodes];
-            let mut all_updates: Vec<Vec<P::Update>> = vec![Vec::new(); num_nodes];
-            let mut step_max_compute = 0.0f64;
-            let mut step_sum_compute = 0.0f64;
-
-            let obs_compute = reach_obs::span("engine.compute");
-            for node in 0..num_nodes {
-                if !alive[node] {
-                    continue;
-                }
-                let t0 = Instant::now();
-                let mut ctx = Ctx {
-                    superstep,
-                    graph: self.graph,
-                    sends: Vec::new(),
-                    updates: Vec::new(),
-                };
-                if superstep == 0 {
-                    for &v in &owned[node] {
-                        program.compute(&mut ctx, v, &mut states[v as usize], &[], &global);
+                // Coordinated checkpoint at the interval boundary. Skipped
+                // when a snapshot of this exact super-step already exists
+                // (i.e. we just rolled back to it).
+                let due = ckpt_every.is_some_and(|c| superstep.is_multiple_of(c));
+                if due && checkpoint.as_ref().is_none_or(|c| c.superstep != superstep) {
+                    let _obs_ckpt = reach_obs::span("engine.checkpoint");
+                    // Each node persists its own share (owned states +
+                    // pending inbox) in parallel; the first live node also
+                    // persists the shared global. The modeled cost is the
+                    // bottleneck share.
+                    // SAFETY: coordinator-exclusive between rounds.
+                    let assignment = unsafe { shared.assignment.get_ref() };
+                    let global = unsafe { shared.global.get_ref() };
+                    let mut node_share = vec![0usize; num_nodes];
+                    let mut snapshot = Vec::with_capacity(n);
+                    for (v, &node) in assignment.iter().enumerate() {
+                        // SAFETY: coordinator-exclusive between rounds.
+                        let st = unsafe { shared.states.get_ref(v) };
+                        node_share[node] += program.state_bytes(st);
+                        snapshot.push(st.clone());
                     }
-                } else {
-                    // Deliver grouped by target vertex, deterministically.
-                    let mail = &mut inbox[node];
-                    mail.sort_by_key(|&(t, _)| t);
-                    let mut i = 0;
-                    while i < mail.len() {
-                        let v = mail[i].0;
-                        let mut j = i + 1;
-                        while j < mail.len() && mail[j].0 == v {
-                            j += 1;
+                    let mut mail = Vec::new();
+                    for (node, slot) in slots.iter().enumerate() {
+                        for (to, m) in &slot.inbox {
+                            node_share[node] += program.msg_bytes(m);
+                            mail.push((*to, m.clone()));
                         }
-                        let msgs: Vec<P::Msg> = mail[i..j].iter().map(|(_, m)| m.clone()).collect();
-                        program.compute(&mut ctx, v, &mut states[v as usize], &msgs, &global);
-                        i = j;
                     }
-                    mail.clear();
+                    let coord = alive.iter().position(|&a| a).unwrap_or(0);
+                    node_share[coord] += program.global_bytes(global);
+                    let total: usize = node_share.iter().sum();
+                    let max_share = node_share.iter().copied().max().unwrap_or(0);
+                    stats.recovery.checkpoints += 1;
+                    stats.recovery.checkpoint_bytes += total;
+                    reach_obs::counter_add("engine.checkpoints", 1);
+                    reach_obs::record("engine.checkpoint.bytes", total as u64);
+                    stats.recovery.checkpoint_seconds +=
+                        self.network.superstep_latency + max_share as f64 / self.network.bandwidth;
+                    checkpoint = Some(Checkpoint {
+                        superstep,
+                        states: snapshot,
+                        global: global.clone(),
+                        mail,
+                        bytes: total,
+                    });
                 }
-                let dt = t0.elapsed().as_secs_f64();
-                step_max_compute = step_max_compute.max(dt);
-                step_sum_compute += dt;
-                all_sends[node] = ctx.sends;
-                all_updates[node] = ctx.updates;
+
+                // Crash detection at barrier entry: fire every scheduled
+                // crash whose super-step has arrived, then (if any fired)
+                // roll back.
+                let mut crashed = false;
+                while pending_crashes
+                    .last()
+                    .is_some_and(|c| c.superstep <= superstep)
+                {
+                    let crash = pending_crashes.pop().expect("checked non-empty");
+                    if crash.node >= num_nodes {
+                        return Err(Halt::Err(EngineError::UnrecoverableCrash {
+                            node: crash.node,
+                            superstep,
+                            reason: CrashReason::UnknownNode,
+                        }));
+                    }
+                    if !alive[crash.node] {
+                        continue; // already dead; nothing new to recover
+                    }
+                    alive[crash.node] = false;
+                    let survivors: Vec<usize> = (0..num_nodes).filter(|&i| alive[i]).collect();
+                    if survivors.is_empty() {
+                        return Err(Halt::Err(EngineError::UnrecoverableCrash {
+                            node: crash.node,
+                            superstep,
+                            reason: CrashReason::NoSurvivors,
+                        }));
+                    }
+                    // Reassign the dead node's partition round-robin across
+                    // the survivors.
+                    // SAFETY: coordinator-exclusive between rounds.
+                    let assignment = unsafe { shared.assignment.get_mut() };
+                    let mut next = 0usize;
+                    for node in assignment.iter_mut() {
+                        if *node == crash.node {
+                            *node = survivors[next % survivors.len()];
+                            next += 1;
+                        }
+                    }
+                    crashed = true;
+                }
+                if crashed {
+                    let _obs_rec = reach_obs::span("engine.recovery");
+                    // Rollback-and-replay: restore the snapshot, re-bucket
+                    // its in-flight mail under the new assignment, and
+                    // resume from the checkpoint super-step. (A crash
+                    // schedule implies an initial checkpoint at super-step
+                    // 0, so one always exists.)
+                    let ck = checkpoint
+                        .as_ref()
+                        .expect("crashes imply checkpointing, so a snapshot exists");
+                    // SAFETY: coordinator-exclusive between rounds.
+                    let assignment = unsafe { shared.assignment.get_ref() };
+                    for (v, saved) in ck.states.iter().enumerate() {
+                        // SAFETY: coordinator-exclusive between rounds.
+                        unsafe { shared.states.get_mut(v) }.clone_from(saved);
+                    }
+                    // SAFETY: coordinator-exclusive between rounds.
+                    unsafe { shared.global.get_mut() }.clone_from(&ck.global);
+                    for (slot, owned) in slots.iter_mut().zip(bucket(assignment, num_nodes)) {
+                        slot.owned = owned;
+                        slot.inbox.clear();
+                    }
+                    for (to, msg) in &ck.mail {
+                        slots[assignment[*to as usize]]
+                            .inbox
+                            .push((*to, msg.clone()));
+                    }
+                    stats.recovery.recoveries += 1;
+                    stats.recovery.replayed_supersteps += superstep - ck.superstep;
+                    reach_obs::counter_add("engine.recoveries", 1);
+                    stats.recovery.recovery_seconds += CRASH_DETECTION_LATENCIES
+                        * self.network.superstep_latency
+                        + self.network.superstep_latency
+                        + ck.bytes as f64 / self.network.bandwidth;
+                    superstep = ck.superstep;
+                    continue 'superstep;
+                }
             }
 
+            // Compute round: hand the slots to the pool.
+            shared.superstep.store(superstep, Ordering::Release);
+            shared.phase.store(PHASE_COMPUTE, Ordering::Release);
+            let obs_compute = reach_obs::span("engine.compute");
+            run_round(shared, my_nodes.clone(), PHASE_COMPUTE)?;
             drop(obs_compute);
 
+            let mut slots = lock_slots(&shared.slots);
+
+            // Surface the first invalid send in deterministic node order.
+            for slot in slots.iter_mut() {
+                if let Some(err) = slot.error.take() {
+                    return Err(Halt::Err(err));
+                }
+            }
+
+            let mut step_max_compute = 0.0f64;
+            let mut step_sum_compute = 0.0f64;
+            for slot in slots.iter() {
+                step_max_compute = step_max_compute.max(slot.seconds);
+                step_sum_compute += slot.seconds;
+            }
             stats.compute_seconds += step_max_compute;
             stats.compute_seconds_serial += step_sum_compute;
             stats.supersteps += 1;
@@ -486,8 +1004,11 @@ impl<'g> Engine<'g> {
             // Barrier: route messages and replicate updates, with per-node
             // byte accounting for the network model. Injected drops cost
             // retransmissions; injected delays make the barrier straggle.
+            // Sends were bucketed by destination at send time, so routing
+            // is a move from bucket to inbox — the buckets go back empty,
+            // keeping their capacity for the next super-step.
             let num_alive = alive.iter().filter(|&&a| a).count();
-            let mut node_bytes = vec![0usize; num_nodes];
+            node_bytes.iter_mut().for_each(|b| *b = 0);
             let mut any_traffic = false;
             let mut straggle = 0usize;
             let _obs_barrier = reach_obs::span("engine.barrier");
@@ -500,57 +1021,59 @@ impl<'g> Engine<'g> {
             let mut step_broadcast_bytes = 0u64;
 
             for from in 0..num_nodes {
-                for (to, msg) in std::mem::take(&mut all_sends[from]) {
-                    if to as usize >= n {
-                        return Err(EngineError::InvalidSendTarget {
-                            from_node: from,
-                            target: to,
-                            num_vertices: n,
-                            superstep,
-                        });
-                    }
-                    let dest = assignment[to as usize];
-                    let bytes = program.msg_bytes(&msg);
-                    if dest == from {
-                        stats.comm.local_messages += 1;
-                        stats.comm.local_bytes += bytes;
-                        step_local_bytes += bytes as u64;
-                    } else {
-                        stats.comm.remote_messages += 1;
-                        stats.comm.remote_bytes += bytes;
-                        step_remote_bytes += bytes as u64;
-                        // Reliable transport: resend until the transfer
-                        // survives the drop coin, within the retry budget.
-                        // Every attempt consumes sender and receiver
-                        // bandwidth; only the last delivers.
-                        let mut attempts = 1usize;
-                        while plan.drop_prob > 0.0 && rng.gen_bool(plan.drop_prob) {
-                            attempts += 1;
-                            if attempts > plan.max_retries {
-                                return Err(EngineError::MessageLost {
-                                    superstep,
-                                    retries: plan.max_retries,
-                                });
+                for dest in 0..num_nodes {
+                    let mut outgoing = std::mem::take(&mut slots[from].sends[dest]);
+                    if !outgoing.is_empty() {
+                        any_traffic = true;
+                        if dest == from {
+                            for (to, msg) in outgoing.drain(..) {
+                                let bytes = program.msg_bytes(&msg);
+                                stats.comm.local_messages += 1;
+                                stats.comm.local_bytes += bytes;
+                                step_local_bytes += bytes as u64;
+                                slots[dest].inbox.push((to, msg));
+                            }
+                        } else {
+                            for (to, msg) in outgoing.drain(..) {
+                                let bytes = program.msg_bytes(&msg);
+                                stats.comm.remote_messages += 1;
+                                stats.comm.remote_bytes += bytes;
+                                step_remote_bytes += bytes as u64;
+                                // Reliable transport: resend until the
+                                // transfer survives the drop coin, within
+                                // the retry budget. Every attempt consumes
+                                // sender and receiver bandwidth; only the
+                                // last delivers.
+                                let mut attempts = 1usize;
+                                while plan.drop_prob > 0.0 && rng.gen_bool(plan.drop_prob) {
+                                    attempts += 1;
+                                    if attempts > plan.max_retries {
+                                        return Err(Halt::Err(EngineError::MessageLost {
+                                            superstep,
+                                            retries: plan.max_retries,
+                                        }));
+                                    }
+                                }
+                                stats.recovery.retransmits += attempts - 1;
+                                if plan.delay_prob > 0.0 && rng.gen_bool(plan.delay_prob) {
+                                    // A straggler stalls the barrier; the
+                                    // slowest one sets the stall for the
+                                    // super-step.
+                                    straggle = straggle.max(rng.gen_range(1..=plan.max_delay));
+                                    stats.recovery.delayed_messages += 1;
+                                }
+                                node_bytes[from] += attempts * bytes;
+                                node_bytes[dest] += attempts * bytes;
+                                slots[dest].inbox.push((to, msg));
                             }
                         }
-                        stats.recovery.retransmits += attempts - 1;
-                        if plan.delay_prob > 0.0 && rng.gen_bool(plan.delay_prob) {
-                            // A straggler stalls the barrier; the slowest
-                            // one sets the stall for the super-step.
-                            straggle = straggle.max(rng.gen_range(1..=plan.max_delay));
-                            stats.recovery.delayed_messages += 1;
-                        }
-                        node_bytes[from] += attempts * bytes;
-                        node_bytes[dest] += attempts * bytes;
                     }
-                    inbox[dest].push((to, msg));
-                    any_traffic = true;
+                    slots[from].sends[dest] = outgoing;
                 }
             }
 
-            let mut updates_flat: Vec<P::Update> = Vec::new();
-            for from in 0..num_nodes {
-                for u in std::mem::take(&mut all_updates[from]) {
+            for (from, slot) in slots.iter_mut().enumerate() {
+                for u in slot.updates.drain(..) {
                     let bytes = program.update_bytes(&u);
                     if num_alive > 1 {
                         // Tree-broadcast semantics, matching the paper's
@@ -561,8 +1084,8 @@ impl<'g> Engine<'g> {
                         stats.comm.broadcast_bytes += bytes;
                         step_broadcast_bytes += bytes as u64;
                         node_bytes[from] += bytes;
-                        for other in 0..num_nodes {
-                            if other != from && alive[other] {
+                        for (other, &other_alive) in alive.iter().enumerate() {
+                            if other != from && other_alive {
                                 node_bytes[other] += bytes;
                             }
                         }
@@ -590,34 +1113,32 @@ impl<'g> Engine<'g> {
             );
 
             if !updates_flat.is_empty() {
-                program.apply_updates(&mut global, &updates_flat);
+                // SAFETY: coordinator-exclusive between rounds.
+                program.apply_updates(unsafe { shared.global.get_mut() }, &updates_flat);
+                updates_flat.clear();
             }
 
-            if inbox.iter().all(Vec::is_empty) {
+            if slots.iter().all(|s| s.inbox.is_empty()) {
                 break;
             }
             superstep += 1;
         }
 
         // Final pass ("only run after the final super-step").
+        shared.phase.store(PHASE_FINALIZE, Ordering::Release);
         let _obs_fin = reach_obs::span("engine.finalize");
-        let t0 = Instant::now();
+        run_round(shared, my_nodes, PHASE_FINALIZE)?;
+        let slots = lock_slots(&shared.slots);
         let mut fin_max = 0.0f64;
-        for owned_by_node in &owned {
-            let t = Instant::now();
-            for &v in owned_by_node {
-                program.finalize(v, &mut states[v as usize], &global);
-            }
-            fin_max = fin_max.max(t.elapsed().as_secs_f64());
+        let mut fin_sum = 0.0f64;
+        for slot in slots.iter() {
+            fin_max = fin_max.max(slot.seconds);
+            fin_sum += slot.seconds;
         }
         stats.compute_seconds += fin_max;
-        stats.compute_seconds_serial += t0.elapsed().as_secs_f64();
+        stats.compute_seconds_serial += fin_sum;
 
-        Ok(RunOutcome {
-            states,
-            global,
-            stats,
-        })
+        Ok(stats)
     }
 }
 
@@ -689,6 +1210,118 @@ mod tests {
                 .states;
             assert_eq!(got, baseline, "nodes={nodes}");
         }
+    }
+
+    #[test]
+    fn threaded_run_is_bit_identical_to_sequential() {
+        let g = fixtures::paper_graph();
+        let base = Engine::new(&g, Partition::modulo(4))
+            .with_threads(1)
+            .run(&BfsLevels)
+            .unwrap();
+        for threads in [2, 3, 4, 8] {
+            let out = Engine::new(&g, Partition::modulo(4))
+                .with_threads(threads)
+                .run(&BfsLevels)
+                .unwrap();
+            assert_eq!(out.states, base.states, "threads={threads}");
+            assert_eq!(out.stats.comm, base.stats.comm, "threads={threads}");
+            assert_eq!(
+                out.stats.supersteps, base.stats.supersteps,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_fault_injection_matches_sequential() {
+        let g = fixtures::paper_graph();
+        let plan = FaultPlan::new(99)
+            .with_message_drops(0.3)
+            .with_message_delays(0.2, 4)
+            .with_crash(1, 2);
+        let base = Engine::new(&g, Partition::modulo(4))
+            .with_faults(plan.clone())
+            .with_threads(1)
+            .run(&BfsLevels)
+            .unwrap();
+        let out = Engine::new(&g, Partition::modulo(4))
+            .with_faults(plan)
+            .with_threads(4)
+            .run(&BfsLevels)
+            .unwrap();
+        assert_eq!(out.states, base.states);
+        assert_eq!(out.stats.comm, base.stats.comm);
+        assert_eq!(out.stats.supersteps, base.stats.supersteps);
+        assert_eq!(
+            out.stats.recovery.retransmits,
+            base.stats.recovery.retransmits
+        );
+        assert_eq!(
+            out.stats.recovery.delayed_messages,
+            base.stats.recovery.delayed_messages
+        );
+        assert_eq!(
+            out.stats.recovery.recoveries,
+            base.stats.recovery.recoveries
+        );
+        assert_eq!(
+            out.stats.recovery.replayed_supersteps,
+            base.stats.recovery.replayed_supersteps
+        );
+    }
+
+    #[test]
+    fn thread_count_is_capped_at_the_node_count() {
+        let g = fixtures::diamond();
+        let out = Engine::new(&g, Partition::modulo(2))
+            .with_threads(64)
+            .run(&BfsLevels)
+            .unwrap();
+        assert_eq!(out.states, vec![Some(0), Some(1), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn default_thread_count_is_at_least_one() {
+        let g = fixtures::diamond();
+        assert!(Engine::new(&g, Partition::modulo(2)).threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        struct Bomb;
+        impl VertexProgram for Bomb {
+            type State = ();
+            type Msg = ();
+            type Global = ();
+            type Update = ();
+            fn init_state(&self, _v: VertexId) {}
+            fn compute(
+                &self,
+                ctx: &mut Ctx<'_, (), ()>,
+                v: VertexId,
+                _s: &mut (),
+                _m: &[()],
+                _g: &(),
+            ) {
+                if ctx.superstep == 1 && v == 2 {
+                    panic!("boom at vertex 2");
+                }
+                if ctx.superstep == 0 {
+                    ctx.send(v, ()); // keep every vertex busy next step
+                }
+            }
+            fn apply_updates(&self, _g: &mut (), _u: &[()]) {}
+        }
+        let g = fixtures::paper_graph();
+        let payload = std::panic::catch_unwind(|| {
+            let _ = Engine::new(&g, Partition::modulo(4))
+                .with_threads(4)
+                .run(&Bomb);
+        })
+        .expect_err("run must panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("boom"), "unexpected panic payload: {msg}");
     }
 
     #[test]

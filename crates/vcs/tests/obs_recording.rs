@@ -138,6 +138,81 @@ fn replayed_supersteps_are_tagged_distinctly() {
     assert!(snap.span("engine.recovery").unwrap().count >= 1);
 }
 
+/// [`BfsLevels`] plus per-vertex instrumentation recorded from *inside*
+/// `compute` — which, under threading, runs on pool worker threads whose
+/// captures must be merged back into the coordinator's recorder.
+struct NoisyBfs;
+
+impl VertexProgram for NoisyBfs {
+    type State = Option<u32>;
+    type Msg = u32;
+    type Global = Vec<VertexId>;
+    type Update = VertexId;
+
+    fn init_state(&self, _v: VertexId) -> Self::State {
+        None
+    }
+
+    fn compute(
+        &self,
+        ctx: &mut Ctx<'_, u32, VertexId>,
+        v: VertexId,
+        state: &mut Self::State,
+        msgs: &[u32],
+        global: &Vec<VertexId>,
+    ) {
+        reach_obs::counter_add("test.computes", 1);
+        reach_obs::record("test.inbox_len", msgs.len() as u64);
+        reach_obs::series_add("test.computes_by_step", ctx.superstep, 1);
+        let _span = reach_obs::span("test.vertex_compute");
+        BfsLevels.compute(ctx, v, state, msgs, global);
+    }
+
+    fn apply_updates(&self, global: &mut Vec<VertexId>, updates: &[VertexId]) {
+        global.extend_from_slice(updates);
+    }
+}
+
+/// Runs [`NoisyBfs`] under a crash/replay fault schedule on `threads`
+/// worker threads and returns the final states plus the obs snapshot.
+fn noisy_recording(threads: usize) -> (Vec<Option<u32>>, reach_obs::Snapshot) {
+    reach_obs::reset();
+    let g = fixtures::paper_graph();
+    let out = Engine::new(&g, Partition::modulo(4))
+        .with_threads(threads)
+        .with_faults(FaultPlan::new(11).with_crash(2, 2))
+        .run(&NoisyBfs)
+        .unwrap();
+    let snap = reach_obs::snapshot().expect("obs feature is on");
+    (out.states, snap)
+}
+
+#[test]
+fn four_worker_recording_equals_single_thread_recording() {
+    let (states_1, snap_1) = noisy_recording(1);
+    let (states_4, snap_4) = noisy_recording(4);
+
+    assert_eq!(states_1, states_4);
+    // Worker captures are merged at every round's exit barrier, so every
+    // instrument — including the ones recorded from inside `compute` on
+    // pool threads — must match the single-thread recording exactly.
+    assert_eq!(snap_1.counters, snap_4.counters);
+    assert_eq!(snap_1.series, snap_4.series);
+    assert_eq!(snap_1.histograms, snap_4.histograms);
+    // Span *totals* are wall-clock and thus never comparable; names and
+    // entry counts must still line up.
+    let counts = |snap: &reach_obs::Snapshot| {
+        snap.spans
+            .iter()
+            .map(|(name, stats)| (name.clone(), stats.count))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(counts(&snap_1), counts(&snap_4));
+    // Sanity: the workload actually recorded from inside `compute`.
+    assert!(snap_1.counter("test.computes") > 0);
+    assert!(snap_1.span("test.vertex_compute").unwrap().count > 0);
+}
+
 #[test]
 fn fault_free_run_has_no_replayed_supersteps() {
     reach_obs::reset();

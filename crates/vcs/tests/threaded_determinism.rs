@@ -1,0 +1,178 @@
+//! The threaded engine's headline invariant: the worker-thread count is
+//! **unobservable** in everything except wall-clock. States, globals,
+//! communication stats, fault draws, and recovery accounting are
+//! bit-identical at any thread count, because per-node state partitions
+//! are disjoint and every order-sensitive step (routing, RNG draws,
+//! update application, checkpointing, rollback) happens on the
+//! coordinator thread in node order while the workers are parked at the
+//! round barrier.
+//!
+//! Pinned here property-style over random graphs × fault seeds ×
+//! checkpoint intervals × cluster sizes, including crash-and-replay
+//! schedules.
+
+use proptest::prelude::*;
+use reach_graph::{fixtures, gen, VertexId};
+use reach_vcs::{Ctx, Engine, FaultPlan, Partition, RunOutcome, VertexProgram};
+
+/// Forward BFS levels from vertex 0, publishing each newly-leveled vertex
+/// to the global — so messages, broadcasts, and `apply_updates` are all
+/// exercised under threading.
+struct BfsLevels;
+
+impl VertexProgram for BfsLevels {
+    type State = Option<u32>;
+    type Msg = u32;
+    type Global = Vec<VertexId>;
+    type Update = VertexId;
+
+    fn init_state(&self, _v: VertexId) -> Self::State {
+        None
+    }
+
+    fn compute(
+        &self,
+        ctx: &mut Ctx<'_, u32, VertexId>,
+        v: VertexId,
+        state: &mut Self::State,
+        msgs: &[u32],
+        _global: &Vec<VertexId>,
+    ) {
+        if ctx.superstep == 0 {
+            if v == 0 {
+                *state = Some(0);
+                ctx.publish(v);
+                for &w in ctx.out_neighbors(v) {
+                    ctx.send(w, 1);
+                }
+            }
+        } else if state.is_none() {
+            let level = *msgs.iter().min().expect("compute only with messages");
+            *state = Some(level);
+            ctx.publish(v);
+            for &w in ctx.out_neighbors(v) {
+                ctx.send(w, level + 1);
+            }
+        }
+    }
+
+    fn apply_updates(&self, global: &mut Vec<VertexId>, updates: &[VertexId]) {
+        global.extend_from_slice(updates);
+    }
+}
+
+/// A crash-plus-noise schedule derived deterministically from `seed`.
+fn schedule(seed: u64, nodes: usize) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_crash((seed as usize) % nodes, 1 + (seed as usize / nodes) % 3)
+        .with_message_drops(0.2 + 0.2 * ((seed % 3) as f64 / 3.0))
+        .with_message_delays(0.15, 1 + (seed % 4) as usize)
+}
+
+fn run_at(
+    g: &reach_graph::DiGraph,
+    nodes: usize,
+    threads: usize,
+    faults: Option<FaultPlan>,
+    checkpoint_every: Option<usize>,
+) -> RunOutcome<BfsLevels> {
+    let mut engine = Engine::new(g, Partition::modulo(nodes)).with_threads(threads);
+    if let Some(plan) = faults {
+        engine = engine.with_faults(plan);
+    }
+    if let Some(every) = checkpoint_every {
+        engine = engine.with_checkpoint_interval(every);
+    }
+    engine.run(&BfsLevels).expect("schedule is recoverable")
+}
+
+/// Asserts that `got` is indistinguishable from `want` in everything but
+/// wall-clock (compute seconds are measured, so only their *shape* — the
+/// modeled quantities derived from counts — must agree).
+fn assert_outcomes_match(want: &RunOutcome<BfsLevels>, got: &RunOutcome<BfsLevels>, tag: &str) {
+    assert_eq!(got.states, want.states, "{tag}: states");
+    assert_eq!(got.global, want.global, "{tag}: global");
+    assert_eq!(got.stats.comm, want.stats.comm, "{tag}: comm");
+    assert_eq!(
+        got.stats.supersteps, want.stats.supersteps,
+        "{tag}: supersteps"
+    );
+    assert_eq!(
+        got.stats.recovery.checkpoints, want.stats.recovery.checkpoints,
+        "{tag}: checkpoints"
+    );
+    assert_eq!(
+        got.stats.recovery.recoveries, want.stats.recovery.recoveries,
+        "{tag}: recoveries"
+    );
+    assert_eq!(
+        got.stats.recovery.replayed_supersteps, want.stats.recovery.replayed_supersteps,
+        "{tag}: replayed supersteps"
+    );
+    assert_eq!(
+        got.stats.recovery.retransmits, want.stats.recovery.retransmits,
+        "{tag}: retransmits"
+    );
+    assert_eq!(
+        got.stats.recovery.delayed_messages, want.stats.recovery.delayed_messages,
+        "{tag}: delayed messages"
+    );
+}
+
+#[test]
+fn crash_and_replay_is_identical_at_every_thread_count() {
+    let g = fixtures::paper_graph();
+    let plan = FaultPlan::new(11)
+        .with_crash(2, 2)
+        .with_message_drops(0.3)
+        .with_message_delays(0.2, 4);
+    let baseline = run_at(&g, 4, 1, Some(plan.clone()), Some(1));
+    assert!(baseline.stats.recovery.recoveries > 0, "crash must fire");
+    for threads in [2, 4, 8] {
+        let out = run_at(&g, 4, threads, Some(plan.clone()), Some(1));
+        assert_outcomes_match(&baseline, &out, &format!("threads={threads}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Threaded runs equal the sequential run bit-for-bit across random
+    /// graphs × fault seeds × checkpoint intervals × cluster sizes.
+    #[test]
+    fn threaded_engine_is_bit_identical_to_sequential(
+        graph_seed in 0u64..40,
+        fault_seed in 0u64..1000,
+        nodes_pick in 0usize..3,
+        ckpt_pick in 0usize..3,
+    ) {
+        let nodes = [2usize, 4, 8][nodes_pick];
+        let ckpt = [1usize, 2, 4][ckpt_pick];
+        let g = gen::gnm(50, 160, graph_seed);
+        let plan = schedule(fault_seed, nodes);
+        let baseline = run_at(&g, nodes, 1, Some(plan.clone()), Some(ckpt));
+        for threads in [2usize, 4, 8] {
+            let out = run_at(&g, nodes, threads, Some(plan.clone()), Some(ckpt));
+            assert_outcomes_match(
+                &baseline,
+                &out,
+                &format!("graph={graph_seed} fault={fault_seed} nodes={nodes} ckpt={ckpt} threads={threads}"),
+            );
+        }
+    }
+
+    /// Fault-free sanity: the same property holds with no plan at all.
+    #[test]
+    fn fault_free_threaded_runs_match_sequential(
+        graph_seed in 0u64..40,
+        nodes_pick in 0usize..3,
+    ) {
+        let nodes = [2usize, 4, 8][nodes_pick];
+        let g = gen::gnm(50, 160, graph_seed);
+        let baseline = run_at(&g, nodes, 1, None, None);
+        for threads in [2usize, 4, 8] {
+            let out = run_at(&g, nodes, threads, None, None);
+            assert_outcomes_match(&baseline, &out, &format!("threads={threads}"));
+        }
+    }
+}
