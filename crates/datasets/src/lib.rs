@@ -23,8 +23,10 @@ use rand::{Rng, SeedableRng};
 use reach_graph::{DiGraph, VertexId};
 
 pub mod generators;
+pub mod workload;
 
 pub use generators::{citation_dag, layered_dag, rmat, social, web};
+pub use workload::{standard_mixes, workload, QueryMix};
 
 /// The qualitative family of a dataset (Table V's "Type" column).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,0 +1,224 @@
+//! Deterministic query workloads for the serving layer.
+//!
+//! The serve bench (`crates/bench/src/bin/serve_bench.rs`) and the
+//! service determinism tests drive `reach-serve` with reproducible query
+//! streams. Three mixes model the traffic shapes a production oracle
+//! sees:
+//!
+//! * [`QueryMix::Uniform`] — independent uniform `(s, t)` pairs. On
+//!   sparse graphs almost every answer is *false*, which is the
+//!   worst case for a result cache and the common case for random
+//!   pair probes.
+//! * [`QueryMix::PositiveBiased`] — a tunable fraction of queries is
+//!   drawn as a *sampled reachable pair*: pick a source from a small
+//!   seeded pool, then a target uniformly from its descendant set. This
+//!   exercises the positive (`true`) answer path, whose label scans run
+//!   to the first common hub instead of to exhaustion.
+//! * [`QueryMix::ZipfHotSources`] — sources follow a Zipf law over a
+//!   seeded permutation of the vertices (so the hot set is arbitrary,
+//!   not the low ids), targets are uniform. Skewed hot keys are what
+//!   makes result caches and shard balance interesting.
+//!
+//! Every mix is a pure function of `(graph, mix, count, seed)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reach_graph::{traverse, DiGraph, VertexId};
+
+/// The shape of a query stream. See the module docs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QueryMix {
+    /// Independent uniform `(s, t)` pairs.
+    Uniform,
+    /// With probability `positive_fraction`, a guaranteed-reachable pair
+    /// sampled from the descendant sets of `source_pool` seeded source
+    /// vertices; otherwise a uniform pair.
+    PositiveBiased {
+        /// Probability of drawing a sampled reachable pair.
+        positive_fraction: f64,
+        /// Number of distinct pool sources whose descendant sets supply
+        /// the positive pairs.
+        source_pool: usize,
+    },
+    /// Sources Zipf-distributed with the given exponent over a seeded
+    /// vertex permutation; targets uniform.
+    ZipfHotSources {
+        /// Zipf exponent (`1.0` = classic harmonic skew; larger = hotter
+        /// hot set).
+        exponent: f64,
+    },
+}
+
+/// The named mixes the serve bench sweeps.
+pub fn standard_mixes() -> Vec<(&'static str, QueryMix)> {
+    vec![
+        ("uniform", QueryMix::Uniform),
+        (
+            "positive",
+            QueryMix::PositiveBiased {
+                positive_fraction: 0.8,
+                source_pool: 32,
+            },
+        ),
+        ("zipf", QueryMix::ZipfHotSources { exponent: 1.1 }),
+    ]
+}
+
+/// Generates `count` queries over `g`'s vertices — deterministic in
+/// `(g, mix, count, seed)`. Returns an empty workload for an empty graph.
+pub fn workload(g: &DiGraph, mix: QueryMix, count: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let n = g.num_vertices() as VertexId;
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    match mix {
+        QueryMix::Uniform => (0..count)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect(),
+        QueryMix::PositiveBiased {
+            positive_fraction,
+            source_pool,
+        } => {
+            assert!(
+                (0.0..=1.0).contains(&positive_fraction),
+                "positive_fraction must be in [0, 1]"
+            );
+            // Pool of sampled sources with their descendant sets, computed
+            // once — positives are then O(1) draws from the pool.
+            let pool: Vec<(VertexId, Vec<VertexId>)> = (0..source_pool.max(1))
+                .map(|_| {
+                    let s = rng.gen_range(0..n);
+                    (s, traverse::descendants(g, s))
+                })
+                .collect();
+            (0..count)
+                .map(|_| {
+                    if rng.gen_bool(positive_fraction) {
+                        let (s, des) = &pool[rng.gen_range(0..pool.len())];
+                        (*s, des[rng.gen_range(0..des.len())])
+                    } else {
+                        (rng.gen_range(0..n), rng.gen_range(0..n))
+                    }
+                })
+                .collect()
+        }
+        QueryMix::ZipfHotSources { exponent } => {
+            assert!(exponent > 0.0, "Zipf exponent must be positive");
+            // Rank-to-vertex map: a seeded shuffle so the hot vertices are
+            // arbitrary rather than the low ids.
+            let mut by_rank: Vec<VertexId> = (0..n).collect();
+            rand::seq::SliceRandom::shuffle(&mut by_rank[..], &mut rng);
+            // Cumulative Zipf weights; inverse-CDF sampling by binary search.
+            let mut cumulative = Vec::with_capacity(n as usize);
+            let mut total = 0.0f64;
+            for rank in 0..n as usize {
+                total += 1.0 / ((rank + 1) as f64).powf(exponent);
+                cumulative.push(total);
+            }
+            (0..count)
+                .map(|_| {
+                    let u: f64 = rng.gen::<f64>() * total;
+                    let rank = cumulative.partition_point(|&c| c <= u).min(n as usize - 1);
+                    (by_rank[rank], rng.gen_range(0..n))
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::TransitiveClosure;
+
+    fn test_graph() -> DiGraph {
+        crate::by_name("WEBW")
+            .map(|mut s| {
+                s.vertices = 400;
+                s.edges = 1200;
+                s.generate()
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed_and_mix() {
+        let g = test_graph();
+        for (_, mix) in standard_mixes() {
+            let a = workload(&g, mix, 500, 9);
+            let b = workload(&g, mix, 500, 9);
+            let c = workload(&g, mix, 500, 10);
+            assert_eq!(a, b);
+            assert_ne!(a, c, "{mix:?} must vary with the seed");
+            assert_eq!(a.len(), 500);
+            let n = g.num_vertices() as VertexId;
+            assert!(a.iter().all(|&(s, t)| s < n && t < n));
+        }
+    }
+
+    #[test]
+    fn positive_bias_actually_biases_toward_reachable_pairs() {
+        let g = test_graph();
+        let tc = TransitiveClosure::compute(&g);
+        let reach_rate = |w: &[(VertexId, VertexId)]| {
+            w.iter().filter(|&&(s, t)| tc.reaches(s, t)).count() as f64 / w.len() as f64
+        };
+        let uniform = workload(&g, QueryMix::Uniform, 2000, 3);
+        let biased = workload(
+            &g,
+            QueryMix::PositiveBiased {
+                positive_fraction: 0.8,
+                source_pool: 16,
+            },
+            2000,
+            3,
+        );
+        // Sampled pairs are reachable by construction, so the biased mix
+        // must answer true at (roughly) its positive fraction or above.
+        assert!(reach_rate(&biased) >= 0.75, "rate {}", reach_rate(&biased));
+        assert!(reach_rate(&biased) > reach_rate(&uniform) + 0.3);
+    }
+
+    #[test]
+    fn zipf_sources_are_skewed_and_not_the_low_ids() {
+        let g = test_graph();
+        let w = workload(&g, QueryMix::ZipfHotSources { exponent: 1.1 }, 4000, 5);
+        let mut freq = std::collections::HashMap::new();
+        for &(s, _) in &w {
+            *freq.entry(s).or_insert(0usize) += 1;
+        }
+        let hottest = freq.values().max().copied().unwrap();
+        // Uniform sources over 400 vertices would put ~10 queries on each;
+        // the Zipf head must be far above that.
+        assert!(hottest > 200, "hottest source only {hottest}/4000");
+        // The permutation decouples heat from vertex id: the hottest
+        // vertex is the same under the same seed...
+        let w2 = workload(&g, QueryMix::ZipfHotSources { exponent: 1.1 }, 4000, 5);
+        assert_eq!(w, w2);
+        // ...and moves when the seed changes.
+        let w3 = workload(&g, QueryMix::ZipfHotSources { exponent: 1.1 }, 4000, 6);
+        let hottest_v = |w: &[(VertexId, VertexId)]| {
+            let mut f = std::collections::HashMap::new();
+            for &(s, _) in w {
+                *f.entry(s).or_insert(0usize) += 1;
+            }
+            f.into_iter().max_by_key(|&(_, c)| c).unwrap().0
+        };
+        assert_ne!(hottest_v(&w), hottest_v(&w3));
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs_do_not_panic() {
+        let empty = DiGraph::from_edges(0, Vec::<(VertexId, VertexId)>::new());
+        for (_, mix) in standard_mixes() {
+            assert!(workload(&empty, mix, 10, 1).is_empty());
+        }
+        let single = DiGraph::from_edges(1, Vec::<(VertexId, VertexId)>::new());
+        for (_, mix) in standard_mixes() {
+            let w = workload(&single, mix, 10, 1);
+            assert_eq!(w.len(), 10);
+            assert!(w.iter().all(|&p| p == (0, 0)));
+        }
+    }
+}

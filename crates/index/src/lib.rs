@@ -116,6 +116,24 @@ impl ReachIndex {
     /// Like [`ReachIndex::query`], but returns the *witness* hub `w` with
     /// `s -> w -> t` when reachable — useful for explaining answers (`w` is
     /// a label vertex on an actual path).
+    ///
+    /// The witness is *order-minimal*: labels are sorted by vertex id, so
+    /// the sorted merge surfaces the smallest-id vertex of
+    /// `L_out(s) ∩ L_in(t)`. Callers can rely on that choice being stable
+    /// across runs.
+    ///
+    /// ```
+    /// use reach_index::ReachIndex;
+    ///
+    /// // Path 0 -> 1 -> 2 as a 2-hop cover: every vertex advertises
+    /// // itself, and vertex 0's out-label additionally carries hub 1.
+    /// let idx = ReachIndex::from_labels(
+    ///     vec![vec![0], vec![1], vec![1, 2]], // L_in
+    ///     vec![vec![0, 1], vec![1], vec![2]], // L_out
+    /// );
+    /// assert_eq!(idx.query_witness(0, 2), Some(1)); // 0 -> 2 via hub 1
+    /// assert_eq!(idx.query_witness(2, 0), None); // 2 cannot reach 0
+    /// ```
     pub fn query_witness(&self, s: VertexId, t: VertexId) -> Option<VertexId> {
         first_common_sorted(self.out_label(s), self.in_label(t))
     }
@@ -479,6 +497,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn query_witness_negative_path_yields_none() {
+        let g = fixtures::paper_graph();
+        let idx = table2_index();
+        let tc = TransitiveClosure::compute(&g);
+        let mut unreachable_pairs = 0;
+        for s in g.vertices() {
+            for t in g.vertices() {
+                if !tc.reaches(s, t) {
+                    unreachable_pairs += 1;
+                    assert_eq!(idx.query_witness(s, t), None, "{s} -/-> {t}");
+                }
+            }
+        }
+        assert!(unreachable_pairs > 0, "fixture must contain negative pairs");
+    }
+
+    #[test]
+    fn query_witness_is_order_minimal() {
+        // L_out(0) ∩ L_in(1) = {2, 3}: the witness must be the smallest
+        // common hub, not an arbitrary member.
+        let idx =
+            ReachIndex::from_labels(vec![vec![0], vec![1, 2, 3]], vec![vec![0, 2, 3], vec![1]]);
+        assert_eq!(idx.query_witness(0, 1), Some(2));
     }
 
     #[test]

@@ -12,6 +12,28 @@ pub trait ReachabilityOracle {
     fn reachable(&self, s: VertexId, t: VertexId) -> bool;
 }
 
+// Forwarding impls so references and owning pointers are oracles
+// themselves — generic harness code takes `impl ReachabilityOracle`
+// and callers hand it `&idx`, a boxed trait object, or a shared
+// `Arc<ReachIndex>` directly, with no adapter shims.
+impl<T: ReachabilityOracle + ?Sized> ReachabilityOracle for &T {
+    fn reachable(&self, s: VertexId, t: VertexId) -> bool {
+        (**self).reachable(s, t)
+    }
+}
+
+impl<T: ReachabilityOracle + ?Sized> ReachabilityOracle for Box<T> {
+    fn reachable(&self, s: VertexId, t: VertexId) -> bool {
+        (**self).reachable(s, t)
+    }
+}
+
+impl<T: ReachabilityOracle + ?Sized> ReachabilityOracle for std::sync::Arc<T> {
+    fn reachable(&self, s: VertexId, t: VertexId) -> bool {
+        (**self).reachable(s, t)
+    }
+}
+
 /// The index-free baseline: a fresh forward BFS per query.
 pub struct OnlineBfsOracle<'g> {
     graph: &'g DiGraph,
@@ -40,6 +62,22 @@ impl ReachabilityOracle for reach_graph::TransitiveClosure {
 mod tests {
     use super::*;
     use reach_graph::{fixtures, TransitiveClosure};
+
+    #[test]
+    fn pointer_forwarding_needs_no_adapters() {
+        fn answer(o: impl ReachabilityOracle) -> bool {
+            o.reachable(0, 8)
+        }
+        let g = fixtures::paper_graph();
+        let tc = TransitiveClosure::compute(&g);
+        let expect = tc.reachable(0, 8);
+        assert_eq!(answer(&tc), expect, "&T");
+        let boxed: Box<dyn ReachabilityOracle> = Box::new(TransitiveClosure::compute(&g));
+        assert_eq!(answer(boxed), expect, "Box<dyn T>");
+        let shared = std::sync::Arc::new(TransitiveClosure::compute(&g));
+        assert_eq!(answer(std::sync::Arc::clone(&shared)), expect, "Arc<T>");
+        assert_eq!(answer(&shared), expect, "&Arc<T>");
+    }
 
     #[test]
     fn online_oracle_matches_closure() {

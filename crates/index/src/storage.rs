@@ -83,10 +83,18 @@ pub fn write_index<W: Write>(idx: &ReachIndex, writer: W) -> Result<(), StorageE
 }
 
 /// Reads an index back from a reader.
+///
+/// Every malformed input — wrong magic, truncation anywhere in the
+/// stream, non-monotone or overflowing offsets, unsorted or out-of-range
+/// label entries — is reported as a typed [`StorageError`]
+/// ([`StorageError::BadMagic`] / [`StorageError::Corrupt`], or
+/// [`StorageError::BadVersion`]); the reader never panics and never
+/// allocates based on unvalidated lengths. [`StorageError::Io`] is
+/// reserved for genuine transport failures.
 pub fn read_index<R: Read>(reader: R) -> Result<ReachIndex, StorageError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    read_exact(&mut r, &mut magic)?;
     if magic != MAGIC {
         return Err(StorageError::BadMagic);
     }
@@ -98,24 +106,38 @@ pub fn read_index<R: Read>(reader: R) -> Result<ReachIndex, StorageError> {
     if n > u32::MAX as usize {
         return Err(StorageError::Corrupt("vertex count exceeds u32"));
     }
+    // Cap speculative reservations: a hostile header can claim up to
+    // u32::MAX vertices, so growth beyond this bound must be earned by
+    // actually supplying the bytes (truncation then fails fast as Corrupt).
+    const PREALLOC_CAP: usize = 1 << 16;
     let mut sides: Vec<Vec<Vec<VertexId>>> = Vec::with_capacity(2);
     for _ in 0..2 {
-        let mut offsets = Vec::with_capacity(n + 1);
+        let mut offsets = Vec::with_capacity((n + 1).min(PREALLOC_CAP));
         for _ in 0..=n {
             offsets.push(read_u64(&mut r)?);
         }
         if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
             return Err(StorageError::Corrupt("offsets not monotone from zero"));
         }
-        let mut lists = Vec::with_capacity(n);
+        let mut lists = Vec::with_capacity(n.min(PREALLOC_CAP));
         for v in 0..n {
-            let len = (offsets[v + 1] - offsets[v]) as usize;
-            let mut list = Vec::with_capacity(len);
+            let len = offsets[v + 1] - offsets[v];
+            // A label list is a strictly sorted set of vertex ids < n, so
+            // any claimed length above n is an offset overflow — reject it
+            // before reserving memory for it.
+            if len > n as u64 {
+                return Err(StorageError::Corrupt("label list longer than vertex count"));
+            }
+            let len = len as usize;
+            let mut list = Vec::with_capacity(len.min(PREALLOC_CAP));
             for _ in 0..len {
                 list.push(read_u32(&mut r)?);
             }
             if list.windows(2).any(|w| w[0] >= w[1]) {
                 return Err(StorageError::Corrupt("label list not strictly sorted"));
+            }
+            if list.last().is_some_and(|&x| x as usize >= n) {
+                return Err(StorageError::Corrupt("label entry out of vertex range"));
             }
             lists.push(list);
         }
@@ -136,15 +158,27 @@ pub fn load_index<P: AsRef<Path>>(path: P) -> Result<ReachIndex, StorageError> {
     read_index(std::fs::File::open(path)?)
 }
 
+/// `read_exact` with truncation reported as data corruption: a file that
+/// ends mid-record is a malformed index, not an I/O fault.
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), StorageError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StorageError::Corrupt("unexpected end of file")
+        } else {
+            StorageError::Io(e)
+        }
+    })
+}
+
 fn read_u32<R: Read>(r: &mut R) -> Result<u32, StorageError> {
     let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
+    read_exact(r, &mut b)?;
     Ok(u32::from_le_bytes(b))
 }
 
 fn read_u64<R: Read>(r: &mut R) -> Result<u64, StorageError> {
     let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
+    read_exact(r, &mut b)?;
     Ok(u64::from_le_bytes(b))
 }
 
@@ -193,14 +227,89 @@ mod tests {
     }
 
     #[test]
-    fn truncation_detected() {
+    fn truncation_at_every_prefix_is_corrupt_or_bad_magic() {
+        // Cutting the file anywhere — mid-magic, mid-header, mid-offsets,
+        // mid-entries — must yield a typed malformed-input error, never a
+        // panic and never a raw I/O error for what is really corruption.
         let mut buf = Vec::new();
         write_index(&sample(), &mut buf).unwrap();
-        buf.truncate(buf.len() - 3);
+        for cut in 0..buf.len() {
+            match read_index(&buf[..cut]).unwrap_err() {
+                StorageError::Corrupt(_) | StorageError::BadMagic => {}
+                other => panic!("prefix of {cut} bytes: unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn offset_overflow_rejected_before_allocation() {
+        // A single-vertex index whose offset table claims u64::MAX label
+        // entries: must be rejected as Corrupt without attempting the
+        // (astronomically large) allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes()); // n = 1
+        buf.extend_from_slice(&0u64.to_le_bytes()); // offsets[0]
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // offsets[1]
         assert!(matches!(
             read_index(&buf[..]).unwrap_err(),
-            StorageError::Io(_)
+            StorageError::Corrupt("label list longer than vertex count")
         ));
+    }
+
+    #[test]
+    fn non_monotone_offsets_rejected() {
+        let mut buf = Vec::new();
+        write_index(&sample(), &mut buf).unwrap();
+        // The in-side offset table [0, 1, 3, 4] starts right after
+        // magic+version+n; raise offsets[1] to 7 so the table decreases.
+        let off1 = 4 + 4 + 8 + 8;
+        buf[off1..off1 + 8].copy_from_slice(&7u64.to_le_bytes());
+        assert!(matches!(
+            read_index(&buf[..]).unwrap_err(),
+            StorageError::Corrupt("offsets not monotone from zero")
+        ));
+    }
+
+    #[test]
+    fn nonzero_first_offset_rejected() {
+        let mut buf = Vec::new();
+        write_index(&sample(), &mut buf).unwrap();
+        let off0 = 4 + 4 + 8;
+        buf[off0..off0 + 8].copy_from_slice(&1u64.to_le_bytes());
+        assert!(matches!(
+            read_index(&buf[..]).unwrap_err(),
+            StorageError::Corrupt("offsets not monotone from zero")
+        ));
+    }
+
+    #[test]
+    fn out_of_range_label_entry_rejected() {
+        // Overwrite the first entry of L_in(0) (value 0) with 99 — a
+        // vertex id the 3-vertex index cannot contain.
+        let mut buf = Vec::new();
+        write_index(&sample(), &mut buf).unwrap();
+        let entry_base = 4 + 4 + 8 + 4 * 8; // magic+version+n+offsets[0..=3]
+        buf[entry_base..entry_base + 4].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            read_index(&buf[..]).unwrap_err(),
+            StorageError::Corrupt("label entry out of vertex range")
+        ));
+    }
+
+    #[test]
+    fn single_byte_flips_never_panic() {
+        // Flip every byte of a valid file in turn: each variant must
+        // either decode (the flip may hit an entry and still form a valid
+        // index) or fail with a typed error — never panic or abort.
+        let mut buf = Vec::new();
+        write_index(&sample(), &mut buf).unwrap();
+        for pos in 0..buf.len() {
+            let mut mutated = buf.clone();
+            mutated[pos] ^= 0xFF;
+            let _ = read_index(&mutated[..]);
+        }
     }
 
     #[test]

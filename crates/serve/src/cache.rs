@@ -1,0 +1,264 @@
+//! Seeded, sharded LRU cache for `(s, t) → bool` query results.
+//!
+//! Hop-label queries are dominated by label-scan cost (Jin & Wang,
+//! PAPERS.md), so a hit in this cache replaces an `O(|L_out(s)| +
+//! |L_in(t)|)` merge with one hash probe. The cache is split into
+//! independent shards, each behind its own mutex, so concurrent service
+//! workers rarely contend; shard choice is a seeded hash of the key, which
+//! makes the spread deterministic for a given seed (tests pin it).
+//!
+//! Because the served index is immutable, a cached value can never go
+//! stale — the cache only ever changes *when* an answer is computed, not
+//! *what* it is.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use reach_graph::VertexId;
+
+/// Slot-list terminator for the intrusive LRU links.
+const NIL: u32 = u32::MAX;
+
+/// A sharded LRU cache over query results. See the module docs.
+pub struct ShardedLruCache {
+    shards: Vec<Mutex<LruShard>>,
+    seed: u64,
+}
+
+impl ShardedLruCache {
+    /// A cache holding at most `capacity` entries split over `shards`
+    /// independent LRUs (each gets `ceil(capacity / shards)` slots).
+    /// `seed` fixes the key-to-shard spread.
+    ///
+    /// `capacity` and `shards` must both be at least 1; callers that want
+    /// "no cache" simply don't construct one.
+    pub fn new(capacity: usize, shards: usize, seed: u64) -> Self {
+        assert!(capacity >= 1, "cache capacity must be >= 1");
+        assert!(shards >= 1, "cache shard count must be >= 1");
+        let per_shard = capacity.div_ceil(shards);
+        ShardedLruCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect(),
+            seed,
+        }
+    }
+
+    /// The shard index the key `(s, t)` maps to — deterministic per seed.
+    pub fn shard_of(&self, s: VertexId, t: VertexId) -> usize {
+        (mix(self.seed ^ ((s as u64) << 32 | t as u64)) % self.shards.len() as u64) as usize
+    }
+
+    /// Looks the pair up, refreshing its recency on a hit.
+    pub fn get(&self, s: VertexId, t: VertexId) -> Option<bool> {
+        self.shards[self.shard_of(s, t)].lock().unwrap().get((s, t))
+    }
+
+    /// Inserts (or refreshes) the pair, evicting the shard's least
+    /// recently used entry when the shard is full.
+    pub fn insert(&self, s: VertexId, t: VertexId, value: bool) {
+        self.shards[self.shard_of(s, t)]
+            .lock()
+            .unwrap()
+            .insert((s, t), value);
+    }
+
+    /// Total entries currently cached across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// SplitMix64 finalizer — the same avalanche the workspace PRNG shim uses,
+/// reused here as a seeded hash.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// One LRU shard: a hash map into a slot arena whose slots form an
+/// intrusive most-recent-first doubly linked list. All operations are
+/// O(1); eviction pops the list tail.
+struct LruShard {
+    map: HashMap<(VertexId, VertexId), u32>,
+    slots: Vec<Slot>,
+    head: u32,
+    tail: u32,
+    capacity: usize,
+}
+
+struct Slot {
+    key: (VertexId, VertexId),
+    value: bool,
+    prev: u32,
+    next: u32,
+}
+
+impl LruShard {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn get(&mut self, key: (VertexId, VertexId)) -> Option<bool> {
+        let slot = *self.map.get(&key)?;
+        self.unlink(slot);
+        self.push_front(slot);
+        Some(self.slots[slot as usize].value)
+    }
+
+    fn insert(&mut self, key: (VertexId, VertexId), value: bool) {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slots[slot as usize].value = value;
+            self.unlink(slot);
+            self.push_front(slot);
+            return;
+        }
+        let slot = if self.slots.len() < self.capacity {
+            self.slots.push(Slot {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.slots.len() - 1) as u32
+        } else {
+            // Evict the least recently used entry and reuse its slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            let v = &mut self.slots[victim as usize];
+            self.map.remove(&v.key);
+            v.key = key;
+            v.value = value;
+            victim
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let (prev, next) = {
+            let s = &self.slots[slot as usize];
+            (s.prev, s.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n as usize].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, slot: u32) {
+        {
+            let s = &mut self.slots[slot as usize];
+            s.prev = NIL;
+            s.next = self.head;
+        }
+        match self.head {
+            NIL => self.tail = slot,
+            h => self.slots[h as usize].prev = slot,
+        }
+        self.head = slot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let c = ShardedLruCache::new(8, 2, 1);
+        assert_eq!(c.get(1, 2), None);
+        c.insert(1, 2, true);
+        c.insert(3, 4, false);
+        assert_eq!(c.get(1, 2), Some(true));
+        assert_eq!(c.get(3, 4), Some(false));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_bounds_and_lru_eviction() {
+        // One shard of capacity 3 so eviction order is fully observable.
+        let c = ShardedLruCache::new(3, 1, 0);
+        c.insert(0, 0, true);
+        c.insert(1, 1, true);
+        c.insert(2, 2, true);
+        // Touch (0,0) so (1,1) is now the least recently used.
+        assert_eq!(c.get(0, 0), Some(true));
+        c.insert(3, 3, false);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(1, 1), None, "LRU entry evicted");
+        assert_eq!(c.get(0, 0), Some(true));
+        assert_eq!(c.get(2, 2), Some(true));
+        assert_eq!(c.get(3, 3), Some(false));
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let c = ShardedLruCache::new(2, 1, 0);
+        c.insert(5, 6, true);
+        c.insert(5, 6, true);
+        c.insert(7, 8, true);
+        assert_eq!(c.len(), 2);
+        // Recency order is (7,8) then (5,6), so a third key evicts (5,6).
+        c.insert(9, 9, false);
+        assert_eq!(c.get(5, 6), None);
+        assert_eq!(c.get(7, 8), Some(true));
+    }
+
+    #[test]
+    fn shard_choice_is_deterministic_per_seed() {
+        let a = ShardedLruCache::new(64, 8, 42);
+        let b = ShardedLruCache::new(64, 8, 42);
+        let c = ShardedLruCache::new(64, 8, 43);
+        let spread_a: Vec<usize> = (0..100).map(|i| a.shard_of(i, i + 1)).collect();
+        let spread_b: Vec<usize> = (0..100).map(|i| b.shard_of(i, i + 1)).collect();
+        let spread_c: Vec<usize> = (0..100).map(|i| c.shard_of(i, i + 1)).collect();
+        assert_eq!(spread_a, spread_b);
+        assert_ne!(spread_a, spread_c, "different seed, different spread");
+        // The hash actually spreads keys over shards.
+        let distinct: std::collections::HashSet<usize> = spread_a.into_iter().collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn eviction_stress_keeps_len_bounded() {
+        let c = ShardedLruCache::new(100, 4, 7);
+        for i in 0..10_000u32 {
+            c.insert(i, i, i % 3 == 0);
+        }
+        assert!(
+            c.len() <= 112,
+            "len {} exceeds shard-rounded capacity",
+            c.len()
+        );
+        assert!(!c.is_empty());
+        assert_eq!(c.num_shards(), 4);
+        // Recent keys are still present (9999 % 3 == 0 ⇒ true).
+        assert_eq!(c.get(9_999, 9_999), Some(true));
+    }
+}

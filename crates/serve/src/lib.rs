@@ -1,0 +1,124 @@
+//! `reach-serve` — a concurrent, shard-aware reachability query service.
+//!
+//! The paper's deployment model (§II-A) ends at "ship the finished DRL
+//! index to a query machine"; this crate is that query machine. It serves
+//! an immutable, [`Arc`](std::sync::Arc)-shared [`reach_index::ReachIndex`]
+//! to many concurrent clients:
+//!
+//! * **Sharding** — the label store is partitioned by the same
+//!   vertex-partitioning the cluster simulation uses
+//!   ([`reach_vcs::Partition`]): worker `k` owns `L_out(v)` for every
+//!   vertex with `node_of(v) == k` and answers every query sourced at one
+//!   of its vertices entirely locally (the in-label side is an immutable
+//!   shared replica, so no cross-shard hop is ever needed). See
+//!   [`shard::ShardedLabels`].
+//! * **Batching & admission control** — queries are submitted in batches
+//!   ([`QueryService::submit_batch`]) with an optional per-batch deadline.
+//!   Each shard has a bounded request queue; a full queue rejects the
+//!   batch with [`ServeError::Overloaded`] at admission time and an
+//!   expired deadline yields [`ServeError::DeadlineExceeded`] — never a
+//!   silent drop or a panic. Results come back in submission order
+//!   regardless of which shard answered what, so answers are bit-identical
+//!   to direct [`reach_index::ReachIndex::query`] calls at any worker
+//!   count.
+//! * **Caching** — a seeded, sharded LRU result cache keyed on `(s, t)`
+//!   ([`cache::ShardedLruCache`]) absorbs hot pairs; hit/miss counts are
+//!   visible through [`QueryService::stats`] and, with the `obs` feature,
+//!   through the `serve.*` metrics (see `docs/OBSERVABILITY.md`).
+//!
+//! The load harness lives in `crates/bench/src/bin/serve_bench.rs` and the
+//! deterministic query mixes it drives in `reach_datasets::workload`.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod service;
+pub mod shard;
+
+pub use cache::ShardedLruCache;
+pub use service::{BatchTicket, QueryService, ServeConfig, ServeStats};
+pub use shard::ShardedLabels;
+
+use reach_graph::VertexId;
+
+/// Typed rejection reasons of the query service.
+///
+/// Every failure mode of submission and completion is represented here;
+/// the service never silently drops a request and never panics on bad
+/// input or overload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded request queue of a shard was full at admission time —
+    /// the service is over capacity and sheds load instead of queueing
+    /// unboundedly.
+    Overloaded {
+        /// The shard whose queue rejected the batch.
+        shard: usize,
+        /// The per-shard queue capacity (sub-batches) that was exhausted.
+        capacity: usize,
+    },
+    /// The batch's deadline expired before all of its results were
+    /// computed (checked at admission and again when a worker picks the
+    /// batch up).
+    DeadlineExceeded,
+    /// A query named a vertex the index does not cover.
+    InvalidVertex {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The number of vertices the served index covers.
+        num_vertices: usize,
+    },
+    /// The service is shutting down and no longer admits requests.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { shard, capacity } => {
+                write!(
+                    f,
+                    "overloaded: shard {shard} queue full (capacity {capacity})"
+                )
+            }
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::InvalidVertex {
+                vertex,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "invalid vertex {vertex}: index covers {num_vertices} vertices"
+                )
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_cause() {
+        let e = ServeError::Overloaded {
+            shard: 2,
+            capacity: 8,
+        };
+        assert!(e.to_string().contains("shard 2"));
+        assert!(ServeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        let e = ServeError::InvalidVertex {
+            vertex: 9,
+            num_vertices: 4,
+        };
+        assert!(e.to_string().contains("vertex 9"));
+        assert!(ServeError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+    }
+}

@@ -1,0 +1,881 @@
+//! The multi-threaded query service: worker pool, bounded per-shard
+//! queues, batch tickets, deadlines, and the result cache.
+//!
+//! # Lifecycle
+//!
+//! [`QueryService::start`] builds the [`ShardedLabels`] store from an
+//! `Arc`-shared index and spawns one worker thread per shard. Submitters
+//! call [`QueryService::reachable`] / [`QueryService::submit_batch`] (or
+//! the non-blocking [`QueryService::submit_batch_async`], which returns a
+//! [`BatchTicket`]); [`QueryService::shutdown`] closes the queues, lets
+//! the workers drain every admitted batch (nothing is silently dropped),
+//! joins them, and folds their `reach-obs` recordings into the calling
+//! thread.
+//!
+//! # Determinism
+//!
+//! Answers are computed from an immutable label store, each query's
+//! result is written to its submission position, and a batch completes
+//! only when every sub-batch has. Worker count, scheduling, and cache
+//! state therefore cannot change any answer — the property the
+//! `service_determinism` proptest pins across graphs × seeds × thread
+//! counts, with and without the cache.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use reach_graph::VertexId;
+use reach_index::ReachIndex;
+use reach_vcs::Partition;
+
+use crate::cache::ShardedLruCache;
+use crate::shard::ShardedLabels;
+use crate::ServeError;
+
+/// Tuning knobs of a [`QueryService`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads — one label shard per worker. Must be ≥ 1.
+    pub workers: usize,
+    /// Bounded per-shard request queue, in sub-batches; a full queue
+    /// rejects new batches with [`ServeError::Overloaded`]. Must be ≥ 1.
+    pub queue_capacity: usize,
+    /// Total result-cache entries across cache shards; `0` disables the
+    /// cache entirely.
+    pub cache_capacity: usize,
+    /// Independent cache shards (each its own lock). Must be ≥ 1 when the
+    /// cache is enabled.
+    pub cache_shards: usize,
+    /// Seed fixing the cache's key-to-shard spread.
+    pub cache_seed: u64,
+    /// Deadline applied to batches submitted without an explicit one;
+    /// `None` means such batches never expire.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 1024,
+            cache_capacity: 1 << 14,
+            cache_shards: 8,
+            cache_seed: 0x5eed_cafe,
+            default_deadline: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration with `workers` worker threads.
+    pub fn with_workers(workers: usize) -> Self {
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Disables the result cache.
+    pub fn no_cache(mut self) -> Self {
+        self.cache_capacity = 0;
+        self
+    }
+}
+
+/// Counters exposed by [`QueryService::stats`]. All values are cumulative
+/// since service start and remain available after [`QueryService::shutdown`]
+/// (which returns the final snapshot). Unlike the `serve.*` obs metrics
+/// these are always compiled in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries answered (cache hits included).
+    pub queries: u64,
+    /// Batches admitted past admission control.
+    pub batches: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses (label scans performed with the cache on).
+    pub cache_misses: u64,
+    /// Batches rejected with [`ServeError::Overloaded`].
+    pub rejected_overload: u64,
+    /// Batches rejected with [`ServeError::DeadlineExceeded`] — at
+    /// admission or when a worker found the deadline already past.
+    pub rejected_deadline: u64,
+    /// High-water mark of total queued sub-batches observed at admission.
+    pub max_queue_depth: u64,
+}
+
+impl ServeStats {
+    /// Cache hits over cache probes, or 0.0 before any probe.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatsInner {
+    queries: AtomicU64,
+    batches: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_deadline: AtomicU64,
+    max_queue_depth: AtomicU64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    fn raise_max_depth(&self, depth: u64) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+/// Completion state shared between a batch's ticket and its sub-batches.
+#[derive(Debug)]
+struct BatchState {
+    /// One slot per submitted query, written at the query's submission
+    /// position by whichever shard answers it.
+    results: Mutex<Vec<bool>>,
+    progress: Mutex<Progress>,
+    done: Condvar,
+}
+
+#[derive(Debug)]
+struct Progress {
+    /// Sub-batches still outstanding.
+    remaining: usize,
+    /// First failure, sticky; later sub-batches of a failed batch skip
+    /// their compute.
+    failed: Option<ServeError>,
+}
+
+impl BatchState {
+    fn new(num_results: usize, sub_batches: usize) -> Self {
+        BatchState {
+            results: Mutex::new(vec![false; num_results]),
+            progress: Mutex::new(Progress {
+                remaining: sub_batches,
+                failed: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn fail(&self, err: ServeError) {
+        let mut p = self.progress.lock().unwrap();
+        if p.failed.is_none() {
+            p.failed = Some(err);
+        }
+        self.done.notify_all();
+    }
+
+    fn failed_already(&self) -> bool {
+        self.progress.lock().unwrap().failed.is_some()
+    }
+
+    /// Marks one sub-batch finished (successfully or not).
+    fn finish_sub(&self, outcome: Result<(), ServeError>) {
+        let mut p = self.progress.lock().unwrap();
+        if let Err(e) = outcome {
+            if p.failed.is_none() {
+                p.failed = Some(e);
+            }
+        }
+        p.remaining -= 1;
+        if p.remaining == 0 || p.failed.is_some() {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A pending batch returned by [`QueryService::submit_batch_async`].
+///
+/// [`BatchTicket::wait`] blocks until every result is in (or the batch
+/// failed) and returns the answers **in submission order** — position `i`
+/// answers the `i`-th submitted query, whatever shard computed it.
+#[must_use = "a ticket must be waited on to observe the batch outcome"]
+#[derive(Debug)]
+pub struct BatchTicket {
+    state: Arc<BatchState>,
+}
+
+impl BatchTicket {
+    /// Blocks until the batch completes; returns answers in submission
+    /// order or the batch's typed failure.
+    pub fn wait(self) -> Result<Vec<bool>, ServeError> {
+        let mut p = self.state.progress.lock().unwrap();
+        loop {
+            if let Some(e) = &p.failed {
+                return Err(e.clone());
+            }
+            if p.remaining == 0 {
+                break;
+            }
+            p = self.state.done.wait(p).unwrap();
+        }
+        drop(p);
+        Ok(std::mem::take(&mut *self.state.results.lock().unwrap()))
+    }
+}
+
+/// The shard-local work unit: the slice of one batch owned by one shard.
+struct SubBatch {
+    state: Arc<BatchState>,
+    deadline: Option<Instant>,
+    admitted_at: Instant,
+    /// Queries routed to this shard (source vertices it owns).
+    queries: Vec<(VertexId, VertexId)>,
+    /// Submission position of each query, for order restoration.
+    positions: Vec<u32>,
+}
+
+enum PushError {
+    Full,
+    Closed,
+}
+
+/// A bounded MPSC queue of sub-batches with pause support (used by tests
+/// and the bench harness to stage deterministic overload/deadline
+/// scenarios).
+struct ShardQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueInner {
+    items: VecDeque<SubBatch>,
+    closed: bool,
+    paused: bool,
+}
+
+impl ShardQueue {
+    fn new(capacity: usize) -> Self {
+        ShardQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+                paused: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admission: enqueues unless the queue is full or closed. Returns
+    /// the depth after the push.
+    fn try_push(&self, sub: SubBatch) -> Result<usize, PushError> {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return Err(PushError::Closed);
+        }
+        if g.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        g.items.push_back(sub);
+        let depth = g.items.len();
+        drop(g);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks for the next sub-batch; `None` once the queue is closed and
+    /// drained. Close overrides pause so shutdown always drains.
+    fn pop(&self) -> Option<SubBatch> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if g.closed {
+                return g.items.pop_front();
+            }
+            if !g.paused {
+                if let Some(sub) = g.items.pop_front() {
+                    return Some(sub);
+                }
+            }
+            g = self.ready.wait(g).unwrap();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    fn set_paused(&self, paused: bool) {
+        self.inner.lock().unwrap().paused = paused;
+        self.ready.notify_all();
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// State shared between submitters and workers.
+struct Shared {
+    labels: ShardedLabels,
+    cache: Option<ShardedLruCache>,
+    queues: Vec<ShardQueue>,
+    stats: StatsInner,
+    /// Admission sequence number, indexing the `serve.queue.depth` series.
+    admissions: AtomicU64,
+}
+
+/// The concurrent, shard-aware reachability query service. See the crate
+/// docs for the design and [`ServeConfig`] for the knobs.
+pub struct QueryService {
+    shared: Arc<Shared>,
+    index: Arc<ReachIndex>,
+    workers: Vec<JoinHandle<reach_obs::WorkerMetrics>>,
+    config: ServeConfig,
+}
+
+impl QueryService {
+    /// Starts a service over `index` with the paper's id-modulo
+    /// vertex-partitioning at `config.workers` shards.
+    pub fn start(index: Arc<ReachIndex>, config: ServeConfig) -> Self {
+        let partition = Partition::modulo(config.workers.max(1));
+        QueryService::start_with_partition(index, partition, config)
+    }
+
+    /// Starts a service with an explicit vertex-partitioning; the
+    /// partition's node count must equal `config.workers`.
+    pub fn start_with_partition(
+        index: Arc<ReachIndex>,
+        partition: Partition,
+        config: ServeConfig,
+    ) -> Self {
+        assert!(config.workers >= 1, "a service needs at least one worker");
+        assert!(config.queue_capacity >= 1, "queue capacity must be >= 1");
+        assert_eq!(
+            partition.num_nodes(),
+            config.workers,
+            "one worker per label shard"
+        );
+        let labels = ShardedLabels::build(&index, partition);
+        let cache = (config.cache_capacity > 0).then(|| {
+            ShardedLruCache::new(
+                config.cache_capacity,
+                config.cache_shards,
+                config.cache_seed,
+            )
+        });
+        let shared = Arc::new(Shared {
+            labels,
+            cache,
+            queues: (0..config.workers)
+                .map(|_| ShardQueue::new(config.queue_capacity))
+                .collect(),
+            stats: StatsInner::default(),
+            admissions: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers)
+            .map(|k| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("reach-serve-{k}"))
+                    .spawn(move || {
+                        let ((), metrics) = reach_obs::scoped_worker(|| worker_loop(&shared, k));
+                        metrics
+                    })
+                    .expect("spawn service worker")
+            })
+            .collect();
+        QueryService {
+            shared,
+            index,
+            workers,
+            config,
+        }
+    }
+
+    /// The served index.
+    pub fn index(&self) -> &Arc<ReachIndex> {
+        &self.index
+    }
+
+    /// Worker-thread (= shard) count.
+    pub fn num_workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// Answers one query, blocking until a worker serves it.
+    pub fn reachable(&self, s: VertexId, t: VertexId) -> Result<bool, ServeError> {
+        let answers = self.submit_batch(&[(s, t)], None)?;
+        Ok(answers[0])
+    }
+
+    /// Submits a batch and blocks for its results (submission order).
+    /// `deadline` overrides [`ServeConfig::default_deadline`].
+    pub fn submit_batch(
+        &self,
+        queries: &[(VertexId, VertexId)],
+        deadline: Option<Duration>,
+    ) -> Result<Vec<bool>, ServeError> {
+        self.submit_batch_async(queries, deadline)?.wait()
+    }
+
+    /// Non-blocking submission: validates, applies admission control, and
+    /// routes each query to the shard owning its source. Errors returned
+    /// here ([`ServeError::Overloaded`], [`ServeError::DeadlineExceeded`]
+    /// for an already-expired deadline, [`ServeError::InvalidVertex`])
+    /// reject the whole batch — no partial results are ever produced.
+    pub fn submit_batch_async(
+        &self,
+        queries: &[(VertexId, VertexId)],
+        deadline: Option<Duration>,
+    ) -> Result<BatchTicket, ServeError> {
+        let shared = &*self.shared;
+        let n = shared.labels.num_vertices();
+        for &(s, t) in queries {
+            for v in [s, t] {
+                if v as usize >= n {
+                    return Err(ServeError::InvalidVertex {
+                        vertex: v,
+                        num_vertices: n,
+                    });
+                }
+            }
+        }
+        let admitted_at = Instant::now();
+        // A deadline too far out to represent is no deadline at all.
+        let deadline = deadline
+            .or(self.config.default_deadline)
+            .and_then(|d| admitted_at.checked_add(d));
+        if let Some(dl) = deadline {
+            if Instant::now() >= dl {
+                shared
+                    .stats
+                    .rejected_deadline
+                    .fetch_add(1, Ordering::Relaxed);
+                reach_obs::counter_add("serve.rejected.deadline", 1);
+                return Err(ServeError::DeadlineExceeded);
+            }
+        }
+
+        // Route queries to the shard owning each source vertex. Each
+        // shard gets its slice of the batch plus the submission positions
+        // its answers must land at.
+        type RoutedShard = (Vec<(VertexId, VertexId)>, Vec<u32>);
+        let shards = shared.labels.num_shards();
+        let mut routed: Vec<RoutedShard> = (0..shards).map(|_| (Vec::new(), Vec::new())).collect();
+        for (i, &(s, t)) in queries.iter().enumerate() {
+            let k = shared.labels.shard_of(s);
+            routed[k].0.push((s, t));
+            routed[k].1.push(i as u32);
+        }
+        let sub_batches = routed.iter().filter(|(q, _)| !q.is_empty()).count();
+        let state = Arc::new(BatchState::new(queries.len(), sub_batches));
+
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        reach_obs::counter_add("serve.batches", 1);
+        reach_obs::record("serve.batch.size", queries.len() as u64);
+        let seq = shared.admissions.fetch_add(1, Ordering::Relaxed);
+
+        for (k, (queries, positions)) in routed.into_iter().enumerate() {
+            if queries.is_empty() {
+                continue;
+            }
+            let sub = SubBatch {
+                state: Arc::clone(&state),
+                deadline,
+                admitted_at,
+                queries,
+                positions,
+            };
+            match shared.queues[k].try_push(sub) {
+                Ok(_) => {}
+                Err(kind) => {
+                    let err = match kind {
+                        PushError::Full => {
+                            shared
+                                .stats
+                                .rejected_overload
+                                .fetch_add(1, Ordering::Relaxed);
+                            reach_obs::counter_add("serve.rejected.overload", 1);
+                            ServeError::Overloaded {
+                                shard: k,
+                                capacity: self.config.queue_capacity,
+                            }
+                        }
+                        PushError::Closed => ServeError::ShuttingDown,
+                    };
+                    // Poison the batch so sub-batches already enqueued on
+                    // other shards skip their compute, then reject it.
+                    state.fail(err.clone());
+                    return Err(err);
+                }
+            }
+        }
+        let depth: usize = shared.queues.iter().map(ShardQueue::len).sum();
+        shared.stats.raise_max_depth(depth as u64);
+        reach_obs::series_add("serve.queue.depth", seq as usize, depth as u64);
+        Ok(BatchTicket { state })
+    }
+
+    /// Cumulative service counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Holds all workers before their next sub-batch. Queued work stays
+    /// queued (and admission control keeps counting it), which lets tests
+    /// and the bench harness stage deterministic overload and
+    /// deadline-expiry scenarios.
+    pub fn pause(&self) {
+        for q in &self.shared.queues {
+            q.set_paused(true);
+        }
+    }
+
+    /// Releases a [`QueryService::pause`].
+    pub fn resume(&self) {
+        for q in &self.shared.queues {
+            q.set_paused(false);
+        }
+    }
+
+    /// Stops admission, drains every already-admitted batch, joins the
+    /// workers, folds their obs recordings into the calling thread, and
+    /// returns the final stats snapshot.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop();
+        self.shared.stats.snapshot()
+    }
+
+    fn stop(&mut self) {
+        for q in &self.shared.queues {
+            q.close();
+        }
+        for handle in self.workers.drain(..) {
+            let metrics = handle.join().expect("service worker panicked");
+            reach_obs::merge_worker(metrics);
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One worker: drain the shard's queue until close, answering each
+/// sub-batch shard-locally.
+fn worker_loop(shared: &Shared, shard: usize) {
+    while let Some(sub) = shared.queues[shard].pop() {
+        serve_sub_batch(shared, shard, sub);
+    }
+}
+
+fn serve_sub_batch(shared: &Shared, shard: usize, sub: SubBatch) {
+    // A sibling sub-batch already failed the batch (overload poisoning):
+    // just account for this one, the ticket holder has its error.
+    if sub.state.failed_already() {
+        sub.state.finish_sub(Ok(()));
+        return;
+    }
+    // Per-batch deadline, re-checked at pickup time: queue wait counts.
+    if let Some(dl) = sub.deadline {
+        if Instant::now() >= dl {
+            shared
+                .stats
+                .rejected_deadline
+                .fetch_add(1, Ordering::Relaxed);
+            reach_obs::counter_add("serve.rejected.deadline", 1);
+            sub.state.finish_sub(Err(ServeError::DeadlineExceeded));
+            return;
+        }
+    }
+    let mut answers = Vec::with_capacity(sub.queries.len());
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for &(s, t) in &sub.queries {
+        let answer = match shared.cache.as_ref().and_then(|c| c.get(s, t)) {
+            Some(cached) => {
+                hits += 1;
+                cached
+            }
+            None => {
+                let (computed, scanned) = shared.labels.scan(shard, s, t);
+                reach_obs::record("serve.query.scan_len", scanned as u64);
+                if let Some(c) = &shared.cache {
+                    misses += 1;
+                    c.insert(s, t, computed);
+                }
+                computed
+            }
+        };
+        reach_obs::record(
+            "serve.request.latency_ns",
+            sub.admitted_at.elapsed().as_nanos() as u64,
+        );
+        answers.push(answer);
+    }
+    shared
+        .stats
+        .queries
+        .fetch_add(answers.len() as u64, Ordering::Relaxed);
+    reach_obs::counter_add("serve.queries", answers.len() as u64);
+    if hits > 0 {
+        shared.stats.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        reach_obs::counter_add("serve.cache.hits", hits);
+    }
+    if misses > 0 {
+        shared
+            .stats
+            .cache_misses
+            .fetch_add(misses, Ordering::Relaxed);
+        reach_obs::counter_add("serve.cache.misses", misses);
+    }
+    {
+        let mut results = sub.state.results.lock().unwrap();
+        for (answer, &pos) in answers.iter().zip(&sub.positions) {
+            results[pos as usize] = *answer;
+        }
+    }
+    sub.state.finish_sub(Ok(()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::{fixtures, TransitiveClosure};
+
+    /// A trivially valid cover: `L_out(s) = DES(s)`, `L_in(t) = {t}`.
+    fn closure_index(g: &reach_graph::DiGraph) -> Arc<ReachIndex> {
+        let n = g.num_vertices();
+        let out: Vec<Vec<VertexId>> = (0..n as VertexId)
+            .map(|v| reach_graph::traverse::descendants(g, v))
+            .collect();
+        let ins: Vec<Vec<VertexId>> = (0..n as VertexId).map(|v| vec![v]).collect();
+        Arc::new(ReachIndex::from_labels(ins, out))
+    }
+
+    #[test]
+    fn single_queries_match_direct_query_at_every_worker_count() {
+        let g = fixtures::paper_graph();
+        let idx = closure_index(&g);
+        let tc = TransitiveClosure::compute(&g);
+        for workers in [1, 2, 4, 8] {
+            let svc = QueryService::start(Arc::clone(&idx), ServeConfig::with_workers(workers));
+            for s in g.vertices() {
+                for t in g.vertices() {
+                    assert_eq!(svc.reachable(s, t).unwrap(), tc.reaches(s, t), "q({s},{t})");
+                }
+            }
+            let stats = svc.shutdown();
+            assert_eq!(stats.queries, 11 * 11);
+            assert_eq!(stats.batches, 11 * 11);
+        }
+    }
+
+    #[test]
+    fn batch_results_come_back_in_submission_order() {
+        let g = fixtures::paper_graph();
+        let idx = closure_index(&g);
+        let svc = QueryService::start(Arc::clone(&idx), ServeConfig::with_workers(4));
+        // Sources deliberately interleave shards (4 workers, id-modulo).
+        let batch: Vec<(VertexId, VertexId)> =
+            (0..11).flat_map(|s| (0..11).map(move |t| (s, t))).collect();
+        let got = svc.submit_batch(&batch, None).unwrap();
+        let expect: Vec<bool> = batch.iter().map(|&(s, t)| idx.query(s, t)).collect();
+        assert_eq!(got, expect);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn empty_batches_complete_immediately() {
+        let idx = closure_index(&fixtures::diamond());
+        let svc = QueryService::start(idx, ServeConfig::with_workers(2));
+        assert_eq!(svc.submit_batch(&[], None).unwrap(), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn invalid_vertices_are_rejected_not_panicked() {
+        let idx = closure_index(&fixtures::diamond()); // 4 vertices
+        let svc = QueryService::start(idx, ServeConfig::with_workers(2));
+        let err = svc.submit_batch(&[(0, 9)], None).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::InvalidVertex {
+                vertex: 9,
+                num_vertices: 4
+            }
+        );
+        let err = svc.reachable(7, 0).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::InvalidVertex {
+                vertex: 7,
+                num_vertices: 4
+            }
+        );
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_at_admission() {
+        let idx = closure_index(&fixtures::diamond());
+        let svc = QueryService::start(idx, ServeConfig::with_workers(1));
+        let err = svc
+            .submit_batch(&[(0, 3)], Some(Duration::ZERO))
+            .unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        assert_eq!(svc.stats().rejected_deadline, 1);
+        assert_eq!(svc.stats().batches, 0, "rejected before admission");
+    }
+
+    #[test]
+    fn deadline_expiring_in_queue_is_detected_by_the_worker() {
+        let idx = closure_index(&fixtures::diamond());
+        let svc = QueryService::start(idx, ServeConfig::with_workers(1));
+        svc.pause();
+        let ticket = svc
+            .submit_batch_async(&[(0, 3)], Some(Duration::from_millis(1)))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        svc.resume();
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::DeadlineExceeded);
+        assert_eq!(svc.stats().rejected_deadline, 1);
+    }
+
+    #[test]
+    fn overload_is_typed_and_queued_work_still_completes() {
+        let idx = closure_index(&fixtures::diamond());
+        let mut cfg = ServeConfig::with_workers(1);
+        cfg.queue_capacity = 2;
+        let svc = QueryService::start(Arc::clone(&idx), cfg);
+        svc.pause();
+        let t1 = svc.submit_batch_async(&[(0, 3)], None).unwrap();
+        let t2 = svc.submit_batch_async(&[(1, 2)], None).unwrap();
+        let err = svc.submit_batch_async(&[(2, 3)], None).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Overloaded {
+                shard: 0,
+                capacity: 2
+            }
+        );
+        assert_eq!(svc.stats().rejected_overload, 1);
+        svc.resume();
+        assert_eq!(t1.wait().unwrap(), vec![idx.query(0, 3)]);
+        assert_eq!(t2.wait().unwrap(), vec![idx.query(1, 2)]);
+        let stats = svc.shutdown();
+        assert_eq!(stats.queries, 2, "rejected batch never computed");
+        assert_eq!(stats.max_queue_depth, 2);
+    }
+
+    #[test]
+    fn overload_poisons_sub_batches_already_enqueued_elsewhere() {
+        // 2 workers; shard 1's queue is saturated first, then a batch
+        // spanning both shards is submitted: its shard-0 slice enqueues,
+        // its shard-1 slice is rejected, and the whole batch must fail
+        // without computing anything.
+        let idx = closure_index(&fixtures::diamond());
+        let mut cfg = ServeConfig::with_workers(2);
+        cfg.queue_capacity = 1;
+        let svc = QueryService::start(Arc::clone(&idx), cfg);
+        svc.pause();
+        let t1 = svc.submit_batch_async(&[(1, 3)], None).unwrap(); // shard 1
+        let err = svc.submit_batch_async(&[(0, 3), (1, 2)], None).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Overloaded {
+                shard: 1,
+                capacity: 1
+            }
+        );
+        svc.resume();
+        assert_eq!(t1.wait().unwrap(), vec![idx.query(1, 3)]);
+        let stats = svc.shutdown();
+        assert_eq!(stats.queries, 1, "poisoned sub-batch skipped its compute");
+    }
+
+    #[test]
+    fn cache_hits_accumulate_without_changing_answers() {
+        let g = fixtures::paper_graph();
+        let idx = closure_index(&g);
+        let svc = QueryService::start(Arc::clone(&idx), ServeConfig::with_workers(2));
+        let batch: Vec<(VertexId, VertexId)> = vec![(1, 6), (8, 0), (1, 6), (1, 6)];
+        let expect: Vec<bool> = batch.iter().map(|&(s, t)| idx.query(s, t)).collect();
+        for _ in 0..3 {
+            assert_eq!(svc.submit_batch(&batch, None).unwrap(), expect);
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.cache_hits + stats.cache_misses, 12);
+        assert_eq!(stats.cache_misses, 2, "only (1,6) and (8,0) ever scan");
+        assert!(stats.cache_hit_rate() > 0.8);
+    }
+
+    #[test]
+    fn no_cache_config_never_probes() {
+        let idx = closure_index(&fixtures::diamond());
+        let svc = QueryService::start(idx, ServeConfig::with_workers(1).no_cache());
+        for _ in 0..4 {
+            svc.reachable(0, 3).unwrap();
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(stats.queries, 4);
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_batches() {
+        let idx = closure_index(&fixtures::diamond());
+        let svc = QueryService::start(Arc::clone(&idx), ServeConfig::with_workers(2));
+        svc.pause();
+        let tickets: Vec<BatchTicket> = (0..8)
+            .map(|i| {
+                svc.submit_batch_async(&[(i % 4, (i + 1) % 4)], None)
+                    .unwrap()
+            })
+            .collect();
+        // Shutdown with work still queued and workers paused: close
+        // overrides pause, every ticket resolves.
+        let results: Vec<_> = {
+            let stats = svc.shutdown();
+            assert_eq!(stats.queries, 8);
+            tickets.into_iter().map(|t| t.wait().unwrap()).collect()
+        };
+        for (i, r) in results.iter().enumerate() {
+            let (s, t) = ((i as u32) % 4, ((i + 1) as u32) % 4);
+            assert_eq!(r, &vec![idx.query(s, t)]);
+        }
+    }
+
+    #[test]
+    fn explicit_partition_routes_by_ownership() {
+        let g = fixtures::paper_graph();
+        let idx = closure_index(&g);
+        let assignment: Vec<u16> = (0..11).map(|v| (v % 3) as u16).collect();
+        let part = Partition::explicit(3, assignment);
+        let mut cfg = ServeConfig::with_workers(3);
+        cfg.cache_capacity = 0;
+        let svc = QueryService::start_with_partition(Arc::clone(&idx), part, cfg);
+        for s in g.vertices() {
+            for t in g.vertices() {
+                assert_eq!(svc.reachable(s, t).unwrap(), idx.query(s, t));
+            }
+        }
+        svc.shutdown();
+    }
+}

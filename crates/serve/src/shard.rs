@@ -1,0 +1,180 @@
+//! The shard-partitioned label store behind the query service.
+//!
+//! Fan et al. (PAPERS.md) tie distributed query performance to
+//! partition-local evaluation with bounded cross-partition coordination.
+//! This store gets coordination all the way to zero for 2-hop labels: the
+//! out-label side is partitioned by the *same* vertex-partitioning the
+//! cluster simulation uses ([`reach_vcs::Partition`], id-modulo by
+//! default), while the in-label side — which any source's query may need
+//! for any target — is kept as a single immutable replica shared by every
+//! worker. A query `q(s, t)` is routed to the shard owning `s` and runs
+//! entirely on that worker: one local out-label slice, one shared
+//! in-label slice, one sorted-merge intersection. No cross-shard hop,
+//! ever.
+//!
+//! Labels are packed per shard into CSR arrays (offsets + entries), the
+//! same layout `reach_index::storage` uses on disk, so a shard's working
+//! set is contiguous.
+
+use reach_graph::VertexId;
+use reach_index::{intersects_sorted, ReachIndex};
+use reach_vcs::Partition;
+
+/// CSR-packed label lists: `entries[offsets[i]..offsets[i + 1]]` is list `i`.
+struct CsrLabels {
+    offsets: Vec<usize>,
+    entries: Vec<VertexId>,
+}
+
+impl CsrLabels {
+    fn with_lists(count: usize) -> Self {
+        CsrLabels {
+            offsets: vec![0; 1],
+            entries: Vec::with_capacity(count),
+        }
+    }
+
+    fn push_list(&mut self, list: &[VertexId]) {
+        self.entries.extend_from_slice(list);
+        self.offsets.push(self.entries.len());
+    }
+
+    #[inline]
+    fn list(&self, i: usize) -> &[VertexId] {
+        &self.entries[self.offsets[i]..self.offsets[i + 1]]
+    }
+}
+
+/// The partitioned label store: per-shard out-labels plus a shared
+/// in-label replica. See the module docs.
+pub struct ShardedLabels {
+    partition: Partition,
+    /// `out[k].list(local_id[v])` = `L_out(v)` for `v` owned by shard `k`.
+    out: Vec<CsrLabels>,
+    /// Slot of each vertex within its owning shard's CSR.
+    local_id: Vec<u32>,
+    /// All in-labels, shared read-only by every shard.
+    in_store: CsrLabels,
+    num_vertices: usize,
+}
+
+impl ShardedLabels {
+    /// Partitions `index` into `partition.num_nodes()` shards.
+    pub fn build(index: &ReachIndex, partition: Partition) -> Self {
+        let n = index.num_vertices();
+        let shards = partition.num_nodes();
+        let mut out: Vec<CsrLabels> = (0..shards)
+            .map(|_| CsrLabels::with_lists(n / shards + 1))
+            .collect();
+        let mut local_id = vec![0u32; n];
+        let mut in_store = CsrLabels::with_lists(n);
+        for v in 0..n as VertexId {
+            let k = partition.node_of(v);
+            local_id[v as usize] = (out[k].offsets.len() - 1) as u32;
+            out[k].push_list(index.out_label(v));
+            in_store.push_list(index.in_label(v));
+        }
+        ShardedLabels {
+            partition,
+            out,
+            local_id,
+            in_store,
+            num_vertices: n,
+        }
+    }
+
+    /// Number of shards (= service worker count).
+    pub fn num_shards(&self) -> usize {
+        self.partition.num_nodes()
+    }
+
+    /// Number of vertices the store covers.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The shard that owns (and must answer) queries sourced at `v`.
+    #[inline]
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        self.partition.node_of(v)
+    }
+
+    /// Answers `q(s, t)` on `shard`, which must own `s`. Returns the
+    /// answer and the number of label entries scanned
+    /// (`|L_out(s)| + |L_in(t)|`, the Definition 3 query cost).
+    #[inline]
+    pub fn scan(&self, shard: usize, s: VertexId, t: VertexId) -> (bool, usize) {
+        debug_assert_eq!(
+            shard,
+            self.shard_of(s),
+            "query routed to a non-owning shard"
+        );
+        let lout = self.out[shard].list(self.local_id[s as usize] as usize);
+        let lin = self.in_store.list(t as usize);
+        (intersects_sorted(lout, lin), lout.len() + lin.len())
+    }
+
+    /// `L_out(v)`, served from the owning shard's local slice.
+    pub fn out_label(&self, v: VertexId) -> &[VertexId] {
+        self.out[self.shard_of(v)].list(self.local_id[v as usize] as usize)
+    }
+
+    /// `L_in(v)`, served from the shared replica.
+    pub fn in_label(&self, v: VertexId) -> &[VertexId] {
+        self.in_store.list(v as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> ReachIndex {
+        ReachIndex::from_labels(
+            vec![vec![0], vec![0, 1], vec![2], vec![1, 3], vec![0, 4]],
+            vec![vec![0, 2], vec![1], vec![], vec![3, 4], vec![4]],
+        )
+    }
+
+    #[test]
+    fn sharded_scan_matches_direct_query_at_every_shard_count() {
+        let idx = sample_index();
+        let n = idx.num_vertices() as VertexId;
+        for shards in 1..=5 {
+            let store = ShardedLabels::build(&idx, Partition::modulo(shards));
+            assert_eq!(store.num_shards(), shards);
+            assert_eq!(store.num_vertices(), 5);
+            for s in 0..n {
+                for t in 0..n {
+                    let (got, scanned) = store.scan(store.shard_of(s), s, t);
+                    assert_eq!(got, idx.query(s, t), "q({s},{t}) at {shards} shards");
+                    assert_eq!(scanned, idx.out_label(s).len() + idx.in_label(t).len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_round_trip_through_the_csr_packing() {
+        let idx = sample_index();
+        let store = ShardedLabels::build(&idx, Partition::modulo(3));
+        for v in 0..5 as VertexId {
+            assert_eq!(store.out_label(v), idx.out_label(v));
+            assert_eq!(store.in_label(v), idx.in_label(v));
+        }
+    }
+
+    #[test]
+    fn explicit_partitions_are_honored() {
+        let idx = sample_index();
+        let part = Partition::explicit(2, vec![1, 1, 0, 1, 0]);
+        let store = ShardedLabels::build(&idx, part);
+        assert_eq!(store.shard_of(0), 1);
+        assert_eq!(store.shard_of(2), 0);
+        for s in 0..5 as VertexId {
+            for t in 0..5 as VertexId {
+                assert_eq!(store.scan(store.shard_of(s), s, t).0, idx.query(s, t));
+            }
+        }
+    }
+}

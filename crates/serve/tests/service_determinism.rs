@@ -1,0 +1,115 @@
+//! The serving layer's core guarantee, pinned as a property: for every
+//! workload mix, the service's answers are bit-identical to direct
+//! `ReachIndex::query` calls at 1/2/4/8 worker threads, with and without
+//! the result cache — across random graphs, workload seeds, and batch
+//! sizes. A serving layer that changes an answer is a bug, not a
+//! trade-off.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use reach_datasets::{standard_mixes, workload};
+use reach_graph::{traverse, DiGraph, VertexId};
+use reach_index::ReachIndex;
+use reach_serve::{QueryService, ServeConfig};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A trivially valid 2-hop cover built from BFS: `L_out(s) = DES(s)`,
+/// `L_in(t) = {t}` — `L_out(s) ∩ L_in(t) ≠ ∅ ⇔ t ∈ DES(s) ⇔ s → t`.
+fn closure_index(g: &DiGraph) -> Arc<ReachIndex> {
+    let n = g.num_vertices();
+    let out: Vec<Vec<VertexId>> = (0..n as VertexId)
+        .map(|v| traverse::descendants(g, v))
+        .collect();
+    let ins: Vec<Vec<VertexId>> = (0..n as VertexId).map(|v| vec![v]).collect();
+    Arc::new(ReachIndex::from_labels(ins, out))
+}
+
+fn random_graph(n: usize, edges: usize, seed: u64) -> DiGraph {
+    // Alternate the two cyclic generator families for structural variety.
+    if seed.is_multiple_of(2) {
+        reach_datasets::generators::hierarchy(n, edges, 0.8, seed)
+    } else {
+        reach_datasets::social(n, edges, 0.25, seed)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn answers_bit_identical_across_threads_mixes_and_cache(
+        n in 8usize..48,
+        edge_factor in 1usize..4,
+        graph_seed in 0u64..1_000,
+        workload_seed in 0u64..1_000,
+        batch_size in 1usize..40,
+    ) {
+        let g = random_graph(n, n * edge_factor, graph_seed);
+        let idx = closure_index(&g);
+        for (mix_name, mix) in standard_mixes() {
+            let queries = workload(&g, mix, 120, workload_seed);
+            let expect: Vec<bool> = queries.iter().map(|&(s, t)| idx.query(s, t)).collect();
+            for workers in THREAD_COUNTS {
+                for cached in [true, false] {
+                    let mut cfg = ServeConfig::with_workers(workers);
+                    if !cached {
+                        cfg = cfg.no_cache();
+                    }
+                    let svc = QueryService::start(Arc::clone(&idx), cfg);
+                    let mut got = Vec::with_capacity(queries.len());
+                    for chunk in queries.chunks(batch_size) {
+                        got.extend(svc.submit_batch(chunk, None).unwrap());
+                    }
+                    prop_assert_eq!(
+                        &got, &expect,
+                        "mix {} at {} workers (cache: {})", mix_name, workers, cached
+                    );
+                    let stats = svc.shutdown();
+                    prop_assert_eq!(stats.queries, queries.len() as u64);
+                    prop_assert_eq!(stats.rejected_overload, 0);
+                    prop_assert_eq!(stats.rejected_deadline, 0);
+                }
+            }
+        }
+    }
+}
+
+/// The same guarantee over the real DRL product: a DRLb-built index on the
+/// paper graph served at every thread count answers exactly like the
+/// index it serves.
+#[test]
+fn drlb_index_served_bit_identically() {
+    let g = reach_graph::fixtures::paper_graph();
+    let ord = reach_graph::OrderAssignment::new(&g, reach_graph::OrderKind::DegreeProduct);
+    let (idx, _stats) = reach_drl_dist::drlb::run_configured(
+        &g,
+        &ord,
+        reach_core::BatchParams::default(),
+        4,
+        reach_vcs::NetworkModel::default(),
+        None,
+        None,
+    )
+    .expect("fault-free build");
+    let idx = Arc::new(idx);
+    let all_pairs: Vec<(VertexId, VertexId)> = g
+        .vertices()
+        .flat_map(|s| g.vertices().map(move |t| (s, t)))
+        .collect();
+    let expect: Vec<bool> = all_pairs.iter().map(|&(s, t)| idx.query(s, t)).collect();
+    for workers in THREAD_COUNTS {
+        let svc = QueryService::start(Arc::clone(&idx), ServeConfig::with_workers(workers));
+        let got = svc.submit_batch(&all_pairs, None).unwrap();
+        assert_eq!(got, expect, "{workers} workers");
+        // Ask the same batch again: now mostly cache hits, same answers.
+        let again = svc.submit_batch(&all_pairs, None).unwrap();
+        assert_eq!(again, expect, "{workers} workers, cached");
+        let stats = svc.shutdown();
+        assert!(
+            stats.cache_hits >= all_pairs.len() as u64,
+            "second pass hits the cache"
+        );
+    }
+}

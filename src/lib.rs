@@ -6,5 +6,6 @@ pub use reach_drl_dist as dist;
 pub use reach_graph as graph;
 pub use reach_index as index;
 pub use reach_obs as obs;
+pub use reach_serve as serve;
 pub use reach_tol as tol;
 pub use reach_vcs as vcs;
