@@ -1,0 +1,132 @@
+//! Statistical contract of the workload generator: for fixed seeds, the
+//! empirical properties the serving and hot-swap benchmarks rely on must
+//! land within tight tolerances of their analytical targets — the
+//! positive-biased mix's reachable-answer rate, the Zipf mix's head mass,
+//! and the uniform mix's flatness. These are fixed-seed determinism tests,
+//! not flaky Monte-Carlo runs: the generator is a pure function of
+//! `(graph, mix, count, seed)`, so each assertion is reproducible
+//! bit-for-bit and the tolerance only has to absorb sampling variance
+//! across the listed seeds, not run-to-run noise.
+
+use reach_datasets::{workload, QueryMix};
+use reach_graph::{DiGraph, TransitiveClosure, VertexId};
+
+const SEEDS: [u64; 4] = [3, 17, 99, 2024];
+
+fn test_graph() -> DiGraph {
+    reach_datasets::by_name("WEBW")
+        .map(|mut s| {
+            s.vertices = 400;
+            s.edges = 1200;
+            s.generate()
+        })
+        .unwrap()
+}
+
+fn reach_rate(tc: &TransitiveClosure, w: &[(VertexId, VertexId)]) -> f64 {
+    w.iter().filter(|&&(s, t)| tc.reaches(s, t)).count() as f64 / w.len() as f64
+}
+
+/// Positive-biased mix: sampled pairs are reachable by construction and
+/// the uniform remainder answers true at the graph's base rate, so the
+/// empirical rate must sit within sampling tolerance of
+/// `fraction + (1 - fraction) · base` for every sweep fraction.
+#[test]
+fn positive_bias_rate_matches_its_fraction_within_tolerance() {
+    let g = test_graph();
+    let tc = TransitiveClosure::compute(&g);
+    let n = g.num_vertices();
+    let reachable_pairs: usize = (0..n as VertexId)
+        .map(|s| (0..n as VertexId).filter(|&t| tc.reaches(s, t)).count())
+        .sum();
+    let base = reachable_pairs as f64 / (n * n) as f64;
+    for fraction in [0.2, 0.5, 0.8] {
+        let expect = fraction + (1.0 - fraction) * base;
+        for seed in SEEDS {
+            let w = workload(
+                &g,
+                QueryMix::PositiveBiased {
+                    positive_fraction: fraction,
+                    source_pool: 32,
+                },
+                4_000,
+                seed,
+            );
+            let rate = reach_rate(&tc, &w);
+            assert!(
+                (rate - expect).abs() < 0.05,
+                "fraction {fraction}, seed {seed}: rate {rate:.3} vs expected {expect:.3}"
+            );
+        }
+    }
+}
+
+/// Zipf mix: the hottest source's share of the stream must match the
+/// analytical head mass `1 / H(n, e)` (rank-1 weight over the harmonic
+/// normaliser), and the top-10 ranks must carry their predicted cumulative
+/// share — the skew the result cache's hit rate depends on.
+#[test]
+fn zipf_head_mass_matches_the_analytical_share() {
+    let g = test_graph();
+    let n = g.num_vertices();
+    let exponent = 1.1f64;
+    let harmonic: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(exponent)).sum();
+    let head_share = 1.0 / harmonic;
+    let top10_share: f64 = (1..=10)
+        .map(|k| 1.0 / (k as f64).powf(exponent) / harmonic)
+        .sum();
+    for seed in SEEDS {
+        let w = workload(&g, QueryMix::ZipfHotSources { exponent }, 8_000, seed);
+        let mut freq = std::collections::HashMap::new();
+        for &(s, _) in &w {
+            *freq.entry(s).or_insert(0usize) += 1;
+        }
+        let mut counts: Vec<usize> = freq.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let hottest = counts[0] as f64 / w.len() as f64;
+        assert!(
+            (hottest - head_share).abs() < 0.05,
+            "seed {seed}: head share {hottest:.3} vs analytical {head_share:.3}"
+        );
+        let top10: usize = counts.iter().take(10).sum();
+        let top10 = top10 as f64 / w.len() as f64;
+        assert!(
+            (top10 - top10_share).abs() < 0.06,
+            "seed {seed}: top-10 share {top10:.3} vs analytical {top10_share:.3}"
+        );
+        // Skew sanity: the head alone out-draws the uniform per-vertex
+        // share by an order of magnitude.
+        assert!(hottest > 10.0 / n as f64);
+    }
+}
+
+/// Uniform mix: flat by construction — no source may run hot, and the
+/// empirical reachable rate must match the graph's exact base rate.
+#[test]
+fn uniform_mix_is_flat_and_answers_at_the_base_rate() {
+    let g = test_graph();
+    let tc = TransitiveClosure::compute(&g);
+    let n = g.num_vertices();
+    let reachable_pairs: usize = (0..n as VertexId)
+        .map(|s| (0..n as VertexId).filter(|&t| tc.reaches(s, t)).count())
+        .sum();
+    let base = reachable_pairs as f64 / (n * n) as f64;
+    for seed in SEEDS {
+        let w = workload(&g, QueryMix::Uniform, 8_000, seed);
+        let rate = reach_rate(&tc, &w);
+        assert!(
+            (rate - base).abs() < 0.03,
+            "seed {seed}: uniform rate {rate:.3} vs base {base:.3}"
+        );
+        let mut freq = std::collections::HashMap::new();
+        for &(s, _) in &w {
+            *freq.entry(s).or_insert(0usize) += 1;
+        }
+        let mean = w.len() as f64 / n as f64;
+        let hottest = freq.values().max().copied().unwrap() as f64;
+        assert!(
+            hottest < 3.0 * mean,
+            "seed {seed}: hottest uniform source {hottest} vs mean {mean:.1}"
+        );
+    }
+}

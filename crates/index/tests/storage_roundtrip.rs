@@ -1,0 +1,77 @@
+//! Encode-side fuzz of the index storage format: arbitrary label sets →
+//! `write_index` → `read_index` must reproduce the index exactly, and the
+//! encoding must be canonical (re-encoding the decoded index is
+//! byte-identical). Complements the decode-side corruption suite in
+//! `src/storage.rs`, which attacks the reader with malformed bytes; here
+//! the writer is the system under test.
+
+use proptest::prelude::*;
+use reach_index::storage::{read_index, write_index};
+use reach_index::ReachIndex;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary (unsorted, duplicated) label sets — `from_labels`
+    /// normalises them, the disk format round-trips the result.
+    #[test]
+    fn arbitrary_label_sets_round_trip(
+        labels in (1usize..24).prop_flat_map(|n| (
+            Just(n),
+            proptest::collection::vec(
+                proptest::collection::vec(0..n as u32, 0..10),
+                n..n + 1,
+            ),
+            proptest::collection::vec(
+                proptest::collection::vec(0..n as u32, 0..10),
+                n..n + 1,
+            ),
+        )),
+    ) {
+        let (n, ins, outs) = labels;
+        let idx = ReachIndex::from_labels(ins, outs);
+        prop_assert_eq!(idx.num_vertices(), n);
+
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        let decoded = read_index(&buf[..]).unwrap();
+        prop_assert_eq!(&decoded, &idx, "decode(encode(idx)) != idx");
+
+        // Canonical encoding: the decoded index writes the same bytes.
+        let mut buf2 = Vec::new();
+        write_index(&decoded, &mut buf2).unwrap();
+        prop_assert_eq!(buf, buf2, "encoding is not canonical");
+    }
+
+    /// The decoded index answers every query exactly like the original —
+    /// the property the serving layer actually relies on after a
+    /// load-from-disk (structural equality above is stronger, but this is
+    /// the user-visible contract, asserted directly).
+    #[test]
+    fn decoded_index_answers_identically(
+        labels in (1usize..16).prop_flat_map(|n| (
+            Just(n),
+            proptest::collection::vec(
+                proptest::collection::vec(0..n as u32, 0..6),
+                n..n + 1,
+            ),
+            proptest::collection::vec(
+                proptest::collection::vec(0..n as u32, 0..6),
+                n..n + 1,
+            ),
+        )),
+    ) {
+        let (n, ins, outs) = labels;
+        let idx = ReachIndex::from_labels(ins, outs);
+        let mut buf = Vec::new();
+        write_index(&idx, &mut buf).unwrap();
+        let decoded = read_index(&buf[..]).unwrap();
+        for s in 0..n as u32 {
+            for t in 0..n as u32 {
+                prop_assert_eq!(decoded.query(s, t), idx.query(s, t), "q({},{})", s, t);
+            }
+        }
+        prop_assert_eq!(decoded.size_bytes(), idx.size_bytes());
+        prop_assert_eq!(decoded.max_label_size(), idx.max_label_size());
+    }
+}

@@ -1,4 +1,5 @@
-//! Seeded, sharded LRU cache for `(s, t) → bool` query results.
+//! Seeded, sharded LRU cache for `(generation, s, t) → bool` query
+//! results.
 //!
 //! Hop-label queries are dominated by label-scan cost (Jin & Wang,
 //! PAPERS.md), so a hit in this cache replaces an `O(|L_out(s)| +
@@ -7,14 +8,21 @@
 //! workers rarely contend; shard choice is a seeded hash of the key, which
 //! makes the spread deterministic for a given seed (tests pin it).
 //!
-//! Because the served index is immutable, a cached value can never go
-//! stale — the cache only ever changes *when* an answer is computed, not
-//! *what* it is.
+//! Each served index is immutable, so a cached value can never go stale
+//! *within* a generation. Hot-swapping installs a new index under a new
+//! generation number, and the generation is part of the cache key: a
+//! batch pinned to generation `g` can only ever hit entries computed from
+//! generation `g`'s index, with no flush (and hence no stall) at swap
+//! time. Entries of retired generations are never probed again and age
+//! out through normal LRU eviction.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
 
 use reach_graph::VertexId;
+
+/// A cache key: the index generation plus the query pair.
+type Key = (u64, VertexId, VertexId);
 
 /// Slot-list terminator for the intrusive LRU links.
 const NIL: u32 = u32::MAX;
@@ -44,23 +52,28 @@ impl ShardedLruCache {
         }
     }
 
-    /// The shard index the key `(s, t)` maps to — deterministic per seed.
-    pub fn shard_of(&self, s: VertexId, t: VertexId) -> usize {
-        (mix(self.seed ^ ((s as u64) << 32 | t as u64)) % self.shards.len() as u64) as usize
+    /// The shard index the key `(generation, s, t)` maps to —
+    /// deterministic per seed.
+    pub fn shard_of(&self, generation: u64, s: VertexId, t: VertexId) -> usize {
+        let pair = (s as u64) << 32 | t as u64;
+        (mix(self.seed ^ mix(generation) ^ pair) % self.shards.len() as u64) as usize
     }
 
-    /// Looks the pair up, refreshing its recency on a hit.
-    pub fn get(&self, s: VertexId, t: VertexId) -> Option<bool> {
-        self.shards[self.shard_of(s, t)].lock().unwrap().get((s, t))
-    }
-
-    /// Inserts (or refreshes) the pair, evicting the shard's least
-    /// recently used entry when the shard is full.
-    pub fn insert(&self, s: VertexId, t: VertexId, value: bool) {
-        self.shards[self.shard_of(s, t)]
+    /// Looks the keyed pair up, refreshing its recency on a hit.
+    pub fn get(&self, generation: u64, s: VertexId, t: VertexId) -> Option<bool> {
+        self.shards[self.shard_of(generation, s, t)]
             .lock()
             .unwrap()
-            .insert((s, t), value);
+            .get((generation, s, t))
+    }
+
+    /// Inserts (or refreshes) the keyed pair, evicting the shard's least
+    /// recently used entry when the shard is full.
+    pub fn insert(&self, generation: u64, s: VertexId, t: VertexId, value: bool) {
+        self.shards[self.shard_of(generation, s, t)]
+            .lock()
+            .unwrap()
+            .insert((generation, s, t), value);
     }
 
     /// Total entries currently cached across all shards.
@@ -95,7 +108,7 @@ fn mix(mut z: u64) -> u64 {
 /// intrusive most-recent-first doubly linked list. All operations are
 /// O(1); eviction pops the list tail.
 struct LruShard {
-    map: HashMap<(VertexId, VertexId), u32>,
+    map: HashMap<Key, u32>,
     slots: Vec<Slot>,
     head: u32,
     tail: u32,
@@ -103,7 +116,7 @@ struct LruShard {
 }
 
 struct Slot {
-    key: (VertexId, VertexId),
+    key: Key,
     value: bool,
     prev: u32,
     next: u32,
@@ -120,14 +133,14 @@ impl LruShard {
         }
     }
 
-    fn get(&mut self, key: (VertexId, VertexId)) -> Option<bool> {
+    fn get(&mut self, key: Key) -> Option<bool> {
         let slot = *self.map.get(&key)?;
         self.unlink(slot);
         self.push_front(slot);
         Some(self.slots[slot as usize].value)
     }
 
-    fn insert(&mut self, key: (VertexId, VertexId), value: bool) {
+    fn insert(&mut self, key: Key, value: bool) {
         if let Some(&slot) = self.map.get(&key) {
             self.slots[slot as usize].value = value;
             self.unlink(slot);
@@ -192,11 +205,11 @@ mod tests {
     #[test]
     fn hit_and_miss() {
         let c = ShardedLruCache::new(8, 2, 1);
-        assert_eq!(c.get(1, 2), None);
-        c.insert(1, 2, true);
-        c.insert(3, 4, false);
-        assert_eq!(c.get(1, 2), Some(true));
-        assert_eq!(c.get(3, 4), Some(false));
+        assert_eq!(c.get(0, 1, 2), None);
+        c.insert(0, 1, 2, true);
+        c.insert(0, 3, 4, false);
+        assert_eq!(c.get(0, 1, 2), Some(true));
+        assert_eq!(c.get(0, 3, 4), Some(false));
         assert_eq!(c.len(), 2);
     }
 
@@ -204,30 +217,44 @@ mod tests {
     fn capacity_bounds_and_lru_eviction() {
         // One shard of capacity 3 so eviction order is fully observable.
         let c = ShardedLruCache::new(3, 1, 0);
-        c.insert(0, 0, true);
-        c.insert(1, 1, true);
-        c.insert(2, 2, true);
+        c.insert(0, 0, 0, true);
+        c.insert(0, 1, 1, true);
+        c.insert(0, 2, 2, true);
         // Touch (0,0) so (1,1) is now the least recently used.
-        assert_eq!(c.get(0, 0), Some(true));
-        c.insert(3, 3, false);
+        assert_eq!(c.get(0, 0, 0), Some(true));
+        c.insert(0, 3, 3, false);
         assert_eq!(c.len(), 3);
-        assert_eq!(c.get(1, 1), None, "LRU entry evicted");
-        assert_eq!(c.get(0, 0), Some(true));
-        assert_eq!(c.get(2, 2), Some(true));
-        assert_eq!(c.get(3, 3), Some(false));
+        assert_eq!(c.get(0, 1, 1), None, "LRU entry evicted");
+        assert_eq!(c.get(0, 0, 0), Some(true));
+        assert_eq!(c.get(0, 2, 2), Some(true));
+        assert_eq!(c.get(0, 3, 3), Some(false));
     }
 
     #[test]
     fn reinsert_refreshes_instead_of_duplicating() {
         let c = ShardedLruCache::new(2, 1, 0);
-        c.insert(5, 6, true);
-        c.insert(5, 6, true);
-        c.insert(7, 8, true);
+        c.insert(0, 5, 6, true);
+        c.insert(0, 5, 6, true);
+        c.insert(0, 7, 8, true);
         assert_eq!(c.len(), 2);
         // Recency order is (7,8) then (5,6), so a third key evicts (5,6).
-        c.insert(9, 9, false);
-        assert_eq!(c.get(5, 6), None);
-        assert_eq!(c.get(7, 8), Some(true));
+        c.insert(0, 9, 9, false);
+        assert_eq!(c.get(0, 5, 6), None);
+        assert_eq!(c.get(0, 7, 8), Some(true));
+    }
+
+    #[test]
+    fn generations_are_distinct_keys() {
+        // The same pair under different generations is a different entry:
+        // a hot-swap must never let one generation's answer leak into
+        // another's probes.
+        let c = ShardedLruCache::new(16, 2, 3);
+        c.insert(0, 1, 2, false);
+        c.insert(1, 1, 2, true);
+        assert_eq!(c.get(0, 1, 2), Some(false));
+        assert_eq!(c.get(1, 1, 2), Some(true));
+        assert_eq!(c.get(2, 1, 2), None, "unseen generation never hits");
+        assert_eq!(c.len(), 2);
     }
 
     #[test]
@@ -235,13 +262,17 @@ mod tests {
         let a = ShardedLruCache::new(64, 8, 42);
         let b = ShardedLruCache::new(64, 8, 42);
         let c = ShardedLruCache::new(64, 8, 43);
-        let spread_a: Vec<usize> = (0..100).map(|i| a.shard_of(i, i + 1)).collect();
-        let spread_b: Vec<usize> = (0..100).map(|i| b.shard_of(i, i + 1)).collect();
-        let spread_c: Vec<usize> = (0..100).map(|i| c.shard_of(i, i + 1)).collect();
+        let spread_a: Vec<usize> = (0..100).map(|i| a.shard_of(0, i, i + 1)).collect();
+        let spread_b: Vec<usize> = (0..100).map(|i| b.shard_of(0, i, i + 1)).collect();
+        let spread_c: Vec<usize> = (0..100).map(|i| c.shard_of(0, i, i + 1)).collect();
         assert_eq!(spread_a, spread_b);
         assert_ne!(spread_a, spread_c, "different seed, different spread");
         // The hash actually spreads keys over shards.
         let distinct: std::collections::HashSet<usize> = spread_a.into_iter().collect();
+        assert!(distinct.len() > 1);
+        // The generation takes part in the spread too.
+        let gen_spread: Vec<usize> = (0..100).map(|g| a.shard_of(g, 5, 6)).collect();
+        let distinct: std::collections::HashSet<usize> = gen_spread.into_iter().collect();
         assert!(distinct.len() > 1);
     }
 
@@ -249,7 +280,7 @@ mod tests {
     fn eviction_stress_keeps_len_bounded() {
         let c = ShardedLruCache::new(100, 4, 7);
         for i in 0..10_000u32 {
-            c.insert(i, i, i % 3 == 0);
+            c.insert(u64::from(i % 5), i, i, i % 3 == 0);
         }
         assert!(
             c.len() <= 112,
@@ -259,6 +290,6 @@ mod tests {
         assert!(!c.is_empty());
         assert_eq!(c.num_shards(), 4);
         // Recent keys are still present (9999 % 3 == 0 ⇒ true).
-        assert_eq!(c.get(9_999, 9_999), Some(true));
+        assert_eq!(c.get(u64::from(9_999u32 % 5), 9_999, 9_999), Some(true));
     }
 }

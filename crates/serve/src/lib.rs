@@ -21,23 +21,36 @@
 //!   regardless of which shard answered what, so answers are bit-identical
 //!   to direct [`reach_index::ReachIndex::query`] calls at any worker
 //!   count.
-//! * **Caching** — a seeded, sharded LRU result cache keyed on `(s, t)`
-//!   ([`cache::ShardedLruCache`]) absorbs hot pairs; hit/miss counts are
-//!   visible through [`QueryService::stats`] and, with the `obs` feature,
-//!   through the `serve.*` metrics (see `docs/OBSERVABILITY.md`).
+//! * **Caching** — a seeded, sharded LRU result cache keyed on
+//!   `(generation, s, t)` ([`cache::ShardedLruCache`]) absorbs hot pairs;
+//!   hit/miss counts are visible through [`QueryService::stats`] and, with
+//!   the `obs` feature, through the `serve.*` metrics (see
+//!   `docs/OBSERVABILITY.md`).
+//! * **Hot-swap** — [`QueryService::swap_index`] installs a rebuilt index
+//!   behind a generation-tagged slot ([`swap::Swappable`]) without
+//!   draining in-flight work: every batch pins exactly one generation at
+//!   first worker pickup and is answered entirely by it, the cache keys
+//!   on the generation, and [`BatchTicket::wait_tagged`] reports which
+//!   generation answered. The differential harness in [`testing`] (driven
+//!   by `tests/hot_swap.rs` and the `swap_bench` load harness) pins the
+//!   no-torn-batches guarantee against `ReachIndex::query`.
 //!
-//! The load harness lives in `crates/bench/src/bin/serve_bench.rs` and the
-//! deterministic query mixes it drives in `reach_datasets::workload`.
+//! The load harnesses live in `crates/bench/src/bin/serve_bench.rs` and
+//! `crates/bench/src/bin/swap_bench.rs`; the deterministic query mixes
+//! they drive are in `reach_datasets::workload`.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod service;
 pub mod shard;
+pub mod swap;
+pub mod testing;
 
 pub use cache::ShardedLruCache;
 pub use service::{BatchTicket, QueryService, ServeConfig, ServeStats};
 pub use shard::ShardedLabels;
+pub use swap::{Swappable, Tagged};
 
 use reach_graph::VertexId;
 

@@ -20,10 +20,23 @@
 //! state therefore cannot change any answer — the property the
 //! `service_determinism` proptest pins across graphs × seeds × thread
 //! counts, with and without the cache.
+//!
+//! # Hot-swap
+//!
+//! [`QueryService::swap_index`] installs a rebuilt index (plus its
+//! resharded label store) behind a generation-tagged
+//! [`Swappable`] slot without draining anything:
+//! in-flight batches keep the epoch they pinned, queued batches pin the
+//! current epoch at **first worker pickup** (raced sub-batches agree via
+//! a `OnceLock`), and the result cache keys on the generation so one
+//! epoch's answers can never satisfy another's probes. Every batch is
+//! therefore answered entirely by a single index — the no-torn-batches
+//! property `tests/hot_swap.rs` pins differentially against
+//! `ReachIndex::query` on the pinned generation.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -33,7 +46,19 @@ use reach_vcs::Partition;
 
 use crate::cache::ShardedLruCache;
 use crate::shard::ShardedLabels;
+use crate::swap::{Swappable, Tagged};
 use crate::ServeError;
+
+/// One served index epoch: the index and the label store resharded from
+/// it. Swapped in as a unit so a worker can never pair one generation's
+/// labels with another's index.
+pub(crate) struct Epoch {
+    index: Arc<ReachIndex>,
+    labels: ShardedLabels,
+}
+
+/// A pinned epoch handle: the tagged value batches hold onto.
+type EpochRef = Arc<Tagged<Epoch>>;
 
 /// Tuning knobs of a [`QueryService`].
 #[derive(Clone, Debug)]
@@ -106,6 +131,12 @@ pub struct ServeStats {
     pub rejected_deadline: u64,
     /// High-water mark of total queued sub-batches observed at admission.
     pub max_queue_depth: u64,
+    /// Index hot-swaps performed ([`QueryService::swap_index`]).
+    pub swaps: u64,
+    /// The generation being served when this snapshot was taken (0 until
+    /// the first swap; equals [`ServeStats::swaps`] because generations
+    /// are assigned consecutively by a single slot).
+    pub generation: u64,
 }
 
 impl ServeStats {
@@ -129,6 +160,8 @@ struct StatsInner {
     rejected_overload: AtomicU64,
     rejected_deadline: AtomicU64,
     max_queue_depth: AtomicU64,
+    swaps: AtomicU64,
+    generation: AtomicU64,
 }
 
 impl StatsInner {
@@ -141,6 +174,8 @@ impl StatsInner {
             rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            generation: self.generation.load(Ordering::Relaxed),
         }
     }
 
@@ -150,13 +185,18 @@ impl StatsInner {
 }
 
 /// Completion state shared between a batch's ticket and its sub-batches.
-#[derive(Debug)]
 struct BatchState {
     /// One slot per submitted query, written at the query's submission
     /// position by whichever shard answers it.
     results: Mutex<Vec<bool>>,
     progress: Mutex<Progress>,
     done: Condvar,
+    /// The epoch this batch is answered by, pinned once by the first
+    /// worker to pick up any of its sub-batches; raced pickups agree
+    /// because only one initializer can win. Pinning at pickup (not
+    /// admission) means a batch that waited in queue across a swap is
+    /// answered by the freshest index — but still by exactly one.
+    pinned: OnceLock<EpochRef>,
 }
 
 #[derive(Debug)]
@@ -177,6 +217,7 @@ impl BatchState {
                 failed: None,
             }),
             done: Condvar::new(),
+            pinned: OnceLock::new(),
         }
     }
 
@@ -212,16 +253,38 @@ impl BatchState {
 /// [`BatchTicket::wait`] blocks until every result is in (or the batch
 /// failed) and returns the answers **in submission order** — position `i`
 /// answers the `i`-th submitted query, whatever shard computed it.
+///
+/// Dropping a ticket without waiting is allowed: the batch still runs to
+/// completion (admitted work is never cancelled mid-compute), its results
+/// are simply discarded.
 #[must_use = "a ticket must be waited on to observe the batch outcome"]
-#[derive(Debug)]
 pub struct BatchTicket {
     state: Arc<BatchState>,
+}
+
+impl std::fmt::Debug for BatchTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchTicket")
+            .field(
+                "generation",
+                &self.state.pinned.get().map(|e| e.generation()),
+            )
+            .finish_non_exhaustive()
+    }
 }
 
 impl BatchTicket {
     /// Blocks until the batch completes; returns answers in submission
     /// order or the batch's typed failure.
     pub fn wait(self) -> Result<Vec<bool>, ServeError> {
+        self.wait_tagged().map(|(answers, _)| answers)
+    }
+
+    /// Like [`BatchTicket::wait`], but also returns the **generation** of
+    /// the index epoch that answered the batch — the handle the hot-swap
+    /// differential harness compares answers against. Every answer in the
+    /// returned vector was computed from exactly this generation's index.
+    pub fn wait_tagged(self) -> Result<(Vec<bool>, u64), ServeError> {
         let mut p = self.state.progress.lock().unwrap();
         loop {
             if let Some(e) = &p.failed {
@@ -233,7 +296,14 @@ impl BatchTicket {
             p = self.state.done.wait(p).unwrap();
         }
         drop(p);
-        Ok(std::mem::take(&mut *self.state.results.lock().unwrap()))
+        let generation = self
+            .state
+            .pinned
+            .get()
+            .expect("a completed batch has pinned its epoch")
+            .generation();
+        let answers = std::mem::take(&mut *self.state.results.lock().unwrap());
+        Ok((answers, generation))
     }
 }
 
@@ -332,7 +402,11 @@ impl ShardQueue {
 
 /// State shared between submitters and workers.
 struct Shared {
-    labels: ShardedLabels,
+    /// The served epoch: swapped atomically, pinned per batch.
+    epochs: Swappable<Epoch>,
+    /// The fixed vertex-partitioning; every epoch is resharded by it so
+    /// routing decisions stay valid across swaps.
+    partition: Partition,
     cache: Option<ShardedLruCache>,
     queues: Vec<ShardQueue>,
     stats: StatsInner,
@@ -344,7 +418,6 @@ struct Shared {
 /// docs for the design and [`ServeConfig`] for the knobs.
 pub struct QueryService {
     shared: Arc<Shared>,
-    index: Arc<ReachIndex>,
     workers: Vec<JoinHandle<reach_obs::WorkerMetrics>>,
     config: ServeConfig,
 }
@@ -371,7 +444,11 @@ impl QueryService {
             config.workers,
             "one worker per label shard"
         );
-        let labels = ShardedLabels::build(&index, partition);
+        assert!(
+            partition.covers(index.num_vertices()),
+            "partition does not cover the index's vertices"
+        );
+        let labels = ShardedLabels::build(&index, partition.clone());
         let cache = (config.cache_capacity > 0).then(|| {
             ShardedLruCache::new(
                 config.cache_capacity,
@@ -380,7 +457,8 @@ impl QueryService {
             )
         });
         let shared = Arc::new(Shared {
-            labels,
+            epochs: Swappable::new(Epoch { index, labels }),
+            partition,
             cache,
             queues: (0..config.workers)
                 .map(|_| ShardQueue::new(config.queue_capacity))
@@ -402,15 +480,55 @@ impl QueryService {
             .collect();
         QueryService {
             shared,
-            index,
             workers,
             config,
         }
     }
 
-    /// The served index.
-    pub fn index(&self) -> &Arc<ReachIndex> {
-        &self.index
+    /// The currently served index (the latest swapped-in generation).
+    pub fn index(&self) -> Arc<ReachIndex> {
+        Arc::clone(&self.shared.epochs.load().value().index)
+    }
+
+    /// The generation currently being served: 0 at start, +1 per
+    /// [`QueryService::swap_index`]. Batches already in flight may still
+    /// be answering under an earlier generation.
+    pub fn generation(&self) -> u64 {
+        self.shared.epochs.generation()
+    }
+
+    /// Atomically replaces the served index with `index`, rebuilt into a
+    /// fresh sharded label store under the service's partition, and
+    /// returns the new generation number.
+    ///
+    /// The swap never drains and never blocks queries: batches whose
+    /// compute already pinned the old epoch finish on it (the old index
+    /// stays alive until its last batch drops it), batches still queued
+    /// pin the new epoch at pickup, and every batch is answered entirely
+    /// by one generation either way. The result cache needs no flush —
+    /// the generation is part of its key.
+    ///
+    /// # Panics
+    ///
+    /// If the service runs an explicit [`Partition`] whose assignment
+    /// table does not cover the new index's vertices (the id-modulo
+    /// default covers any vertex count).
+    pub fn swap_index(&self, index: Arc<ReachIndex>) -> u64 {
+        assert!(
+            self.shared.partition.covers(index.num_vertices()),
+            "partition does not cover the new index's vertices"
+        );
+        let t0 = Instant::now();
+        let labels = ShardedLabels::build(&index, self.shared.partition.clone());
+        let generation = self.shared.epochs.swap(Epoch { index, labels });
+        self.shared.stats.swaps.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .stats
+            .generation
+            .store(generation, Ordering::Relaxed);
+        reach_obs::counter_add("serve.swap.count", 1);
+        reach_obs::record("serve.swap.install_ns", t0.elapsed().as_nanos() as u64);
+        generation
     }
 
     /// Worker-thread (= shard) count.
@@ -445,7 +563,10 @@ impl QueryService {
         deadline: Option<Duration>,
     ) -> Result<BatchTicket, ServeError> {
         let shared = &*self.shared;
-        let n = shared.labels.num_vertices();
+        // Validate against the generation current at submission; a batch
+        // pinned to a later (shrunken) epoch at pickup is re-checked by
+        // the worker against its pinned generation.
+        let n = shared.epochs.load().value().labels.num_vertices();
         for &(s, t) in queries {
             for v in [s, t] {
                 if v as usize >= n {
@@ -472,19 +593,26 @@ impl QueryService {
             }
         }
 
-        // Route queries to the shard owning each source vertex. Each
-        // shard gets its slice of the batch plus the submission positions
-        // its answers must land at.
+        // Route queries to the shard owning each source vertex — a pure
+        // function of the fixed partition, so routing stays valid no
+        // matter which epoch the batch later pins. Each shard gets its
+        // slice of the batch plus the submission positions its answers
+        // must land at.
         type RoutedShard = (Vec<(VertexId, VertexId)>, Vec<u32>);
-        let shards = shared.labels.num_shards();
+        let shards = shared.partition.num_nodes();
         let mut routed: Vec<RoutedShard> = (0..shards).map(|_| (Vec::new(), Vec::new())).collect();
         for (i, &(s, t)) in queries.iter().enumerate() {
-            let k = shared.labels.shard_of(s);
+            let k = shared.partition.node_of(s);
             routed[k].0.push((s, t));
             routed[k].1.push(i as u32);
         }
         let sub_batches = routed.iter().filter(|(q, _)| !q.is_empty()).count();
         let state = Arc::new(BatchState::new(queries.len(), sub_batches));
+        if sub_batches == 0 {
+            // An empty batch is never picked up by a worker, so pin its
+            // epoch here: completion (and its tag) must not dangle.
+            let _ = state.pinned.set(shared.epochs.load());
+        }
 
         shared.stats.batches.fetch_add(1, Ordering::Relaxed);
         reach_obs::counter_add("serve.batches", 1);
@@ -606,20 +734,45 @@ fn serve_sub_batch(shared: &Shared, shard: usize, sub: SubBatch) {
             return;
         }
     }
+    // Pin the batch's epoch: the first sub-batch picked up decides, every
+    // sibling (on any worker, at any later time) reuses the same one.
+    let epoch = sub
+        .state
+        .pinned
+        .get_or_init(|| shared.epochs.load())
+        .clone();
+    let generation = epoch.generation();
+    let labels = &epoch.value().labels;
+    // Submission validated against the epoch current back then; the
+    // pinned one may cover fewer vertices (a shrinking swap), so re-check
+    // before touching label arrays.
+    let pinned_n = labels.num_vertices();
+    if let Some(v) = sub
+        .queries
+        .iter()
+        .flat_map(|&(s, t)| [s, t])
+        .find(|&v| v as usize >= pinned_n)
+    {
+        sub.state.finish_sub(Err(ServeError::InvalidVertex {
+            vertex: v,
+            num_vertices: pinned_n,
+        }));
+        return;
+    }
     let mut answers = Vec::with_capacity(sub.queries.len());
     let (mut hits, mut misses) = (0u64, 0u64);
     for &(s, t) in &sub.queries {
-        let answer = match shared.cache.as_ref().and_then(|c| c.get(s, t)) {
+        let answer = match shared.cache.as_ref().and_then(|c| c.get(generation, s, t)) {
             Some(cached) => {
                 hits += 1;
                 cached
             }
             None => {
-                let (computed, scanned) = shared.labels.scan(shard, s, t);
+                let (computed, scanned) = labels.scan(shard, s, t);
                 reach_obs::record("serve.query.scan_len", scanned as u64);
                 if let Some(c) = &shared.cache {
                     misses += 1;
-                    c.insert(s, t, computed);
+                    c.insert(generation, s, t, computed);
                 }
                 computed
             }
@@ -630,6 +783,11 @@ fn serve_sub_batch(shared: &Shared, shard: usize, sub: SubBatch) {
         );
         answers.push(answer);
     }
+    reach_obs::series_add(
+        "serve.swap.queries",
+        generation as usize,
+        answers.len() as u64,
+    );
     shared
         .stats
         .queries

@@ -9,22 +9,11 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use reach_datasets::{standard_mixes, workload};
-use reach_graph::{traverse, DiGraph, VertexId};
-use reach_index::ReachIndex;
+use reach_graph::{DiGraph, VertexId};
+use reach_serve::testing::closure_index;
 use reach_serve::{QueryService, ServeConfig};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
-
-/// A trivially valid 2-hop cover built from BFS: `L_out(s) = DES(s)`,
-/// `L_in(t) = {t}` — `L_out(s) ∩ L_in(t) ≠ ∅ ⇔ t ∈ DES(s) ⇔ s → t`.
-fn closure_index(g: &DiGraph) -> Arc<ReachIndex> {
-    let n = g.num_vertices();
-    let out: Vec<Vec<VertexId>> = (0..n as VertexId)
-        .map(|v| traverse::descendants(g, v))
-        .collect();
-    let ins: Vec<Vec<VertexId>> = (0..n as VertexId).map(|v| vec![v]).collect();
-    Arc::new(ReachIndex::from_labels(ins, out))
-}
 
 fn random_graph(n: usize, edges: usize, seed: u64) -> DiGraph {
     // Alternate the two cyclic generator families for structural variety.
@@ -74,6 +63,82 @@ proptest! {
             }
         }
     }
+}
+
+/// Cancellation-by-drop: dropping a [`reach_serve::BatchTicket`] without
+/// waiting abandons only the *client's view* — the admitted batch still
+/// runs to completion, its queries are fully accounted in `ServeStats`,
+/// and every worker joins cleanly at shutdown (a worker wedged on a
+/// dropped ticket would hang the join; a skipped batch would show up as a
+/// query-count shortfall).
+#[test]
+fn dropped_tickets_still_complete_and_account_their_work() {
+    let g = random_graph(32, 96, 2);
+    let idx = closure_index(&g);
+    let n = g.num_vertices() as VertexId;
+    let svc = QueryService::start(Arc::clone(&idx), ServeConfig::with_workers(4));
+    svc.pause();
+    let batches: Vec<Vec<(VertexId, VertexId)>> = (0..12u32)
+        .map(|i| {
+            (0..5)
+                .map(|j| ((i * 7 + j) % n, (j * 11 + i) % n))
+                .collect()
+        })
+        .collect();
+    let mut kept = Vec::new();
+    for (i, batch) in batches.iter().enumerate() {
+        let ticket = svc.submit_batch_async(batch, None).unwrap();
+        if i % 3 == 0 {
+            kept.push((i, ticket));
+        } else {
+            drop(ticket); // cancelled from the client side while queued
+        }
+    }
+    svc.resume();
+    for (i, ticket) in kept {
+        let expect: Vec<bool> = batches[i].iter().map(|&(s, t)| idx.query(s, t)).collect();
+        assert_eq!(ticket.wait().unwrap(), expect, "kept ticket {i}");
+    }
+    let stats = svc.shutdown();
+    let total: usize = batches.iter().map(Vec::len).sum();
+    assert_eq!(
+        stats.queries, total as u64,
+        "dropped batches were still computed — nothing leaked, nothing skipped"
+    );
+    assert_eq!(stats.batches, batches.len() as u64);
+    assert_eq!(stats.rejected_overload, 0);
+    assert_eq!(stats.rejected_deadline, 0);
+}
+
+/// Drops racing live workers (not staged behind a pause): interleaving a
+/// drop with the batch's own compute must never wedge the service or
+/// disturb sibling batches' answers.
+#[test]
+fn racing_ticket_drops_never_wedge_the_service() {
+    let g = random_graph(24, 72, 3);
+    let idx = closure_index(&g);
+    let n = g.num_vertices() as VertexId;
+    let svc = QueryService::start(Arc::clone(&idx), ServeConfig::with_workers(2));
+    let rounds = 50u32;
+    for round in 0..rounds {
+        let dropped_batch = [(round % n, (round + 1) % n), ((round * 3) % n, round % n)];
+        let kept_batch = [
+            ((round + 2) % n, (round * 5) % n),
+            (round % n, (round * 2) % n),
+        ];
+        let dropped = svc.submit_batch_async(&dropped_batch, None).unwrap();
+        let kept = svc.submit_batch_async(&kept_batch, None).unwrap();
+        drop(dropped); // races the workers mid-compute
+        let expect: Vec<bool> = kept_batch.iter().map(|&(s, t)| idx.query(s, t)).collect();
+        assert_eq!(kept.wait().unwrap(), expect, "round {round}");
+    }
+    let stats = svc.shutdown();
+    assert_eq!(stats.batches, u64::from(rounds) * 2);
+    assert_eq!(
+        stats.queries,
+        u64::from(rounds) * 4,
+        "every query of every batch (dropped ones included) was served"
+    );
 }
 
 /// The same guarantee over the real DRL product: a DRLb-built index on the

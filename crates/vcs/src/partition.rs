@@ -57,6 +57,19 @@ impl Partition {
         }
     }
 
+    /// Whether every vertex of `0..n` has a home node — always true for
+    /// the modulo scheme, bounded by the assignment table for explicit
+    /// ones. Callers that re-target a partition at a new graph (e.g. the
+    /// serving layer's index hot-swap) check this instead of letting
+    /// [`Partition::node_of`] panic on an uncovered vertex.
+    #[inline]
+    pub fn covers(&self, n: usize) -> bool {
+        match &self.assignment {
+            Assignment::Modulo => true,
+            Assignment::Explicit(a) => n <= a.len(),
+        }
+    }
+
     /// The vertices owned by `node` among `0..n`, ascending.
     pub fn owned(&self, node: usize, n: usize) -> Vec<VertexId> {
         (0..n as VertexId)
@@ -96,5 +109,14 @@ mod tests {
     #[should_panic(expected = "references a node")]
     fn explicit_out_of_range_panics() {
         Partition::explicit(2, vec![2]);
+    }
+
+    #[test]
+    fn coverage_is_unbounded_for_modulo_and_table_sized_for_explicit() {
+        assert!(Partition::modulo(3).covers(0));
+        assert!(Partition::modulo(3).covers(1_000_000));
+        let p = Partition::explicit(2, vec![0, 1, 0]);
+        assert!(p.covers(3));
+        assert!(!p.covers(4));
     }
 }
