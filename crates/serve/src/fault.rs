@@ -1,0 +1,232 @@
+//! Seeded fault injection for the serve path — chaos mode.
+//!
+//! A [`ServeFaultPlan`] describes, deterministically from a seed, the
+//! faults a running [`QueryService`](crate::QueryService) is subjected
+//! to. It is the serve-side sibling of the build-side
+//! [`reach_vcs::FaultPlan`] and draws its schedules through the same
+//! extracted [`FaultRng`] machinery:
+//!
+//! * **worker crashes** — a worker thread dies at sub-batch pickup,
+//!   before any compute or accounting for that sub-batch; the
+//!   [`supervisor`](crate::supervisor) detects the dead thread, requeues
+//!   its in-flight sub-batch **exactly once**, and respawns the worker;
+//! * **worker stalls** — a worker sleeps at pickup for a fixed duration;
+//!   if the stall outlives the supervisor's heartbeat timeout, a
+//!   replacement worker is spawned on the same shard queue (the stalled
+//!   worker keeps ownership of its claimed sub-batch and retires after
+//!   finishing it, so nothing is ever answered twice);
+//! * **slow shards** — a fixed per-pickup delay on chosen shards, below
+//!   the stall threshold: pure latency, no supervision response;
+//! * **swap-install failures** —
+//!   [`QueryService::try_swap_index`](crate::QueryService::try_swap_index)
+//!   fails *before* installing anything, so the previous generation keeps
+//!   serving untouched (a failed swap is atomic-nothing).
+//!
+//! Faults are drawn per worker **incarnation** (shard × respawn count)
+//! from decorrelated sub-streams of the plan seed, so the n-th pickup of
+//! any given incarnation faults identically across runs regardless of
+//! thread timing. Crash and stall volumes are bounded by budgets so every
+//! plan is a *recoverable* schedule: the chaos harness
+//! ([`crate::testing::run_chaos_consistency`]) proves the service drains
+//! every admitted batch with answers bit-identical to the pinned
+//! generation's index under any such plan.
+//!
+//! With no plan configured the service runs the exact pre-chaos code
+//! path — fault injection is a strictly opt-in test/bench surface,
+//! mirroring the `reach-obs` no-op pattern.
+
+use std::time::Duration;
+
+use reach_vcs::FaultRng;
+
+/// A deterministic, seeded schedule of serve-path faults. See the module
+/// docs for the fault taxonomy and the recovery each fault exercises.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeFaultPlan {
+    /// Seed of every fault stream; two services running equal plans draw
+    /// identical per-incarnation fault schedules.
+    pub seed: u64,
+    /// Probability that a worker crashes at a sub-batch pickup.
+    pub crash_prob: f64,
+    /// Total injected-crash budget across all workers; keeps every plan a
+    /// recoverable, terminating schedule.
+    pub max_crashes: u64,
+    /// Probability that a worker stalls at a sub-batch pickup.
+    pub stall_prob: f64,
+    /// Stall length. Stalls longer than the supervisor's
+    /// [`stall_timeout`](crate::supervisor::SupervisorConfig::stall_timeout)
+    /// trigger a replacement worker.
+    pub stall: Duration,
+    /// Total injected-stall budget across all workers.
+    pub max_stalls: u64,
+    /// Shards suffering a fixed extra delay at every pickup.
+    pub slow_shards: Vec<usize>,
+    /// The per-pickup delay of a slow shard.
+    pub slow_delay: Duration,
+    /// Probability that a [`try_swap_index`](crate::QueryService::try_swap_index)
+    /// call fails before installing anything.
+    pub swap_fail_prob: f64,
+}
+
+impl ServeFaultPlan {
+    /// A fault-free plan with the given seed; add faults with the builder
+    /// methods.
+    pub fn new(seed: u64) -> Self {
+        ServeFaultPlan {
+            seed,
+            crash_prob: 0.0,
+            max_crashes: 0,
+            stall_prob: 0.0,
+            stall: Duration::from_millis(20),
+            max_stalls: 0,
+            slow_shards: Vec::new(),
+            slow_delay: Duration::from_micros(200),
+            swap_fail_prob: 0.0,
+        }
+    }
+
+    /// Crashes a worker at each pickup with probability `p`, at most
+    /// `max_crashes` times in total.
+    pub fn with_worker_crashes(mut self, p: f64, max_crashes: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "crash probability in [0, 1]");
+        self.crash_prob = p;
+        self.max_crashes = max_crashes;
+        self
+    }
+
+    /// Stalls a worker for `stall` at each pickup with probability `p`,
+    /// at most `max_stalls` times in total.
+    pub fn with_worker_stalls(mut self, p: f64, stall: Duration, max_stalls: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "stall probability in [0, 1]");
+        self.stall_prob = p;
+        self.stall = stall;
+        self.max_stalls = max_stalls;
+        self
+    }
+
+    /// Adds `delay` to every pickup on `shard`.
+    pub fn with_slow_shard(mut self, shard: usize, delay: Duration) -> Self {
+        if !self.slow_shards.contains(&shard) {
+            self.slow_shards.push(shard);
+            self.slow_shards.sort_unstable();
+        }
+        self.slow_delay = delay;
+        self
+    }
+
+    /// Fails each swap-install attempt with probability `p` (the swap
+    /// installs nothing; the old generation keeps serving).
+    pub fn with_swap_failures(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "swap-failure probability in [0, 1]"
+        );
+        self.swap_fail_prob = p;
+        self
+    }
+
+    /// Whether the plan can perturb the service at all.
+    pub fn is_active(&self) -> bool {
+        (self.crash_prob > 0.0 && self.max_crashes > 0)
+            || (self.stall_prob > 0.0 && self.max_stalls > 0)
+            || !self.slow_shards.is_empty()
+            || self.swap_fail_prob > 0.0
+    }
+
+    /// The fixed extra pickup delay of `shard`, if it is a slow shard.
+    pub(crate) fn slow_delay_for(&self, shard: usize) -> Option<Duration> {
+        self.slow_shards
+            .binary_search(&shard)
+            .ok()
+            .map(|_| self.slow_delay)
+    }
+}
+
+/// A fault drawn at a sub-batch pickup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum InjectedFault {
+    /// The worker thread dies on the spot, its in-flight sub-batch still
+    /// registered for the supervisor to requeue.
+    Crash,
+    /// The worker sleeps for the given duration before computing.
+    Stall(Duration),
+}
+
+/// The per-incarnation fault stream: worker `shard` at respawn count
+/// `incarnation` draws from a sub-stream keyed by both, so its pickup
+/// schedule is a pure function of the plan seed.
+pub(crate) struct WorkerFaultStream {
+    rng: FaultRng,
+    crash_prob: f64,
+    stall_prob: f64,
+    stall: Duration,
+}
+
+impl WorkerFaultStream {
+    pub(crate) fn new(plan: &ServeFaultPlan, shard: usize, incarnation: u64) -> Self {
+        let salt = ((shard as u64) << 32) ^ incarnation;
+        WorkerFaultStream {
+            rng: FaultRng::stream(plan.seed, salt),
+            crash_prob: plan.crash_prob,
+            stall_prob: plan.stall_prob,
+            stall: plan.stall,
+        }
+    }
+
+    /// The fault (if any) injected at this incarnation's next pickup.
+    /// Both coins are always tossed so the stream position depends only
+    /// on the pickup count, never on earlier outcomes or budgets.
+    pub(crate) fn at_pickup(&mut self) -> Option<InjectedFault> {
+        let crash = self.crash_prob > 0.0 && self.rng.chance(self.crash_prob);
+        let stall = self.stall_prob > 0.0 && self.rng.chance(self.stall_prob);
+        if crash {
+            Some(InjectedFault::Crash)
+        } else if stall {
+            Some(InjectedFault::Stall(self.stall))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_accumulate_and_report_activity() {
+        let plan = ServeFaultPlan::new(7)
+            .with_worker_crashes(0.5, 3)
+            .with_worker_stalls(0.25, Duration::from_millis(5), 2)
+            .with_slow_shard(2, Duration::from_micros(50))
+            .with_slow_shard(0, Duration::from_micros(50))
+            .with_swap_failures(0.1);
+        assert!(plan.is_active());
+        assert_eq!(plan.slow_shards, vec![0, 2]);
+        assert_eq!(plan.slow_delay_for(2), Some(Duration::from_micros(50)));
+        assert_eq!(plan.slow_delay_for(1), None);
+        assert!(!ServeFaultPlan::new(7).is_active());
+        // A probability without a budget cannot fire.
+        assert!(!ServeFaultPlan::new(7)
+            .with_worker_crashes(1.0, 0)
+            .is_active());
+    }
+
+    #[test]
+    fn pickup_schedules_are_deterministic_per_incarnation() {
+        let plan = ServeFaultPlan::new(42)
+            .with_worker_crashes(0.3, 100)
+            .with_worker_stalls(0.3, Duration::from_millis(1), 100);
+        let draw = |shard, inc| -> Vec<Option<InjectedFault>> {
+            let mut s = WorkerFaultStream::new(&plan, shard, inc);
+            (0..32).map(|_| s.at_pickup()).collect()
+        };
+        assert_eq!(draw(0, 0), draw(0, 0), "same incarnation ⇒ same schedule");
+        assert_ne!(draw(0, 0), draw(1, 0), "shards decorrelated");
+        assert_ne!(draw(0, 0), draw(0, 1), "incarnations decorrelated");
+        assert!(
+            draw(0, 0).iter().any(|f| f.is_some()),
+            "an active plan eventually fires"
+        );
+    }
+}

@@ -35,21 +35,43 @@
 //!   by `tests/hot_swap.rs` and the `swap_bench` load harness) pins the
 //!   no-torn-batches guarantee against `ReachIndex::query`.
 //!
-//! The load harnesses live in `crates/bench/src/bin/serve_bench.rs` and
-//! `crates/bench/src/bin/swap_bench.rs`; the deterministic query mixes
+//! * **Resilience & chaos mode** — with [`ResilienceConfig`] set, workers
+//!   run supervised: heartbeats, crash detection, exactly-once requeue of
+//!   a dead worker's in-flight work, and respawn ([`supervisor`]). A
+//!   seeded [`ServeFaultPlan`] ([`fault`]) deterministically injects
+//!   worker crashes, stalls, slow shards, and swap-install failures;
+//!   [`RetryPolicy`] ([`retry`]) adds client-side retries with seeded
+//!   jittered exponential backoff under a per-call deadline *budget*; and
+//!   [`DegradeConfig`] sheds work by [`Priority`]
+//!   tier under sustained overload. All of it is opt-in: the default
+//!   configuration runs the exact pre-chaos code path. The differential
+//!   chaos harness is [`testing::run_chaos_consistency`];
+//!   `docs/RESILIENCE.md` has the full model.
+//!
+//! The load harnesses live in `crates/bench/src/bin/serve_bench.rs`,
+//! `crates/bench/src/bin/swap_bench.rs`, and
+//! `crates/bench/src/bin/chaos_bench.rs`; the deterministic query mixes
 //! they drive are in `reach_datasets::workload`.
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod fault;
+pub mod retry;
 pub mod service;
 pub mod shard;
+pub mod supervisor;
 pub mod swap;
 pub mod testing;
 
 pub use cache::ShardedLruCache;
-pub use service::{BatchTicket, QueryService, ServeConfig, ServeStats};
+pub use fault::ServeFaultPlan;
+pub use retry::RetryPolicy;
+pub use service::{
+    BatchOptions, BatchTicket, DegradeConfig, Priority, QueryService, ServeConfig, ServeStats,
+};
 pub use shard::ShardedLabels;
+pub use supervisor::{ResilienceConfig, SupervisorConfig};
 pub use swap::{Swappable, Tagged};
 
 use reach_graph::VertexId;
@@ -83,6 +105,32 @@ pub enum ServeError {
     },
     /// The service is shutting down and no longer admits requests.
     ShuttingDown,
+    /// A degradation tier shed the batch under sustained overload (see
+    /// [`service::DegradeConfig`]). The batch was never enqueued; retrying
+    /// after backoff is appropriate.
+    Degraded {
+        /// The tier that shed the batch.
+        tier: DegradeTier,
+    },
+    /// A [`QueryService::try_swap_index`] install was failed by fault
+    /// injection before anything was installed — the previous generation
+    /// keeps serving untouched.
+    SwapFailed {
+        /// The generation still being served after the failed install.
+        generation: u64,
+    },
+}
+
+/// The degradation tier that shed a batch (carried by
+/// [`ServeError::Degraded`]). Tiers escalate with queue pressure and
+/// disengage with hysteresis; see [`service::DegradeConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeTier {
+    /// Tier 1: [`Priority::Low`] work is shed.
+    SheddingLow,
+    /// Tier 2: [`Priority::Normal`] work is served from the result cache
+    /// alone or shed; only [`Priority::High`] work reaches the workers.
+    CacheOnly,
 }
 
 impl std::fmt::Display for ServeError {
@@ -105,6 +153,19 @@ impl std::fmt::Display for ServeError {
                 )
             }
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Degraded { tier } => {
+                let mode = match tier {
+                    DegradeTier::SheddingLow => "shedding low-priority work",
+                    DegradeTier::CacheOnly => "serving cache-only",
+                };
+                write!(f, "degraded under overload: {mode}")
+            }
+            ServeError::SwapFailed { generation } => {
+                write!(
+                    f,
+                    "swap install failed; generation {generation} keeps serving"
+                )
+            }
         }
     }
 }
@@ -133,5 +194,11 @@ mod tests {
         assert!(ServeError::ShuttingDown
             .to_string()
             .contains("shutting down"));
+        let e = ServeError::Degraded {
+            tier: DegradeTier::CacheOnly,
+        };
+        assert!(e.to_string().contains("cache-only"));
+        let e = ServeError::SwapFailed { generation: 3 };
+        assert!(e.to_string().contains("generation 3"));
     }
 }

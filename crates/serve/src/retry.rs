@@ -1,0 +1,251 @@
+//! Client-side retry: seeded jittered exponential backoff under a
+//! deadline **budget**.
+//!
+//! A [`RetryPolicy`] retries transient rejections — [`ServeError::Overloaded`],
+//! [`ServeError::Degraded`], and per-attempt [`ServeError::DeadlineExceeded`] —
+//! while a single budget covers the *whole call*: every attempt's deadline
+//! and every backoff sleep are carved out of the time remaining, so the
+//! caller observes exactly one timeout behavior
+//! ([`ServeError::DeadlineExceeded`] once the budget is spent) no matter
+//! how many attempts ran. Permanent errors ([`ServeError::InvalidVertex`],
+//! [`ServeError::ShuttingDown`], [`ServeError::SwapFailed`]) surface
+//! immediately.
+//!
+//! Backoff is deterministic: the sleep before retry `k` is a pure
+//! function of `(seed, k)` ([`RetryPolicy::backoff`]), drawn through the
+//! same [`FaultRng`] streams the fault plans use. Two clients with the
+//! same policy produce the same schedule — the property
+//! `tests/retry_backoff.rs` pins — while different seeds decorrelate, so
+//! a fleet of retrying clients does not stampede in lockstep.
+
+use std::time::{Duration, Instant};
+
+use reach_graph::VertexId;
+use reach_vcs::FaultRng;
+
+use crate::service::BatchOptions;
+use crate::{QueryService, ServeError};
+
+/// Seeded jittered-exponential-backoff retry policy. See the module docs
+/// for the budget semantics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Seed of the jitter stream; equal seeds give equal schedules.
+    pub seed: u64,
+    /// Total attempts (first try included). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry after that.
+    pub base: Duration,
+    /// Ceiling on any single backoff (pre-jitter).
+    pub cap: Duration,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by a seeded
+    /// factor drawn uniformly from `[1 - jitter, 1]`. `0` disables jitter.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            seed: 0,
+            max_attempts: 4,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(100),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default policy with the given jitter seed.
+    pub fn new(seed: u64) -> Self {
+        RetryPolicy {
+            seed,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Sets the attempt limit (first try included).
+    pub fn with_attempts(mut self, max_attempts: u32) -> Self {
+        assert!(max_attempts >= 1, "need at least one attempt");
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Sets the exponential base and cap.
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.base = base;
+        self.cap = cap;
+        self
+    }
+
+    /// Sets the jitter fraction.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!((0.0..=1.0).contains(&jitter), "jitter fraction in [0, 1]");
+        self.jitter = jitter;
+        self
+    }
+
+    /// The backoff slept before retry `retry` (1-based: `1` follows the
+    /// first failed attempt). A pure function of `(seed, retry)`: the
+    /// exponential `base · 2^(retry-1)` is capped at `cap`, then scaled
+    /// by a jitter factor drawn from the retry's own decorrelated
+    /// sub-stream.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        assert!(retry >= 1, "retries are 1-based");
+        let exp = self
+            .base
+            .checked_mul(1u32.checked_shl(retry - 1).unwrap_or(u32::MAX))
+            .unwrap_or(self.cap)
+            .min(self.cap);
+        if self.jitter == 0.0 {
+            return exp;
+        }
+        let mut rng = FaultRng::stream(self.seed, retry as u64);
+        let factor = 1.0 - self.jitter * rng.unit_f64();
+        exp.mul_f64(factor)
+    }
+
+    /// The full backoff schedule of a call making `max_attempts` attempts
+    /// (so `max_attempts - 1` sleeps). Purely informational — handy for
+    /// asserting determinism and for capacity math.
+    pub fn schedule(&self) -> Vec<Duration> {
+        (1..self.max_attempts).map(|k| self.backoff(k)).collect()
+    }
+
+    /// Submits `queries` with retries under `budget`; answers come back
+    /// in submission order. See [`RetryPolicy::submit_with_retries_tagged`].
+    pub fn submit_with_retries(
+        &self,
+        svc: &QueryService,
+        queries: &[(VertexId, VertexId)],
+        opts: BatchOptions,
+        budget: Duration,
+    ) -> Result<Vec<bool>, ServeError> {
+        self.submit_with_retries_tagged(svc, queries, opts, budget)
+            .map(|(answers, _)| answers)
+    }
+
+    /// Submits `queries` with retries under `budget`, also reporting the
+    /// generation that answered (as [`BatchTicket::wait_tagged`]).
+    ///
+    /// Each attempt's batch deadline is the smaller of `opts.deadline`
+    /// and the budget remaining, every backoff sleep is likewise bounded
+    /// by the remainder, and an exhausted budget returns
+    /// [`ServeError::DeadlineExceeded`] — the only timeout the caller can
+    /// see. Transient rejections (overload, degradation, a per-attempt
+    /// deadline) retry until the attempt limit, whose last error is
+    /// returned verbatim.
+    ///
+    /// [`BatchTicket::wait_tagged`]: crate::BatchTicket::wait_tagged
+    pub fn submit_with_retries_tagged(
+        &self,
+        svc: &QueryService,
+        queries: &[(VertexId, VertexId)],
+        opts: BatchOptions,
+        budget: Duration,
+    ) -> Result<(Vec<bool>, u64), ServeError> {
+        assert!(self.max_attempts >= 1, "need at least one attempt");
+        let give_up = Instant::now() + budget;
+        let mut retries = 0u32;
+        loop {
+            let now = Instant::now();
+            if now >= give_up {
+                reach_obs::counter_add("serve.retry.budget_exhausted", 1);
+                return Err(ServeError::DeadlineExceeded);
+            }
+            let remaining = give_up - now;
+            reach_obs::counter_add("serve.retry.attempts", 1);
+            let mut eff = opts;
+            eff.deadline = Some(match opts.deadline {
+                Some(d) => d.min(remaining),
+                None => remaining,
+            });
+            let outcome = svc
+                .submit_batch_opts(queries, eff)
+                .and_then(|ticket| ticket.wait_tagged_timeout(remaining));
+            let err = match outcome {
+                Ok(tagged) => return Ok(tagged),
+                Err(e) => e,
+            };
+            if !retryable(&err) || retries + 1 >= self.max_attempts {
+                if retryable(&err) {
+                    reach_obs::counter_add("serve.retry.exhausted", 1);
+                }
+                return Err(err);
+            }
+            retries += 1;
+            let pause = self.backoff(retries).min(give_up - Instant::now());
+            reach_obs::counter_add("serve.retry.retries", 1);
+            reach_obs::record("serve.retry.backoff_ns", pause.as_nanos() as u64);
+            std::thread::sleep(pause);
+        }
+    }
+}
+
+/// Whether an error is transient (worth retrying). Deadline errors are
+/// transient *per attempt*: the caller's `opts.deadline` may be far
+/// tighter than the budget, so a later attempt can still succeed.
+fn retryable(err: &ServeError) -> bool {
+    matches!(
+        err,
+        ServeError::Overloaded { .. } | ServeError::Degraded { .. } | ServeError::DeadlineExceeded
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_seeded_capped_and_exponential() {
+        let p = RetryPolicy::new(7)
+            .with_backoff(Duration::from_millis(2), Duration::from_millis(12))
+            .with_jitter(0.0);
+        assert_eq!(p.backoff(1), Duration::from_millis(2));
+        assert_eq!(p.backoff(2), Duration::from_millis(4));
+        assert_eq!(p.backoff(3), Duration::from_millis(8));
+        assert_eq!(p.backoff(4), Duration::from_millis(12), "capped");
+        assert_eq!(
+            p.backoff(40),
+            Duration::from_millis(12),
+            "shift overflow capped"
+        );
+
+        let jittered = RetryPolicy::new(7).with_jitter(0.5);
+        assert_eq!(
+            jittered.schedule(),
+            RetryPolicy::new(7).with_jitter(0.5).schedule(),
+            "same seed ⇒ same schedule"
+        );
+        assert_ne!(
+            jittered.schedule(),
+            RetryPolicy::new(8).with_jitter(0.5).schedule(),
+            "different seeds decorrelate"
+        );
+        for (k, d) in jittered.schedule().into_iter().enumerate() {
+            let exp = jittered.base * (1 << k as u32);
+            assert!(
+                d <= exp && d >= exp.mul_f64(0.5 - 1e-9),
+                "jitter in [0.5, 1]·exp"
+            );
+        }
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(retryable(&ServeError::Overloaded {
+            shard: 0,
+            capacity: 1
+        }));
+        assert!(retryable(&ServeError::DeadlineExceeded));
+        assert!(retryable(&ServeError::Degraded {
+            tier: crate::DegradeTier::SheddingLow
+        }));
+        assert!(!retryable(&ServeError::ShuttingDown));
+        assert!(!retryable(&ServeError::InvalidVertex {
+            vertex: 1,
+            num_vertices: 1
+        }));
+        assert!(!retryable(&ServeError::SwapFailed { generation: 0 }));
+    }
+}

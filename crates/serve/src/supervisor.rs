@@ -1,0 +1,253 @@
+//! Worker supervision: heartbeats, crash detection, exactly-once
+//! requeue, and respawn.
+//!
+//! When a [`ResilienceConfig`] is set on the service, every worker runs
+//! under a supervisor thread:
+//!
+//! * each worker **registers** its shard, a heartbeat it bumps at every
+//!   queue poll, and an *in-flight slot* holding the sub-batch it is
+//!   currently computing;
+//! * the supervisor scans the registry every
+//!   [`check_interval`](SupervisorConfig::check_interval): a **dead**
+//!   worker (thread finished outside shutdown, or unwound on a real
+//!   panic) has its in-flight sub-batch harvested from the slot and
+//!   requeued at the *front* of its shard queue — the slot is taken
+//!   exactly once, and the dead thread provably never called
+//!   `finish_sub` for it, so the batch is answered exactly once — then a
+//!   fresh worker incarnation is spawned on the shard;
+//! * a **stalled** worker (alive, holding work or backed by a non-empty
+//!   queue, heartbeat older than
+//!   [`stall_timeout`](SupervisorConfig::stall_timeout)) is *retired*:
+//!   a replacement incarnation takes over the queue while the stalled
+//!   thread keeps exclusive ownership of its claimed sub-batch, finishes
+//!   it, and exits — again exactly once;
+//! * at shutdown the supervisor keeps recovering crashed workers until
+//!   every queue has drained and every incarnation has exited, so close
+//!   → drain → join holds even mid-fault-storm.
+//!
+//! Every respawn's detection latency lands in the recovery log
+//! ([`QueryService::recovery_log`](crate::QueryService::recovery_log))
+//! and the `serve.respawn.*` metrics. The double-finish guard in the
+//! batch state turns any violation of the exactly-once argument into a
+//! loud panic, which the chaos proptests lean on.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use reach_vcs::FaultRng;
+
+use crate::fault::ServeFaultPlan;
+use crate::service::SubBatch;
+
+/// Tuning knobs of the supervisor thread.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Registry scan cadence; also the workers' queue-poll interval (an
+    /// idle worker refreshes its heartbeat this often).
+    pub check_interval: Duration,
+    /// A busy worker whose heartbeat is older than this is declared
+    /// stalled and superseded by a replacement. Must exceed
+    /// `check_interval` by a comfortable margin.
+    pub stall_timeout: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            check_interval: Duration::from_millis(1),
+            stall_timeout: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Enables the resilience layer: supervised workers plus an optional
+/// fault-injection plan. With `fault_plan` inert
+/// ([`ServeFaultPlan::is_active`] false) this is the production
+/// configuration — supervision without chaos.
+#[derive(Clone, Debug)]
+pub struct ResilienceConfig {
+    /// The seeded fault schedule to inject (inert by default).
+    pub fault_plan: ServeFaultPlan,
+    /// Supervision cadence and stall threshold.
+    pub supervisor: SupervisorConfig,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            fault_plan: ServeFaultPlan::new(0),
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Supervision with the given fault plan and default cadence.
+    pub fn with_faults(plan: ServeFaultPlan) -> Self {
+        ResilienceConfig {
+            fault_plan: plan,
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+}
+
+/// How a supervised worker incarnation ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum WorkerExit {
+    /// Normal exit: queue closed and drained, or retired after a stall.
+    Drained,
+    /// Injected crash — the thread exits with its in-flight slot still
+    /// occupied for the supervisor to harvest.
+    Crashed,
+}
+
+/// One registered worker incarnation.
+pub(crate) struct WorkerSlot {
+    pub(crate) shard: usize,
+    /// Nanoseconds since [`Resilience::start`], bumped at every poll and
+    /// around compute.
+    pub(crate) heartbeat: Arc<AtomicU64>,
+    /// The sub-batch the incarnation currently owns, if any. Harvested
+    /// (taken) by the supervisor only once the thread is provably dead.
+    pub(crate) inflight: Arc<Mutex<Option<Arc<SubBatch>>>>,
+    /// Set by the supervisor when a replacement was spawned; the worker
+    /// finishes its current sub-batch and exits.
+    pub(crate) retired: Arc<AtomicBool>,
+    pub(crate) handle: JoinHandle<(WorkerExit, reach_obs::WorkerMetrics)>,
+}
+
+/// Shared state of the resilience layer, hung off the service's `Shared`.
+pub(crate) struct Resilience {
+    pub(crate) plan: ServeFaultPlan,
+    pub(crate) supervisor: SupervisorConfig,
+    /// Epoch of every heartbeat timestamp.
+    pub(crate) start: Instant,
+    pub(crate) registry: Mutex<Vec<WorkerSlot>>,
+    /// Next incarnation number, per shard.
+    pub(crate) incarnations: Vec<AtomicU64>,
+    /// Remaining injected-crash budget ([`ServeFaultPlan::max_crashes`]).
+    crashes_left: AtomicU64,
+    /// Remaining injected-stall budget ([`ServeFaultPlan::max_stalls`]).
+    stalls_left: AtomicU64,
+    /// The swap-failure coin stream (its own decorrelated sub-stream).
+    swap_rng: Mutex<FaultRng>,
+    /// Detection-to-recovery latency of every respawn, in ns.
+    pub(crate) recovery_ns: Mutex<Vec<u64>>,
+    /// Obs recordings of reaped worker incarnations, banked by the
+    /// supervisor and folded into the shutdown caller.
+    pub(crate) reaped_metrics: Mutex<Vec<reach_obs::WorkerMetrics>>,
+    /// Raised at shutdown; the supervisor drains and exits.
+    pub(crate) stop: AtomicBool,
+}
+
+/// Salt of the swap-failure stream (distinct from any worker salt, whose
+/// high half is a shard id well below this).
+const SWAP_STREAM_SALT: u64 = u64::MAX;
+
+impl Resilience {
+    pub(crate) fn new(cfg: ResilienceConfig, shards: usize) -> Self {
+        assert!(
+            cfg.supervisor.stall_timeout > cfg.supervisor.check_interval,
+            "stall_timeout must exceed check_interval, or idle workers look stalled"
+        );
+        let swap_rng = FaultRng::stream(cfg.fault_plan.seed, SWAP_STREAM_SALT);
+        Resilience {
+            crashes_left: AtomicU64::new(cfg.fault_plan.max_crashes),
+            stalls_left: AtomicU64::new(cfg.fault_plan.max_stalls),
+            plan: cfg.fault_plan,
+            supervisor: cfg.supervisor,
+            start: Instant::now(),
+            registry: Mutex::new(Vec::with_capacity(shards)),
+            incarnations: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            swap_rng: Mutex::new(swap_rng),
+            recovery_ns: Mutex::new(Vec::new()),
+            reaped_metrics: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Nanoseconds since service start — the heartbeat clock.
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Consumes one unit of the injected-crash budget, if any remains.
+    pub(crate) fn take_crash_budget(&self) -> bool {
+        take_budget(&self.crashes_left)
+    }
+
+    /// Consumes one unit of the injected-stall budget, if any remains.
+    pub(crate) fn take_stall_budget(&self) -> bool {
+        take_budget(&self.stalls_left)
+    }
+
+    /// Tosses the swap-failure coin for one install attempt.
+    pub(crate) fn draw_swap_failure(&self) -> bool {
+        self.plan.swap_fail_prob > 0.0
+            && self
+                .swap_rng
+                .lock()
+                .unwrap()
+                .chance(self.plan.swap_fail_prob)
+    }
+}
+
+fn take_budget(budget: &AtomicU64) -> bool {
+    budget
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |left| {
+            left.checked_sub(1)
+        })
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_deplete_exactly() {
+        let res = Resilience::new(
+            ResilienceConfig::with_faults(
+                ServeFaultPlan::new(1)
+                    .with_worker_crashes(1.0, 2)
+                    .with_worker_stalls(1.0, Duration::from_millis(1), 1),
+            ),
+            2,
+        );
+        assert!(res.take_crash_budget());
+        assert!(res.take_crash_budget());
+        assert!(!res.take_crash_budget(), "crash budget is exactly 2");
+        assert!(res.take_stall_budget());
+        assert!(!res.take_stall_budget(), "stall budget is exactly 1");
+    }
+
+    #[test]
+    fn swap_failure_draws_are_seeded() {
+        let draws = |seed| -> Vec<bool> {
+            let res = Resilience::new(
+                ResilienceConfig::with_faults(ServeFaultPlan::new(seed).with_swap_failures(0.5)),
+                1,
+            );
+            (0..32).map(|_| res.draw_swap_failure()).collect()
+        };
+        assert_eq!(draws(9), draws(9), "same seed ⇒ same swap-failure coin");
+        assert_ne!(draws(9), draws(10));
+        let inert = Resilience::new(ResilienceConfig::default(), 1);
+        assert!(!inert.draw_swap_failure(), "inert plans never fail a swap");
+    }
+
+    #[test]
+    #[should_panic(expected = "stall_timeout must exceed check_interval")]
+    fn degenerate_supervision_cadence_is_rejected() {
+        let cfg = ResilienceConfig {
+            fault_plan: ServeFaultPlan::new(0),
+            supervisor: SupervisorConfig {
+                check_interval: Duration::from_millis(5),
+                stall_timeout: Duration::from_millis(5),
+            },
+        };
+        Resilience::new(cfg, 1);
+    }
+}

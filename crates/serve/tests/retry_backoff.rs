@@ -1,0 +1,160 @@
+//! The retry layer's contract, pinned end-to-end: backoff schedules are
+//! a pure function of the policy seed; transient rejections (overload,
+//! degradation shed) are retried until the service recovers; and one
+//! deadline **budget** bounds the whole call — attempts and backoff
+//! sleeps included — so [`ServeError::DeadlineExceeded`] is the only
+//! timeout a caller can observe, after which the terminal accounting
+//! still balances.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use reach_serve::service::BatchOptions;
+use reach_serve::testing::closure_index;
+use reach_serve::{QueryService, RetryPolicy, ServeConfig, ServeError};
+
+fn diamond_service(queue_capacity: usize) -> (Arc<reach_index::ReachIndex>, QueryService) {
+    let idx = closure_index(&reach_graph::fixtures::diamond());
+    let mut cfg = ServeConfig::with_workers(1);
+    cfg.queue_capacity = queue_capacity;
+    let svc = QueryService::start(Arc::clone(&idx), cfg);
+    (idx, svc)
+}
+
+#[test]
+fn backoff_schedules_are_deterministic_per_seed() {
+    for seed in [0u64, 1, 42, 0xDEAD] {
+        let a = RetryPolicy::new(seed).with_attempts(8).schedule();
+        let b = RetryPolicy::new(seed).with_attempts(8).schedule();
+        assert_eq!(a, b, "same seed ⇒ identical schedule (seed {seed})");
+        assert_eq!(a.len(), 7, "max_attempts − 1 sleeps");
+    }
+    let a = RetryPolicy::new(1).with_attempts(8).schedule();
+    let b = RetryPolicy::new(2).with_attempts(8).schedule();
+    assert_ne!(a, b, "different seeds decorrelate the jitter");
+    // Jitter never pushes a sleep above the un-jittered exponential or
+    // below half of it (jitter fraction 0.5), and the cap binds.
+    let p = RetryPolicy::new(3)
+        .with_attempts(12)
+        .with_backoff(Duration::from_millis(1), Duration::from_millis(20));
+    for (k, d) in p.schedule().into_iter().enumerate() {
+        let exp = (p.base * (1u32 << k.min(16) as u32)).min(p.cap);
+        assert!(d <= exp, "retry {k}: {d:?} > {exp:?}");
+        assert!(d >= exp.mul_f64(0.5 - 1e-9), "retry {k}: {d:?} too small");
+    }
+}
+
+#[test]
+fn transient_overload_is_retried_to_success() {
+    let (idx, svc) = diamond_service(1);
+    svc.pause();
+    // Saturate the single queue so the retrying submission's first
+    // attempts see Overloaded.
+    let blocker = svc.submit_batch_async(&[(0, 3)], None).unwrap();
+    let policy = RetryPolicy::new(7)
+        .with_attempts(50)
+        .with_backoff(Duration::from_millis(2), Duration::from_millis(10));
+    let svc_ref = &svc;
+    let answers = std::thread::scope(|scope| {
+        let resumer = scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(25));
+            svc_ref.resume();
+        });
+        let got = policy
+            .submit_with_retries(
+                svc_ref,
+                &[(1, 2)],
+                BatchOptions::default(),
+                Duration::from_secs(10),
+            )
+            .expect("retries ride out the transient overload");
+        resumer.join().unwrap();
+        got
+    });
+    assert_eq!(answers, vec![idx.query(1, 2)]);
+    assert_eq!(blocker.wait().unwrap(), vec![idx.query(0, 3)]);
+    let stats = svc.shutdown();
+    assert!(stats.rejected_overload >= 1, "at least one attempt bounced");
+    assert_eq!(stats.answered, 2);
+    assert!(stats.is_balanced(), "failed attempts all accounted");
+}
+
+#[test]
+fn budget_bounds_the_whole_call_and_times_out_typed() {
+    let (_idx, svc) = diamond_service(1);
+    svc.pause();
+    let blocker = svc.submit_batch_async(&[(0, 3)], None).unwrap();
+    // Never resumed within the budget: every attempt sees Overloaded,
+    // backoff sleeps eat the budget, and the caller gets exactly
+    // DeadlineExceeded — not Overloaded, not a hang.
+    let policy = RetryPolicy::new(3)
+        .with_attempts(1_000)
+        .with_backoff(Duration::from_millis(1), Duration::from_millis(4));
+    let budget = Duration::from_millis(60);
+    let t0 = Instant::now();
+    let err = policy
+        .submit_with_retries(&svc, &[(1, 2)], BatchOptions::default(), budget)
+        .unwrap_err();
+    let elapsed = t0.elapsed();
+    assert_eq!(err, ServeError::DeadlineExceeded);
+    assert!(elapsed >= budget, "budget fully used before giving up");
+    assert!(
+        elapsed < budget + Duration::from_secs(2),
+        "budget overshoot is bounded by one attempt + one backoff"
+    );
+    svc.resume();
+    blocker.wait().unwrap();
+    let stats = svc.shutdown();
+    assert!(stats.rejected_overload >= 1);
+    assert!(stats.is_balanced());
+}
+
+#[test]
+fn permanent_errors_surface_immediately_without_retries() {
+    let (_idx, svc) = diamond_service(4);
+    let policy = RetryPolicy::new(0).with_attempts(100);
+    let t0 = Instant::now();
+    let err = policy
+        .submit_with_retries(
+            &svc,
+            &[(0, 99)],
+            BatchOptions::default(),
+            Duration::from_secs(30),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ServeError::InvalidVertex { vertex: 99, .. }));
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "no backoff loop for permanent errors"
+    );
+    let stats = svc.shutdown();
+    assert_eq!(stats.submitted, 1, "exactly one attempt");
+    assert!(stats.is_balanced());
+}
+
+#[test]
+fn attempt_limit_returns_the_last_transient_error() {
+    let (_idx, svc) = diamond_service(1);
+    svc.pause();
+    let blocker = svc.submit_batch_async(&[(0, 3)], None).unwrap();
+    let policy = RetryPolicy::new(1)
+        .with_attempts(3)
+        .with_backoff(Duration::from_millis(1), Duration::from_millis(2));
+    let err = policy
+        .submit_with_retries(
+            &svc,
+            &[(1, 2)],
+            BatchOptions::default(),
+            Duration::from_secs(10),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, ServeError::Overloaded { .. }),
+        "attempt exhaustion surfaces the transient cause, not a timeout"
+    );
+    svc.resume();
+    blocker.wait().unwrap();
+    let stats = svc.shutdown();
+    assert_eq!(stats.submitted, 4, "blocker + exactly max_attempts tries");
+    assert!(stats.is_balanced());
+}

@@ -322,16 +322,15 @@ mod tests {
             assert!((2..30).contains(&n));
             let pair = (0..n as u32, 0..n as u32).new_value(&mut runner);
             assert!((pair.0 as usize) < n && (pair.1 as usize) < n);
-            let v = crate::collection::vec((0..10u32, crate::bool::ANY), 0..7)
-                .new_value(&mut runner);
+            let v =
+                crate::collection::vec((0..10u32, crate::bool::ANY), 0..7).new_value(&mut runner);
             assert!(v.len() < 7);
         }
     }
 
     #[test]
     fn flat_map_threads_dependent_values() {
-        let strat = (2..20usize)
-            .prop_flat_map(|n| (0..n as u32).prop_map(move |x| (n, x)));
+        let strat = (2..20usize).prop_flat_map(|n| (0..n as u32).prop_map(move |x| (n, x)));
         let mut runner = TestRunner::deterministic("flat_map");
         for _ in 0..500 {
             let (n, x) = strat.new_value(&mut runner);

@@ -65,7 +65,6 @@ use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, MutexGuard};
 use std::time::Instant;
 
-use rand::{Rng, SeedableRng};
 use reach_graph::{DiGraph, VertexId};
 
 use crate::comm::{NetworkModel, RunStats};
@@ -808,7 +807,7 @@ impl<'g> Engine<'g> {
             } else {
                 None
             });
-        let mut rng = rand::rngs::StdRng::seed_from_u64(plan.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut rng = crate::fault::FaultRng::new(plan.seed ^ 0x9E37_79B9_7F4A_7C15);
         let mut pending_crashes: Vec<_> = plan.crashes().to_vec();
         pending_crashes.reverse(); // pop() yields earliest-superstep first
 
@@ -1045,7 +1044,7 @@ impl<'g> Engine<'g> {
                                 // sender and receiver bandwidth; only the
                                 // last delivers.
                                 let mut attempts = 1usize;
-                                while plan.drop_prob > 0.0 && rng.gen_bool(plan.drop_prob) {
+                                while plan.drop_prob > 0.0 && rng.chance(plan.drop_prob) {
                                     attempts += 1;
                                     if attempts > plan.max_retries {
                                         return Err(Halt::Err(EngineError::MessageLost {
@@ -1055,11 +1054,14 @@ impl<'g> Engine<'g> {
                                     }
                                 }
                                 stats.recovery.retransmits += attempts - 1;
-                                if plan.delay_prob > 0.0 && rng.gen_bool(plan.delay_prob) {
+                                if plan.delay_prob > 0.0 && rng.chance(plan.delay_prob) {
                                     // A straggler stalls the barrier; the
                                     // slowest one sets the stall for the
                                     // super-step.
-                                    straggle = straggle.max(rng.gen_range(1..=plan.max_delay));
+                                    straggle =
+                                        straggle
+                                            .max(rng.range_inclusive(1, plan.max_delay as u64)
+                                                as usize);
                                     stats.recovery.delayed_messages += 1;
                                 }
                                 node_bytes[from] += attempts * bytes;

@@ -22,6 +22,87 @@
 //! results under any recoverable fault schedule** — the property the
 //! DRL/DRLb fault tests pin down.
 
+/// The seeded draw stream behind every fault schedule in the workspace.
+///
+/// Extracted from the engine's fault loop so other layers (the serve-side
+/// `ServeFaultPlan` chaos machinery in `reach-serve`, retry jitter) can
+/// derive their own deterministic schedules from one seed. The
+/// generator and the draw semantics are bit-identical to the workspace
+/// `rand` shim's `StdRng` (`SplitMix64`, 53-bit `[0, 1)` doubles, Lemire
+/// debiased bounded sampling), so replacing shim call sites with
+/// `FaultRng` preserves every existing fault schedule exactly — the
+/// engine's bit-identical-under-faults tests pin that equivalence.
+#[derive(Clone, Debug)]
+pub struct FaultRng {
+    state: u64,
+}
+
+/// SplitMix64 finalizer: the avalanche applied to each advanced state.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultRng {
+    /// A stream whose every draw is determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultRng { state: seed }
+    }
+
+    /// An independent sub-stream of `seed`, keyed by `salt` — two salts
+    /// give two decorrelated streams of the same seed. Used to derive
+    /// per-worker / per-incarnation schedules from one plan seed.
+    pub fn stream(seed: u64, salt: u64) -> Self {
+        FaultRng::new(mix64(
+            seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+        ))
+    }
+
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`; `p` must lie in `[0, 1]`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "chance needs p in [0, 1]");
+        self.unit_f64() < p
+    }
+
+    /// Uniform draw from `[lo, hi]` (debiased, rejection-sampled).
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_inclusive called with an empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let bound = span + 1;
+        if bound == 1 {
+            return lo;
+        }
+        // Lemire's multiply-shift with rejection, mirroring the shim.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            if (m as u64) >= threshold {
+                return lo + (m >> 64) as u64;
+            }
+        }
+    }
+}
+
 /// One scheduled node crash.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CrashEvent {
@@ -271,6 +352,48 @@ impl RecoveryStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_rng_matches_the_workspace_rand_shim_bit_for_bit() {
+        // The engine's fault schedules were originally drawn through the
+        // rand shim; FaultRng must reproduce those streams exactly so the
+        // extraction cannot silently reschedule any existing fault plan.
+        use rand::{Rng, SeedableRng};
+        for seed in [0u64, 1, 0xdead_beef, u64::MAX] {
+            let mut ours = FaultRng::new(seed);
+            let mut shim = rand::rngs::StdRng::seed_from_u64(seed);
+            for i in 0..64 {
+                match i % 3 {
+                    0 => assert_eq!(ours.next_u64(), shim.gen::<u64>(), "u64 @ {seed}/{i}"),
+                    1 => assert_eq!(ours.chance(0.3), shim.gen_bool(0.3), "chance @ {seed}/{i}"),
+                    _ => assert_eq!(
+                        ours.range_inclusive(1, 7),
+                        shim.gen_range(1u64..=7),
+                        "range @ {seed}/{i}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_rng_streams_are_deterministic_and_decorrelated() {
+        let a: Vec<u64> = {
+            let mut r = FaultRng::stream(42, 7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = FaultRng::stream(42, 7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b, "same seed+salt ⇒ same stream");
+        let c: Vec<u64> = {
+            let mut r = FaultRng::stream(42, 8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c, "different salts diverge");
+        assert!(FaultRng::new(9).range_inclusive(3, 3) == 3);
+    }
 
     #[test]
     fn builder_sorts_crashes_and_reports_activity() {

@@ -43,5 +43,5 @@ pub mod partition;
 
 pub use comm::{CommStats, NetworkModel, RunStats};
 pub use engine::{Ctx, Engine, RunOutcome, VertexProgram};
-pub use fault::{CrashEvent, CrashReason, EngineError, FaultPlan, RecoveryStats};
+pub use fault::{CrashEvent, CrashReason, EngineError, FaultPlan, FaultRng, RecoveryStats};
 pub use partition::Partition;
