@@ -1,0 +1,281 @@
+//! Closed-loop load generator for the `reach-served` TCP front door.
+//!
+//! Starts an in-process [`reach_served::Server`] on an ephemeral
+//! loopback port over a DRLb index (built exactly as `serve_bench`
+//! builds one), then drives it with concurrent `WireClient`s running the
+//! deterministic workload mixes from `reach_datasets::workload`. Each
+//! client is closed-loop — one outstanding request, next sent when the
+//! response lands — so the recorded latency is *client-observed*: frame
+//! encode, socket, server framing and dispatch, batch computation, and
+//! the response trip, not just service-internal queueing.
+//!
+//! Every dataset/mix runs twice: a clean **baseline** and a **chaos**
+//! run with PR 6's seeded fault plan (worker crashes, stalls, a slow
+//! shard) injected under the live connections; chaos clients retry on
+//! the protocol's retryable error codes and the retry count is reported.
+//! Every answer, both modes, is checked against direct
+//! `ReachIndex::query` calls — a front door that changes an answer is a
+//! bug, not a result.
+//!
+//! Output lands in `BENCH_wire.json` at the repo root (plus the usual
+//! stdout/CSV report). Honors `REACH_BENCH_SCALE` and
+//! `REACH_BENCH_DATASETS`; `--smoke` caps the run at one dataset, fewer
+//! queries, and (unless overridden) scale 0.05 so CI finishes in
+//! seconds.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use reach_bench::{dataset_filter, scaled, Report};
+use reach_core::BatchParams;
+use reach_datasets::{standard_mixes, workload};
+use reach_graph::{OrderAssignment, OrderKind, VertexId};
+use reach_index::ReachIndex;
+use reach_serve::{ResilienceConfig, ServeConfig, ServeFaultPlan, SupervisorConfig};
+use reach_served::server::{ServedConfig, Server};
+use reach_served::{wire, Response, WireClient};
+use reach_vcs::NetworkModel;
+
+const SIM_NODES: usize = 8;
+const WORKERS: usize = 4;
+const CLIENTS: usize = 4;
+const BATCH: usize = 64;
+const WORKLOAD_SEED: u64 = 0x717e;
+
+struct Run {
+    dataset: &'static str,
+    mix: &'static str,
+    mode: &'static str,
+    clients: usize,
+    queries: usize,
+    qps: f64,
+    p50_latency_us: f64,
+    p99_latency_us: f64,
+    retries: u64,
+    answers_identical: bool,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke && std::env::var("REACH_BENCH_SCALE").is_err() {
+        std::env::set_var("REACH_BENCH_SCALE", "0.05");
+    }
+    let queries_per_mix = if smoke { 2_000 } else { 20_000 };
+    let max_datasets = if smoke { 1 } else { 2 };
+    let filter = dataset_filter();
+    let mut report = Report::new(
+        "wire",
+        &[
+            "Name", "Mix", "Mode", "Clients", "QPS", "p50_us", "p99_us", "Retries",
+        ],
+    );
+    let mut runs: Vec<Run> = Vec::new();
+
+    let mut used = 0usize;
+    for spec in reach_datasets::mediums() {
+        if let Some(f) = &filter {
+            if !f.contains(&spec.name.to_string()) {
+                continue;
+            }
+        }
+        if used == max_datasets {
+            break;
+        }
+        used += 1;
+        let spec = scaled(&spec);
+        let g = spec.generate();
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let (idx, _stats) = reach_drl_dist::drlb::run_configured(
+            &g,
+            &ord,
+            BatchParams::default(),
+            SIM_NODES,
+            NetworkModel::default(),
+            None,
+            None,
+        )
+        .expect("fault-free build");
+        let idx = Arc::new(idx);
+
+        for (mix_name, mix) in standard_mixes() {
+            let queries = workload(&g, mix, queries_per_mix, WORKLOAD_SEED);
+            let expect: Vec<bool> = queries.iter().map(|&(s, t)| idx.query(s, t)).collect();
+            for mode in ["baseline", "chaos"] {
+                let m = drive(&idx, &queries, &expect, mode == "chaos");
+                assert!(
+                    m.answers_identical,
+                    "{} {mix_name} ({mode}): wire answers differ from direct query",
+                    spec.name
+                );
+                report.row(vec![
+                    spec.name.into(),
+                    mix_name.into(),
+                    mode.into(),
+                    CLIENTS.to_string(),
+                    format!("{:.0}", m.qps),
+                    format!("{:.1}", m.p50_latency_us),
+                    format!("{:.1}", m.p99_latency_us),
+                    m.retries.to_string(),
+                ]);
+                runs.push(Run {
+                    dataset: spec.name,
+                    mix: mix_name,
+                    mode,
+                    ..m
+                });
+            }
+        }
+    }
+
+    let json_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_wire.json");
+    std::fs::write(&json_path, render_json(smoke, &runs)).expect("write bench json");
+    println!("wrote {}", json_path.display());
+    report.finish();
+}
+
+/// The recoverable storm the chaos mode serves under — small bounded
+/// budgets so a smoke run still finishes fast, but every fault class of
+/// `ServeFaultPlan` is represented.
+fn storm() -> ResilienceConfig {
+    ResilienceConfig {
+        fault_plan: ServeFaultPlan::new(0x57a6)
+            .with_worker_crashes(0.01, 4)
+            .with_worker_stalls(0.01, Duration::from_millis(2), 4)
+            .with_slow_shard(0, Duration::from_micros(200)),
+        supervisor: SupervisorConfig {
+            check_interval: Duration::from_millis(1),
+            stall_timeout: Duration::from_millis(10),
+        },
+    }
+}
+
+/// One measured run: a live server on loopback, `CLIENTS` closed-loop
+/// wire clients splitting the workload round-robin, client-observed
+/// latency per batch round trip.
+fn drive(
+    idx: &Arc<ReachIndex>,
+    queries: &[(VertexId, VertexId)],
+    expect: &[bool],
+    chaos: bool,
+) -> Run {
+    let mut serve = ServeConfig::with_workers(WORKERS);
+    if chaos {
+        serve = serve.with_resilience(storm());
+    }
+    let server = Server::start(
+        Arc::clone(idx),
+        ServedConfig {
+            serve,
+            ..ServedConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let latencies = Mutex::new(Vec::with_capacity(queries.len() / BATCH + CLIENTS));
+    let retries = AtomicU64::new(0);
+    let mismatches = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for me in 0..CLIENTS {
+            let latencies = &latencies;
+            let retries = &retries;
+            let mismatches = &mismatches;
+            scope.spawn(move || {
+                let mut client = WireClient::connect(addr).expect("connect");
+                client
+                    .set_recv_timeout(Some(Duration::from_secs(60)))
+                    .expect("set timeout");
+                let mut local: Vec<f64> = Vec::new();
+                // Client `me` owns every CLIENTS-th batch of the stream.
+                for (b, chunk) in queries.chunks(BATCH).enumerate() {
+                    if b % CLIENTS != me {
+                        continue;
+                    }
+                    let sent = Instant::now();
+                    let answers = loop {
+                        match client
+                            .call_query(chunk, 0, wire::priority::NORMAL)
+                            .expect("wire round trip")
+                        {
+                            Response::QueryOk { answers, .. } => break answers,
+                            Response::Error { code, message, .. } => {
+                                let code = code.expect("typed error code");
+                                assert!(
+                                    code.is_retryable(),
+                                    "non-retryable wire error under recoverable faults: \
+                                     {code:?}: {message}"
+                                );
+                                retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_micros(500));
+                            }
+                            other => panic!("expected QUERY_OK or ERROR, got {other:?}"),
+                        }
+                    };
+                    // Latency includes any retries — that is what the
+                    // client observed for this batch.
+                    local.push(sent.elapsed().as_secs_f64());
+                    let at = b * BATCH;
+                    if answers != expect[at..at + chunk.len()] {
+                        mismatches.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                latencies.lock().unwrap().append(&mut local);
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let mut latencies = latencies.into_inner().unwrap();
+    latencies.sort_by(f64::total_cmp);
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p).round() as usize] * 1e6;
+    Run {
+        dataset: "",
+        mix: "",
+        mode: "",
+        clients: CLIENTS,
+        queries: queries.len(),
+        qps: queries.len() as f64 / wall,
+        p50_latency_us: pct(0.50),
+        p99_latency_us: pct(0.99),
+        retries: retries.into_inner(),
+        answers_identical: mismatches.into_inner() == 0,
+    }
+}
+
+/// Hand-rolled JSON (the workspace deliberately carries no serde).
+fn render_json(smoke: bool, runs: &[Run]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"wire\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", reach_bench::scale()));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    out.push_str(&format!("  \"clients\": {CLIENTS},\n"));
+    out.push_str(&format!("  \"batch_size\": {BATCH},\n"));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"mix\": \"{}\", \"mode\": \"{}\", \
+             \"clients\": {}, \"queries\": {}, \"qps\": {:.1}, \
+             \"p50_latency_us\": {:.2}, \"p99_latency_us\": {:.2}, \
+             \"retries\": {}, \"answers_identical\": {}}}{}\n",
+            r.dataset,
+            r.mix,
+            r.mode,
+            r.clients,
+            r.queries,
+            r.qps,
+            r.p50_latency_us,
+            r.p99_latency_us,
+            r.retries,
+            r.answers_identical,
+            if i + 1 == runs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

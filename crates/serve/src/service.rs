@@ -916,6 +916,17 @@ impl QueryService {
         self.shared.epochs.generation()
     }
 
+    /// The currently served index together with its generation, read from
+    /// **one** epoch load — unlike calling [`QueryService::index`] and
+    /// [`QueryService::generation`] separately, the pair cannot straddle a
+    /// concurrent [`QueryService::swap_index`]. The wire server's witness
+    /// path snapshots its epoch through this so every witness response is
+    /// internally consistent and correctly generation-tagged.
+    pub fn index_tagged(&self) -> (Arc<ReachIndex>, u64) {
+        let epoch = self.shared.epochs.load();
+        (Arc::clone(&epoch.value().index), epoch.generation())
+    }
+
     /// Atomically replaces the served index with `index`, rebuilt into a
     /// fresh sharded label store under the service's partition, and
     /// returns the new generation number.

@@ -1,0 +1,297 @@
+//! A blocking wire client for `reach-served` — the reference
+//! implementation of `docs/PROTOCOL.md`'s client side, used by the
+//! integration suites and the `wire_bench` load generator.
+//!
+//! The client is deliberately low-level: [`WireClient::send_query`] and
+//! friends write a frame and return its `request_id` without waiting, so
+//! a caller can keep a pipeline of outstanding requests per connection;
+//! [`WireClient::recv`] blocks for the next response frame (responses
+//! arrive in request order per connection, but correlate by id — that is
+//! the protocol's contract, not an ordering promise). The `call_*`
+//! helpers wrap a one-request/one-response exchange for convenience.
+
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use reach_graph::VertexId;
+
+use crate::wire::{self, opcode, ErrorCode, Frame, FrameReader, Polled, ReadError, WireStats};
+
+/// A decoded response frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// QUERY answered: the generation that answered and one bool per
+    /// submitted pair, in submission order.
+    QueryOk {
+        /// Index generation the answers were computed from.
+        generation: u64,
+        /// Reachability answers, in submission order.
+        answers: Vec<bool>,
+    },
+    /// WITNESS answered: `Some(hub)` per reachable pair, `None` per
+    /// unreachable one.
+    WitnessOk {
+        /// Index generation the witnesses were computed from.
+        generation: u64,
+        /// Witness hubs, in submission order.
+        witnesses: Vec<Option<VertexId>>,
+    },
+    /// RELOAD installed; the new serving generation.
+    ReloadOk {
+        /// Generation now being served.
+        generation: u64,
+    },
+    /// DRAIN acknowledged; the server stops admitting new work.
+    DrainOk,
+    /// PING answered.
+    Pong,
+    /// STATS answered.
+    StatsOk(WireStats),
+    /// Typed failure. `code` is `None` when the server sent a code this
+    /// build does not know (`raw_code` always carries the wire value).
+    Error {
+        /// The wire error code, decoded when known to this build.
+        code: Option<ErrorCode>,
+        /// The raw `u16` from the wire.
+        raw_code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Client-side failure of a wire exchange.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (includes the server closing mid-response).
+    Io(std::io::Error),
+    /// The peer sent bytes that do not parse as a protocol frame.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a `reach-served` server.
+pub struct WireClient {
+    stream: TcpStream,
+    reader: FrameReader,
+    next_id: u64,
+}
+
+impl WireClient {
+    /// Connects and disables Nagle (the protocol is request/response).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(WireClient {
+            stream,
+            reader: FrameReader::new(wire::DEFAULT_MAX_FRAME),
+            next_id: 1,
+        })
+    }
+
+    /// Bounds every subsequent [`WireClient::recv`] wait; `None` blocks
+    /// indefinitely.
+    pub fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn send(&mut self, op: u8, payload: Vec<u8>) -> std::io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes = Frame::new(op, id, payload).encode();
+        self.stream.write_all(&bytes)?;
+        self.stream.flush()?;
+        Ok(id)
+    }
+
+    /// Writes a QUERY frame (deadline 0 = none; `priority` per
+    /// [`wire::priority`]) and returns its request id without waiting.
+    pub fn send_query(
+        &mut self,
+        pairs: &[(VertexId, VertexId)],
+        deadline_ms: u32,
+        priority: u8,
+    ) -> std::io::Result<u64> {
+        let payload = wire::encode_batch(&wire::BatchRequest {
+            deadline_ms,
+            priority,
+            pairs: pairs.to_vec(),
+        });
+        self.send(opcode::QUERY, payload)
+    }
+
+    /// Writes a WITNESS frame and returns its request id.
+    pub fn send_witness(
+        &mut self,
+        pairs: &[(VertexId, VertexId)],
+        deadline_ms: u32,
+        priority: u8,
+    ) -> std::io::Result<u64> {
+        let payload = wire::encode_batch(&wire::BatchRequest {
+            deadline_ms,
+            priority,
+            pairs: pairs.to_vec(),
+        });
+        self.send(opcode::WITNESS, payload)
+    }
+
+    /// Writes a RELOAD frame (`""` reloads the server's startup path).
+    pub fn send_reload(&mut self, path: &str) -> std::io::Result<u64> {
+        self.send(opcode::RELOAD, wire::encode_reload(path))
+    }
+
+    /// Writes a DRAIN frame.
+    pub fn send_drain(&mut self) -> std::io::Result<u64> {
+        self.send(opcode::DRAIN, Vec::new())
+    }
+
+    /// Writes a PING frame.
+    pub fn send_ping(&mut self) -> std::io::Result<u64> {
+        self.send(opcode::PING, Vec::new())
+    }
+
+    /// Writes a STATS frame.
+    pub fn send_stats(&mut self) -> std::io::Result<u64> {
+        self.send(opcode::STATS, Vec::new())
+    }
+
+    /// Blocks for the next response frame and decodes it, returning
+    /// `(request_id, response)`.
+    pub fn recv(&mut self) -> Result<(u64, Response), ClientError> {
+        match self.reader.poll(&mut self.stream) {
+            Ok(Polled::Frame(frame)) => decode_response(frame),
+            // With no read timeout set this cannot occur; with one, a
+            // timed-out wait surfaces as an Io error to the caller (the
+            // partial frame stays buffered — recv may simply be retried).
+            Ok(Polled::Pending) => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "timed out waiting for a response frame",
+            ))),
+            Err(ReadError::Eof { mid_frame }) => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                if mid_frame {
+                    "server closed the connection mid-frame"
+                } else {
+                    "server closed the connection"
+                },
+            ))),
+            Err(ReadError::Fatal { code, .. }) => Err(ClientError::Protocol(format!(
+                "unparseable response frame: {code:?}"
+            ))),
+            Err(ReadError::Io(e)) => Err(ClientError::Io(e)),
+        }
+    }
+
+    /// One QUERY round trip: send, then receive its response (panics on
+    /// a cross-matched id, which would be a server bug).
+    pub fn call_query(
+        &mut self,
+        pairs: &[(VertexId, VertexId)],
+        deadline_ms: u32,
+        priority: u8,
+    ) -> Result<Response, ClientError> {
+        let id = self.send_query(pairs, deadline_ms, priority)?;
+        self.recv_for(id)
+    }
+
+    /// One WITNESS round trip.
+    pub fn call_witness(
+        &mut self,
+        pairs: &[(VertexId, VertexId)],
+    ) -> Result<Response, ClientError> {
+        let id = self.send_witness(pairs, 0, wire::priority::NORMAL)?;
+        self.recv_for(id)
+    }
+
+    /// One RELOAD round trip.
+    pub fn call_reload(&mut self, path: &str) -> Result<Response, ClientError> {
+        let id = self.send_reload(path)?;
+        self.recv_for(id)
+    }
+
+    /// One DRAIN round trip.
+    pub fn call_drain(&mut self) -> Result<Response, ClientError> {
+        let id = self.send_drain()?;
+        self.recv_for(id)
+    }
+
+    /// One PING round trip.
+    pub fn call_ping(&mut self) -> Result<Response, ClientError> {
+        let id = self.send_ping()?;
+        self.recv_for(id)
+    }
+
+    /// One STATS round trip.
+    pub fn call_stats(&mut self) -> Result<Response, ClientError> {
+        let id = self.send_stats()?;
+        self.recv_for(id)
+    }
+
+    /// Receives until the response for `id` arrives, discarding earlier
+    /// responses (useful after abandoning pipelined requests).
+    pub fn recv_for(&mut self, id: u64) -> Result<Response, ClientError> {
+        loop {
+            let (got, resp) = self.recv()?;
+            if got == id {
+                return Ok(resp);
+            }
+        }
+    }
+}
+
+/// Decodes a response frame into a [`Response`].
+fn decode_response(frame: Frame) -> Result<(u64, Response), ClientError> {
+    let bad = |e: wire::PayloadError| ClientError::Protocol(format!("{}: {}", frame.opcode, e.0));
+    let resp = match frame.opcode {
+        opcode::QUERY_OK => {
+            let (generation, answers) = wire::decode_query_ok(&frame.payload).map_err(bad)?;
+            Response::QueryOk {
+                generation,
+                answers,
+            }
+        }
+        opcode::WITNESS_OK => {
+            let (generation, witnesses) = wire::decode_witness_ok(&frame.payload).map_err(bad)?;
+            Response::WitnessOk {
+                generation,
+                witnesses,
+            }
+        }
+        opcode::RELOAD_OK => Response::ReloadOk {
+            generation: wire::decode_reload_ok(&frame.payload).map_err(bad)?,
+        },
+        opcode::DRAIN_OK => Response::DrainOk,
+        opcode::PONG => Response::Pong,
+        opcode::STATS_OK => Response::StatsOk(wire::decode_stats_ok(&frame.payload).map_err(bad)?),
+        opcode::ERROR => {
+            let (raw_code, code, message) = wire::decode_error(&frame.payload).map_err(bad)?;
+            Response::Error {
+                code,
+                raw_code,
+                message,
+            }
+        }
+        other => {
+            return Err(ClientError::Protocol(format!(
+                "unknown response opcode 0x{other:02x}"
+            )))
+        }
+    };
+    Ok((frame.request_id, resp))
+}

@@ -1,0 +1,47 @@
+//! `reach-served` — the network front door of the reachability query
+//! service: a length-prefixed binary protocol over TCP in front of
+//! [`reach_serve::QueryService`].
+//!
+//! The paper's distributed labeling earns its keep only when queries
+//! arrive over a wire; this crate is that wire. It adds, on top of the
+//! in-process serving layer:
+//!
+//! * **A binary protocol** ([`wire`]) — 14-byte header + length-prefixed
+//!   payload, opcodes for reachability batches, witness batches, index
+//!   reload, graceful drain, ping, and stats; typed error codes split
+//!   into recoverable and connection-fatal classes. The normative spec
+//!   is `docs/PROTOCOL.md` — complete enough to implement an
+//!   independent client against.
+//! * **Client multiplexing onto the batch machinery** ([`server`]) —
+//!   each connection pipelines frames; reachability batches funnel into
+//!   [`reach_serve::QueryService::submit_batch_opts`] and their
+//!   [`reach_serve::BatchTicket`]s complete concurrently across
+//!   connections, while a single writer thread per connection keeps the
+//!   socket uncorrupted.
+//! * **Per-client quotas** ([`quota`]) — an in-flight window, a
+//!   per-frame batch cap, and a query-rate token bucket, all enforced
+//!   before the service's shared admission queues are touched.
+//! * **Graceful drain** — SIGTERM ([`shutdown`]), a wire `DRAIN` frame,
+//!   or [`server::Server::drain`] stop admission, finish every in-flight
+//!   batch, and end with the serving ledger asserted.
+//! * **Wire-triggered hot reload** — a `RELOAD` frame loads a `.ridx`
+//!   file and installs it through the generation-tagged
+//!   [`reach_serve::QueryService::try_swap_index`] path; every response
+//!   carries the generation that answered it.
+//!
+//! The load harness lives in `crates/bench/src/bin/wire_bench.rs`
+//! (client-observed latency histograms → `BENCH_wire.json`); the
+//! operator runbook is `docs/OPERATIONS.md`.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod quota;
+pub mod server;
+pub mod shutdown;
+pub mod wire;
+
+pub use client::{ClientError, Response, WireClient};
+pub use quota::QuotaConfig;
+pub use server::{ServedConfig, Server};
+pub use wire::{ErrorCode, Frame, WireStats};

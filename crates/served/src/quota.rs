@@ -1,0 +1,91 @@
+//! Per-client quotas, layered *in front of* the service's admission
+//! control: a connection that exhausts its in-flight window or its
+//! query-rate bucket is told so with
+//! [`ErrorCode::QuotaExceeded`](crate::wire::ErrorCode::QuotaExceeded)
+//! before its batch ever touches a shard queue — one greedy client
+//! cannot monopolize the bounded queues that every connection shares.
+
+use std::time::Instant;
+
+/// The quota knobs applied to every connection (see
+/// [`ServedConfig`](crate::server::ServedConfig)).
+#[derive(Clone, Copy, Debug)]
+pub struct QuotaConfig {
+    /// Maximum un-responded QUERY frames per connection; further queries
+    /// are rejected until responses drain. Must be ≥ 1.
+    pub max_inflight: u32,
+    /// Maximum `(s, t)` pairs per QUERY/WITNESS frame.
+    pub max_batch: u32,
+    /// Sustained queries-per-second budget per connection, enforced by a
+    /// token bucket with a burst of one second's worth of tokens;
+    /// `None` disables rate limiting.
+    pub queries_per_sec: Option<u32>,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> Self {
+        QuotaConfig {
+            max_inflight: 64,
+            max_batch: 4096,
+            queries_per_sec: None,
+        }
+    }
+}
+
+/// Token-bucket rate limiter: `rate` tokens accrue per second up to
+/// `burst`; a batch of `n` queries takes `n` tokens or is rejected.
+/// Owned by one connection's reader thread — no synchronization.
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    refilled: Instant,
+}
+
+impl TokenBucket {
+    /// A full bucket accruing `rate` tokens/second with burst `rate`.
+    pub fn new(rate: u32) -> TokenBucket {
+        let rate = f64::from(rate.max(1));
+        TokenBucket {
+            rate,
+            burst: rate,
+            tokens: rate,
+            refilled: Instant::now(),
+        }
+    }
+
+    /// Takes `n` tokens if available after refill; `false` rejects.
+    pub fn try_take(&mut self, n: u32) -> bool {
+        let now = Instant::now();
+        self.tokens =
+            (self.tokens + self.rate * (now - self.refilled).as_secs_f64()).min(self.burst);
+        self.refilled = now;
+        let n = f64::from(n);
+        if self.tokens >= n {
+            self.tokens -= n;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_enforces_burst_then_refills() {
+        let mut b = TokenBucket::new(100);
+        // The initial burst is exactly one second's budget.
+        assert!(b.try_take(100));
+        assert!(!b.try_take(1));
+        // Refill accrues with wall time.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(b.try_take(1));
+        // A request larger than the burst can never pass.
+        let mut b = TokenBucket::new(10);
+        assert!(!b.try_take(11));
+        assert!(b.try_take(10));
+    }
+}

@@ -1,0 +1,62 @@
+//! SIGTERM/SIGINT → drain-flag bridge for the `reach-served` binary.
+//!
+//! The workspace carries no external crates, so this is a minimal raw
+//! FFI binding to `signal(2)`: the handler only sets an atomic flag, and
+//! the binary's main loop polls [`termination_requested`] and turns it
+//! into a [`Server::drain`](crate::server::Server::drain) — all the
+//! actual work happens on ordinary threads, never in the handler.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler; never cleared.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    /// `SIGINT` on every unix this builds on.
+    pub const SIGINT: i32 = 2;
+    /// `SIGTERM` on every unix this builds on.
+    pub const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        fn raise(signum: i32) -> i32;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        super::TERM.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+
+    pub fn raise_term() {
+        unsafe {
+            raise(SIGTERM);
+        }
+    }
+}
+
+/// Installs the termination handler for SIGTERM and SIGINT. A no-op on
+/// non-unix targets (where only wire DRAIN triggers a graceful drain).
+pub fn install() {
+    #[cfg(unix)]
+    imp::install();
+}
+
+/// Whether a termination signal has been received since [`install`].
+pub fn termination_requested() -> bool {
+    TERM.load(Ordering::SeqCst)
+}
+
+/// Sends this process a SIGTERM (unix only; no-op elsewhere) — exists so
+/// the lifecycle test can exercise the real signal path in-process.
+pub fn raise_term_for_test() {
+    #[cfg(unix)]
+    imp::raise_term();
+}

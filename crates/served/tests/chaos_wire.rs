@@ -1,0 +1,201 @@
+//! Chaos over the wire: PR 6's fault-injection machinery
+//! ([`ServeFaultPlan`], supervised recovery) running underneath live TCP
+//! connections. Worker crashes, stalls, slow shards, and swap-install
+//! failures must stay invisible at the protocol layer except as typed
+//! *retryable* errors — clients that retry on [`ErrorCode::is_retryable`]
+//! always converge to answers matching the pinned generation's index,
+//! and the serving ledger still balances at shutdown.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use reach_index::{storage, ReachIndex};
+use reach_serve::testing::closure_index;
+use reach_serve::{ResilienceConfig, ServeConfig, ServeFaultPlan, SupervisorConfig};
+use reach_served::server::ServedConfig;
+use reach_served::wire::{self, ErrorCode};
+use reach_served::{Response, WireClient};
+
+/// A supervisor tuned for test latencies: detect within ~10 ms.
+fn fast_supervisor() -> SupervisorConfig {
+    SupervisorConfig {
+        check_interval: Duration::from_millis(1),
+        stall_timeout: Duration::from_millis(10),
+    }
+}
+
+/// One QUERY round trip with client-side retries on retryable codes.
+/// Panics when the budget is exhausted or a non-retryable error arrives.
+fn query_with_retries(client: &mut WireClient, pairs: &[(u32, u32)]) -> (u64, Vec<bool>) {
+    for attempt in 0..200 {
+        match client
+            .call_query(pairs, 0, wire::priority::NORMAL)
+            .expect("wire stays healthy under chaos")
+        {
+            Response::QueryOk {
+                generation,
+                answers,
+            } => return (generation, answers),
+            Response::Error { code, message, .. } => {
+                let code = code.expect("typed code");
+                assert!(
+                    code.is_retryable(),
+                    "non-retryable error under recoverable chaos: {code:?}: {message}"
+                );
+                std::thread::sleep(Duration::from_millis(1 + attempt / 10));
+            }
+            other => panic!("expected QUERY_OK or ERROR, got {other:?}"),
+        }
+    }
+    panic!("retry budget exhausted — the service never recovered");
+}
+
+#[test]
+fn crashes_and_stalls_stay_invisible_through_the_wire() {
+    let (g, idx) = common::fixture();
+    let serve = ServeConfig::with_workers(2).with_resilience(ResilienceConfig {
+        fault_plan: ServeFaultPlan::new(11)
+            .with_worker_crashes(0.05, 6)
+            .with_worker_stalls(0.05, Duration::from_millis(5), 6)
+            .with_slow_shard(0, Duration::from_millis(1)),
+        supervisor: fast_supervisor(),
+    });
+    let server = common::start(
+        Arc::clone(&idx),
+        ServedConfig {
+            serve,
+            ..ServedConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    // Three concurrent clients, each verifying every answer against the
+    // single (never swapped) generation-0 index.
+    std::thread::scope(|scope| {
+        for me in 0..3u64 {
+            let g = &g;
+            let idx = &idx;
+            scope.spawn(move || {
+                let mut client = WireClient::connect(addr).expect("connect");
+                client
+                    .set_recv_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                for round in 0..30 {
+                    let pairs = common::batch(g, 8, 1000 * me + round);
+                    let (generation, answers) = query_with_retries(&mut client, &pairs);
+                    assert_eq!(generation, 0, "no swaps in this run");
+                    for (&(s, t), &got) in pairs.iter().zip(&answers) {
+                        assert_eq!(got, idx.query(s, t), "chaos answer for ({s},{t})");
+                    }
+                }
+            });
+        }
+    });
+
+    // `QueryService::shutdown` (inside) asserts the exactly-once ledger.
+    let stats = server.shutdown();
+    assert!(stats.answered >= 3 * 30, "every batch was answered");
+    assert!(stats.is_balanced());
+}
+
+#[test]
+fn wire_reloads_race_queries_under_swap_failure_injection() {
+    let g = reach_datasets::generators::hierarchy(60, 220, 0.9, 21);
+    let slices = reach_datasets::edge_fraction_slices(&g, 2, 5);
+    let indices: Vec<Arc<ReachIndex>> = slices.iter().map(closure_index).collect();
+    let paths: Vec<_> = (0..indices.len())
+        .map(|i| common::temp_index_path(&format!("chaos-{i}")))
+        .collect();
+    for (idx, path) in indices.iter().zip(&paths) {
+        storage::save_index(idx, path).expect("save slice index");
+    }
+
+    // Half of all swap installs fail by injection; a failed install must
+    // surface as a typed SWAP_FAILED and leave the old generation
+    // serving.
+    let serve = ServeConfig::with_workers(2).with_resilience(ResilienceConfig {
+        fault_plan: ServeFaultPlan::new(33).with_swap_failures(0.5),
+        supervisor: fast_supervisor(),
+    });
+    let server = common::start(
+        Arc::clone(&indices[0]),
+        ServedConfig {
+            serve,
+            reload_path: Some(paths[0].clone()),
+            ..ServedConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    const RELOADS: u64 = 6;
+
+    std::thread::scope(|scope| {
+        // Reloader: cycle through the slice files, retrying each install
+        // until it lands. Generation g is therefore served by
+        // indices[g % 2] — the same mapping the in-process swap harness
+        // pins down.
+        scope.spawn(|| {
+            let mut client = WireClient::connect(addr).expect("connect reloader");
+            client
+                .set_recv_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            for next in 1..=RELOADS {
+                let path = paths[(next % 2) as usize].to_str().unwrap();
+                loop {
+                    match client.call_reload(path).expect("reload round trip") {
+                        Response::ReloadOk { generation } => {
+                            assert_eq!(generation, next, "installs are strictly sequential");
+                            break;
+                        }
+                        Response::Error { code, .. } => {
+                            assert_eq!(
+                                code,
+                                Some(ErrorCode::SwapFailed),
+                                "only injected install failures are expected"
+                            );
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        other => panic!("expected RELOAD_OK or ERROR, got {other:?}"),
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+
+        // Queriers: race the reloads and hold every answer to the index
+        // of the generation that produced it.
+        for me in 0..2u64 {
+            let g = &g;
+            let indices = &indices;
+            scope.spawn(move || {
+                let mut client = WireClient::connect(addr).expect("connect querier");
+                client
+                    .set_recv_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                for round in 0..40 {
+                    let pairs = common::batch(g, 8, 7000 * me + round);
+                    let (generation, answers) = query_with_retries(&mut client, &pairs);
+                    let expect = &indices[(generation % 2) as usize];
+                    for (&(s, t), &got) in pairs.iter().zip(&answers) {
+                        assert_eq!(
+                            got,
+                            expect.query(s, t),
+                            "q({s},{t}) disagrees with generation {generation}'s index"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = server.shutdown();
+    assert_eq!(stats.swaps, RELOADS, "every reload eventually installed");
+    assert!(
+        stats.swap_failures > 0,
+        "the 50% failure injection fired at least once across retries"
+    );
+    for path in &paths {
+        let _ = std::fs::remove_file(path);
+    }
+}

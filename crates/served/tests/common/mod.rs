@@ -1,0 +1,94 @@
+//! Shared fixtures for the `reach-served` integration suites: a small
+//! hierarchy graph with a correct-by-construction closure index, a
+//! server started on an ephemeral loopback port, and raw-socket frame
+//! helpers for the protocol-robustness tests (which must be able to send
+//! bytes a well-behaved `WireClient` never would).
+#![allow(dead_code)]
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use reach_graph::DiGraph;
+use reach_index::ReachIndex;
+use reach_serve::testing::closure_index;
+use reach_served::server::{ServedConfig, Server};
+use reach_served::wire::{Frame, FrameReader, Polled, ReadError};
+
+/// The standard test graph: deep enough that reachability answers are a
+/// mix of true and false, small enough that closure indices are instant.
+pub fn fixture() -> (DiGraph, Arc<ReachIndex>) {
+    let g = reach_datasets::generators::hierarchy(40, 120, 0.9, 77);
+    let idx = closure_index(&g);
+    (g, idx)
+}
+
+/// Starts a server for `idx` on an ephemeral loopback port.
+pub fn start(idx: Arc<ReachIndex>, cfg: ServedConfig) -> Server {
+    Server::start(idx, cfg, "127.0.0.1:0").expect("bind ephemeral loopback port")
+}
+
+/// A deterministic uniform query batch over `g`.
+pub fn batch(g: &DiGraph, count: usize, seed: u64) -> Vec<(u32, u32)> {
+    reach_datasets::workload::workload(g, reach_datasets::workload::QueryMix::Uniform, count, seed)
+}
+
+/// A raw socket speaking hand-crafted bytes — the hostile client the
+/// robustness tests need. Reads through a [`FrameReader`] with a 5 s
+/// read timeout so a hung server fails the test instead of wedging it.
+pub struct RawConn {
+    pub stream: TcpStream,
+    reader: FrameReader,
+}
+
+impl RawConn {
+    pub fn connect(server: &Server) -> RawConn {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("set read timeout");
+        RawConn {
+            stream,
+            reader: FrameReader::new(reach_served::wire::DEFAULT_MAX_FRAME),
+        }
+    }
+
+    /// Writes raw bytes verbatim.
+    pub fn send_bytes(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write");
+        self.stream.flush().expect("flush");
+    }
+
+    /// Writes a well-formed frame with an arbitrary opcode.
+    pub fn send_frame(&mut self, opcode: u8, request_id: u64, payload: Vec<u8>) {
+        self.send_bytes(&Frame::new(opcode, request_id, payload).encode());
+    }
+
+    /// Reads the next response frame; panics on timeout.
+    pub fn read_frame(&mut self) -> Frame {
+        match self.reader.poll(&mut self.stream) {
+            Ok(Polled::Frame(f)) => f,
+            Ok(Polled::Pending) => panic!("timed out waiting for a response frame"),
+            Err(e) => panic!("expected a frame, got {e:?}"),
+        }
+    }
+
+    /// Asserts the server has closed this connection (EOF on read).
+    pub fn expect_eof(&mut self) {
+        match self.reader.poll(&mut self.stream) {
+            Err(ReadError::Eof { .. }) => {}
+            other => panic!("expected EOF, got {other:?}"),
+        }
+    }
+}
+
+/// A unique temp path for index files (the process id plus a tag keeps
+/// parallel test binaries from colliding).
+pub fn temp_index_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "reach-served-test-{}-{tag}.ridx",
+        std::process::id()
+    ))
+}

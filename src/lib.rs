@@ -7,5 +7,6 @@ pub use reach_graph as graph;
 pub use reach_index as index;
 pub use reach_obs as obs;
 pub use reach_serve as serve;
+pub use reach_served as served;
 pub use reach_tol as tol;
 pub use reach_vcs as vcs;
