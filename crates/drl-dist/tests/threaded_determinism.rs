@@ -124,6 +124,42 @@ proptest! {
         }
     }
 
+    /// Drop + delay draws with no crashes: parallel routing's keyed fault
+    /// sub-streams must leave the DRL index and the retransmit/delay
+    /// accounting bit-identical at every thread count, with no rollback
+    /// machinery in the schedule to mask a divergence.
+    #[test]
+    fn drl_index_is_invariant_under_drop_and_delay_only_plans(
+        graph_seed in 0u64..20,
+        fault_seed in 0u64..1000,
+        nodes_pick in 0usize..3,
+    ) {
+        let nodes = [2usize, 4, 8][nodes_pick];
+        let g = gen::gnm(40, 130, graph_seed);
+        let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let plan = FaultPlan::new(fault_seed)
+            .with_message_drops(0.25 + 0.25 * ((fault_seed % 3) as f64 / 3.0))
+            .with_message_delays(0.2, 1 + (fault_seed % 4) as usize);
+        let (baseline, base_stats) = reach_drl_dist::drl::run_configured(
+            &g, &ord, nodes, NetworkModel::default(), true, Some(plan.clone()), Some(1))
+            .expect("drops and delays are recoverable");
+        for threads in [2usize, 4, 8] {
+            let (idx, stats) = reach_drl_dist::drl::run_configured(
+                &g, &ord, nodes, NetworkModel::default(), true, Some(plan.clone()), Some(threads))
+                .expect("drops and delays are recoverable");
+            prop_assert_eq!(&idx, &baseline, "threads={}", threads);
+            prop_assert_eq!(&stats.comm, &base_stats.comm, "threads={}", threads);
+            prop_assert_eq!(
+                stats.recovery.retransmits, base_stats.recovery.retransmits,
+                "threads={}", threads
+            );
+            prop_assert_eq!(
+                stats.recovery.delayed_messages, base_stats.recovery.delayed_messages,
+                "threads={}", threads
+            );
+        }
+    }
+
     /// Same for DRLb, whose label batches chain many engine runs — states
     /// carried across `run_with` calls must also be thread-invariant.
     #[test]
@@ -144,6 +180,18 @@ proptest! {
                 .expect("schedule is recoverable");
             prop_assert_eq!(&idx, &baseline, "threads={}", threads);
             prop_assert_eq!(&stats.comm, &base_stats.comm, "threads={}", threads);
+            prop_assert_eq!(
+                stats.recovery.retransmits, base_stats.recovery.retransmits,
+                "threads={}", threads
+            );
+            prop_assert_eq!(
+                stats.recovery.delayed_messages, base_stats.recovery.delayed_messages,
+                "threads={}", threads
+            );
+            prop_assert_eq!(
+                stats.recovery.replayed_supersteps, base_stats.recovery.replayed_supersteps,
+                "threads={}", threads
+            );
         }
     }
 }

@@ -7,7 +7,7 @@
 //! connection gets a **reader** thread (parses frames, enforces quotas,
 //! submits batches) and a **writer** thread (the only thread that ever
 //! writes to the socket). The two communicate over an in-process
-//! channel of [`Work`] items, so responses are written strictly in
+//! channel of `Work` items, so responses are written strictly in
 //! request order per connection while the service computes many batches
 //! concurrently — the reader keeps submitting (pipelining) while the
 //! writer blocks on the oldest [`BatchTicket`]. Clients correlate by

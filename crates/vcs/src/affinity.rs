@@ -1,0 +1,63 @@
+//! Best-effort CPU core pinning for the engine's worker pool.
+//!
+//! Opt-in via [`Engine::with_pinning`](crate::Engine::with_pinning) or
+//! `REACH_ENGINE_PIN=1`: each spawned worker is pinned to one core
+//! (`worker % cores`), which keeps the per-node send/staging buffers hot
+//! in that core's cache across supersteps and stops the scheduler from
+//! migrating workers mid-round. The coordinator is never pinned — it
+//! doubles as a pool participant but also runs the serial merge, and
+//! sharing core 0 with a pinned worker would serialize the round.
+//!
+//! Implemented with a raw `sched_setaffinity(2)` FFI call on Linux (the
+//! workspace is dependency-free by policy; same idiom as the `signal(2)`
+//! handler in `reach-served`), a no-op returning `false` elsewhere.
+//! Failures are benign: the mask may be restricted by cgroups or the
+//! process affinity, and an unpinned worker is merely slower.
+
+/// Pins the calling thread to `core` (modulo nothing — callers wrap).
+/// Returns `true` if the kernel accepted the mask.
+#[cfg(target_os = "linux")]
+pub(crate) fn pin_current_thread(core: usize) -> bool {
+    // One u64 per 64 CPUs; 16 words cover 1024 CPUs, the kernel default
+    // CONFIG_NR_CPUS ceiling. Out-of-range cores fail cleanly (EINVAL).
+    const WORDS: usize = 16;
+    extern "C" {
+        // pid 0 = calling thread. cpusetsize is in bytes.
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    if core >= WORDS * 64 {
+        return false;
+    }
+    let mut mask = [0u64; WORDS];
+    mask[core / 64] = 1u64 << (core % 64);
+    // SAFETY: the mask buffer outlives the call and cpusetsize matches
+    // its length; sched_setaffinity only reads it.
+    unsafe { sched_setaffinity(0, WORDS * 8, mask.as_ptr()) == 0 }
+}
+
+/// Non-Linux: pinning is unsupported; report failure and carry on.
+#[cfg(not(target_os = "linux"))]
+pub(crate) fn pin_current_thread(_core: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pin_current_thread;
+
+    #[test]
+    fn pin_to_core_zero_succeeds_on_linux() {
+        let pinned = pin_current_thread(0);
+        // Core 0 always exists; only a restricted affinity mask (or a
+        // non-Linux host) can make this fail, and then it must fail
+        // cleanly rather than panic.
+        if cfg!(target_os = "linux") && !pinned {
+            eprintln!("note: sched_setaffinity(0) refused; restricted mask?");
+        }
+    }
+
+    #[test]
+    fn out_of_range_core_fails_cleanly() {
+        assert!(!pin_current_thread(usize::MAX / 128));
+    }
+}

@@ -10,19 +10,31 @@
 //!
 //! # Threaded execution
 //!
-//! The cluster is simulated, but the compute phase is genuinely parallel:
-//! each super-step's per-node `compute` calls run on a pool of OS worker
-//! threads ([`Engine::with_threads`]; the default honors the
+//! The cluster is simulated, but both halves of a super-step are genuinely
+//! parallel: the per-node `compute` calls **and** the inter-super-step
+//! barrier's message routing run on a pool of OS worker threads
+//! ([`Engine::with_threads`]; the default honors the
 //! `REACH_ENGINE_THREADS` environment variable, falling back to the
 //! machine's available parallelism). Threading never changes results:
 //!
 //! * each simulated node owns a disjoint slice of vertex state, and each
 //!   node is processed by exactly one worker per round, so computes never
 //!   race;
-//! * everything order-sensitive — message routing, fault-injection RNG
-//!   draws, global-update application, byte accounting, checkpointing,
-//!   crash recovery — happens on the coordinator thread, in node order,
-//!   while the workers are parked at the round barrier.
+//! * routing is a second pool round: the worker owning sender node `from`
+//!   drains its pre-bucketed `sends[dest]` queues into per-`(from, dest)`
+//!   staging cells, taking drop/delay fault draws from a decorrelated
+//!   [`crate::FaultRng`] sub-stream keyed by `(superstep, from, dest)` —
+//!   so the draws a message experiences depend only on its bucket, never
+//!   on which worker routed it or in what global order;
+//! * delivery reproduces the sequential order without a per-node inbox
+//!   sort: every staging cell is target-sorted by its sender's worker, and
+//!   the receiver splices the cells with a stable k-way merge (ascending
+//!   target, ties in sender-node order, emission order within a sender);
+//! * what remains on the coordinator is a deterministic node-ordered
+//!   *reduction* — per-sender byte/fault accounting folded into
+//!   [`crate::CommStats`], global-update application, checkpointing, and
+//!   crash recovery — all while the workers are parked at the round
+//!   barrier.
 //!
 //! Any thread count (including `1`, which runs the whole round inline on
 //! the calling thread) therefore produces bit-identical states, globals,
@@ -30,7 +42,10 @@
 //! compute time is still measured independently per super-step and the
 //! *maximum* is charged to the modeled parallel time, so modeled timings
 //! stay deterministic in shape even though real wall-clock now shrinks
-//! with the worker count.
+//! with the worker count. Opt-in core pinning
+//! ([`Engine::with_pinning`] / `REACH_ENGINE_PIN`) additionally binds each
+//! spawned worker to a fixed CPU, trading scheduler freedom for cache
+//! locality; it never affects results either.
 //!
 //! # Fault tolerance
 //!
@@ -243,22 +258,26 @@ fn default_worker_threads() -> usize {
 // Worker-pool plumbing.
 //
 // One pool is spawned per run (`std::thread::scope`), and every round —
-// one compute phase or the finalize phase — is a pair of barrier waits:
-// the coordinator publishes the phase and super-step, everyone crosses the
-// entry barrier, each participant (the coordinator doubles as worker 0)
-// processes its fixed chunk of node slots, and everyone crosses the exit
-// barrier. Between rounds the workers are parked inside `Barrier::wait`,
-// which is what makes the coordinator's lock-free access to the shared
-// state below sound: the barrier's internal lock/condvar pair provides the
-// happens-before edge on every transfer of ownership.
+// one compute phase, one route phase, or the finalize phase — is a pair
+// of barrier waits: the coordinator publishes the phase and super-step,
+// everyone crosses the entry barrier, each participant (the coordinator
+// doubles as worker 0) processes its fixed chunk of node slots, and
+// everyone crosses the exit barrier. Between rounds the workers are
+// parked inside `Barrier::wait`, which is what makes the coordinator's
+// lock-free access to the shared state below sound: the barrier's
+// internal lock/condvar pair provides the happens-before edge on every
+// transfer of ownership.
 // ---------------------------------------------------------------------------
 
 /// Round phase: run `compute` over the chunk's node slots.
 const PHASE_COMPUTE: u8 = 0;
 /// Round phase: run `finalize` over the chunk's node slots.
 const PHASE_FINALIZE: u8 = 1;
+/// Round phase: route the chunk's staged sends (sort, fault draws, byte
+/// accounting, staging for next-step delivery).
+const PHASE_ROUTE: u8 = 2;
 /// Round phase: the run is over; workers exit their loop.
-const PHASE_SHUTDOWN: u8 = 2;
+const PHASE_SHUTDOWN: u8 = 3;
 
 /// A shared, unsynchronized view of the per-vertex state vector.
 ///
@@ -343,6 +362,116 @@ impl<T> SyncCell<T> {
     }
 }
 
+/// The staged-message matrix: one cell per `(from, dest)` node pair,
+/// holding the messages `from` sent to `dest` at the last route phase,
+/// stable-sorted by target vertex. This is the in-flight mail of the
+/// cluster between two super-steps.
+///
+/// # Safety protocol
+///
+/// Cells are shared without locks under the round discipline:
+///
+/// * **route phase** — the worker holding node `from`'s slot exclusively
+///   accesses *row* `from` (cells `(from, *)`), refilling them;
+/// * **compute phase** — the worker holding node `dest`'s slot exclusively
+///   accesses *column* `dest` (cells `(*, dest)`), draining them;
+/// * **between rounds** — the coordinator has exclusive access to the
+///   whole matrix (checkpoint snapshots, rollback restores, quiescence
+///   checks).
+///
+/// Rows and columns intersect, but never within one round, and the round
+/// barrier provides the happens-before edge between phases.
+struct StagingMatrix<M> {
+    cells: Vec<UnsafeCell<Vec<(VertexId, M)>>>,
+    nodes: usize,
+}
+
+// SAFETY: see the protocol above; `M: Send` because workers obtain `&mut`
+// access and move messages out/in across threads.
+unsafe impl<M: Send> Sync for StagingMatrix<M> {}
+
+impl<M> StagingMatrix<M> {
+    fn new(nodes: usize) -> Self {
+        StagingMatrix {
+            cells: (0..nodes * nodes)
+                .map(|_| UnsafeCell::new(Vec::new()))
+                .collect(),
+            nodes,
+        }
+    }
+
+    /// Shared reference to cell `(from, dest)`.
+    ///
+    /// # Safety
+    /// The caller must hold access under the matrix protocol and no `&mut`
+    /// to the same cell may be live.
+    unsafe fn cell_ref(&self, from: usize, dest: usize) -> &Vec<(VertexId, M)> {
+        &*self.cells[from * self.nodes + dest].get()
+    }
+
+    /// Exclusive reference to cell `(from, dest)`.
+    ///
+    /// # Safety
+    /// The caller must hold *exclusive* access under the matrix protocol
+    /// (own row `from` in a route round, own column `dest` in a compute
+    /// round, or be the coordinator between rounds).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn cell_mut(&self, from: usize, dest: usize) -> &mut Vec<(VertexId, M)> {
+        &mut *self.cells[from * self.nodes + dest].get()
+    }
+}
+
+/// Per-sender barrier accounting, filled by the route phase on the worker
+/// pool and reduced into [`RunStats`] by the coordinator in node order.
+/// All counters restart from zero each super-step.
+#[derive(Default)]
+struct RouteReport {
+    /// Messages (and payload bytes) delivered node-locally.
+    local_messages: usize,
+    /// Payload bytes of node-local messages.
+    local_bytes: usize,
+    /// Messages that crossed between nodes.
+    remote_messages: usize,
+    /// Payload bytes of remote messages (goodput; retransmits excluded,
+    /// matching [`crate::CommStats`]).
+    remote_bytes: usize,
+    /// Messages staged for next-step delivery (local + remote).
+    staged: usize,
+    /// Retransmission attempts caused by injected drops.
+    retransmits: usize,
+    /// Remote messages that straggled behind the barrier.
+    delayed: usize,
+    /// Slowest straggler delay drawn this super-step, in latencies.
+    straggle: usize,
+    /// Per-node byte loads this sender contributed (sender and receiver
+    /// sides, retransmit attempts included) for the bottleneck-node model.
+    node_bytes: Vec<usize>,
+}
+
+impl RouteReport {
+    fn reset(&mut self, num_nodes: usize) {
+        self.local_messages = 0;
+        self.local_bytes = 0;
+        self.remote_messages = 0;
+        self.remote_bytes = 0;
+        self.staged = 0;
+        self.retransmits = 0;
+        self.delayed = 0;
+        self.straggle = 0;
+        self.node_bytes.resize(num_nodes, 0);
+        self.node_bytes.iter_mut().for_each(|b| *b = 0);
+    }
+}
+
+/// Sub-stream salt for one `(superstep, from, dest)` routing bucket. The
+/// packing is collision-free for super-steps below 2^24 and clusters below
+/// 2^20 nodes (far beyond anything the engine runs); outside those bounds
+/// salts may collide, which only correlates fault draws, never breaks
+/// determinism.
+fn route_salt(superstep: usize, from: usize, dest: usize) -> u64 {
+    ((superstep as u64) << 40) ^ ((from as u64) << 20) ^ dest as u64
+}
+
 /// Per-simulated-node working set. Owned by exactly one worker during a
 /// round and by the coordinator between rounds. All buffers are allocated
 /// once per run and reused across super-steps, so the steady-state hot
@@ -351,23 +480,23 @@ impl<T> SyncCell<T> {
 struct NodeSlot<P: VertexProgram> {
     /// Vertices homed on this node under the current assignment.
     owned: Vec<VertexId>,
-    /// `(target, msg)` pairs to deliver to this node this super-step.
-    inbox: Vec<(VertexId, P::Msg)>,
-    /// Delivery scratch: targets of the sorted inbox, aligned with
-    /// `delivery`, so grouped messages reach `compute` as borrowed slices
-    /// instead of per-vertex cloned `Vec`s.
+    /// Delivery scratch: targets of the merged staged messages, aligned
+    /// with `delivery`, so grouped messages reach `compute` as borrowed
+    /// slices instead of per-vertex cloned `Vec`s.
     delivery_targets: Vec<VertexId>,
     /// Delivery scratch: message payloads, moved (not cloned) out of the
-    /// inbox.
+    /// staging cells.
     delivery: Vec<P::Msg>,
     /// Outgoing messages bucketed by destination node at send time.
     sends: Vec<Vec<(VertexId, P::Msg)>>,
     /// Global updates published this super-step, in emission order.
     updates: Vec<P::Update>,
+    /// Barrier accounting produced when this node's sends were routed.
+    route: RouteReport,
     /// Wall-clock seconds of this node's last compute/finalize phase.
     seconds: f64,
     /// First invalid send of the round, surfaced at the barrier in node
-    /// order.
+    /// order (also carries a route-phase `MessageLost`).
     error: Option<EngineError>,
 }
 
@@ -376,12 +505,19 @@ struct ClusterShared<'e, P: VertexProgram> {
     program: &'e P,
     graph: &'e DiGraph,
     num_vertices: usize,
+    num_nodes: usize,
     states: StateTable<P::State>,
     /// Replicated global state (read-only during rounds).
     global: SyncCell<P::Global>,
     /// Vertex → home-node map (rewritten only on crash recovery).
     assignment: SyncCell<Vec<usize>>,
     slots: Vec<Mutex<NodeSlot<P>>>,
+    /// In-flight mail between super-steps, staged per `(from, dest)`.
+    staging: StagingMatrix<P::Msg>,
+    /// The fault plan in effect (a quiet plan when none was configured).
+    plan: FaultPlan,
+    /// Base salt of the per-bucket fault sub-streams.
+    fault_salt: u64,
     /// Per-worker obs captures, folded into the coordinator's recorder at
     /// the exit barrier of every round.
     worker_obs: Vec<Mutex<Option<reach_obs::WorkerMetrics>>>,
@@ -427,11 +563,95 @@ fn run_chunk<P: VertexProgram>(shared: &ClusterShared<'_, P>, nodes: Range<usize
     for node in nodes {
         let mut guard = lock(&shared.slots[node]);
         let slot = &mut *guard;
-        if phase == PHASE_FINALIZE {
-            finalize_node(shared, slot, global);
-        } else {
-            compute_node(shared, node, slot, assignment, global, superstep);
+        match phase {
+            PHASE_FINALIZE => finalize_node(shared, slot, global),
+            PHASE_ROUTE => route_node(shared, node, slot, superstep),
+            _ => compute_node(shared, node, slot, assignment, global, superstep),
         }
+    }
+}
+
+/// One node's route phase: target-sort each outgoing `sends[dest]` bucket,
+/// take its drop/delay fault draws from the bucket's decorrelated
+/// sub-stream, account bytes into the slot's [`RouteReport`], and stage
+/// the bucket into the matrix for next-step delivery.
+///
+/// Everything here depends only on the bucket's own content and its
+/// `(superstep, from, dest)` key, so routing parallelizes across senders
+/// without observable effect: the coordinator's node-ordered reduction of
+/// the reports reproduces the sequential accounting exactly.
+fn route_node<P: VertexProgram>(
+    shared: &ClusterShared<'_, P>,
+    from: usize,
+    slot: &mut NodeSlot<P>,
+    superstep: usize,
+) {
+    let plan = &shared.plan;
+    let draws = plan.drop_prob > 0.0 || plan.delay_prob > 0.0;
+    let NodeSlot {
+        sends,
+        route,
+        error,
+        ..
+    } = slot;
+    route.reset(shared.num_nodes);
+    for (dest, bucket) in sends.iter_mut().enumerate() {
+        if bucket.is_empty() {
+            continue;
+        }
+        // Stable target sort on the sender's worker, so the receiver can
+        // deliver with a k-way merge instead of sorting its whole inbox.
+        bucket.sort_by_key(|&(t, _)| t);
+        let mut rng = draws.then(|| {
+            crate::fault::FaultRng::stream(shared.fault_salt, route_salt(superstep, from, dest))
+        });
+        for (_, msg) in bucket.iter() {
+            let bytes = shared.program.msg_bytes(msg);
+            if dest == from {
+                route.local_messages += 1;
+                route.local_bytes += bytes;
+                continue;
+            }
+            route.remote_messages += 1;
+            route.remote_bytes += bytes;
+            // Reliable transport: resend until the transfer survives the
+            // drop coin, within the retry budget. Every attempt consumes
+            // sender and receiver bandwidth; only the last delivers.
+            let mut attempts = 1usize;
+            if let Some(rng) = rng.as_mut() {
+                while plan.drop_prob > 0.0 && rng.chance(plan.drop_prob) {
+                    attempts += 1;
+                    if attempts > plan.max_retries {
+                        if error.is_none() {
+                            *error = Some(EngineError::MessageLost {
+                                superstep,
+                                retries: plan.max_retries,
+                            });
+                        }
+                        return; // the run is failing; stop routing this sender
+                    }
+                }
+                if plan.delay_prob > 0.0 && rng.chance(plan.delay_prob) {
+                    // A straggler stalls the barrier; the slowest one sets
+                    // the stall for the super-step.
+                    route.straggle = route
+                        .straggle
+                        .max(rng.range_inclusive(1, plan.max_delay as u64) as usize);
+                    route.delayed += 1;
+                }
+            }
+            route.retransmits += attempts - 1;
+            route.node_bytes[from] += attempts * bytes;
+            route.node_bytes[dest] += attempts * bytes;
+        }
+        route.staged += bucket.len();
+        // SAFETY: route-phase row exclusivity — this worker holds node
+        // `from`'s slot, so it alone touches row `from` this round. The
+        // cell was drained by last step's delivery (or is freshly empty),
+        // so the swap hands the bucket over and recycles the capacity.
+        let cell = unsafe { shared.staging.cell_mut(from, dest) };
+        debug_assert!(cell.is_empty(), "staging cell reused before delivery");
+        std::mem::swap(bucket, cell);
     }
 }
 
@@ -446,16 +666,50 @@ fn compute_node<P: VertexProgram>(
     superstep: usize,
 ) {
     // Dead nodes own nothing and receive nothing, so this also skips them.
-    let idle = if superstep == 0 {
-        slot.owned.is_empty()
-    } else {
-        slot.inbox.is_empty()
-    };
-    if idle {
+    if superstep == 0 && slot.owned.is_empty() {
         slot.seconds = 0.0;
         return;
     }
     let t0 = Instant::now();
+    if superstep > 0 {
+        // Splice the staged inbound cells (each target-sorted at route
+        // time) into delivery order with a stable k-way merge: ascending
+        // target, ties in sender-node order, emission order within a
+        // sender — exactly the order the sort-based delivery produced.
+        // Payloads move into the scratch buffers, clone-free, and the
+        // drains leave every cell empty with its capacity intact.
+        slot.delivery_targets.clear();
+        slot.delivery.clear();
+        // SAFETY: compute-phase column exclusivity — this worker holds
+        // node `node`'s slot, so it alone drains column `node` this round.
+        let mut sources: Vec<_> = (0..shared.num_nodes)
+            .map(|from| {
+                unsafe { shared.staging.cell_mut(from, node) }
+                    .drain(..)
+                    .peekable()
+            })
+            .collect();
+        loop {
+            let mut next: Option<VertexId> = None;
+            for s in sources.iter_mut() {
+                if let Some((t, _)) = s.peek() {
+                    next = Some(next.map_or(*t, |m| m.min(*t)));
+                }
+            }
+            let Some(v) = next else { break };
+            for s in sources.iter_mut() {
+                while s.peek().is_some_and(|(t, _)| *t == v) {
+                    let (to, msg) = s.next().expect("peeked");
+                    slot.delivery_targets.push(to);
+                    slot.delivery.push(msg);
+                }
+            }
+        }
+        if slot.delivery_targets.is_empty() {
+            slot.seconds = 0.0;
+            return;
+        }
+    }
     let mut ctx = Ctx {
         superstep,
         graph: shared.graph,
@@ -474,17 +728,6 @@ fn compute_node<P: VertexProgram>(
             shared.program.compute(&mut ctx, v, state, &[], global);
         }
     } else {
-        // Deliver grouped by target vertex, deterministically: the stable
-        // sort keeps each sender's emission order within a target's batch,
-        // and payloads move into the scratch buffer so each group reaches
-        // `compute` as a borrowed slice, clone-free.
-        slot.inbox.sort_by_key(|&(t, _)| t);
-        slot.delivery_targets.clear();
-        slot.delivery.clear();
-        for (to, msg) in slot.inbox.drain(..) {
-            slot.delivery_targets.push(to);
-            slot.delivery.push(msg);
-        }
         let targets = &slot.delivery_targets;
         let msgs = &slot.delivery;
         let mut i = 0;
@@ -575,6 +818,15 @@ fn run_round<P: VertexProgram>(
     Ok(())
 }
 
+/// Default pinning choice: `REACH_ENGINE_PIN` set to `1`/`true`/`on`
+/// enables it; anything else (or unset) leaves the scheduler free.
+fn default_pinning() -> bool {
+    matches!(
+        std::env::var("REACH_ENGINE_PIN").as_deref().map(str::trim),
+        Ok("1") | Ok("true") | Ok("on")
+    )
+}
+
 /// The simulated cluster executor.
 pub struct Engine<'g> {
     graph: &'g DiGraph,
@@ -583,6 +835,7 @@ pub struct Engine<'g> {
     faults: Option<FaultPlan>,
     checkpoint_interval: Option<usize>,
     threads: Option<usize>,
+    pin: Option<bool>,
     /// Safety cap; a run that exceeds it fails with
     /// [`EngineError::SuperstepCapExceeded`] (a vertex program that never
     /// goes quiet is a bug).
@@ -599,6 +852,7 @@ impl<'g> Engine<'g> {
             faults: None,
             checkpoint_interval: None,
             threads: None,
+            pin: None,
             max_supersteps: 1_000_000,
         }
     }
@@ -642,6 +896,23 @@ impl<'g> Engine<'g> {
     /// per-run cap at the node count).
     pub fn threads(&self) -> usize {
         self.threads.unwrap_or_else(default_worker_threads)
+    }
+
+    /// Pins each spawned pool worker to a fixed CPU core
+    /// (`core = worker_index % available_parallelism`, via
+    /// `sched_setaffinity(2)`; a no-op off Linux). The coordinator — which
+    /// doubles as worker 0 — is never pinned, so the caller's thread
+    /// affinity is untouched. The default honors `REACH_ENGINE_PIN`
+    /// (`1`/`true`/`on`). Pinning trades scheduler freedom for cache
+    /// locality and, like the thread count, never changes results.
+    pub fn with_pinning(mut self, pin: bool) -> Self {
+        self.pin = Some(pin);
+        self
+    }
+
+    /// Whether the next run will pin its spawned workers to cores.
+    pub fn pinning(&self) -> bool {
+        self.pin.unwrap_or_else(default_pinning)
     }
 
     /// The fault plan in effect, if any.
@@ -707,25 +978,31 @@ impl<'g> Engine<'g> {
             .map(|owned| {
                 Mutex::new(NodeSlot {
                     owned,
-                    inbox: Vec::new(),
                     delivery_targets: Vec::new(),
                     delivery: Vec::new(),
                     sends: (0..num_nodes).map(|_| Vec::new()).collect(),
                     updates: Vec::new(),
+                    route: RouteReport::default(),
                     seconds: 0.0,
                     error: None,
                 })
             })
             .collect();
 
+        let plan = self.faults.clone().unwrap_or_else(|| FaultPlan::new(0));
+        let fault_salt = plan.seed ^ 0x9E37_79B9_7F4A_7C15;
         let shared = ClusterShared {
             program,
             graph: self.graph,
             num_vertices: n,
+            num_nodes,
             states: StateTable::new(&mut states),
             global: SyncCell::new(global),
             assignment: SyncCell::new(assignment),
             slots,
+            staging: StagingMatrix::new(num_nodes),
+            plan,
+            fault_salt,
             worker_obs: (0..workers).map(|_| Mutex::new(None)).collect(),
             barrier: Barrier::new(workers),
             superstep: AtomicUsize::new(0),
@@ -736,13 +1013,24 @@ impl<'g> Engine<'g> {
         // Fixed, contiguous, near-even node chunks; chunk 0 belongs to the
         // coordinator, which doubles as a pool participant.
         let chunk = num_nodes.div_ceil(workers);
+        let pin = self.pinning();
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
         let outcome = std::thread::scope(|scope| {
             for w in 1..workers {
                 let shared = &shared;
                 let range = (w * chunk).min(num_nodes)..((w + 1) * chunk).min(num_nodes);
                 std::thread::Builder::new()
                     .name(format!("reach-engine-{w}"))
-                    .spawn_scoped(scope, move || worker_loop(shared, w, range))
+                    .spawn_scoped(scope, move || {
+                        if pin {
+                            // Best-effort: a failed pin (restricted
+                            // affinity mask, non-Linux) is silently benign.
+                            let _ = crate::affinity::pin_current_thread(w % cores);
+                        }
+                        worker_loop(shared, w, range)
+                    })
                     .expect("spawn engine worker");
             }
             // Whatever happens — normal completion, engine error, or a
@@ -796,8 +1084,7 @@ impl<'g> Engine<'g> {
         let n = shared.num_vertices;
         let num_nodes = self.partition.num_nodes();
 
-        let quiet_plan = FaultPlan::new(0);
-        let plan = self.faults.as_ref().unwrap_or(&quiet_plan);
+        let plan = &shared.plan;
         let has_crashes = !plan.crashes().is_empty();
         let ckpt_every = self
             .checkpoint_interval
@@ -807,7 +1094,6 @@ impl<'g> Engine<'g> {
             } else {
                 None
             });
-        let mut rng = crate::fault::FaultRng::new(plan.seed ^ 0x9E37_79B9_7F4A_7C15);
         let mut pending_crashes: Vec<_> = plan.crashes().to_vec();
         pending_crashes.reverse(); // pop() yields earliest-superstep first
 
@@ -860,11 +1146,21 @@ impl<'g> Engine<'g> {
                         node_share[node] += program.state_bytes(st);
                         snapshot.push(st.clone());
                     }
+                    // In-flight mail lives in the staging matrix between
+                    // rounds; each destination persists its own column.
+                    // Snapshot order is (dest, then sender) with each cell
+                    // target-sorted, so for any one target the entries keep
+                    // sender order — the restore path's stable re-sort
+                    // depends on that.
                     let mut mail = Vec::new();
-                    for (node, slot) in slots.iter().enumerate() {
-                        for (to, m) in &slot.inbox {
-                            node_share[node] += program.msg_bytes(m);
-                            mail.push((*to, m.clone()));
+                    for (dest, share) in node_share.iter_mut().enumerate() {
+                        for from in 0..num_nodes {
+                            // SAFETY: coordinator-exclusive between rounds.
+                            let cell = unsafe { shared.staging.cell_ref(from, dest) };
+                            for (to, m) in cell {
+                                *share += program.msg_bytes(m);
+                                mail.push((*to, m.clone()));
+                            }
                         }
                     }
                     let coord = alive.iter().position(|&a| a).unwrap_or(0);
@@ -947,12 +1243,28 @@ impl<'g> Engine<'g> {
                     unsafe { shared.global.get_mut() }.clone_from(&ck.global);
                     for (slot, owned) in slots.iter_mut().zip(bucket(assignment, num_nodes)) {
                         slot.owned = owned;
-                        slot.inbox.clear();
+                    }
+                    // Drop staged in-flight mail, re-bucket the snapshot's
+                    // mail under the new assignment (row 0 is as good as
+                    // any), and restore the per-cell target-sort invariant
+                    // the delivery merge relies on. The sort is stable and
+                    // the snapshot kept sender order within a target, so
+                    // delivery order matches what the crash-free schedule
+                    // would have produced.
+                    for from in 0..num_nodes {
+                        for dest in 0..num_nodes {
+                            // SAFETY: coordinator-exclusive between rounds.
+                            unsafe { shared.staging.cell_mut(from, dest) }.clear();
+                        }
                     }
                     for (to, msg) in &ck.mail {
-                        slots[assignment[*to as usize]]
-                            .inbox
+                        // SAFETY: coordinator-exclusive between rounds.
+                        unsafe { shared.staging.cell_mut(0, assignment[*to as usize]) }
                             .push((*to, msg.clone()));
+                    }
+                    for dest in 0..num_nodes {
+                        // SAFETY: coordinator-exclusive between rounds.
+                        unsafe { shared.staging.cell_mut(0, dest) }.sort_by_key(|&(t, _)| t);
                     }
                     stats.recovery.recoveries += 1;
                     stats.recovery.replayed_supersteps += superstep - ck.superstep;
@@ -1000,17 +1312,27 @@ impl<'g> Engine<'g> {
                 executed_high_water = superstep + 1;
             }
 
-            // Barrier: route messages and replicate updates, with per-node
-            // byte accounting for the network model. Injected drops cost
-            // retransmissions; injected delays make the barrier straggle.
-            // Sends were bucketed by destination at send time, so routing
-            // is a move from bucket to inbox — the buckets go back empty,
-            // keeping their capacity for the next super-step.
+            // Barrier, phase 1 — route, on the pool: each node target-sorts
+            // and stages its own send buckets, drawing drop/delay coins from
+            // `(superstep, from, dest)`-keyed sub-streams so no draw depends
+            // on routing order or thread count. The slots go back to the
+            // workers for the round, so release them first.
+            drop(slots);
             let num_alive = alive.iter().filter(|&&a| a).count();
-            node_bytes.iter_mut().for_each(|b| *b = 0);
-            let mut any_traffic = false;
-            let mut straggle = 0usize;
             let _obs_barrier = reach_obs::span("engine.barrier");
+            let barrier_t0 = Instant::now();
+            shared.phase.store(PHASE_ROUTE, Ordering::Release);
+            run_round(shared, my_nodes.clone(), PHASE_ROUTE)?;
+            let route_ns = barrier_t0.elapsed().as_nanos() as u64;
+
+            // Barrier, phase 2 — merge, the only serial section left: reduce
+            // the per-node route reports in node order (stats, node_bytes,
+            // straggle, first error), then replicate and apply updates.
+            let merge_t0 = Instant::now();
+            let mut slots = lock_slots(&shared.slots);
+            node_bytes.iter_mut().for_each(|b| *b = 0);
+            let mut staged_total = 0usize;
+            let mut straggle = 0usize;
             // Per-super-step traffic, mirroring the `stats.comm` increments
             // below exactly: the recorder's series accumulate at the logical
             // super-step index across replays, just as the aggregates do, so
@@ -1018,61 +1340,28 @@ impl<'g> Engine<'g> {
             let mut step_local_bytes = 0u64;
             let mut step_remote_bytes = 0u64;
             let mut step_broadcast_bytes = 0u64;
-
-            for from in 0..num_nodes {
-                for dest in 0..num_nodes {
-                    let mut outgoing = std::mem::take(&mut slots[from].sends[dest]);
-                    if !outgoing.is_empty() {
-                        any_traffic = true;
-                        if dest == from {
-                            for (to, msg) in outgoing.drain(..) {
-                                let bytes = program.msg_bytes(&msg);
-                                stats.comm.local_messages += 1;
-                                stats.comm.local_bytes += bytes;
-                                step_local_bytes += bytes as u64;
-                                slots[dest].inbox.push((to, msg));
-                            }
-                        } else {
-                            for (to, msg) in outgoing.drain(..) {
-                                let bytes = program.msg_bytes(&msg);
-                                stats.comm.remote_messages += 1;
-                                stats.comm.remote_bytes += bytes;
-                                step_remote_bytes += bytes as u64;
-                                // Reliable transport: resend until the
-                                // transfer survives the drop coin, within
-                                // the retry budget. Every attempt consumes
-                                // sender and receiver bandwidth; only the
-                                // last delivers.
-                                let mut attempts = 1usize;
-                                while plan.drop_prob > 0.0 && rng.chance(plan.drop_prob) {
-                                    attempts += 1;
-                                    if attempts > plan.max_retries {
-                                        return Err(Halt::Err(EngineError::MessageLost {
-                                            superstep,
-                                            retries: plan.max_retries,
-                                        }));
-                                    }
-                                }
-                                stats.recovery.retransmits += attempts - 1;
-                                if plan.delay_prob > 0.0 && rng.chance(plan.delay_prob) {
-                                    // A straggler stalls the barrier; the
-                                    // slowest one sets the stall for the
-                                    // super-step.
-                                    straggle =
-                                        straggle
-                                            .max(rng.range_inclusive(1, plan.max_delay as u64)
-                                                as usize);
-                                    stats.recovery.delayed_messages += 1;
-                                }
-                                node_bytes[from] += attempts * bytes;
-                                node_bytes[dest] += attempts * bytes;
-                                slots[dest].inbox.push((to, msg));
-                            }
-                        }
-                    }
-                    slots[from].sends[dest] = outgoing;
+            for slot in slots.iter_mut() {
+                // Surface the first routing failure in node order — the
+                // same one the sender-ordered serial loop would have hit.
+                if let Some(err) = slot.error.take() {
+                    return Err(Halt::Err(err));
+                }
+                let r = &slot.route;
+                stats.comm.local_messages += r.local_messages;
+                stats.comm.local_bytes += r.local_bytes;
+                stats.comm.remote_messages += r.remote_messages;
+                stats.comm.remote_bytes += r.remote_bytes;
+                stats.recovery.retransmits += r.retransmits;
+                stats.recovery.delayed_messages += r.delayed;
+                straggle = straggle.max(r.straggle);
+                staged_total += r.staged;
+                step_local_bytes += r.local_bytes as u64;
+                step_remote_bytes += r.remote_bytes as u64;
+                for (acc, add) in node_bytes.iter_mut().zip(&r.node_bytes) {
+                    *acc += add;
                 }
             }
+            let mut any_traffic = staged_total > 0;
 
             for (from, slot) in slots.iter_mut().enumerate() {
                 for u in slot.updates.drain(..) {
@@ -1120,7 +1409,16 @@ impl<'g> Engine<'g> {
                 updates_flat.clear();
             }
 
-            if slots.iter().all(|s| s.inbox.is_empty()) {
+            if reach_obs::is_enabled() {
+                // How the barrier splits between the parallel route round
+                // and the coordinator's serial merge, per super-step.
+                let merge_ns = merge_t0.elapsed().as_nanos() as u64;
+                reach_obs::series_add("engine.route_ns", superstep, route_ns);
+                reach_obs::series_add("engine.merge_ns", superstep, merge_ns);
+                reach_obs::series_add("engine.barrier_ns", superstep, route_ns + merge_ns);
+            }
+
+            if staged_total == 0 {
                 break;
             }
             superstep += 1;
@@ -1553,8 +1851,10 @@ mod tests {
         let clean = Engine::new(&g, Partition::modulo(4))
             .run(&BfsLevels)
             .unwrap();
+        // The fixture routes only a handful of remote messages; 0.75 makes
+        // the per-bucket sub-streams certain enough to fire at this seed.
         let noisy = Engine::new(&g, Partition::modulo(4))
-            .with_faults(FaultPlan::new(42).with_message_drops(0.5))
+            .with_faults(FaultPlan::new(42).with_message_drops(0.75))
             .run(&BfsLevels)
             .unwrap();
         assert_eq!(noisy.states, clean.states);

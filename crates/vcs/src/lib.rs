@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+mod affinity;
 pub mod algo;
 pub mod comm;
 pub mod engine;

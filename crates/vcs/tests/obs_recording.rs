@@ -197,7 +197,26 @@ fn four_worker_recording_equals_single_thread_recording() {
     // instrument — including the ones recorded from inside `compute` on
     // pool threads — must match the single-thread recording exactly.
     assert_eq!(snap_1.counters, snap_4.counters);
-    assert_eq!(snap_1.series, snap_4.series);
+    // Timing series (`*_ns`: barrier/route/merge wall-clock splits) can
+    // never match across thread counts; every logical series must, and the
+    // timing series must at least exist with identical shapes (one entry
+    // per executed super-step).
+    let logical = |snap: &reach_obs::Snapshot| {
+        snap.series
+            .iter()
+            .filter(|(name, _)| !name.ends_with("_ns"))
+            .map(|(name, vals)| (name.clone(), vals.clone()))
+            .collect::<Vec<_>>()
+    };
+    let timing_shapes = |snap: &reach_obs::Snapshot| {
+        snap.series
+            .iter()
+            .filter(|(name, _)| name.ends_with("_ns"))
+            .map(|(name, vals)| (name.clone(), vals.len()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(logical(&snap_1), logical(&snap_4));
+    assert_eq!(timing_shapes(&snap_1), timing_shapes(&snap_4));
     assert_eq!(snap_1.histograms, snap_4.histograms);
     // Span *totals* are wall-clock and thus never comparable; names and
     // entry counts must still line up.
@@ -211,6 +230,30 @@ fn four_worker_recording_equals_single_thread_recording() {
     // Sanity: the workload actually recorded from inside `compute`.
     assert!(snap_1.counter("test.computes") > 0);
     assert!(snap_1.span("test.vertex_compute").unwrap().count > 0);
+}
+
+#[test]
+fn barrier_timing_series_split_route_from_merge() {
+    reach_obs::reset();
+    let g = fixtures::paper_graph();
+    let out = Engine::new(&g, Partition::modulo(4))
+        .run(&BfsLevels)
+        .unwrap();
+    let snap = reach_obs::snapshot().expect("obs feature is on");
+
+    let route = snap.series("engine.route_ns").expect("route series");
+    let merge = snap.series("engine.merge_ns").expect("merge series");
+    let barrier = snap.series("engine.barrier_ns").expect("barrier series");
+    // One entry per executed super-step, and the barrier is exactly the
+    // parallel route round plus the coordinator's serial merge — so the
+    // serial-section share is directly readable from the recording.
+    assert_eq!(route.len(), out.stats.supersteps);
+    assert_eq!(merge.len(), out.stats.supersteps);
+    assert_eq!(barrier.len(), out.stats.supersteps);
+    for ((r, m), b) in route.iter().zip(merge).zip(barrier) {
+        assert_eq!(r + m, *b);
+        assert!(*b > 0, "a barrier round always takes measurable time");
+    }
 }
 
 #[test]

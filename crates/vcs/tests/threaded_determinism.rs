@@ -119,6 +119,48 @@ fn assert_outcomes_match(want: &RunOutcome<BfsLevels>, got: &RunOutcome<BfsLevel
     );
 }
 
+/// A program whose state folds its messages with a non-commutative,
+/// non-associative mix — so any deviation in delivery *order*, not just
+/// in the delivered multiset, changes the final states. This pins the
+/// route-phase staging + k-way-merge delivery to the exact order the
+/// sequential sort-based delivery produced: ascending target, ties in
+/// sender-node order, emission order within a sender.
+struct OrderSensitive;
+
+impl VertexProgram for OrderSensitive {
+    type State = u64;
+    type Msg = u64;
+    type Global = ();
+    type Update = ();
+
+    fn init_state(&self, v: VertexId) -> Self::State {
+        0x243F_6A88_85A3_08D3 ^ v as u64
+    }
+
+    fn compute(
+        &self,
+        ctx: &mut Ctx<'_, u64, ()>,
+        v: VertexId,
+        state: &mut Self::State,
+        msgs: &[u64],
+        _global: &(),
+    ) {
+        for &m in msgs {
+            *state = state
+                .rotate_left(7)
+                .wrapping_add(m)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        if ctx.superstep < 4 {
+            for &w in ctx.out_neighbors(v) {
+                ctx.send(w, *state);
+            }
+        }
+    }
+
+    fn apply_updates(&self, _global: &mut (), _updates: &[()]) {}
+}
+
 #[test]
 fn crash_and_replay_is_identical_at_every_thread_count() {
     let g = fixtures::paper_graph();
@@ -131,6 +173,28 @@ fn crash_and_replay_is_identical_at_every_thread_count() {
     for threads in [2, 4, 8] {
         let out = run_at(&g, 4, threads, Some(plan.clone()), Some(1));
         assert_outcomes_match(&baseline, &out, &format!("threads={threads}"));
+    }
+}
+
+/// Core-pinned pools must be just as unobservable as the thread count:
+/// pinning only moves workers between cores, never work between workers.
+#[test]
+fn pinned_workers_are_bit_identical_to_unpinned() {
+    let g = gen::gnm(60, 200, 5);
+    let plan = FaultPlan::new(17)
+        .with_crash(1, 2)
+        .with_message_drops(0.3)
+        .with_message_delays(0.2, 3);
+    let baseline = run_at(&g, 4, 1, Some(plan.clone()), Some(2));
+    for threads in [1usize, 2, 4, 8] {
+        let out = Engine::new(&g, Partition::modulo(4))
+            .with_threads(threads)
+            .with_pinning(true)
+            .with_faults(plan.clone())
+            .with_checkpoint_interval(2)
+            .run(&BfsLevels)
+            .expect("schedule is recoverable");
+        assert_outcomes_match(&baseline, &out, &format!("pinned threads={threads}"));
     }
 }
 
@@ -173,6 +237,56 @@ proptest! {
         for threads in [2usize, 4, 8] {
             let out = run_at(&g, nodes, threads, None, None);
             assert_outcomes_match(&baseline, &out, &format!("threads={threads}"));
+        }
+    }
+
+    /// Drop + delay draws with no crashes: the route phase runs on the
+    /// pool with per-`(superstep, from, dest)` fault sub-streams, and the
+    /// retransmit/delay/straggle accounting must still be exact at every
+    /// thread count — no rollback machinery to mask a divergence.
+    #[test]
+    fn parallel_routing_under_drop_and_delay_plans_is_bit_identical(
+        graph_seed in 0u64..40,
+        fault_seed in 0u64..1000,
+        nodes_pick in 0usize..3,
+    ) {
+        let nodes = [2usize, 4, 8][nodes_pick];
+        let g = gen::gnm(50, 160, graph_seed);
+        let plan = FaultPlan::new(fault_seed)
+            .with_message_drops(0.25 + 0.25 * ((fault_seed % 3) as f64 / 3.0))
+            .with_message_delays(0.2, 1 + (fault_seed % 4) as usize);
+        let baseline = run_at(&g, nodes, 1, Some(plan.clone()), None);
+        for threads in [2usize, 4, 8] {
+            let out = run_at(&g, nodes, threads, Some(plan.clone()), None);
+            assert_outcomes_match(
+                &baseline,
+                &out,
+                &format!("graph={graph_seed} fault={fault_seed} nodes={nodes} threads={threads}"),
+            );
+        }
+    }
+
+    /// Message delivery *order* (not just content) is thread-invariant:
+    /// an order-sensitive fold over inboxes ends in the same states no
+    /// matter how many workers staged and merged the mail.
+    #[test]
+    fn staged_merge_reproduces_sequential_delivery_order(
+        graph_seed in 0u64..40,
+        nodes_pick in 0usize..3,
+    ) {
+        let nodes = [2usize, 4, 8][nodes_pick];
+        let g = gen::gnm(50, 200, graph_seed);
+        let baseline = Engine::new(&g, Partition::modulo(nodes))
+            .with_threads(1)
+            .run(&OrderSensitive)
+            .expect("fault-free run");
+        for threads in [2usize, 4, 8] {
+            let out = Engine::new(&g, Partition::modulo(nodes))
+                .with_threads(threads)
+                .run(&OrderSensitive)
+                .expect("fault-free run");
+            prop_assert_eq!(&out.states, &baseline.states, "threads={}", threads);
+            prop_assert_eq!(&out.stats.comm, &baseline.stats.comm, "threads={}", threads);
         }
     }
 }
