@@ -22,15 +22,18 @@
 //! dynamic variant likewise keeps its total order — hence the name).
 
 use reach_graph::{
-    dynamic::DynamicGraph, view::bfs_view, Direction, GraphView, OrderAssignment, VertexId,
-    VisitBuffer,
+    dynamic::DynamicGraph, view::bfs_view, Direction, EdgeEvent, EdgeOp, GraphView,
+    OrderAssignment, VertexId, VisitBuffer,
 };
 use reach_index::{intersects_sorted, ReachIndex, ReachabilityOracle};
 
 use crate::trimmed::trimmed_bfs;
 
-/// What one [`DynamicIndex::insert_edge`] / [`DynamicIndex::remove_edge`]
-/// did — the observability counters the ablation bench reports.
+/// What one repair — an [`DynamicIndex::insert_edge`] /
+/// [`DynamicIndex::remove_edge`] or a whole
+/// [`DynamicIndex::apply_batch`] — did. Mirrored into the
+/// `core.dynamic.*` obs counters (see docs/OBSERVABILITY.md) and
+/// aggregated per batch by the ingest pipeline's `BatchStats`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct UpdateStats {
     /// Forward floods recomputed (`|A|`).
@@ -43,6 +46,32 @@ pub struct UpdateStats {
     pub refined_out: usize,
     /// Label entries inserted or removed across the index.
     pub label_changes: usize,
+    /// Events that actually changed the edge set (inserts of absent
+    /// edges, removes of present edges). Always 1 for the single-edge
+    /// entry points, which return `None` instead of doing no-op work.
+    pub applied_events: usize,
+}
+
+impl UpdateStats {
+    /// Floods recomputed in either direction.
+    pub fn refloods(&self) -> usize {
+        self.refloods_fwd + self.refloods_bwd
+    }
+
+    /// Sources re-refined in either direction.
+    pub fn refined(&self) -> usize {
+        self.refined_in + self.refined_out
+    }
+
+    /// Accumulates `other` into `self` (for per-batch aggregation).
+    pub fn merge(&mut self, other: &UpdateStats) {
+        self.refloods_fwd += other.refloods_fwd;
+        self.refloods_bwd += other.refloods_bwd;
+        self.refined_in += other.refined_in;
+        self.refined_out += other.refined_out;
+        self.label_changes += other.label_changes;
+        self.applied_events += other.applied_events;
+    }
 }
 
 /// A reachability index that follows edge insertions and deletions while
@@ -146,13 +175,113 @@ impl DynamicIndex {
         let anc = self.collect(u, Direction::Backward);
         let des = self.collect(v, Direction::Forward);
         self.graph.remove_edge(u, v);
-        Some(self.repair_sets(anc, des))
+        Some(self.repair_sets(anc, des, 1))
+    }
+
+    /// Grows the index (graph, frozen order, label state) so that `v` is
+    /// a valid vertex id. New vertices are appended at the **lowest**
+    /// order in first-seen order ([`OrderAssignment::push_lowest`]), so
+    /// the extension is deterministic and a from-scratch rebuild under
+    /// [`DynamicIndex::order`] stays bit-identical. Each new vertex is
+    /// initialized exactly as [`DynamicIndex::new`] would initialize an
+    /// isolated vertex (its own flood and refinement), which no existing
+    /// vertex can observe until an edge connects it.
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        let need = v as usize + 1;
+        let old = self.graph.num_vertices();
+        if need <= old {
+            return;
+        }
+        self.graph.ensure_vertex(v);
+        self.visit.grow(need);
+        self.fwd_low.resize_with(need, Vec::new);
+        self.bwd_low.resize_with(need, Vec::new);
+        self.fwd_visitors.resize_with(need, Vec::new);
+        self.bwd_visitors.resize_with(need, Vec::new);
+        self.bw_in.resize_with(need, Vec::new);
+        self.bw_out.resize_with(need, Vec::new);
+        self.lin.resize_with(need, Vec::new);
+        self.lout.resize_with(need, Vec::new);
+        for x in old as VertexId..need as VertexId {
+            let pushed = self.ord.push_lowest();
+            debug_assert_eq!(pushed, x, "order and graph grow in lockstep");
+            self.reflood(x, Direction::Forward);
+            self.reflood(x, Direction::Backward);
+            self.rerefine(x, Direction::Forward);
+            self.rerefine(x, Direction::Backward);
+        }
+    }
+
+    /// Applies a whole batch of edge events and repairs the index
+    /// **once**, coalescing the affected floods across the batch: a
+    /// source whose flood would be recomputed by several per-op repairs
+    /// is refloooded a single time against the post-batch graph, and the
+    /// refinement pass runs once over the union of dirty sources. The
+    /// result is bit-identical to applying the events one at a time (and
+    /// to a from-scratch rebuild under the frozen order) — the
+    /// `dynamic_batch` proptest pins the three-way equivalence — while
+    /// doing strictly less flood work on overlapping updates.
+    ///
+    /// Insert events may name vertices beyond the current range; the
+    /// index grows to cover them via [`DynamicIndex::ensure_vertex`].
+    /// No-op events (inserting a present edge, removing an absent one,
+    /// removing with an out-of-range endpoint) are skipped and not
+    /// counted in [`UpdateStats::applied_events`].
+    pub fn apply_batch(&mut self, events: &[EdgeEvent]) -> UpdateStats {
+        // Growth first, so the affected-set scratch covers the whole
+        // batch. Only inserts can introduce vertices; a removal naming an
+        // unknown vertex is a no-op on an absent edge.
+        for ev in events {
+            if ev.op == EdgeOp::Insert {
+                self.ensure_vertex(ev.u.max(ev.v));
+            }
+        }
+        let n = self.graph.num_vertices();
+        let mut anc = DirtySet::new(n);
+        let mut des = DirtySet::new(n);
+        let mut applied = 0usize;
+        let mut scratch = Vec::new();
+        // Sequentially mutate the graph, accumulating each op's affected
+        // sources *at the time of the op* (inserts against the graph with
+        // the edge, removals against the graph still holding it): any
+        // source whose flood differs between the pre- and post-batch
+        // graphs must differ across some intermediate step, so the union
+        // covers every affected flood.
+        for ev in events {
+            match ev.op {
+                EdgeOp::Insert => {
+                    if !self.graph.insert_edge(ev.u, ev.v) {
+                        continue;
+                    }
+                    applied += 1;
+                    self.collect_into(ev.u, Direction::Backward, &mut scratch);
+                    anc.extend(&scratch);
+                    self.collect_into(ev.v, Direction::Forward, &mut scratch);
+                    des.extend(&scratch);
+                }
+                EdgeOp::Remove => {
+                    if !self.graph.has_edge(ev.u, ev.v) {
+                        continue;
+                    }
+                    applied += 1;
+                    self.collect_into(ev.u, Direction::Backward, &mut scratch);
+                    anc.extend(&scratch);
+                    self.collect_into(ev.v, Direction::Forward, &mut scratch);
+                    des.extend(&scratch);
+                    self.graph.remove_edge(ev.u, ev.v);
+                }
+            }
+        }
+        if applied == 0 {
+            return UpdateStats::default();
+        }
+        self.repair_sets(anc.drain(), des.drain(), applied)
     }
 
     fn repair(&mut self, u: VertexId, v: VertexId) -> UpdateStats {
         let anc = self.collect(u, Direction::Backward);
         let des = self.collect(v, Direction::Forward);
-        self.repair_sets(anc, des)
+        self.repair_sets(anc, des, 1)
     }
 
     /// Full BFS reach set of `r` in `dir` on the current graph.
@@ -162,12 +291,26 @@ impl DynamicIndex {
         out
     }
 
+    /// [`DynamicIndex::collect`] into a reused scratch vector.
+    fn collect_into(&mut self, r: VertexId, dir: Direction, out: &mut Vec<VertexId>) {
+        bfs_view(&self.graph, r, dir, &mut self.visit, out);
+    }
+
     /// Recomputes the affected floods and refinements given the ancestor
-    /// set of `u` and descendant set of `v`.
-    fn repair_sets(&mut self, anc: Vec<VertexId>, des: Vec<VertexId>) -> UpdateStats {
+    /// set of `u` and descendant set of `v` (or their unions across a
+    /// batch). `applied_events` is the number of effective edge changes
+    /// this repair covers.
+    fn repair_sets(
+        &mut self,
+        anc: Vec<VertexId>,
+        des: Vec<VertexId>,
+        applied_events: usize,
+    ) -> UpdateStats {
+        let _span = reach_obs::span("core.dynamic.repair");
         let mut stats = UpdateStats {
             refloods_fwd: anc.len(),
             refloods_bwd: des.len(),
+            applied_events,
             ..UpdateStats::default()
         };
 
@@ -217,6 +360,19 @@ impl DynamicIndex {
             stats.refined_out += 1;
             stats.label_changes += self.rerefine(h, Direction::Backward);
         }
+        // The UpdateStats mirror, visible beyond the caller: the
+        // core.dynamic.* catalog of docs/OBSERVABILITY.md.
+        reach_obs::counter_add("core.dynamic.events", applied_events as u64);
+        reach_obs::counter_add("core.dynamic.refloods.fwd", stats.refloods_fwd as u64);
+        reach_obs::counter_add("core.dynamic.refloods.bwd", stats.refloods_bwd as u64);
+        reach_obs::counter_add("core.dynamic.refined.in", stats.refined_in as u64);
+        reach_obs::counter_add("core.dynamic.refined.out", stats.refined_out as u64);
+        reach_obs::counter_add("core.dynamic.label_changes", stats.label_changes as u64);
+        reach_obs::record("core.dynamic.repair.refloods", stats.refloods() as u64);
+        reach_obs::record(
+            "core.dynamic.repair.label_changes",
+            stats.label_changes as u64,
+        );
         stats
     }
 
@@ -343,6 +499,12 @@ impl DirtySet {
         if !self.present[v as usize] {
             self.present[v as usize] = true;
             self.members.push(v);
+        }
+    }
+
+    fn extend(&mut self, vs: &[VertexId]) {
+        for &v in vs {
+            self.add(v);
         }
     }
 

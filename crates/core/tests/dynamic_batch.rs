@@ -1,0 +1,236 @@
+//! The batched-repair equivalence property: for any interleaving of
+//! insert/remove batches, [`DynamicIndex::apply_batch`] produces labels
+//! bit-identical to (a) applying the same events through the per-op
+//! `insert_edge`/`remove_edge` loop and (b) a from-scratch DRL rebuild of
+//! the final edge set under the same frozen order — including when events
+//! introduce previously-unseen vertex ids (capacity growth appends them
+//! at the lowest order, so the rebuild sees the identical order).
+//!
+//! This is the correctness contract the ingest pipeline's delta batches
+//! (and its publish-time verification gate) stand on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reach_core::dynamic::DynamicIndex;
+use reach_graph::{gen, DynamicGraph, EdgeEvent, GraphView, OrderAssignment, OrderKind, VertexId};
+use reach_index::ReachIndex;
+
+/// From-scratch DRL build of the index's current edge set under its own
+/// (possibly grown) frozen order.
+fn rebuild(idx: &DynamicIndex) -> ReachIndex {
+    reach_core::improved::drl(&idx.graph().to_digraph(), idx.order())
+}
+
+/// A deterministic event stream over `n_base` vertices, optionally
+/// naming up to `n_grow` extra ids that the base graph does not have.
+fn event_stream(
+    n_base: u32,
+    n_grow: u32,
+    count: usize,
+    insert_bias: f64,
+    seed: u64,
+) -> Vec<EdgeEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = n_base + n_grow;
+    (0..count)
+        .map(|_| {
+            let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            if rng.gen_bool(insert_bias) {
+                EdgeEvent::insert(u, v)
+            } else {
+                EdgeEvent::remove(u, v)
+            }
+        })
+        .collect()
+}
+
+/// Replays `events` through the per-op loop, growing on demand exactly
+/// like `apply_batch` does (inserts grow, removals out of range no-op).
+fn apply_per_op(idx: &mut DynamicIndex, events: &[EdgeEvent]) {
+    for ev in events {
+        match ev.op {
+            reach_graph::EdgeOp::Insert => {
+                idx.ensure_vertex(ev.u.max(ev.v));
+                idx.insert_edge(ev.u, ev.v);
+            }
+            reach_graph::EdgeOp::Remove => {
+                let n = idx.graph().num_vertices() as VertexId;
+                if ev.u < n && ev.v < n {
+                    idx.remove_edge(ev.u, ev.v);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batched_equals_per_op_equals_rebuild(
+        n in 8u32..28,
+        edge_factor in 1usize..4,
+        graph_seed in 0u64..1_000,
+        event_seed in 0u64..1_000,
+        batch_size in 1usize..17,
+        insert_bias in 0.3f64..0.8,
+        grow in 0u32..5,
+    ) {
+        let g = gen::gnm(n as usize, n as usize * edge_factor, graph_seed);
+        let events = event_stream(n, grow, 48, insert_bias, event_seed);
+
+        let mut batched = DynamicIndex::from_digraph(&g, OrderKind::DegreeProduct);
+        let mut per_op = DynamicIndex::from_digraph(&g, OrderKind::DegreeProduct);
+
+        for (k, batch) in events.chunks(batch_size).enumerate() {
+            let stats = batched.apply_batch(batch);
+            apply_per_op(&mut per_op, batch);
+            prop_assert!(stats.applied_events <= batch.len());
+
+            // Same edge set after every batch...
+            prop_assert_eq!(
+                batched.graph().to_digraph().edges().collect::<Vec<_>>(),
+                per_op.graph().to_digraph().edges().collect::<Vec<_>>(),
+                "edge sets diverged at batch {}", k
+            );
+            // ...same labels as the per-op loop...
+            prop_assert_eq!(
+                batched.to_index(),
+                per_op.to_index(),
+                "batched labels diverged from per-op at batch {}", k
+            );
+            // ...and both bit-identical to a from-scratch rebuild.
+            prop_assert_eq!(
+                batched.to_index(),
+                rebuild(&batched),
+                "batched labels diverged from rebuild at batch {}", k
+            );
+        }
+    }
+}
+
+#[test]
+fn one_batch_coalesces_overlapping_repairs() {
+    // A path 0 -> 1 -> 2 -> 3: inserting (0,2) and (1,3) per-op refloods
+    // the shared ancestors/descendants twice; one batch refloods each
+    // affected source once, and the labels still match a rebuild.
+    let g = reach_graph::fixtures::path(4);
+    let mut idx = DynamicIndex::from_digraph(&g, OrderKind::DegreeProduct);
+    let batch = [EdgeEvent::insert(0, 2), EdgeEvent::insert(1, 3)];
+
+    let mut per_op = DynamicIndex::from_digraph(&g, OrderKind::DegreeProduct);
+    let mut per_op_refloods = 0;
+    for ev in &batch {
+        per_op_refloods += per_op.insert_edge(ev.u, ev.v).unwrap().refloods();
+    }
+
+    let stats = idx.apply_batch(&batch);
+    assert_eq!(stats.applied_events, 2);
+    assert!(
+        stats.refloods() < per_op_refloods,
+        "coalescing must save flood work: batch {} vs per-op {}",
+        stats.refloods(),
+        per_op_refloods
+    );
+    assert_eq!(idx.to_index(), per_op.to_index());
+    assert_eq!(idx.to_index(), rebuild(&idx));
+}
+
+#[test]
+fn noop_heavy_batches_do_no_repair() {
+    let g = reach_graph::fixtures::paper_graph();
+    let mut idx = DynamicIndex::from_digraph(&g, OrderKind::DegreeProduct);
+    let before = idx.to_index();
+    // Removing absent edges, re-inserting present ones, and removing with
+    // out-of-range endpoints are all no-ops.
+    let stats = idx.apply_batch(&[
+        EdgeEvent::remove(0, 0),
+        EdgeEvent::insert(1, 0),
+        EdgeEvent::remove(99, 3),
+    ]);
+    assert_eq!(stats.applied_events, 0);
+    assert_eq!(stats.refloods(), 0);
+    assert_eq!(idx.to_index(), before);
+}
+
+#[test]
+fn insert_then_remove_in_one_batch_round_trips() {
+    let g = reach_graph::fixtures::two_components();
+    let mut idx = DynamicIndex::from_digraph(&g, OrderKind::DegreeProduct);
+    let before = idx.to_index();
+    let stats = idx.apply_batch(&[EdgeEvent::insert(2, 3), EdgeEvent::remove(2, 3)]);
+    // Both ops are effective, but the net edge set is unchanged, so the
+    // repaired labels equal the originals (and the rebuild).
+    assert_eq!(stats.applied_events, 2);
+    assert_eq!(idx.to_index(), before);
+    assert_eq!(idx.to_index(), rebuild(&idx));
+    assert!(!idx.query(0, 5));
+}
+
+#[test]
+fn batch_growth_introduces_new_vertices() {
+    let g = reach_graph::fixtures::path(3);
+    let mut idx = DynamicIndex::from_digraph(&g, OrderKind::DegreeProduct);
+    assert_eq!(idx.order().len(), 3);
+    // Events name ids 3..6, unseen at construction.
+    let stats = idx.apply_batch(&[
+        EdgeEvent::insert(2, 3),
+        EdgeEvent::insert(3, 5),
+        EdgeEvent::insert(4, 0),
+    ]);
+    assert_eq!(stats.applied_events, 3);
+    assert_eq!(idx.graph().num_vertices(), 6);
+    assert_eq!(idx.order().len(), 6);
+    assert!(idx.query(0, 5), "0 -> 1 -> 2 -> 3 -> 5");
+    assert!(idx.query(4, 2), "4 -> 0 -> 1 -> 2");
+    assert!(!idx.query(5, 0));
+    assert_eq!(idx.to_index(), rebuild(&idx));
+    // The grown index keeps following later updates.
+    idx.apply_batch(&[EdgeEvent::remove(2, 3)]);
+    assert!(!idx.query(0, 5));
+    assert_eq!(idx.to_index(), rebuild(&idx));
+}
+
+#[test]
+fn ensure_vertex_alone_matches_rebuild() {
+    let g = reach_graph::fixtures::paper_graph();
+    let mut idx = DynamicIndex::from_digraph(&g, OrderKind::DegreeProduct);
+    idx.ensure_vertex(14);
+    assert_eq!(idx.graph().num_vertices(), 15);
+    // New vertices are isolated: reachable only from themselves.
+    assert!(idx.query(12, 12));
+    assert!(!idx.query(12, 0));
+    assert!(!idx.query(0, 12));
+    assert_eq!(idx.to_index(), rebuild(&idx));
+    // Growth is idempotent.
+    idx.ensure_vertex(10);
+    assert_eq!(idx.graph().num_vertices(), 15);
+}
+
+#[test]
+fn interleaved_batches_on_dynamic_graph_from_scratch() {
+    // Start from an edgeless dynamic graph, grow it entirely through
+    // batches, and tear it back down — rebuild-identical throughout.
+    let empty = reach_graph::DiGraph::from_edges(4, vec![]);
+    let ord = OrderAssignment::new(&empty, OrderKind::ById);
+    let mut idx = DynamicIndex::new(DynamicGraph::new(4), ord);
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    let mut live: Vec<(VertexId, VertexId)> = Vec::new();
+    for round in 0..12 {
+        let mut batch = Vec::new();
+        for _ in 0..6 {
+            if !live.is_empty() && rng.gen_bool(0.35) {
+                let at = rng.gen_range(0..live.len());
+                let (u, v) = live.swap_remove(at);
+                batch.push(EdgeEvent::remove(u, v));
+            } else {
+                let (u, v) = (rng.gen_range(0..8), rng.gen_range(0..8));
+                batch.push(EdgeEvent::insert(u, v));
+                live.push((u, v));
+            }
+        }
+        idx.apply_batch(&batch);
+        assert_eq!(idx.to_index(), rebuild(&idx), "round {round}");
+    }
+}

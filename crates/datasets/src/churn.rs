@@ -1,0 +1,302 @@
+//! Deterministic edge-churn streams for the ingest pipeline.
+//!
+//! The live-update benchmarks and the `reach-ingest` tests need
+//! reproducible streams of *effective* edge events: every insert names an
+//! edge that is absent at that point in the stream, every removal an edge
+//! that is present. (No-op events would silently deflate per-event cost
+//! measurements — the repair loop skips them — so the generator tracks
+//! the live edge set and never emits one.)
+//!
+//! A stream is a pure function of `(graph, config)`, like the query
+//! workloads in [`mod@crate::workload`]: replaying the same stream against
+//! the same base graph always visits the same sequence of edge sets,
+//! which is what lets the ingest correctness gate compare an
+//! incrementally-repaired index against a from-scratch rebuild of the
+//! final edge set.
+//!
+//! Streams can also *grow* the graph: a configurable fraction of inserts
+//! attaches a brand-new vertex id (`n`, `n+1`, ... in first-seen order),
+//! exercising the dynamic index's capacity-growth path end to end.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reach_graph::{DiGraph, EdgeEvent, VertexId};
+
+/// Shape of a churn stream. All fields have sensible [`Default`]s.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnConfig {
+    /// Number of events to emit.
+    pub events: usize,
+    /// Probability that an event is an insert (the rest are removals of a
+    /// random live edge). Removals fall back to inserts while no removable
+    /// edge exists, so sparse starts stay effective.
+    pub insert_fraction: f64,
+    /// Fraction of *inserts* that attach a previously-unseen vertex id
+    /// (new ids are allocated densely from `g.num_vertices()` upward).
+    /// `0.0` keeps the vertex set fixed.
+    pub growth_fraction: f64,
+    /// RNG seed; same seed, same stream.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            events: 1_000,
+            insert_fraction: 0.6,
+            growth_fraction: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a churn stream over `g`'s edge set. Every event is effective
+/// when applied in order starting from `g`: inserts are absent, removals
+/// are present. Removals only target edges that are live *at that point*
+/// (original edges may be removed; inserted edges may be removed again).
+///
+/// Events never name self-loops — a self-loop cannot change reachability,
+/// so it would be repair work with no observable effect.
+pub fn churn_stream(g: &DiGraph, cfg: &ChurnConfig) -> Vec<EdgeEvent> {
+    assert!(
+        (0.0..=1.0).contains(&cfg.insert_fraction),
+        "insert_fraction must be in [0, 1]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&cfg.growth_fraction),
+        "growth_fraction must be in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Live edge set: a dense list for O(1) uniform removal picks plus a
+    // position map for O(1) membership and deletion.
+    let mut live: Vec<(VertexId, VertexId)> = g.edges().filter(|(u, v)| u != v).collect();
+    let mut pos: HashMap<(VertexId, VertexId), usize> =
+        live.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+    let mut next_vertex = g.num_vertices() as VertexId;
+    let mut out = Vec::with_capacity(cfg.events);
+
+    while out.len() < cfg.events {
+        let want_remove = !live.is_empty() && !rng.gen_bool(cfg.insert_fraction);
+        if want_remove {
+            let at = rng.gen_range(0..live.len());
+            let (u, v) = live.swap_remove(at);
+            pos.remove(&(u, v));
+            if let Some(&moved) = live.get(at) {
+                pos.insert(moved, at);
+            }
+            out.push(EdgeEvent::remove(u, v));
+            continue;
+        }
+        // Insert: either attach a fresh vertex or draw a non-live pair
+        // among the known vertices. `next_vertex` counts vertices the
+        // stream has already introduced, so growth composes.
+        let (u, v) = if next_vertex > 0 && rng.gen_bool(cfg.growth_fraction) {
+            let old = rng.gen_range(0..next_vertex);
+            let fresh = next_vertex;
+            next_vertex += 1;
+            // Fresh vertices get in- and out-edges alternately, so growth
+            // extends the reachable structure in both directions.
+            if rng.gen_bool(0.5) {
+                (old, fresh)
+            } else {
+                (fresh, old)
+            }
+        } else {
+            // Rejection-sample a currently-absent non-loop pair. The live
+            // set is far below n² in every realistic config, so a few
+            // draws suffice; the attempt bound keeps pathological configs
+            // (near-complete graphs) from spinning.
+            let mut pair = None;
+            for _ in 0..64 {
+                let c = (rng.gen_range(0..next_vertex), rng.gen_range(0..next_vertex));
+                if c.0 != c.1 && !pos.contains_key(&c) {
+                    pair = Some(c);
+                    break;
+                }
+            }
+            match pair {
+                Some(c) => c,
+                // Saturated graph: fall back to removing instead.
+                None if !live.is_empty() => {
+                    let at = rng.gen_range(0..live.len());
+                    let (u, v) = live.swap_remove(at);
+                    pos.remove(&(u, v));
+                    if let Some(&moved) = live.get(at) {
+                        pos.insert(moved, at);
+                    }
+                    out.push(EdgeEvent::remove(u, v));
+                    continue;
+                }
+                None => panic!("cannot generate churn over an empty saturated graph"),
+            }
+        };
+        pos.insert((u, v), live.len());
+        live.push((u, v));
+        out.push(EdgeEvent::insert(u, v));
+    }
+    out
+}
+
+/// The edge set obtained by applying `events` to `g` — the ground truth
+/// the incremental pipeline's final index must match. Returns the final
+/// vertex count and the surviving edges. Panics on an ineffective event,
+/// making it double as a stream validity check in tests.
+pub fn final_edge_set(g: &DiGraph, events: &[EdgeEvent]) -> (usize, Vec<(VertexId, VertexId)>) {
+    let mut live: HashMap<(VertexId, VertexId), ()> = g.edges().map(|e| (e, ())).collect();
+    let mut n = g.num_vertices();
+    for ev in events {
+        match ev.op {
+            reach_graph::EdgeOp::Insert => {
+                assert!(
+                    live.insert((ev.u, ev.v), ()).is_none(),
+                    "ineffective insert {ev}"
+                );
+                n = n.max(ev.u.max(ev.v) as usize + 1);
+            }
+            reach_graph::EdgeOp::Remove => {
+                assert!(
+                    live.remove(&(ev.u, ev.v)).is_some(),
+                    "ineffective remove {ev}"
+                );
+            }
+        }
+    }
+    let mut edges: Vec<_> = live.into_keys().collect();
+    edges.sort_unstable();
+    (n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_graph::EdgeOp;
+
+    fn test_graph() -> DiGraph {
+        crate::by_name("WEBW")
+            .map(|mut s| {
+                s.vertices = 300;
+                s.edges = 900;
+                s.generate()
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let g = test_graph();
+        let cfg = ChurnConfig {
+            events: 500,
+            growth_fraction: 0.05,
+            ..ChurnConfig::default()
+        };
+        let a = churn_stream(&g, &cfg);
+        let b = churn_stream(&g, &cfg);
+        assert_eq!(a, b);
+        let c = churn_stream(&g, &ChurnConfig { seed: 43, ..cfg });
+        assert_ne!(a, c, "stream must vary with the seed");
+        assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn every_event_is_effective() {
+        let g = test_graph();
+        for seed in 0..5 {
+            let events = churn_stream(
+                &g,
+                &ChurnConfig {
+                    events: 800,
+                    insert_fraction: 0.5,
+                    growth_fraction: 0.1,
+                    seed,
+                },
+            );
+            // final_edge_set panics on any ineffective event.
+            let (n, edges) = final_edge_set(&g, &events);
+            assert!(n >= g.num_vertices());
+            assert!(!edges.is_empty());
+        }
+    }
+
+    #[test]
+    fn growth_fraction_zero_keeps_the_vertex_set() {
+        let g = test_graph();
+        let events = churn_stream(&g, &ChurnConfig::default());
+        let n = g.num_vertices() as VertexId;
+        assert!(events.iter().all(|e| e.u < n && e.v < n));
+    }
+
+    #[test]
+    fn growth_fraction_introduces_dense_new_ids() {
+        let g = test_graph();
+        let events = churn_stream(
+            &g,
+            &ChurnConfig {
+                events: 1_000,
+                growth_fraction: 0.2,
+                ..ChurnConfig::default()
+            },
+        );
+        let n = g.num_vertices() as VertexId;
+        let mut fresh: Vec<VertexId> = events
+            .iter()
+            .flat_map(|e| [e.u, e.v])
+            .filter(|&v| v >= n)
+            .collect();
+        fresh.sort_unstable();
+        fresh.dedup();
+        assert!(!fresh.is_empty(), "growth must introduce new ids");
+        // Ids are allocated densely in first-seen order: n, n+1, ...
+        assert_eq!(fresh, (n..n + fresh.len() as VertexId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn insert_fraction_is_roughly_honored() {
+        let g = test_graph();
+        let events = churn_stream(
+            &g,
+            &ChurnConfig {
+                events: 2_000,
+                insert_fraction: 0.7,
+                ..ChurnConfig::default()
+            },
+        );
+        let inserts = events.iter().filter(|e| e.op == EdgeOp::Insert).count();
+        let frac = inserts as f64 / events.len() as f64;
+        assert!((0.6..=0.8).contains(&frac), "insert fraction {frac}");
+    }
+
+    #[test]
+    fn removals_can_hit_streamed_inserts() {
+        // With heavy removal pressure the stream must eventually remove
+        // edges it inserted itself (the live set shrinks below the base).
+        let g = DiGraph::from_edges(10, vec![(0, 1)]);
+        let events = churn_stream(
+            &g,
+            &ChurnConfig {
+                events: 400,
+                insert_fraction: 0.5,
+                ..ChurnConfig::default()
+            },
+        );
+        let base: Vec<(VertexId, VertexId)> = g.edges().collect();
+        assert!(events
+            .iter()
+            .any(|e| e.op == EdgeOp::Remove && !base.contains(&(e.u, e.v))));
+    }
+
+    #[test]
+    fn no_self_loops_emitted() {
+        let g = test_graph();
+        let events = churn_stream(
+            &g,
+            &ChurnConfig {
+                events: 1_000,
+                growth_fraction: 0.1,
+                ..ChurnConfig::default()
+            },
+        );
+        assert!(events.iter().all(|e| e.u != e.v));
+    }
+}

@@ -22,9 +22,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use reach_graph::{DiGraph, VertexId};
 
+pub mod churn;
 pub mod generators;
 pub mod workload;
 
+pub use churn::{churn_stream, final_edge_set, ChurnConfig};
 pub use generators::{citation_dag, layered_dag, rmat, social, web};
 pub use workload::{standard_mixes, workload, QueryMix};
 

@@ -8,6 +8,92 @@
 
 use crate::{csr::Direction, view::GraphView, DiGraph, VertexId};
 
+/// What went wrong on a fallible [`DynamicGraph`] mutation.
+///
+/// The non-growing entry points ([`DynamicGraph::try_insert_edge`],
+/// [`DynamicGraph::try_remove_edge`]) surface an out-of-range endpoint as
+/// this typed error instead of panicking, so streaming callers (the
+/// ingest pipeline) can reject a malformed event without dying. Growth is
+/// explicit: call [`DynamicGraph::ensure_vertex`] first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DynamicGraphError {
+    /// An edge endpoint names a vertex the graph does not (yet) have.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The graph's current vertex count.
+        num_vertices: usize,
+    },
+}
+
+impl std::fmt::Display for DynamicGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynamicGraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range: graph has {num_vertices} vertices"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DynamicGraphError {}
+
+/// The kind of one edge update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeOp {
+    /// Add the edge (a no-op if it already exists).
+    Insert,
+    /// Delete the edge (a no-op if it is absent).
+    Remove,
+}
+
+/// One edge update of a dynamic-graph stream: the unit the churn
+/// generators (`reach_datasets::churn`) emit, the event log replays, and
+/// `reach_core::dynamic::DynamicIndex::apply_batch` repairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeEvent {
+    /// Insert or remove.
+    pub op: EdgeOp,
+    /// Edge tail.
+    pub u: VertexId,
+    /// Edge head.
+    pub v: VertexId,
+}
+
+impl EdgeEvent {
+    /// An insertion event `u -> v`.
+    pub fn insert(u: VertexId, v: VertexId) -> Self {
+        EdgeEvent {
+            op: EdgeOp::Insert,
+            u,
+            v,
+        }
+    }
+
+    /// A removal event `u -> v`.
+    pub fn remove(u: VertexId, v: VertexId) -> Self {
+        EdgeEvent {
+            op: EdgeOp::Remove,
+            u,
+            v,
+        }
+    }
+}
+
+impl std::fmt::Display for EdgeEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sign = match self.op {
+            EdgeOp::Insert => '+',
+            EdgeOp::Remove => '-',
+        };
+        write!(f, "{sign} {} {}", self.u, self.v)
+    }
+}
+
 /// A directed graph supporting edge insertion and removal.
 #[derive(Clone, Debug, Default)]
 pub struct DynamicGraph {
@@ -49,13 +135,38 @@ impl DynamicGraph {
         DiGraph::from_edges(self.out.len(), edges)
     }
 
+    /// Grows the vertex set so that `v` is a valid id (all ids up to and
+    /// including `v` become valid, with empty neighbor lists). A no-op if
+    /// `v` is already in range. Existing neighbor lists — and their
+    /// sorted-order invariant — are untouched, so traversal output over
+    /// the old vertices is unchanged.
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        let need = v as usize + 1;
+        if need > self.out.len() {
+            self.out.resize_with(need, Vec::new);
+            self.inn.resize_with(need, Vec::new);
+        }
+    }
+
     /// Inserts `u -> v`; returns `false` if it already existed.
+    ///
+    /// # Panics
+    ///
+    /// If either endpoint is out of range — this entry point never grows
+    /// the graph. Use [`DynamicGraph::try_insert_edge`] for a typed error
+    /// or [`DynamicGraph::ensure_vertex`] to grow first.
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
-        assert!(
-            (u as usize) < self.out.len() && (v as usize) < self.out.len(),
-            "edge ({u}, {v}) out of range"
-        );
-        match self.out[u as usize].binary_search(&v) {
+        self.try_insert_edge(u, v)
+            .unwrap_or_else(|e| panic!("edge ({u}, {v}) out of range: {e}"))
+    }
+
+    /// Fallible [`DynamicGraph::insert_edge`]: an out-of-range endpoint is
+    /// a typed [`DynamicGraphError`] instead of a panic. Never grows the
+    /// vertex set.
+    pub fn try_insert_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool, DynamicGraphError> {
+        self.check_range(u)?;
+        self.check_range(v)?;
+        Ok(match self.out[u as usize].binary_search(&v) {
             Ok(_) => false,
             Err(pos) => {
                 self.out[u as usize].insert(pos, v);
@@ -66,12 +177,26 @@ impl DynamicGraph {
                 self.num_edges += 1;
                 true
             }
-        }
+        })
     }
 
     /// Removes `u -> v`; returns `false` if it was absent.
+    ///
+    /// # Panics
+    ///
+    /// If either endpoint is out of range; see
+    /// [`DynamicGraph::try_remove_edge`].
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
-        match self.out[u as usize].binary_search(&v) {
+        self.try_remove_edge(u, v)
+            .unwrap_or_else(|e| panic!("edge ({u}, {v}) out of range: {e}"))
+    }
+
+    /// Fallible [`DynamicGraph::remove_edge`]: an out-of-range endpoint is
+    /// a typed [`DynamicGraphError`] instead of a panic.
+    pub fn try_remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<bool, DynamicGraphError> {
+        self.check_range(u)?;
+        self.check_range(v)?;
+        Ok(match self.out[u as usize].binary_search(&v) {
             Err(_) => false,
             Ok(pos) => {
                 self.out[u as usize].remove(pos);
@@ -82,12 +207,26 @@ impl DynamicGraph {
                 self.num_edges -= 1;
                 true
             }
+        })
+    }
+
+    /// Tests edge existence. Out-of-range endpoints are simply absent.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        match self.out.get(u as usize) {
+            Some(list) => list.binary_search(&v).is_ok(),
+            None => false,
         }
     }
 
-    /// Tests edge existence.
-    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        self.out[u as usize].binary_search(&v).is_ok()
+    fn check_range(&self, v: VertexId) -> Result<(), DynamicGraphError> {
+        if (v as usize) < self.out.len() {
+            Ok(())
+        } else {
+            Err(DynamicGraphError::VertexOutOfRange {
+                vertex: v,
+                num_vertices: self.out.len(),
+            })
+        }
     }
 }
 
@@ -166,5 +305,71 @@ mod tests {
         assert!(g.insert_edge(1, 1));
         assert_eq!(g.neighbors(1, Direction::Forward), &[1]);
         assert_eq!(g.neighbors(1, Direction::Backward), &[1]);
+    }
+
+    #[test]
+    fn out_of_range_is_a_typed_error() {
+        let mut g = DynamicGraph::new(3);
+        assert_eq!(
+            g.try_insert_edge(0, 7),
+            Err(DynamicGraphError::VertexOutOfRange {
+                vertex: 7,
+                num_vertices: 3
+            })
+        );
+        assert_eq!(
+            g.try_remove_edge(9, 0),
+            Err(DynamicGraphError::VertexOutOfRange {
+                vertex: 9,
+                num_vertices: 3
+            })
+        );
+        // Nothing was mutated by the rejected calls.
+        assert_eq!(g.num_edges(), 0);
+        assert!(!g.has_edge(0, 7), "out-of-range edges are absent");
+        let e = g.try_insert_edge(0, 7).unwrap_err();
+        assert!(e.to_string().contains("vertex 7"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn panicking_insert_still_panics_out_of_range() {
+        DynamicGraph::new(1).insert_edge(0, 5);
+    }
+
+    #[test]
+    fn ensure_vertex_grows_and_preserves_invariants() {
+        let mut g = DynamicGraph::new(2);
+        g.insert_edge(0, 1);
+        g.ensure_vertex(4);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 1);
+        // Old adjacency untouched, new vertices empty.
+        assert_eq!(g.neighbors(0, Direction::Forward), &[1]);
+        assert!(g.neighbors(4, Direction::Forward).is_empty());
+        // Growth is idempotent and never shrinks.
+        g.ensure_vertex(2);
+        assert_eq!(g.num_vertices(), 5);
+        // New ids are immediately usable; sorted invariant holds across
+        // old and new endpoints.
+        assert!(g.insert_edge(4, 0));
+        assert!(g.insert_edge(1, 4));
+        for v in [0, 3, 2] {
+            g.insert_edge(4, v);
+        }
+        assert_eq!(g.neighbors(4, Direction::Forward), &[0, 2, 3]);
+        let back = g.to_digraph();
+        assert_eq!(back.num_vertices(), 5);
+        assert!(back.has_edge(1, 4));
+    }
+
+    #[test]
+    fn edge_events_build_and_display() {
+        let ins = EdgeEvent::insert(3, 4);
+        assert_eq!(ins.op, EdgeOp::Insert);
+        assert_eq!(ins.to_string(), "+ 3 4");
+        let rem = EdgeEvent::remove(4, 3);
+        assert_eq!(rem.op, EdgeOp::Remove);
+        assert_eq!(rem.to_string(), "- 4 3");
     }
 }

@@ -40,7 +40,7 @@ pub use bitset::BitSet;
 pub use builder::GraphBuilder;
 pub use closure::TransitiveClosure;
 pub use csr::{DiGraph, Direction};
-pub use dynamic::DynamicGraph;
+pub use dynamic::{DynamicGraph, DynamicGraphError, EdgeEvent, EdgeOp};
 pub use order::{OrderAssignment, OrderKind};
 pub use traverse::VisitBuffer;
 pub use view::GraphView;

@@ -126,6 +126,23 @@ impl OrderAssignment {
     pub fn processing_sequence(&self) -> &[VertexId] {
         &self.by_rank
     }
+
+    /// Extends a *frozen* order with one new vertex at the **lowest**
+    /// order (the last processing position) and returns its id, which is
+    /// always the previous [`OrderAssignment::len`].
+    ///
+    /// This is the growth rule of the dynamic-maintenance path: the
+    /// existing ranks — and therefore every already-computed trimmed BFS
+    /// over the old vertices — are untouched, and appending streamed-in
+    /// vertices in first-seen order keeps the extension deterministic, so
+    /// a from-scratch rebuild under the same extended order stays
+    /// bit-identical.
+    pub fn push_lowest(&mut self) -> VertexId {
+        let v = self.rank.len() as VertexId;
+        self.rank.push(self.by_rank.len() as u32);
+        self.by_rank.push(v);
+        v
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +213,28 @@ mod tests {
     #[should_panic(expected = "not a permutation")]
     fn non_permutation_sequence_panics() {
         OrderAssignment::from_processing_sequence(vec![0, 0]);
+    }
+
+    #[test]
+    fn push_lowest_appends_at_the_tail_of_the_order() {
+        let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let mut ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+        let before = ord.processing_sequence().to_vec();
+        let v = ord.push_lowest();
+        assert_eq!(v, 3);
+        assert_eq!(ord.len(), 4);
+        // Old ranks are frozen; the new vertex has the lowest order.
+        assert_eq!(&ord.processing_sequence()[..3], &before[..]);
+        assert_eq!(ord.vertex_at_rank(3), 3);
+        for u in 0..3 {
+            assert!(ord.higher(u, 3));
+        }
+        // rank/vertex_at_rank stay inverse after growth.
+        let w = ord.push_lowest();
+        assert_eq!(w, 4);
+        for u in 0..5 {
+            assert_eq!(ord.vertex_at_rank(ord.rank(u)), u);
+        }
     }
 
     use crate::DiGraph;

@@ -28,6 +28,17 @@ impl VisitBuffer {
         }
     }
 
+    /// Grows the buffer to cover `n` vertices (no-op if already as large).
+    /// New slots start unmarked in every epoch, so growth mid-stream (a
+    /// dynamic graph gaining vertices) cannot alias an old mark.
+    pub fn grow(&mut self, n: usize) {
+        if n > self.stamp.len() {
+            // A fresh stamp of 0 can only collide with epoch 0, which no
+            // mark ever runs under (`reset` bumps to >= 1 first).
+            self.stamp.resize(n, 0);
+        }
+    }
+
     /// Invalidates all marks (O(1) amortized).
     pub fn reset(&mut self) {
         if self.epoch == u32::MAX {

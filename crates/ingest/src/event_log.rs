@@ -1,0 +1,123 @@
+//! A replayable text format for edge-event streams.
+//!
+//! One event per line, `+ u v` for an insert and `- u v` for a removal —
+//! the same whitespace-separated shape as the edge lists in
+//! `reach_graph::io`, so logs diff cleanly and can be cut/concatenated
+//! with standard tools. Blank lines and `#` comments are skipped, which
+//! makes a log self-documenting:
+//!
+//! ```text
+//! # WEBW churn, seed 42
+//! + 17 4093
+//! - 4093 17
+//! ```
+//!
+//! [`write_log`] ∘ [`parse_log`] round-trips exactly; a captured stream
+//! replayed through [`crate::Ingest`] against the same base graph visits
+//! the same sequence of published indexes.
+
+use std::fmt::Write as _;
+
+use reach_graph::{EdgeEvent, EdgeOp};
+
+use crate::IngestError;
+
+/// Renders events in the replayable log format, one per line.
+pub fn write_log(events: &[EdgeEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 12);
+    for ev in events {
+        // EdgeEvent's Display is exactly the log line format.
+        writeln!(out, "{ev}").expect("string write cannot fail");
+    }
+    out
+}
+
+/// Parses a log produced by [`write_log`] (or by hand). Skips blank
+/// lines and `#` comments; anything else must be `+ u v` or `- u v`.
+pub fn parse_log(log: &str) -> Result<Vec<EdgeEvent>, IngestError> {
+    let mut events = Vec::new();
+    for (no, line) in log.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |reason: &str| IngestError::Parse {
+            line: no + 1,
+            reason: reason.to_string(),
+        };
+        let mut parts = line.split_whitespace();
+        let op = match parts.next() {
+            Some("+") => EdgeOp::Insert,
+            Some("-") => EdgeOp::Remove,
+            _ => return Err(bad("expected '+' or '-'")),
+        };
+        let mut vertex = || -> Result<u32, IngestError> {
+            parts
+                .next()
+                .ok_or_else(|| bad("missing vertex id"))?
+                .parse()
+                .map_err(|_| bad("vertex id is not a u32"))
+        };
+        let (u, v) = (vertex()?, vertex()?);
+        if parts.next().is_some() {
+            return Err(bad("trailing tokens after 'op u v'"));
+        }
+        events.push(EdgeEvent { op, u, v });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let events = vec![
+            EdgeEvent::insert(17, 4093),
+            EdgeEvent::remove(4093, 17),
+            EdgeEvent::insert(0, 1),
+        ];
+        let log = write_log(&events);
+        assert_eq!(parse_log(&log).unwrap(), events);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let log = "# header\n\n+ 1 2\n  # indented comment\n- 2 1\n";
+        assert_eq!(
+            parse_log(log).unwrap(),
+            vec![EdgeEvent::insert(1, 2), EdgeEvent::remove(2, 1)]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_position() {
+        for (log, needle) in [
+            ("+ 1", "missing vertex id"),
+            ("* 1 2", "expected '+' or '-'"),
+            ("+ 1 2 3", "trailing tokens"),
+            ("+ x 2", "not a u32"),
+        ] {
+            let err = parse_log(log).unwrap_err();
+            match err {
+                IngestError::Parse { line, reason } => {
+                    assert_eq!(line, 1);
+                    assert!(reason.contains(needle), "{reason:?} vs {needle:?}");
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+        // Errors report the right line past comments.
+        match parse_log("# ok\n+ 1 2\nbogus\n").unwrap_err() {
+            IngestError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_log_is_empty_stream() {
+        assert!(parse_log("").unwrap().is_empty());
+        assert!(parse_log("# only comments\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! `reach-ingest` — streaming edge churn, incremental repair, and
+//! automatic hot-swap for the reachability query service.
+//!
+//! The paper's Remark (§II-B) leaves *dynamic* maintenance of the
+//! distributed labeling as future work; `reach-core`'s [`DynamicIndex`]
+//! implements the single-machine repair primitive, and this crate closes
+//! the loop from a live update stream to served answers:
+//!
+//! 1. **Stream** — producers submit [`EdgeEvent`]s ([`Ingest::submit`])
+//!    into a bounded queue; deterministic churn generators live in
+//!    `reach_datasets::churn`, and [`event_log`] gives streams a
+//!    replayable on-disk form.
+//! 2. **Repair** — a worker drains events into delta batches (flushed by
+//!    size or age) and applies them through
+//!    [`DynamicIndex::apply_batch`] on a private shadow copy of the
+//!    served index's state.
+//! 3. **Publish** — on a configurable cadence the worker snapshots the
+//!    repaired labels into an immutable `ReachIndex` and installs it via
+//!    the generation-tagged [`QueryService::swap_index`] hot-swap (any
+//!    [`IndexSink`] works), recording **update-to-visibility latency**
+//!    per event.
+//!
+//! The correctness gate: every published snapshot can be verified
+//! bit-identical to a from-scratch DRL build of the same edge set under
+//! the same frozen order ([`IngestConfig::verify_publishes`], on by
+//! default). See `docs/INGEST.md` for the operational model and knobs.
+//!
+//! [`DynamicIndex`]: reach_core::dynamic::DynamicIndex
+//! [`DynamicIndex::apply_batch`]: reach_core::dynamic::DynamicIndex::apply_batch
+//! [`EdgeEvent`]: reach_graph::EdgeEvent
+//! [`QueryService::swap_index`]: reach_serve::QueryService::swap_index
+
+pub mod event_log;
+pub mod pipeline;
+
+pub use event_log::{parse_log, write_log};
+pub use pipeline::{IndexSink, Ingest, IngestConfig, IngestStats, LatestSink, RepairMode};
+
+/// Errors surfaced by the ingest pipeline and the event-log parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// The pipeline is shutting down; the event was not enqueued.
+    Closed,
+    /// An event-log line did not parse.
+    Parse {
+        /// 1-based line number in the log text.
+        line: usize,
+        /// What was wrong with the line.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Closed => write!(f, "ingest pipeline is closed"),
+            IngestError::Parse { line, reason } => {
+                write!(f, "event log line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}

@@ -1,0 +1,241 @@
+//! The end-to-end correctness gate: churn, queries, and swap storms
+//! racing against one live [`QueryService`], validated differentially.
+//!
+//! A recording sink keeps every published snapshot keyed by the
+//! generation the service installed it under. Query batches race the
+//! ingest pipeline and report the generation they were answered at
+//! (pinned at first worker pickup); after the dust settles, every single
+//! answer is replayed against the snapshot of *its own* generation — a
+//! stale cache entry, a torn batch, or a snapshot that doesn't match its
+//! generation all show up as a differential mismatch.
+//!
+//! The final published index is additionally checked bit-identical to a
+//! from-scratch DRL build of the final edge set under the same frozen
+//! order (base order + streamed-in vertices appended lowest in
+//! first-seen order).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use reach_core::dynamic::DynamicIndex;
+use reach_datasets::{churn_stream, final_edge_set, workload, ChurnConfig, QueryMix};
+use reach_graph::{DiGraph, OrderAssignment, OrderKind, VertexId};
+use reach_index::ReachIndex;
+use reach_ingest::{IndexSink, Ingest, IngestConfig, RepairMode};
+use reach_serve::{QueryService, ServeConfig};
+
+/// One querier observation: the batch, its answers, and the generation
+/// that answered it.
+type AnsweredBatch = (Vec<(VertexId, VertexId)>, Vec<bool>, u64);
+
+/// Delegates installs to the service and remembers what each generation
+/// serves, for post-hoc differential validation.
+struct RecordingSink {
+    service: Arc<QueryService>,
+    by_generation: Mutex<HashMap<u64, Arc<ReachIndex>>>,
+}
+
+impl IndexSink for RecordingSink {
+    fn install(&self, index: Arc<ReachIndex>) -> u64 {
+        let generation = self.service.swap_index(Arc::clone(&index));
+        self.by_generation.lock().unwrap().insert(generation, index);
+        generation
+    }
+}
+
+fn base_graph() -> DiGraph {
+    reach_datasets::by_name("WEBW")
+        .map(|mut s| {
+            s.vertices = 250;
+            s.edges = 700;
+            s.generate()
+        })
+        .unwrap()
+}
+
+/// The frozen order the pipeline ends at: the base order extended by
+/// push_lowest for every streamed-in vertex (dense first-seen ids).
+fn extended_order(base: &DiGraph, final_n: usize) -> OrderAssignment {
+    let mut ord = OrderAssignment::new(base, OrderKind::DegreeProduct);
+    while ord.len() < final_n {
+        ord.push_lowest();
+    }
+    ord
+}
+
+#[test]
+fn churn_queries_and_swap_storms_race_without_divergence() {
+    let g = base_graph();
+    let ord = OrderAssignment::new(&g, OrderKind::DegreeProduct);
+    let initial = Arc::new(reach_core::improved::drl(&g, &ord));
+
+    let service = Arc::new(QueryService::start(
+        Arc::clone(&initial),
+        ServeConfig::with_workers(2),
+    ));
+    let sink = Arc::new(RecordingSink {
+        service: Arc::clone(&service),
+        by_generation: Mutex::new(HashMap::from([(service.generation(), initial)])),
+    });
+
+    let shadow = DynamicIndex::new(reach_graph::DynamicGraph::from_digraph(&g), ord);
+    let ingest = Arc::new(Ingest::start(
+        shadow,
+        Arc::clone(&sink) as Arc<dyn IndexSink>,
+        IngestConfig {
+            flush_events: 16,
+            flush_age: Duration::from_millis(2),
+            publish_every_batches: 2,
+            mode: RepairMode::Incremental,
+            verify_publishes: true,
+            ..IngestConfig::default()
+        },
+    ));
+
+    let events = churn_stream(
+        &g,
+        &ChurnConfig {
+            events: 400,
+            insert_fraction: 0.6,
+            growth_fraction: 0.05,
+            seed: 7,
+        },
+    );
+
+    // Producer: the churn stream, trickled so flushes interleave queries.
+    let producer = {
+        let ingest = Arc::clone(&ingest);
+        let events = events.clone();
+        std::thread::spawn(move || {
+            for chunk in events.chunks(25) {
+                ingest.submit_all(chunk).unwrap();
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        })
+    };
+    // Swap storm: forced publishes racing the cadence-driven ones.
+    let storm = {
+        let ingest = Arc::clone(&ingest);
+        std::thread::spawn(move || {
+            for _ in 0..30 {
+                ingest.publish_now().unwrap();
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        })
+    };
+    // Queriers: batches race the swaps; answers + pinned generation are
+    // collected for post-hoc validation. Queries stay within the base
+    // vertex set so they are valid against every generation.
+    let queriers: Vec<_> = (0..2u64)
+        .map(|qid| {
+            let service = Arc::clone(&service);
+            let g = g.clone();
+            std::thread::spawn(move || {
+                let mut seen: Vec<AnsweredBatch> = Vec::new();
+                for round in 0..40 {
+                    let queries = workload(&g, QueryMix::Uniform, 64, qid * 1000 + round);
+                    let ticket = match service.submit_batch_async(&queries, None) {
+                        Ok(t) => t,
+                        Err(_) => continue, // overload rejections are fine
+                    };
+                    let (answers, generation) = ticket.wait_tagged().unwrap();
+                    seen.push((queries, answers, generation));
+                }
+                seen
+            })
+        })
+        .collect();
+
+    producer.join().unwrap();
+    storm.join().unwrap();
+    let answered: Vec<_> = queriers
+        .into_iter()
+        .flat_map(|q| q.join().unwrap())
+        .collect();
+
+    // Final barrier publish so the last events are visible, then stop.
+    let ingest = Arc::into_inner(ingest).expect("all clones joined");
+    let final_generation = ingest.publish_now().unwrap();
+    let stats = ingest.shutdown();
+
+    assert_eq!(stats.events_ingested, events.len());
+    assert_eq!(stats.events_applied, events.len(), "churn is all-effective");
+    assert_eq!(
+        stats.verify_failures, 0,
+        "every publish matched its rebuild"
+    );
+    assert_eq!(stats.verified_publishes, stats.publishes);
+    assert_eq!(stats.visibility_ns.len(), events.len());
+
+    // Differential validation: every answer against its own generation's
+    // snapshot. Any cross-generation cache leak or torn batch fails here.
+    // (Unwrapping the sink also releases its service handle so the
+    // service can be shut down by value below.)
+    let sink = Arc::into_inner(sink).expect("ingest worker exited");
+    drop(sink.service);
+    let by_generation = sink.by_generation.into_inner().unwrap();
+    assert!(!answered.is_empty());
+    for (queries, answers, generation) in &answered {
+        let idx = by_generation
+            .get(generation)
+            .unwrap_or_else(|| panic!("answered at unknown generation {generation}"));
+        for ((s, t), &got) in queries.iter().zip(answers) {
+            assert_eq!(
+                got,
+                idx.query(*s, *t),
+                "q({s},{t}) diverged from generation {generation}"
+            );
+        }
+    }
+
+    // The final snapshot equals a from-scratch build of the final edge
+    // set under the frozen (extended) order.
+    let (final_n, final_edges) = final_edge_set(&g, &events);
+    let final_graph = DiGraph::from_edges(final_n, final_edges);
+    let expect = reach_core::improved::drl(&final_graph, &extended_order(&g, final_n));
+    let served = by_generation.get(&final_generation).unwrap();
+    assert_eq!(**served, expect, "final publish != from-scratch rebuild");
+
+    // Serve-side ledger: everything submitted is accounted for.
+    let service = Arc::into_inner(service).expect("sole owner");
+    let serve_stats = service.shutdown();
+    assert!(serve_stats.is_balanced(), "{serve_stats:?}");
+    assert!(serve_stats.swaps as usize >= stats.publishes);
+}
+
+#[test]
+fn replayed_event_log_reproduces_the_published_index() {
+    // Capture a churn stream to the log format, replay it through a
+    // second pipeline, and require the identical final snapshot — the
+    // property that makes logs a debugging artifact.
+    let g = base_graph();
+    let events = churn_stream(
+        &g,
+        &ChurnConfig {
+            events: 120,
+            growth_fraction: 0.1,
+            ..ChurnConfig::default()
+        },
+    );
+    let log = reach_ingest::write_log(&events);
+    let replayed = reach_ingest::parse_log(&log).unwrap();
+    assert_eq!(replayed, events);
+
+    let run = |events: &[reach_graph::EdgeEvent]| {
+        let sink = Arc::new(reach_ingest::LatestSink::new());
+        let ingest = Ingest::start(
+            DynamicIndex::from_digraph(&g, OrderKind::DegreeProduct),
+            Arc::clone(&sink) as Arc<dyn IndexSink>,
+            IngestConfig {
+                flush_events: 32,
+                ..IngestConfig::default()
+            },
+        );
+        ingest.submit_all(events).unwrap();
+        let stats = ingest.shutdown();
+        assert!(stats.identical_to_rebuild());
+        sink.latest().1.unwrap()
+    };
+    assert_eq!(*run(&events), *run(&replayed));
+}

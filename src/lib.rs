@@ -5,6 +5,7 @@ pub use reach_datasets as datasets;
 pub use reach_drl_dist as dist;
 pub use reach_graph as graph;
 pub use reach_index as index;
+pub use reach_ingest as ingest;
 pub use reach_obs as obs;
 pub use reach_serve as serve;
 pub use reach_served as served;
