@@ -1,0 +1,359 @@
+//! Size and negative-query cost of the compressed / out-of-core index
+//! formats.
+//!
+//! For each Table-V medium (scaled), builds the DRLb index once, then
+//! materializes it five ways — v1 file, v2-plain, v2-delta-varint,
+//! v2-delta + Bloom pre-filter, and the Bloom file re-opened through the
+//! mmap read path — and measures:
+//!
+//! * **bytes per vertex** for every on-disk form, with the compression
+//!   ratio of v2-delta over v1 (the acceptance floor is 1.5×: adaptive
+//!   u32 offsets plus delta varints against v1's fixed 16 B/vertex of
+//!   u64 offsets and 4 B/entry payloads);
+//! * **negative-query p50/p99** per source on a 90%-negative workload —
+//!   the traffic shape the Bloom gate exists for — plus the measured
+//!   gate skip and false-positive rates;
+//! * **mmap cold-open latency**: `MmapIndex::open` validates every
+//!   section, so the open walks (and faults in) the whole image — that
+//!   cost is the out-of-core trade, and it is reported, not hidden.
+//!
+//! Every source is differentially verified against `ReachIndex::query`
+//! on the full workload before any timing is trusted. Output lands in
+//! `BENCH_compression.json` at the repo root. Honors
+//! `REACH_BENCH_SCALE` / `REACH_BENCH_DATASETS`; `--smoke` shrinks the
+//! run for CI.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use reach_bench::{dataset_filter, scaled, Report};
+use reach_core::BatchParams;
+use reach_datasets::{negative_mix, workload};
+use reach_graph::{DiGraph, OrderAssignment, OrderKind, VertexId};
+use reach_index::storage::encode_index_v2;
+use reach_index::{BloomConfig, CodecId, CompressedIndex, IndexSource, MmapIndex, ReachIndex};
+use reach_vcs::NetworkModel;
+
+const SIM_NODES: usize = 8;
+const WORKLOAD_SEED: u64 = 0xc0de;
+
+struct SizeRow {
+    dataset: &'static str,
+    vertices: usize,
+    entries: usize,
+    v1_bytes: usize,
+    plain_bytes: usize,
+    delta_bytes: usize,
+    bloom_bytes: usize,
+    ratio_v1_over_delta: f64,
+}
+
+struct LatRow {
+    dataset: &'static str,
+    source: &'static str,
+    p50_ns: f64,
+    p99_ns: f64,
+}
+
+struct BloomRow {
+    dataset: &'static str,
+    bits_per_vertex: u32,
+    negatives: usize,
+    skip_rate: f64,
+    fp_rate: f64,
+}
+
+fn build_index(g: &DiGraph) -> ReachIndex {
+    let ord = OrderAssignment::new(g, OrderKind::DegreeProduct);
+    let (idx, _stats) = reach_drl_dist::drlb::run_configured(
+        g,
+        &ord,
+        BatchParams::default(),
+        SIM_NODES,
+        NetworkModel::default(),
+        None,
+        None,
+    )
+    .expect("fault-free build");
+    idx
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let i = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[i] as f64
+}
+
+/// Per-query latency of `source` over the workload: answers are checked
+/// against `expect` while timing, so a diverging source aborts the bench
+/// rather than reporting a fast wrong answer.
+fn time_source(
+    source: &dyn IndexSource,
+    queries: &[(VertexId, VertexId)],
+    expect: &[bool],
+) -> (f64, f64) {
+    let mut lat: Vec<u64> = Vec::with_capacity(queries.len());
+    for (i, &(s, t)) in queries.iter().enumerate() {
+        let t0 = Instant::now();
+        let got = source.query(s, t);
+        lat.push(t0.elapsed().as_nanos() as u64);
+        assert_eq!(got, expect[i], "divergent answer at ({s}, {t})");
+    }
+    lat.sort_unstable();
+    (percentile(&lat, 0.50), percentile(&lat, 0.99))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke && std::env::var("REACH_BENCH_SCALE").is_err() {
+        std::env::set_var("REACH_BENCH_SCALE", "0.05");
+    }
+    let queries_per_run = if smoke { 4_000 } else { 20_000 };
+    let max_datasets = if smoke { 2 } else { usize::MAX };
+    let filter = dataset_filter();
+
+    let mut sizes: Vec<SizeRow> = Vec::new();
+    let mut lats: Vec<LatRow> = Vec::new();
+    let mut blooms: Vec<BloomRow> = Vec::new();
+    let mut cold_opens: Vec<(&'static str, f64)> = Vec::new();
+
+    let mut size_report = Report::new(
+        "compression_size",
+        &[
+            "Name",
+            "Vertices",
+            "v1_B",
+            "plain_B",
+            "delta_B",
+            "delta+bloom_B",
+            "v1/delta",
+        ],
+    );
+    let mut lat_report = Report::new(
+        "compression_negative_latency",
+        &["Name", "Source", "p50_ns", "p99_ns"],
+    );
+
+    let mut used = 0usize;
+    for spec in reach_datasets::mediums() {
+        if let Some(f) = &filter {
+            if !f.contains(&spec.name.to_string()) {
+                continue;
+            }
+        }
+        if used == max_datasets {
+            break;
+        }
+        used += 1;
+        let spec = scaled(&spec);
+        let g = spec.generate();
+        let idx = build_index(&g);
+        let n = idx.num_vertices();
+
+        // ---- sizes ----------------------------------------------------
+        let mut v1 = Vec::new();
+        reach_index::storage::write_index(&idx, &mut v1).expect("v1 encode");
+        let plain = encode_index_v2(&idx, CodecId::Plain, None);
+        let delta = encode_index_v2(&idx, CodecId::DeltaVarint, None);
+        let bloom_cfg = BloomConfig::sized_for(&idx);
+        let bloomed = encode_index_v2(&idx, CodecId::DeltaVarint, Some(bloom_cfg));
+        let ratio = v1.len() as f64 / delta.len() as f64;
+        assert!(
+            ratio >= 1.5,
+            "{}: v1/delta ratio {ratio:.2} below the 1.5x acceptance floor",
+            spec.name
+        );
+        size_report.row(vec![
+            spec.name.into(),
+            n.to_string(),
+            v1.len().to_string(),
+            plain.len().to_string(),
+            delta.len().to_string(),
+            bloomed.len().to_string(),
+            format!("{ratio:.2}"),
+        ]);
+        sizes.push(SizeRow {
+            dataset: spec.name,
+            vertices: n,
+            entries: idx.num_entries(),
+            v1_bytes: v1.len(),
+            plain_bytes: plain.len(),
+            delta_bytes: delta.len(),
+            bloom_bytes: bloomed.len(),
+            ratio_v1_over_delta: ratio,
+        });
+
+        // ---- mmap cold open -------------------------------------------
+        let path = std::env::temp_dir().join(format!(
+            "reach-compression-bench-{}-{}.ridx",
+            std::process::id(),
+            spec.name
+        ));
+        std::fs::write(&path, &bloomed).expect("write bench index");
+        let t0 = Instant::now();
+        let mmapped = MmapIndex::open(&path).expect("mmap open");
+        let open_ms = t0.elapsed().as_secs_f64() * 1e3;
+        cold_opens.push((spec.name, open_ms));
+
+        // ---- sources under test ---------------------------------------
+        let ram = Arc::new(idx.clone());
+        let src_plain = CompressedIndex::from_bytes(plain).expect("plain parses");
+        let src_delta = CompressedIndex::from_bytes(delta).expect("delta parses");
+        let src_bloom = CompressedIndex::from_bytes(bloomed).expect("delta+bloom parses");
+
+        let queries = workload(&g, negative_mix().1, queries_per_run, WORKLOAD_SEED);
+        let expect: Vec<bool> = queries.iter().map(|&(s, t)| idx.query(s, t)).collect();
+
+        // ---- bloom gate statistics ------------------------------------
+        let (mut negatives, mut skips, mut fps) = (0usize, 0usize, 0usize);
+        for (i, &(s, t)) in queries.iter().enumerate() {
+            if expect[i] {
+                continue;
+            }
+            negatives += 1;
+            match src_bloom.bloom_gate(s, t).0 {
+                Some(false) => skips += 1,
+                Some(true) => fps += 1,
+                None => unreachable!("filter configured"),
+            }
+        }
+        blooms.push(BloomRow {
+            dataset: spec.name,
+            bits_per_vertex: bloom_cfg.bits_per_vertex,
+            negatives,
+            skip_rate: skips as f64 / negatives.max(1) as f64,
+            fp_rate: fps as f64 / negatives.max(1) as f64,
+        });
+
+        // ---- negative-query latency per source ------------------------
+        let runs: Vec<(&'static str, &dyn IndexSource)> = vec![
+            ("ram", ram.as_ref()),
+            ("v2-plain", &src_plain),
+            ("v2-delta", &src_delta),
+            ("v2-delta+bloom", &src_bloom),
+            ("mmap", &mmapped),
+        ];
+        for (name, source) in runs {
+            let (p50, p99) = time_source(source, &queries, &expect);
+            lat_report.row(vec![
+                spec.name.into(),
+                name.into(),
+                format!("{p50:.0}"),
+                format!("{p99:.0}"),
+            ]);
+            lats.push(LatRow {
+                dataset: spec.name,
+                source: name,
+                p50_ns: p50,
+                p99_ns: p99,
+            });
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    let json_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_compression.json");
+    std::fs::write(
+        &json_path,
+        render_json(smoke, &sizes, &lats, &blooms, &cold_opens),
+    )
+    .expect("write bench json");
+    println!("wrote {}", json_path.display());
+    size_report.finish();
+    lat_report.finish();
+}
+
+fn render_json(
+    smoke: bool,
+    sizes: &[SizeRow],
+    lats: &[LatRow],
+    blooms: &[BloomRow],
+    cold_opens: &[(&'static str, f64)],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"compression\",\n");
+    out.push_str(&format!("  \"scale\": {},\n", reach_bench::scale()));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"sim_nodes\": {SIM_NODES},\n"));
+    out.push_str("  \"sizes\": [\n");
+    for (i, r) in sizes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"vertices\": {}, \"entries\": {}, \
+             \"v1_bytes\": {}, \"v2_plain_bytes\": {}, \"v2_delta_bytes\": {}, \
+             \"v2_delta_bloom_bytes\": {}, \"v1_bytes_per_vertex\": {:.2}, \
+             \"v2_delta_bytes_per_vertex\": {:.2}, \"ratio_v1_over_delta\": {:.3}}}{}\n",
+            r.dataset,
+            r.vertices,
+            r.entries,
+            r.v1_bytes,
+            r.plain_bytes,
+            r.delta_bytes,
+            r.bloom_bytes,
+            r.v1_bytes as f64 / r.vertices.max(1) as f64,
+            r.delta_bytes as f64 / r.vertices.max(1) as f64,
+            r.ratio_v1_over_delta,
+            if i + 1 == sizes.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"negative_query_latency\": [\n");
+    for (i, r) in lats.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"source\": \"{}\", \"p50_ns\": {:.0}, \
+             \"p99_ns\": {:.0}}}{}\n",
+            r.dataset,
+            r.source,
+            r.p50_ns,
+            r.p99_ns,
+            if i + 1 == lats.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"bloom_gate\": [\n");
+    for (i, r) in blooms.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"bits_per_vertex\": {}, \"negatives\": {}, \
+             \"skip_rate\": {:.4}, \"fp_rate\": {:.4}}}{}\n",
+            r.dataset,
+            r.bits_per_vertex,
+            r.negatives,
+            r.skip_rate,
+            r.fp_rate,
+            if i + 1 == blooms.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    // Aggregate negative-query p50 per source (geometric mean across
+    // datasets): the headline Bloom-vs-plain comparison, robust to one
+    // dataset's label-density extremes.
+    out.push_str("  \"negative_p50_geomean_ns\": {");
+    let sources = ["ram", "v2-plain", "v2-delta", "v2-delta+bloom", "mmap"];
+    for (i, src) in sources.iter().enumerate() {
+        let rows: Vec<f64> = lats
+            .iter()
+            .filter(|r| r.source == *src && r.p50_ns > 0.0)
+            .map(|r| r.p50_ns.ln())
+            .collect();
+        let geomean = if rows.is_empty() {
+            0.0
+        } else {
+            (rows.iter().sum::<f64>() / rows.len() as f64).exp()
+        };
+        out.push_str(&format!(
+            "\"{src}\": {geomean:.1}{}",
+            if i + 1 == sources.len() { "" } else { ", " }
+        ));
+    }
+    out.push_str("},\n");
+    out.push_str("  \"mmap_cold_open_ms\": [\n");
+    for (i, (name, ms)) in cold_opens.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{name}\", \"open_ms\": {ms:.3}}}{}\n",
+            if i + 1 == cold_opens.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -1,118 +1,8 @@
 //! A small fixed-width Bloom filter over vertex ids.
+//!
+//! The implementation moved to [`reach_index::bloom`] so the compressed
+//! v2 index (per-vertex negative-query pre-filters, probed in place on
+//! mmap bytes) and this crate's set-summary filters share one definition
+//! and one hash. This module re-exports it unchanged.
 
-use reach_graph::VertexId;
-
-/// A Bloom filter of `bits` width (rounded up to 64) with `k` hash
-/// functions, used to summarize descendant/ancestor sets.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct BloomFilter {
-    words: Vec<u64>,
-}
-
-impl BloomFilter {
-    /// An empty filter of the given width.
-    pub fn empty(bits: usize) -> Self {
-        BloomFilter {
-            words: vec![0; bits.div_ceil(64).max(1)],
-        }
-    }
-
-    /// Width in bits.
-    pub fn bits(&self) -> usize {
-        self.words.len() * 64
-    }
-
-    /// Size on the wire / in the index, in bytes.
-    pub fn bytes(&self) -> usize {
-        self.words.len() * 8
-    }
-
-    /// Inserts `v` under `k` hash functions.
-    pub fn insert(&mut self, v: VertexId, k: usize) {
-        let bits = self.bits() as u64;
-        for i in 0..k {
-            let h = splitmix64(v as u64 ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)));
-            let bit = (h % bits) as usize;
-            self.words[bit / 64] |= 1u64 << (bit % 64);
-        }
-    }
-
-    /// `self |= other`; returns `true` if any bit changed (drives the
-    /// fixpoint propagation).
-    pub fn union_with(&mut self, other: &BloomFilter) -> bool {
-        debug_assert_eq!(self.words.len(), other.words.len());
-        let mut changed = false;
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            let next = *a | *b;
-            changed |= next != *a;
-            *a = next;
-        }
-        changed
-    }
-
-    /// `true` iff every set bit of `self` is set in `other` — the sound
-    /// subset test (`DES(t) ⊆ DES(s)` necessary condition).
-    pub fn subset_of(&self, other: &BloomFilter) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & !b == 0)
-    }
-}
-
-/// The 64-bit finalizer of splitmix64 — a cheap, well-mixed hash.
-#[inline]
-pub fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn insert_makes_self_subset() {
-        let mut f = BloomFilter::empty(128);
-        f.insert(42, 2);
-        let mut g = BloomFilter::empty(128);
-        g.insert(42, 2);
-        g.insert(7, 2);
-        assert!(f.subset_of(&g));
-        assert!(!g.subset_of(&f));
-    }
-
-    #[test]
-    fn union_reports_changes() {
-        let mut a = BloomFilter::empty(64);
-        let mut b = BloomFilter::empty(64);
-        b.insert(3, 2);
-        assert!(a.union_with(&b));
-        assert!(!a.union_with(&b), "second union is a no-op");
-        assert!(b.subset_of(&a));
-    }
-
-    #[test]
-    fn empty_is_subset_of_everything() {
-        let e = BloomFilter::empty(128);
-        let mut f = BloomFilter::empty(128);
-        f.insert(1, 2);
-        assert!(e.subset_of(&f));
-        assert!(e.subset_of(&e));
-    }
-
-    #[test]
-    fn width_rounds_up_to_words() {
-        assert_eq!(BloomFilter::empty(1).bits(), 64);
-        assert_eq!(BloomFilter::empty(65).bits(), 128);
-        assert_eq!(BloomFilter::empty(128).bytes(), 16);
-    }
-
-    #[test]
-    fn splitmix_is_deterministic_and_spread() {
-        assert_eq!(splitmix64(1), splitmix64(1));
-        assert_ne!(splitmix64(1), splitmix64(2));
-    }
-}
+pub use reach_index::bloom::{probe_bits, set_bits, splitmix64, BloomFilter};

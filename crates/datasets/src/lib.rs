@@ -28,7 +28,7 @@ pub mod workload;
 
 pub use churn::{churn_stream, final_edge_set, ChurnConfig};
 pub use generators::{citation_dag, layered_dag, rmat, social, web};
-pub use workload::{standard_mixes, workload, QueryMix};
+pub use workload::{negative_mix, standard_mixes, workload, QueryMix};
 
 /// The qualitative family of a dataset (Table V's "Type" column).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -47,6 +47,19 @@ pub enum QueryMix {
         /// hot set).
         exponent: f64,
     },
+    /// With probability `negative_fraction`, a guaranteed-*unreachable*
+    /// pair: a pool source plus a target rejection-sampled out of its
+    /// descendant set; otherwise a uniform pair. This is the stress mix
+    /// for negative-query short-circuits (the Bloom pre-filter in
+    /// compressed indexes): label scans run to exhaustion, never to an
+    /// early common hub.
+    NegativeBiased {
+        /// Probability of drawing a sampled unreachable pair.
+        negative_fraction: f64,
+        /// Number of distinct pool sources whose descendant sets drive
+        /// the rejection sampling.
+        source_pool: usize,
+    },
 }
 
 /// The named mixes the serve bench sweeps.
@@ -62,6 +75,19 @@ pub fn standard_mixes() -> Vec<(&'static str, QueryMix)> {
         ),
         ("zipf", QueryMix::ZipfHotSources { exponent: 1.1 }),
     ]
+}
+
+/// The negative-dominated mix used by the compression bench and the
+/// Bloom pre-filter tests. Kept out of [`standard_mixes`] so existing
+/// bench sweeps and their recorded baselines are unchanged.
+pub fn negative_mix() -> (&'static str, QueryMix) {
+    (
+        "negative",
+        QueryMix::NegativeBiased {
+            negative_fraction: 0.9,
+            source_pool: 32,
+        },
+    )
 }
 
 /// Generates `count` queries over `g`'s vertices — deterministic in
@@ -97,6 +123,45 @@ pub fn workload(g: &DiGraph, mix: QueryMix, count: usize, seed: u64) -> Vec<(Ver
                     if rng.gen_bool(positive_fraction) {
                         let (s, des) = &pool[rng.gen_range(0..pool.len())];
                         (*s, des[rng.gen_range(0..des.len())])
+                    } else {
+                        (rng.gen_range(0..n), rng.gen_range(0..n))
+                    }
+                })
+                .collect()
+        }
+        QueryMix::NegativeBiased {
+            negative_fraction,
+            source_pool,
+        } => {
+            assert!(
+                (0.0..=1.0).contains(&negative_fraction),
+                "negative_fraction must be in [0, 1]"
+            );
+            // Pool of sampled sources with their descendant sets (as hash
+            // sets, for O(1) rejection tests), computed once.
+            let pool: Vec<(VertexId, std::collections::HashSet<VertexId>)> = (0..source_pool
+                .max(1))
+                .map(|_| {
+                    let s = rng.gen_range(0..n);
+                    (s, traverse::descendants(g, s).into_iter().collect())
+                })
+                .collect();
+            (0..count)
+                .map(|_| {
+                    if rng.gen_bool(negative_fraction) {
+                        let (s, des) = &pool[rng.gen_range(0..pool.len())];
+                        // Rejection-sample a target outside the descendant
+                        // set. If the source reaches (almost) everything the
+                        // retry cap keeps us deterministic and terminating —
+                        // the final draw is used as-is, uniform.
+                        let mut t = rng.gen_range(0..n);
+                        for _ in 0..64 {
+                            if !des.contains(&t) {
+                                break;
+                            }
+                            t = rng.gen_range(0..n);
+                        }
+                        (*s, t)
                     } else {
                         (rng.gen_range(0..n), rng.gen_range(0..n))
                     }
@@ -178,6 +243,26 @@ mod tests {
         // must answer true at (roughly) its positive fraction or above.
         assert!(reach_rate(&biased) >= 0.75, "rate {}", reach_rate(&biased));
         assert!(reach_rate(&biased) > reach_rate(&uniform) + 0.3);
+    }
+
+    #[test]
+    fn negative_bias_actually_biases_toward_unreachable_pairs() {
+        let g = test_graph();
+        let tc = TransitiveClosure::compute(&g);
+        let (_, mix) = negative_mix();
+        let w = workload(&g, mix, 2000, 7);
+        assert_eq!(w.len(), 2000);
+        let unreachable = w.iter().filter(|&&(s, t)| !tc.reaches(s, t)).count() as f64;
+        // Sampled pairs are unreachable by construction (modulo the retry
+        // cap); uniform fill on a sparse graph is mostly unreachable too.
+        assert!(
+            unreachable / w.len() as f64 >= 0.85,
+            "unreachable rate {}",
+            unreachable / w.len() as f64
+        );
+        // Deterministic per seed, varies with it.
+        assert_eq!(w, workload(&g, mix, 2000, 7));
+        assert_ne!(w, workload(&g, mix, 2000, 8));
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! A small fixed-width Bloom filter over vertex ids.
+//!
+//! Lives in `reach-index` so two consumers share one implementation:
+//!
+//! * `reach-bfl` summarizes ancestor/descendant sets with
+//!   [`BloomFilter`] (it re-exports this module).
+//! * The compressed v2 index (see [`crate::storage`]) stores one filter
+//!   per vertex over `L_out(v)` as raw bytes in the BLOM section and
+//!   probes them **in place** — [`probe_bits`] works directly on a byte
+//!   slice of the file (or mmap), no deserialization — to short-circuit
+//!   negative queries before the label merge.
+//!
+//! Bit addressing is defined on the little-endian serialized form:
+//! global bit `b` lives in byte `b / 8` at bit `b % 8`, which coincides
+//! with bit `b % 64` of LE word `b / 64` — so [`BloomFilter`] (word
+//! storage) and the byte-slice helpers see identical filters.
+
+use reach_graph::VertexId;
+
+/// A Bloom filter of `bits` width (rounded up to 64) with `k` hash
+/// functions, used to summarize descendant/ancestor sets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BloomFilter {
+    words: Vec<u64>,
+}
+
+impl BloomFilter {
+    /// An empty filter of the given width.
+    pub fn empty(bits: usize) -> Self {
+        BloomFilter {
+            words: vec![0; bits.div_ceil(64).max(1)],
+        }
+    }
+
+    /// Width in bits.
+    pub fn bits(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Size on the wire / in the index, in bytes.
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Inserts `v` under `k` hash functions.
+    pub fn insert(&mut self, v: VertexId, k: usize) {
+        let bits = self.bits() as u64;
+        for i in 0..k {
+            let bit = bit_position(v, i, bits);
+            self.words[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// `true` iff every probe bit of `v` is set — `false` proves `v` was
+    /// never inserted (no false negatives); `true` may be a false
+    /// positive.
+    pub fn contains(&self, v: VertexId, k: usize) -> bool {
+        let bits = self.bits() as u64;
+        (0..k).all(|i| {
+            let bit = bit_position(v, i, bits);
+            self.words[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// `self |= other`; returns `true` if any bit changed (drives the
+    /// fixpoint propagation).
+    pub fn union_with(&mut self, other: &BloomFilter) -> bool {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | *b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `true` iff every set bit of `self` is set in `other` — the sound
+    /// subset test (`DES(t) ⊆ DES(s)` necessary condition).
+    pub fn subset_of(&self, other: &BloomFilter) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Serializes to little-endian bytes — the BLOM-section form that
+    /// [`probe_bits`] addresses.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// Kirsch–Mitzenmacher double hashing: one `splitmix64` call yields two
+/// 32-bit halves `h1`, `h2` (forced odd), and probe `i` lands on
+/// `h1 + i·h2 mod bits`. One hash per *element* instead of one per
+/// *probe* — the compressed index's gate probes every entry of `L_in(t)`
+/// on every negative query, so probe cost is on the serving hot path.
+#[inline]
+fn hash_pair(v: VertexId) -> (u64, u64) {
+    let h = splitmix64(v as u64);
+    (h & 0xFFFF_FFFF, (h >> 32) | 1)
+}
+
+/// The `i`-th probe bit of `v` in a filter of `bits` width (`bits > 0`).
+#[inline]
+fn bit_position(v: VertexId, i: usize, bits: u64) -> u64 {
+    let (h1, h2) = hash_pair(v);
+    h1.wrapping_add(h2.wrapping_mul(i as u64)) % bits
+}
+
+/// Sets the `k` probe bits of `v` in a serialized filter. The slice
+/// length defines the filter width (`len × 8` bits); must be non-empty.
+#[inline]
+pub fn set_bits(bytes: &mut [u8], v: VertexId, k: usize) {
+    let bits = (bytes.len() * 8) as u64;
+    let (h1, h2) = hash_pair(v);
+    for i in 0..k as u64 {
+        let bit = h1.wrapping_add(h2.wrapping_mul(i)) % bits;
+        bytes[(bit / 8) as usize] |= 1u8 << (bit % 8);
+    }
+}
+
+/// Probes the `k` bits of `v` in a serialized filter: `false` proves `v`
+/// absent, `true` is "possibly present". Works directly on file or mmap
+/// bytes; must be non-empty and byte-identical in width to the filter
+/// the bits were set in.
+#[inline]
+pub fn probe_bits(bytes: &[u8], v: VertexId, k: usize) -> bool {
+    let bits = (bytes.len() * 8) as u64;
+    let (h1, h2) = hash_pair(v);
+    (0..k as u64).all(|i| {
+        let bit = h1.wrapping_add(h2.wrapping_mul(i)) % bits;
+        bytes[(bit / 8) as usize] & (1u8 << (bit % 8)) != 0
+    })
+}
+
+/// The 64-bit finalizer of splitmix64 — a cheap, well-mixed hash.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_makes_self_subset() {
+        let mut f = BloomFilter::empty(128);
+        f.insert(42, 2);
+        let mut g = BloomFilter::empty(128);
+        g.insert(42, 2);
+        g.insert(7, 2);
+        assert!(f.subset_of(&g));
+        assert!(!g.subset_of(&f));
+    }
+
+    #[test]
+    fn union_reports_changes() {
+        let mut a = BloomFilter::empty(64);
+        let mut b = BloomFilter::empty(64);
+        b.insert(3, 2);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union is a no-op");
+        assert!(b.subset_of(&a));
+    }
+
+    #[test]
+    fn empty_is_subset_of_everything() {
+        let e = BloomFilter::empty(128);
+        let mut f = BloomFilter::empty(128);
+        f.insert(1, 2);
+        assert!(e.subset_of(&f));
+        assert!(e.subset_of(&e));
+    }
+
+    #[test]
+    fn width_rounds_up_to_words() {
+        assert_eq!(BloomFilter::empty(1).bits(), 64);
+        assert_eq!(BloomFilter::empty(65).bits(), 128);
+        assert_eq!(BloomFilter::empty(128).bytes(), 16);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn contains_never_false_negative() {
+        let mut f = BloomFilter::empty(128);
+        for v in [0u32, 5, 17, 100_000, u32::MAX] {
+            f.insert(v, 3);
+        }
+        for v in [0u32, 5, 17, 100_000, u32::MAX] {
+            assert!(f.contains(v, 3), "{v} was inserted");
+        }
+    }
+
+    #[test]
+    fn byte_slice_probes_match_word_filter() {
+        // The serialized-bytes view and the word view must address
+        // identical bits: set via BloomFilter, probe via probe_bits, and
+        // vice versa.
+        let k = 3;
+        let mut f = BloomFilter::empty(192);
+        let inserted: Vec<u32> = (0..64u32)
+            .map(|i| i.wrapping_mul(2_654_435_761) % 1_000_000)
+            .collect();
+        for &v in &inserted {
+            f.insert(v, k);
+        }
+        let bytes = f.to_le_bytes();
+        for &v in &inserted {
+            assert!(probe_bits(&bytes, v, k));
+        }
+        for v in 0..2_000u32 {
+            assert_eq!(probe_bits(&bytes, v, k), f.contains(v, k), "vertex {v}");
+        }
+
+        let mut raw = vec![0u8; 24];
+        for &v in &inserted {
+            set_bits(&mut raw, v, k);
+        }
+        assert_eq!(raw, bytes, "set_bits builds the identical serialized form");
+    }
+}

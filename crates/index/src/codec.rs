@@ -1,0 +1,516 @@
+//! Label-list codecs: pluggable encodings of a vertex's sorted label list.
+//!
+//! A [`ReachIndex`](crate::ReachIndex) stores each `L_in(v)` / `L_out(v)`
+//! as a strictly id-sorted `Vec<u32>`. For the compressed v2 on-disk
+//! format (see [`crate::storage`]) and the out-of-core read path, each
+//! list is instead a byte run decoded through a [`LabelCodec`]:
+//!
+//! * [`Plain`] — 4 little-endian bytes per entry; the identity encoding.
+//! * [`DeltaVarint`] — the first entry as a LEB128 varint, then
+//!   `varint(delta − 1)` per subsequent entry. Strict sortedness means
+//!   every delta is ≥ 1, so the `− 1` bias shaves the common
+//!   delta-of-one down to a single `0x00` byte.
+//!
+//! Decoding is a **streaming cursor** ([`LabelCursor`]): the sorted-merge
+//! intersection that answers `q(s, t)` walks both encoded lists without
+//! materializing a `Vec` — the property that keeps the mmap-backed read
+//! path allocation-free per query.
+//!
+//! # Validation contract
+//!
+//! [`LabelCodec::validate_list`] checks a byte run completely — canonical
+//! varints only (no overlong forms), no truncation mid-varint, no `u32`
+//! overflow, strict sortedness, entries in `0..n` — so that
+//! [`LabelCodec::cursor`] may assume well-formed bytes and stay
+//! infallible on the hot path. All v2 readers validate every list at
+//! open time before serving a single query.
+
+use reach_graph::VertexId;
+
+/// Identifies a label-list encoding; stored in the v2 file's META section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum CodecId {
+    /// 4 LE bytes per entry (the v1 representation, sectioned).
+    Plain = 0,
+    /// Delta + LEB128 varint with a `−1` bias on deltas.
+    DeltaVarint = 1,
+}
+
+impl CodecId {
+    /// Decodes a META-section codec tag. Unknown tags are a format error.
+    pub fn from_u32(v: u32) -> Option<CodecId> {
+        match v {
+            0 => Some(CodecId::Plain),
+            1 => Some(CodecId::DeltaVarint),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name, used in bench JSON and obs labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecId::Plain => "plain",
+            CodecId::DeltaVarint => "delta-varint",
+        }
+    }
+
+    /// The codec implementation behind this id.
+    pub fn codec(self) -> &'static dyn LabelCodec {
+        match self {
+            CodecId::Plain => &Plain,
+            CodecId::DeltaVarint => &DeltaVarint,
+        }
+    }
+}
+
+/// A label-list encoding. Implementations are stateless singletons.
+pub trait LabelCodec: Send + Sync {
+    /// The id written into the v2 META section.
+    fn id(&self) -> CodecId;
+
+    /// Appends the encoding of a strictly sorted list to `out`.
+    fn encode(&self, list: &[VertexId], out: &mut Vec<u8>);
+
+    /// A streaming decoder over bytes previously accepted by
+    /// [`LabelCodec::validate_list`]. Infallible: feeding unvalidated
+    /// bytes is a logic error (the cursor may then stop early or yield
+    /// garbage, but never panics or reads out of bounds).
+    fn cursor<'a>(&self, bytes: &'a [u8]) -> LabelCursor<'a>;
+
+    /// Fully validates one encoded list against the vertex count,
+    /// returning the number of entries. Errors name the defect and map
+    /// to [`StorageError::Corrupt`](crate::storage::StorageError).
+    fn validate_list(&self, bytes: &[u8], num_vertices: usize) -> Result<u32, &'static str>;
+}
+
+/// The identity codec: 4 little-endian bytes per entry.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Plain;
+
+impl LabelCodec for Plain {
+    fn id(&self) -> CodecId {
+        CodecId::Plain
+    }
+
+    fn encode(&self, list: &[VertexId], out: &mut Vec<u8>) {
+        for &v in list {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn cursor<'a>(&self, bytes: &'a [u8]) -> LabelCursor<'a> {
+        LabelCursor::Plain { bytes }
+    }
+
+    fn validate_list(&self, bytes: &[u8], num_vertices: usize) -> Result<u32, &'static str> {
+        if !bytes.len().is_multiple_of(4) {
+            return Err("plain label run not a multiple of 4 bytes");
+        }
+        let mut prev: Option<u32> = None;
+        for chunk in bytes.chunks_exact(4) {
+            let v = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            if let Some(p) = prev {
+                if v <= p {
+                    return Err("label list not strictly sorted");
+                }
+            }
+            if v as usize >= num_vertices {
+                return Err("label entry out of vertex range");
+            }
+            prev = Some(v);
+        }
+        Ok((bytes.len() / 4) as u32)
+    }
+}
+
+/// Delta + varint codec: `varint(l[0])`, then `varint(l[i] − l[i−1] − 1)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeltaVarint;
+
+impl LabelCodec for DeltaVarint {
+    fn id(&self) -> CodecId {
+        CodecId::DeltaVarint
+    }
+
+    fn encode(&self, list: &[VertexId], out: &mut Vec<u8>) {
+        let mut prev = 0u32;
+        for (i, &v) in list.iter().enumerate() {
+            let delta = if i == 0 { v } else { v - prev - 1 };
+            write_varint(delta, out);
+            prev = v;
+        }
+    }
+
+    fn cursor<'a>(&self, bytes: &'a [u8]) -> LabelCursor<'a> {
+        LabelCursor::Delta {
+            bytes,
+            pos: 0,
+            prev: 0,
+            first: true,
+        }
+    }
+
+    fn validate_list(&self, bytes: &[u8], num_vertices: usize) -> Result<u32, &'static str> {
+        let mut pos = 0usize;
+        let mut prev = 0u64;
+        let mut first = true;
+        let mut count = 0u32;
+        while pos < bytes.len() {
+            let (raw, next) = read_varint_checked(bytes, pos)?;
+            pos = next;
+            let v = if first {
+                first = false;
+                raw
+            } else {
+                prev + 1 + raw
+            };
+            if v > u32::MAX as u64 {
+                return Err("label entry exceeds u32");
+            }
+            if v >= num_vertices as u64 {
+                return Err("label entry out of vertex range");
+            }
+            prev = v;
+            count = count
+                .checked_add(1)
+                .ok_or("label list longer than vertex count")?;
+            if count as usize > num_vertices {
+                return Err("label list longer than vertex count");
+            }
+        }
+        Ok(count)
+    }
+}
+
+/// LEB128-encodes `v` (1–5 bytes for a `u32`).
+#[inline]
+pub fn write_varint(mut v: u32, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one canonical LEB128 `u32` at `pos`, returning `(value, next_pos)`.
+///
+/// Rejects truncation mid-varint, encodings longer than 5 bytes, values
+/// above `u32::MAX`, and non-canonical (overlong) forms whose final byte
+/// contributes no bits.
+fn read_varint_checked(bytes: &[u8], mut pos: usize) -> Result<(u64, usize), &'static str> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(pos).ok_or("varint truncated mid-value")?;
+        pos += 1;
+        let payload = u64::from(byte & 0x7F);
+        if shift == 28 && payload > 0x0F {
+            return Err("varint exceeds u32");
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            if shift > 0 && payload == 0 {
+                return Err("overlong varint encoding");
+            }
+            return Ok((value, pos));
+        }
+        shift += 7;
+        if shift > 28 {
+            return Err("varint exceeds u32");
+        }
+    }
+}
+
+/// A streaming decoder over one validated encoded label list.
+///
+/// Yields entries in strictly ascending order; `Iterator` is implemented
+/// so cursors compose with adapters, but the merge helpers below are the
+/// intended hot-path consumers.
+#[derive(Clone, Debug)]
+pub enum LabelCursor<'a> {
+    /// Cursor over 4-byte LE entries.
+    Plain {
+        /// Remaining undecoded bytes.
+        bytes: &'a [u8],
+    },
+    /// Cursor over delta-varint bytes.
+    Delta {
+        /// The full encoded run.
+        bytes: &'a [u8],
+        /// Byte position of the next varint.
+        pos: usize,
+        /// Last decoded value (delta base).
+        prev: u32,
+        /// Whether the next varint is the absolute first entry.
+        first: bool,
+    },
+}
+
+impl LabelCursor<'_> {
+    /// The next entry, or `None` at end of list.
+    #[inline]
+    pub fn next_value(&mut self) -> Option<VertexId> {
+        match self {
+            LabelCursor::Plain { bytes } => {
+                if bytes.len() < 4 {
+                    return None;
+                }
+                let v = u32::from_le_bytes(bytes[..4].try_into().expect("4-byte head"));
+                *bytes = &bytes[4..];
+                Some(v)
+            }
+            LabelCursor::Delta {
+                bytes,
+                pos,
+                prev,
+                first,
+            } => {
+                if *pos >= bytes.len() {
+                    return None;
+                }
+                // Bytes were validated at open; decode without re-checking
+                // canonicality, but stay in-bounds regardless.
+                let mut value = 0u32;
+                let mut shift = 0u32;
+                loop {
+                    let byte = *bytes.get(*pos)?;
+                    *pos += 1;
+                    value |= u32::from(byte & 0x7F).wrapping_shl(shift);
+                    if byte & 0x80 == 0 {
+                        break;
+                    }
+                    shift += 7;
+                    if shift > 28 {
+                        return None;
+                    }
+                }
+                let v = if *first {
+                    *first = false;
+                    value
+                } else {
+                    prev.wrapping_add(1).wrapping_add(value)
+                };
+                *prev = v;
+                Some(v)
+            }
+        }
+    }
+}
+
+impl Iterator for LabelCursor<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        self.next_value()
+    }
+}
+
+/// Merge-intersection test over two streaming cursors; the encoded
+/// counterpart of [`intersects_sorted`](crate::intersects_sorted).
+/// Returns `(hit, scanned)` where `scanned` counts entries consumed —
+/// the cost metric `query_scan` reports.
+pub fn intersects_cursors(mut a: LabelCursor<'_>, mut b: LabelCursor<'_>) -> (bool, usize) {
+    let mut scanned = 0usize;
+    let (mut x, mut y) = (a.next_value(), b.next_value());
+    loop {
+        match (x, y) {
+            (Some(va), Some(vb)) => match va.cmp(&vb) {
+                std::cmp::Ordering::Less => {
+                    scanned += 1;
+                    x = a.next_value();
+                }
+                std::cmp::Ordering::Greater => {
+                    scanned += 1;
+                    y = b.next_value();
+                }
+                std::cmp::Ordering::Equal => return (true, scanned + 2),
+            },
+            _ => {
+                return (
+                    false,
+                    scanned + usize::from(x.is_some()) + usize::from(y.is_some()),
+                )
+            }
+        }
+    }
+}
+
+/// First common element of two streaming cursors — the witness hub. Like
+/// [`first_common_sorted`](crate::first_common_sorted), the result is
+/// order-minimal because cursors yield ascending ids.
+pub fn first_common_cursors(mut a: LabelCursor<'_>, mut b: LabelCursor<'_>) -> Option<VertexId> {
+    let (mut x, mut y) = (a.next_value(), b.next_value());
+    while let (Some(va), Some(vb)) = (x, y) {
+        match va.cmp(&vb) {
+            std::cmp::Ordering::Less => x = a.next_value(),
+            std::cmp::Ordering::Greater => y = b.next_value(),
+            std::cmp::Ordering::Equal => return Some(va),
+        }
+    }
+    None
+}
+
+/// Decodes an entire validated run to a `Vec` — conversion and test
+/// paths only; queries use cursors.
+pub fn decode_to_vec(codec: &dyn LabelCodec, bytes: &[u8]) -> Vec<VertexId> {
+    codec.cursor(bytes).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(codec: &dyn LabelCodec, list: &[u32]) {
+        let mut buf = Vec::new();
+        codec.encode(list, &mut buf);
+        let n = list.last().map_or(1, |&m| m as usize + 1);
+        let count = codec.validate_list(&buf, n).unwrap();
+        assert_eq!(count as usize, list.len());
+        assert_eq!(decode_to_vec(codec, &buf), list);
+    }
+
+    #[test]
+    fn both_codecs_round_trip_edge_shapes() {
+        let cases: &[&[u32]] = &[
+            &[],
+            &[0],
+            &[u32::MAX - 1],
+            &[0, 1, 2, 3, 4],
+            &[0, u32::MAX - 1],
+            &[7, 130, 16_384, 2_097_152, 268_435_456],
+        ];
+        for codec in [&Plain as &dyn LabelCodec, &DeltaVarint] {
+            for &case in cases {
+                roundtrip(codec, case);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_runs_compress_to_one_byte_per_entry() {
+        let list: Vec<u32> = (1000..2000).collect();
+        let mut buf = Vec::new();
+        DeltaVarint.encode(&list, &mut buf);
+        // varint(1000) = 2 bytes, then 999 × varint(0) = 1 byte each.
+        assert_eq!(buf.len(), 2 + 999);
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 0x80 0x00 encodes 0 in two bytes — non-canonical.
+        assert_eq!(
+            DeltaVarint.validate_list(&[0x80, 0x00], 10),
+            Err("overlong varint encoding")
+        );
+    }
+
+    #[test]
+    fn truncated_varint_rejected() {
+        assert_eq!(
+            DeltaVarint.validate_list(&[0x80], 10),
+            Err("varint truncated mid-value")
+        );
+        assert_eq!(
+            DeltaVarint.validate_list(&[0x00, 0xFF, 0xFF], 10),
+            Err("varint truncated mid-value")
+        );
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // Five continuation-heavy bytes pushing past 32 bits.
+        let err = DeltaVarint.validate_list(&[0xFF, 0xFF, 0xFF, 0xFF, 0x7F], usize::MAX);
+        assert_eq!(err, Err("varint exceeds u32"));
+        let err = DeltaVarint.validate_list(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01], usize::MAX);
+        assert_eq!(err, Err("varint exceeds u32"));
+    }
+
+    #[test]
+    fn out_of_range_entry_rejected_by_both() {
+        let mut plain = Vec::new();
+        Plain.encode(&[5], &mut plain);
+        assert_eq!(
+            Plain.validate_list(&plain, 5),
+            Err("label entry out of vertex range")
+        );
+        let mut dv = Vec::new();
+        DeltaVarint.encode(&[5], &mut dv);
+        assert_eq!(
+            DeltaVarint.validate_list(&dv, 5),
+            Err("label entry out of vertex range")
+        );
+    }
+
+    #[test]
+    fn plain_unsorted_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        assert_eq!(
+            Plain.validate_list(&buf, 10),
+            Err("label list not strictly sorted")
+        );
+    }
+
+    #[test]
+    fn plain_ragged_length_rejected() {
+        assert_eq!(
+            Plain.validate_list(&[1, 2, 3], 10),
+            Err("plain label run not a multiple of 4 bytes")
+        );
+    }
+
+    #[test]
+    fn delta_sum_overflow_rejected() {
+        // First entry u32::MAX − 1, then delta 5: the decoded value
+        // overflows u32 and must be rejected, not wrapped.
+        let mut buf = Vec::new();
+        write_varint(u32::MAX - 1, &mut buf);
+        write_varint(5, &mut buf);
+        assert_eq!(
+            DeltaVarint.validate_list(&buf, usize::MAX),
+            Err("label entry exceeds u32")
+        );
+    }
+
+    #[test]
+    fn cursor_merge_matches_slice_merge() {
+        let a: Vec<u32> = vec![1, 3, 5, 7, 1000];
+        let b: Vec<u32> = vec![2, 4, 7, 9];
+        for codec in [&Plain as &dyn LabelCodec, &DeltaVarint] {
+            let (mut ea, mut eb) = (Vec::new(), Vec::new());
+            codec.encode(&a, &mut ea);
+            codec.encode(&b, &mut eb);
+            let (hit, scanned) = intersects_cursors(codec.cursor(&ea), codec.cursor(&eb));
+            assert!(hit);
+            assert!(scanned >= 2);
+            assert_eq!(
+                first_common_cursors(codec.cursor(&ea), codec.cursor(&eb)),
+                Some(7)
+            );
+            let disjoint: Vec<u32> = vec![0, 6, 8];
+            let mut ed = Vec::new();
+            codec.encode(&disjoint, &mut ed);
+            let (hit, _) = intersects_cursors(codec.cursor(&ea), codec.cursor(&ed));
+            assert!(!hit);
+            assert_eq!(
+                first_common_cursors(codec.cursor(&ea), codec.cursor(&ed)),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn codec_id_round_trips() {
+        for id in [CodecId::Plain, CodecId::DeltaVarint] {
+            assert_eq!(CodecId::from_u32(id as u32), Some(id));
+            assert_eq!(id.codec().id(), id);
+        }
+        assert_eq!(CodecId::from_u32(77), None);
+    }
+}

@@ -1,0 +1,279 @@
+//! Querying a v2-encoded index in place — heap-backed here, mmap-backed
+//! in [`crate::mmap`].
+//!
+//! [`EncodedIndex`] answers `q(s, t)` directly over the validated v2
+//! byte image ([`crate::storage::parse_v2`]): label runs decode through
+//! streaming [`LabelCursor`]s (no `Vec` per
+//! query), and when the file carries a BLOM section the per-vertex Bloom
+//! pre-filter over `L_out(s)` is probed with the entries of `L_in(t)`
+//! first — if no probe hits, the intersection is provably empty and the
+//! merge is skipped entirely (`index.codec.bloom.skip`). A Bloom *pass*
+//! that the merge then refutes is a false positive
+//! (`index.codec.bloom.fp`); false **negatives** cannot occur by
+//! construction, which `tests/bloom_prefilter.rs` pins.
+
+use std::ops::Deref;
+use std::path::Path;
+
+use reach_graph::VertexId;
+
+use crate::bloom;
+use crate::codec::{self, CodecId, LabelCursor};
+use crate::storage::{self, BloomConfig, StorageError, V2Layout};
+use crate::ReachIndex;
+
+/// A v2-encoded index over any contiguous byte backing (`Vec<u8>`,
+/// `&[u8]`, or an [`Mmap`](crate::mmap::Mmap)), queryable in place.
+///
+/// Construction always runs the full [`storage::parse_v2`] validation,
+/// so every query-path decode is infallible.
+#[derive(Debug)]
+pub struct EncodedIndex<B> {
+    bytes: B,
+    layout: V2Layout,
+}
+
+/// A heap-backed encoded index: the whole v2 image in memory, but in its
+/// compressed form — typically several times smaller than [`ReachIndex`].
+pub type CompressedIndex = EncodedIndex<Vec<u8>>;
+
+impl<B: Deref<Target = [u8]>> EncodedIndex<B> {
+    /// Validates `bytes` as a v2 image and takes ownership of the backing.
+    pub fn from_backing(bytes: B) -> Result<Self, StorageError> {
+        let layout = storage::parse_v2(&bytes)?;
+        Ok(EncodedIndex { bytes, layout })
+    }
+
+    /// Number of vertices the index covers.
+    pub fn num_vertices(&self) -> usize {
+        self.layout.num_vertices()
+    }
+
+    /// The label-run codec this image was written with.
+    pub fn codec(&self) -> CodecId {
+        self.layout.codec()
+    }
+
+    /// The Bloom pre-filter parameters, when present.
+    pub fn bloom_config(&self) -> Option<BloomConfig> {
+        self.layout.bloom()
+    }
+
+    /// Total size of the backing image in bytes.
+    pub fn image_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The encoded byte run of `L_in(v)`.
+    #[inline]
+    fn in_run(&self, v: VertexId) -> &[u8] {
+        let l = &self.layout;
+        let a = l.offset_at(&self.bytes, &l.in_off, v as usize);
+        let b = l.offset_at(&self.bytes, &l.in_off, v as usize + 1);
+        &self.bytes[l.in_dat.start + a..l.in_dat.start + b]
+    }
+
+    /// The encoded byte run of `L_out(v)`.
+    #[inline]
+    fn out_run(&self, v: VertexId) -> &[u8] {
+        let l = &self.layout;
+        let a = l.offset_at(&self.bytes, &l.out_off, v as usize);
+        let b = l.offset_at(&self.bytes, &l.out_off, v as usize + 1);
+        &self.bytes[l.out_dat.start + a..l.out_dat.start + b]
+    }
+
+    /// The serialized Bloom filter of `L_out(v)`, when the image has one.
+    #[inline]
+    fn bloom_of(&self, v: VertexId) -> Option<&[u8]> {
+        let l = &self.layout;
+        let blom = l.blom.as_ref()?;
+        let bpv = l.bloom_bytes_per_vertex;
+        let base = blom.start + v as usize * bpv;
+        Some(&self.bytes[base..base + bpv])
+    }
+
+    /// A streaming cursor over `L_in(v)`.
+    #[inline]
+    fn in_cursor(&self, v: VertexId) -> LabelCursor<'_> {
+        self.layout.codec().codec().cursor(self.in_run(v))
+    }
+
+    /// A streaming cursor over `L_out(v)`.
+    #[inline]
+    fn out_cursor(&self, v: VertexId) -> LabelCursor<'_> {
+        self.layout.codec().codec().cursor(self.out_run(v))
+    }
+
+    /// The Bloom gate: `Some(false)` proves the intersection empty
+    /// (no probe of `L_in(t)` hit the `L_out(s)` filter); `Some(true)`
+    /// means at least one hit, so the merge must decide; `None` means no
+    /// filter is stored. The second element counts probes consumed.
+    /// Public so tests and benches can measure the gate's false-positive
+    /// rate directly (a pass followed by an empty merge).
+    #[inline]
+    pub fn bloom_gate(&self, s: VertexId, t: VertexId) -> (Option<bool>, usize) {
+        let Some(filter) = self.bloom_of(s) else {
+            return (None, 0);
+        };
+        let k = self.layout.bloom_k as usize;
+        let mut probes = 0usize;
+        for v in self.in_cursor(t) {
+            probes += 1;
+            if bloom::probe_bits(filter, v, k) {
+                return (Some(true), probes);
+            }
+        }
+        (Some(false), probes)
+    }
+
+    /// The reachability query `q(s, t)` with its scan cost: entries
+    /// consumed by the Bloom probe and/or the cursor merge.
+    pub fn query_scan(&self, s: VertexId, t: VertexId) -> (bool, usize) {
+        reach_obs::counter_add("index.codec.queries", 1);
+        let (gate, probes) = self.bloom_gate(s, t);
+        match gate {
+            Some(false) => {
+                reach_obs::counter_add("index.codec.bloom.skip", 1);
+                reach_obs::record("index.codec.scan_len", probes as u64);
+                return (false, probes);
+            }
+            Some(true) => reach_obs::counter_add("index.codec.bloom.pass", 1),
+            None => {}
+        }
+        let (hit, scanned) = codec::intersects_cursors(self.out_cursor(s), self.in_cursor(t));
+        if gate == Some(true) && !hit {
+            reach_obs::counter_add("index.codec.bloom.fp", 1);
+        }
+        reach_obs::record("index.codec.scan_len", (probes + scanned) as u64);
+        (hit, probes + scanned)
+    }
+
+    /// The reachability query `q(s, t)`.
+    pub fn query(&self, s: VertexId, t: VertexId) -> bool {
+        self.query_scan(s, t).0
+    }
+
+    /// Like [`ReachIndex::query_witness`]: the order-minimal witness hub,
+    /// identical to the uncompressed answer (the Bloom gate only ever
+    /// skips provably-empty intersections).
+    pub fn query_witness(&self, s: VertexId, t: VertexId) -> Option<VertexId> {
+        if let (Some(false), _) = self.bloom_gate(s, t) {
+            return None;
+        }
+        codec::first_common_cursors(self.out_cursor(s), self.in_cursor(t))
+    }
+
+    /// Fully decodes back to an in-memory [`ReachIndex`] — conversion
+    /// and v1-compat loading; serving stays on the encoded form.
+    pub fn to_reach_index(&self) -> ReachIndex {
+        let n = self.num_vertices();
+        let mut ins = Vec::with_capacity(n);
+        let mut outs = Vec::with_capacity(n);
+        for v in 0..n as VertexId {
+            ins.push(self.in_cursor(v).collect());
+            outs.push(self.out_cursor(v).collect());
+        }
+        ReachIndex::from_labels(ins, outs)
+    }
+}
+
+impl CompressedIndex {
+    /// Builds the encoded form of `idx` in memory: serialize to the v2
+    /// image, then re-parse — one validated code path shared with every
+    /// reader, so a build can never produce bytes a reader rejects.
+    pub fn build(
+        idx: &ReachIndex,
+        codec_id: CodecId,
+        bloom_cfg: Option<BloomConfig>,
+    ) -> CompressedIndex {
+        let bytes = storage::encode_index_v2(idx, codec_id, bloom_cfg);
+        Self::from_backing(bytes).expect("encoder output always parses")
+    }
+
+    /// Validates an owned v2 byte image.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<CompressedIndex, StorageError> {
+        Self::from_backing(bytes)
+    }
+
+    /// Reads and validates a v2 file into memory (compressed form).
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<CompressedIndex, StorageError> {
+        Self::from_bytes(std::fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ReachIndex {
+        ReachIndex::from_labels(
+            vec![vec![0], vec![0, 1], vec![2], vec![1, 2, 3]],
+            vec![vec![0, 2], vec![1], vec![], vec![3]],
+        )
+    }
+
+    #[test]
+    fn build_round_trips_for_all_codecs_and_bloom() {
+        let idx = sample();
+        for codec in [CodecId::Plain, CodecId::DeltaVarint] {
+            for blm in [None, Some(BloomConfig::default())] {
+                let c = CompressedIndex::build(&idx, codec, blm);
+                assert_eq!(c.to_reach_index(), idx, "{codec:?} bloom={}", blm.is_some());
+                assert_eq!(c.num_vertices(), 4);
+                assert_eq!(c.codec(), codec);
+                assert_eq!(c.bloom_config().is_some(), blm.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn answers_match_uncompressed_on_all_pairs() {
+        let idx = sample();
+        for codec in [CodecId::Plain, CodecId::DeltaVarint] {
+            for blm in [None, Some(BloomConfig::default())] {
+                let c = CompressedIndex::build(&idx, codec, blm);
+                for s in 0..4 {
+                    for t in 0..4 {
+                        assert_eq!(c.query(s, t), idx.query(s, t), "q({s},{t})");
+                        assert_eq!(
+                            c.query_witness(s, t),
+                            idx.query_witness(s, t),
+                            "witness({s},{t})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v1_loader_reads_v2_files() {
+        let idx = sample();
+        let bytes =
+            storage::encode_index_v2(&idx, CodecId::DeltaVarint, Some(BloomConfig::default()));
+        assert_eq!(storage::read_index(&bytes[..]).unwrap(), idx);
+    }
+
+    #[test]
+    fn empty_index_encodes_and_queries() {
+        let idx = ReachIndex::new(0);
+        let c = CompressedIndex::build(&idx, CodecId::DeltaVarint, Some(BloomConfig::default()));
+        assert_eq!(c.num_vertices(), 0);
+        assert_eq!(c.to_reach_index(), idx);
+    }
+
+    #[test]
+    fn delta_varint_image_is_smaller_than_plain() {
+        // A 64-vertex index with dense sorted runs: the varint image must
+        // beat the plain-codec image, which must beat the v1 file.
+        let n = 64usize;
+        let lists: Vec<Vec<u32>> = (0..n).map(|v| (0..=v as u32).collect()).collect();
+        let idx = ReachIndex::from_labels(lists.clone(), lists);
+        let dv = storage::encode_index_v2(&idx, CodecId::DeltaVarint, None);
+        let plain = storage::encode_index_v2(&idx, CodecId::Plain, None);
+        let mut v1 = Vec::new();
+        storage::write_index(&idx, &mut v1).unwrap();
+        assert!(dv.len() < plain.len(), "{} !< {}", dv.len(), plain.len());
+        assert!(plain.len() < v1.len(), "{} !< {}", plain.len(), v1.len());
+    }
+}

@@ -26,13 +26,22 @@
 
 use reach_graph::{DiGraph, TransitiveClosure, VertexId};
 
+pub mod bloom;
+pub mod codec;
+pub mod compressed;
+pub mod mmap;
 pub mod oracle;
+pub mod source;
 pub mod stats;
 pub mod storage;
 
+pub use codec::{CodecId, LabelCodec, LabelCursor};
+pub use compressed::{CompressedIndex, EncodedIndex};
+pub use mmap::MmapIndex;
 pub use oracle::{OnlineBfsOracle, ReachabilityOracle};
+pub use source::IndexSource;
 pub use stats::IndexStats;
-pub use storage::{load_index, save_index, StorageError};
+pub use storage::{load_index, save_index, save_index_v2, BloomConfig, StorageError};
 
 /// A 2-hop reachability label index over `n` vertices.
 ///

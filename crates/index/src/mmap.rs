@@ -1,0 +1,234 @@
+//! The out-of-core read path: a v2 index served straight off a
+//! memory-mapped file.
+//!
+//! [`MmapIndex::open`] maps the file read-only (raw `mmap(2)` FFI on
+//! unix — no new dependencies; a buffered-read fallback elsewhere) and
+//! validates it with the same [`parse_v2`](crate::storage::parse_v2)
+//! pass every reader runs. After open, queries touch only the pages
+//! they need: the offset tables, the two label runs (or just the
+//! in-run plus one Bloom filter slot on a pre-filtered negative), while
+//! the OS pages label data in and out on demand — so the served index
+//! may exceed RAM.
+//!
+//! Validation at open intentionally faults every page once (that cost
+//! is what `compression_bench` reports as *cold-open latency*); it buys
+//! an infallible, panic-free query path on an arbitrary on-disk file.
+
+use std::ops::Deref;
+use std::path::Path;
+
+use crate::compressed::EncodedIndex;
+use crate::storage::StorageError;
+
+/// A v2 index over a memory-mapped file — the out-of-core
+/// [`IndexSource`](crate::source::IndexSource).
+pub type MmapIndex = EncodedIndex<Mmap>;
+
+impl MmapIndex {
+    /// Maps `path` read-only and validates it as a v2 index image.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<MmapIndex, StorageError> {
+        let map = Mmap::map_file(path.as_ref())?;
+        EncodedIndex::from_backing(map)
+    }
+}
+
+#[cfg(unix)]
+pub use unix::Mmap;
+
+#[cfg(unix)]
+mod unix {
+    use std::fs::File;
+    use std::ops::Deref;
+    use std::os::unix::io::AsRawFd;
+    use std::path::Path;
+
+    use crate::storage::StorageError;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+
+    /// A read-only, private memory mapping of a whole file. Dereferences
+    /// to `&[u8]`; unmapped on drop.
+    #[derive(Debug)]
+    pub struct Mmap {
+        ptr: *mut core::ffi::c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is PROT_READ + MAP_PRIVATE — immutable shared
+    // bytes, the same sharing contract as Arc<[u8]>.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Maps `path` in full. A zero-length file cannot be a valid
+        /// index and `mmap` rejects zero-length maps, so it is reported
+        /// as corruption up front.
+        pub(crate) fn map_file(path: &Path) -> Result<Mmap, StorageError> {
+            let file = File::open(path)?;
+            let len = file.metadata()?.len();
+            if len == 0 {
+                return Err(StorageError::Corrupt("unexpected end of file"));
+            }
+            if len > usize::MAX as u64 {
+                return Err(StorageError::Corrupt("file exceeds address space"));
+            }
+            let len = len as usize;
+            // SAFETY: fd is valid for the duration of the call; a
+            // MAP_FAILED return (-1) is checked before use.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(StorageError::Io(std::io::Error::last_os_error()));
+            }
+            Ok(Mmap { ptr, len })
+        }
+    }
+
+    impl Deref for Mmap {
+        type Target = [u8];
+
+        fn deref(&self) -> &[u8] {
+            // SAFETY: ptr is a live PROT_READ mapping of exactly len
+            // bytes, valid until drop.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            // SAFETY: ptr/len are the exact values a successful mmap
+            // returned; double-unmap is impossible (no Clone).
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+pub use fallback::Mmap;
+
+#[cfg(not(unix))]
+mod fallback {
+    use std::ops::Deref;
+    use std::path::Path;
+
+    use crate::storage::StorageError;
+
+    /// Portable stand-in for the unix mapping: the whole file buffered
+    /// in memory. Same API, no out-of-core benefit.
+    #[derive(Debug)]
+    pub struct Mmap {
+        bytes: Vec<u8>,
+    }
+
+    impl Mmap {
+        pub(crate) fn map_file(path: &Path) -> Result<Mmap, StorageError> {
+            Ok(Mmap {
+                bytes: std::fs::read(path)?,
+            })
+        }
+    }
+
+    impl Deref for Mmap {
+        type Target = [u8];
+
+        fn deref(&self) -> &[u8] {
+            &self.bytes
+        }
+    }
+}
+
+/// Compile-time check that the active backing satisfies the byte-slice
+/// + thread-sharing contract the serving stack requires.
+#[allow(dead_code)]
+fn _assert_backing() {
+    fn requires<T: Deref<Target = [u8]> + Send + Sync>() {}
+    requires::<Mmap>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::CodecId;
+    use crate::storage::{self, BloomConfig};
+    use crate::ReachIndex;
+
+    fn sample() -> ReachIndex {
+        ReachIndex::from_labels(
+            vec![vec![0], vec![0, 1], vec![2]],
+            vec![vec![0, 2], vec![1], vec![]],
+        )
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("reach_index_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn mmap_answers_match_in_memory() {
+        let idx = sample();
+        let path = temp_path("sample_v2.ridx");
+        storage::save_index_v2(
+            &idx,
+            &path,
+            CodecId::DeltaVarint,
+            Some(BloomConfig::default()),
+        )
+        .unwrap();
+        let m = MmapIndex::open(&path).unwrap();
+        assert_eq!(m.num_vertices(), 3);
+        for s in 0..3 {
+            for t in 0..3 {
+                assert_eq!(m.query(s, t), idx.query(s, t));
+                assert_eq!(m.query_witness(s, t), idx.query_witness(s, t));
+            }
+        }
+        assert_eq!(m.to_reach_index(), idx);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mmap_rejects_v1_and_garbage() {
+        let path = temp_path("v1.ridx");
+        storage::save_index(&sample(), &path).unwrap();
+        assert!(matches!(
+            MmapIndex::open(&path).unwrap_err(),
+            StorageError::BadVersion(1)
+        ));
+        std::fs::write(&path, b"JUNKJUNKJUNKJUNK").unwrap();
+        assert!(matches!(
+            MmapIndex::open(&path).unwrap_err(),
+            StorageError::BadMagic
+        ));
+        std::fs::write(&path, b"").unwrap();
+        assert!(matches!(
+            MmapIndex::open(&path).unwrap_err(),
+            StorageError::Corrupt(_)
+        ));
+        std::fs::remove_file(path).ok();
+    }
+}

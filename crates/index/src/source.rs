@@ -1,0 +1,120 @@
+//! [`IndexSource`] — the common query surface over every index backing.
+//!
+//! `reach-serve` historically served an in-RAM [`ReachIndex`]; the
+//! compressed and mmap-backed forms answer the same queries from their
+//! encoded bytes. This trait is what the serving stack now holds: a
+//! `dyn IndexSource` can be a decoded index, a heap-compressed image,
+//! or a memory-mapped file larger than RAM — the differential harness
+//! (`crates/index/tests/codec_differential.rs`) pins all of them
+//! bit-identical, answers and witnesses both.
+
+use std::ops::Deref;
+
+use reach_graph::VertexId;
+
+use crate::compressed::EncodedIndex;
+use crate::ReachIndex;
+
+/// A queryable reachability index, whatever its physical form.
+///
+/// `Send + Sync` because the serving stack shares one source across
+/// worker threads behind an `Arc`.
+pub trait IndexSource: Send + Sync {
+    /// Number of vertices covered (valid query ids are `0..n`).
+    fn num_vertices(&self) -> usize;
+
+    /// `q(s, t)` plus the scan cost (label entries consumed) — the pair
+    /// the serve layer's shard scan reports.
+    fn query_scan(&self, s: VertexId, t: VertexId) -> (bool, usize);
+
+    /// The reachability query `q(s, t)`.
+    fn query(&self, s: VertexId, t: VertexId) -> bool {
+        self.query_scan(s, t).0
+    }
+
+    /// The order-minimal witness hub `w` with `s → w → t`, when
+    /// reachable. Identical across every backing of the same index.
+    fn query_witness(&self, s: VertexId, t: VertexId) -> Option<VertexId>;
+
+    /// A short human-readable description of the backing (for logs).
+    fn describe(&self) -> String;
+}
+
+impl IndexSource for ReachIndex {
+    fn num_vertices(&self) -> usize {
+        ReachIndex::num_vertices(self)
+    }
+
+    fn query_scan(&self, s: VertexId, t: VertexId) -> (bool, usize) {
+        let (lout, lin) = (self.out_label(s), self.in_label(t));
+        (crate::intersects_sorted(lout, lin), lout.len() + lin.len())
+    }
+
+    fn query(&self, s: VertexId, t: VertexId) -> bool {
+        ReachIndex::query(self, s, t)
+    }
+
+    fn query_witness(&self, s: VertexId, t: VertexId) -> Option<VertexId> {
+        ReachIndex::query_witness(self, s, t)
+    }
+
+    fn describe(&self) -> String {
+        format!("ram index ({} vertices)", ReachIndex::num_vertices(self))
+    }
+}
+
+impl<B: Deref<Target = [u8]> + Send + Sync> IndexSource for EncodedIndex<B> {
+    fn num_vertices(&self) -> usize {
+        EncodedIndex::num_vertices(self)
+    }
+
+    fn query_scan(&self, s: VertexId, t: VertexId) -> (bool, usize) {
+        EncodedIndex::query_scan(self, s, t)
+    }
+
+    fn query_witness(&self, s: VertexId, t: VertexId) -> Option<VertexId> {
+        EncodedIndex::query_witness(self, s, t)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "encoded index ({} vertices, codec {}, bloom {})",
+            self.num_vertices(),
+            self.codec().name(),
+            if self.bloom_config().is_some() {
+                "on"
+            } else {
+                "off"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::CodecId;
+    use crate::compressed::CompressedIndex;
+    use std::sync::Arc;
+
+    #[test]
+    fn dyn_source_answers_for_every_backing() {
+        let idx = ReachIndex::from_labels(
+            vec![vec![0], vec![0, 1], vec![2]],
+            vec![vec![0, 2], vec![1], vec![]],
+        );
+        let compressed = CompressedIndex::build(&idx, CodecId::DeltaVarint, None);
+        let sources: Vec<Arc<dyn IndexSource>> = vec![Arc::new(idx.clone()), Arc::new(compressed)];
+        for src in &sources {
+            assert_eq!(src.num_vertices(), 3);
+            for s in 0..3 {
+                for t in 0..3 {
+                    assert_eq!(src.query(s, t), idx.query(s, t));
+                    assert_eq!(src.query_scan(s, t).0, idx.query(s, t));
+                    assert_eq!(src.query_witness(s, t), idx.query_witness(s, t));
+                }
+            }
+            assert!(!src.describe().is_empty());
+        }
+    }
+}

@@ -1,23 +1,109 @@
 //! Compact binary persistence for [`ReachIndex`].
 //!
 //! The paper's deployment model stores the finished index on one query
-//! machine; this module provides the on-disk format: a little-endian CSR
-//! packing (`4 B` per label entry plus one offset per vertex per
-//! direction), matching the byte counts [`ReachIndex::size_bytes`]
-//! reports.
+//! machine; this module provides the on-disk formats:
 //!
-//! Layout: magic `RIDX` + version, `n`, then for each direction an offset
-//! array (`n + 1` × u64) followed by the entry array (u32s).
+//! * **v1** — a little-endian CSR packing (`4 B` per label entry plus
+//!   one `u64` offset per vertex per direction), matching the byte
+//!   counts [`ReachIndex::size_bytes`] reports. Layout: magic `RIDX` +
+//!   version, `n`, then per direction an offset array (`n + 1` × u64)
+//!   followed by the entry array (u32s).
+//! * **v2** — a section-table container for **compressed** and
+//!   **out-of-core** serving: magic `RIDX`, version 2, a tagged section
+//!   table, then sections `META` (counts + codec + Bloom parameters),
+//!   `IOFF`/`IDAT` and `OOFF`/`ODAT` (per-direction offset tables and
+//!   codec-encoded label runs, see [`crate::codec`]), and optionally
+//!   `BLOM` (per-vertex Bloom pre-filters over `L_out(v)`). Offsets are
+//!   4-byte when the data sections fit in `u32`, else 8-byte. Readers
+//!   **ignore unknown section tags**, the forward-compat rule that lets
+//!   future versions add sections without breaking old readers.
+//!   `docs/STORAGE.md` is the normative byte-level spec.
+//!
+//! Both readers share the hardening contract: every malformed input is a
+//! typed [`StorageError`], never a panic, and no allocation is sized
+//! from unvalidated input. [`read_index`] transparently loads either
+//! version into a [`ReachIndex`]; the v2-only zero-copy paths live in
+//! [`crate::compressed`] and [`crate::mmap`].
 
 use std::io::{BufReader, BufWriter, Read, Write};
+use std::ops::Range;
 use std::path::Path;
 
 use reach_graph::VertexId;
 
+use crate::bloom;
+use crate::codec::CodecId;
 use crate::ReachIndex;
 
 const MAGIC: [u8; 4] = *b"RIDX";
 const VERSION: u32 = 1;
+/// Version tag of the section-table container format.
+pub const VERSION_V2: u32 = 2;
+
+/// v2 section tags. Unknown tags are skipped by readers.
+pub(crate) const SEC_META: [u8; 4] = *b"META";
+pub(crate) const SEC_IOFF: [u8; 4] = *b"IOFF";
+pub(crate) const SEC_IDAT: [u8; 4] = *b"IDAT";
+pub(crate) const SEC_OOFF: [u8; 4] = *b"OOFF";
+pub(crate) const SEC_ODAT: [u8; 4] = *b"ODAT";
+pub(crate) const SEC_BLOM: [u8; 4] = *b"BLOM";
+
+/// Hard cap on the declared section count: bounds the only
+/// header-driven allocation a hostile file could inflate.
+const MAX_SECTIONS: u32 = 1024;
+
+/// Bytes per section-table entry: tag + offset + len.
+pub const SECTION_ENTRY_LEN: usize = 4 + 8 + 8;
+
+/// Fixed length of the META section payload.
+const META_LEN: usize = 8 + 4 + 4 + 4 + 4;
+
+/// Parameters of the optional per-vertex Bloom pre-filter stored in a
+/// v2 file's BLOM section (one filter per vertex, over `L_out(v)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BloomConfig {
+    /// Filter width per vertex in bits; rounded up to whole 64-bit
+    /// words (so the stored width is `bits_per_vertex.div_ceil(64) × 64`).
+    pub bits_per_vertex: u32,
+    /// Number of hash probes per element.
+    pub k: u32,
+}
+
+impl Default for BloomConfig {
+    /// 256 bits (32 B) per vertex with 2 probes — sized so typical DRL
+    /// label lists keep the false-positive rate in the low percent.
+    fn default() -> Self {
+        BloomConfig {
+            bits_per_vertex: 256,
+            k: 2,
+        }
+    }
+}
+
+impl BloomConfig {
+    /// Stored filter width in bytes (whole words).
+    pub fn bytes_per_vertex(&self) -> usize {
+        (self.bits_per_vertex as usize).div_ceil(64).max(1) * 8
+    }
+
+    /// A filter sized to the index's label density: ~12 bits per stored
+    /// `L_out` entry (k = 2 probes), rounded up to whole words and
+    /// clamped to [256, 2048] bits. Dense label sets (tens of entries
+    /// per vertex) saturate the fixed default — its false-positive rate
+    /// then erases the gate's win on negative queries — while sparse
+    /// sets waste bytes above 256 bits. Benchmarks and the CLI's
+    /// auto mode use this.
+    pub fn sized_for(idx: &crate::ReachIndex) -> BloomConfig {
+        let n = idx.num_vertices().max(1);
+        let out_entries: usize = (0..n as u32).map(|v| idx.out_label(v).len()).sum();
+        let avg = out_entries.div_ceil(n);
+        let bits = (avg * 12).next_multiple_of(64).clamp(256, 2048) as u32;
+        BloomConfig {
+            bits_per_vertex: bits,
+            k: 2,
+        }
+    }
+}
 
 /// Errors from index persistence.
 #[derive(Debug)]
@@ -99,6 +185,15 @@ pub fn read_index<R: Read>(reader: R) -> Result<ReachIndex, StorageError> {
         return Err(StorageError::BadMagic);
     }
     let version = read_u32(&mut r)?;
+    if version == VERSION_V2 {
+        // Reassemble the full byte image (magic + version + rest) and
+        // decode through the validated v2 parser.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION_V2.to_le_bytes());
+        r.read_to_end(&mut bytes)?;
+        return crate::compressed::CompressedIndex::from_bytes(bytes).map(|c| c.to_reach_index());
+    }
     if version != VERSION {
         return Err(StorageError::BadVersion(version));
     }
@@ -156,6 +251,342 @@ pub fn save_index<P: AsRef<Path>>(idx: &ReachIndex, path: P) -> Result<(), Stora
 /// Loads an index from a file path.
 pub fn load_index<P: AsRef<Path>>(path: P) -> Result<ReachIndex, StorageError> {
     read_index(std::fs::File::open(path)?)
+}
+
+/// Serializes the index in the v2 section-table format and returns the
+/// byte image — the form [`write_index_v2`] writes and
+/// [`parse_v2`] reads back.
+pub fn encode_index_v2(
+    idx: &ReachIndex,
+    codec_id: CodecId,
+    bloom_cfg: Option<BloomConfig>,
+) -> Vec<u8> {
+    let codec = codec_id.codec();
+    let n = idx.num_vertices();
+
+    // Encode both directions' label runs and their offset tables.
+    let encode_side = |out_side: bool| {
+        let mut dat = Vec::new();
+        let mut offs = Vec::with_capacity(n + 1);
+        offs.push(0u64);
+        for v in 0..n as VertexId {
+            let list = if out_side {
+                idx.out_label(v)
+            } else {
+                idx.in_label(v)
+            };
+            codec.encode(list, &mut dat);
+            offs.push(dat.len() as u64);
+        }
+        (offs, dat)
+    };
+    let (ioffs, idat) = encode_side(false);
+    let (ooffs, odat) = encode_side(true);
+
+    // Offsets shrink to u32 whenever both data sections allow it — for
+    // typical label sizes the v1 format's fixed 16 B/vertex of u64
+    // offsets is most of what compression claws back.
+    let max_dat = idat.len().max(odat.len()) as u64;
+    let offset_width: u32 = if max_dat <= u64::from(u32::MAX) { 4 } else { 8 };
+    let pack_offsets = |offs: &[u64]| {
+        let mut out = Vec::with_capacity(offs.len() * offset_width as usize);
+        for &o in offs {
+            if offset_width == 4 {
+                out.extend_from_slice(&(o as u32).to_le_bytes());
+            } else {
+                out.extend_from_slice(&o.to_le_bytes());
+            }
+        }
+        out
+    };
+    let ioff = pack_offsets(&ioffs);
+    let ooff = pack_offsets(&ooffs);
+
+    // Optional per-vertex Bloom filters over L_out(v), serialized as
+    // whole little-endian words so probes address bytes directly.
+    let blom = bloom_cfg.map(|cfg| {
+        let bpv = cfg.bytes_per_vertex();
+        let mut buf = vec![0u8; n * bpv];
+        for v in 0..n as VertexId {
+            let slot = &mut buf[v as usize * bpv..(v as usize + 1) * bpv];
+            for &x in idx.out_label(v) {
+                bloom::set_bits(slot, x, cfg.k as usize);
+            }
+        }
+        buf
+    });
+
+    let (bloom_k, bloom_bpv) = match bloom_cfg {
+        Some(cfg) => (cfg.k, cfg.bytes_per_vertex() as u32),
+        None => (0, 0),
+    };
+    let mut meta = Vec::with_capacity(META_LEN);
+    meta.extend_from_slice(&(n as u64).to_le_bytes());
+    meta.extend_from_slice(&(codec_id as u32).to_le_bytes());
+    meta.extend_from_slice(&offset_width.to_le_bytes());
+    meta.extend_from_slice(&bloom_k.to_le_bytes());
+    meta.extend_from_slice(&bloom_bpv.to_le_bytes());
+
+    let mut sections: Vec<([u8; 4], &[u8])> = vec![
+        (SEC_META, &meta),
+        (SEC_IOFF, &ioff),
+        (SEC_IDAT, &idat),
+        (SEC_OOFF, &ooff),
+        (SEC_ODAT, &odat),
+    ];
+    if let Some(b) = &blom {
+        sections.push((SEC_BLOM, b));
+    }
+
+    let header_len = 4 + 4 + 4 + sections.len() * SECTION_ENTRY_LEN;
+    let total = header_len + sections.iter().map(|(_, s)| s.len()).sum::<usize>();
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION_V2.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    let mut offset = header_len as u64;
+    for (tag, data) in &sections {
+        out.extend_from_slice(tag);
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        offset += data.len() as u64;
+    }
+    for (_, data) in &sections {
+        out.extend_from_slice(data);
+    }
+    out
+}
+
+/// Writes the index in the v2 section-table format.
+pub fn write_index_v2<W: Write>(
+    idx: &ReachIndex,
+    codec_id: CodecId,
+    bloom_cfg: Option<BloomConfig>,
+    writer: W,
+) -> Result<(), StorageError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(&encode_index_v2(idx, codec_id, bloom_cfg))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Saves the index to a file path in the v2 format.
+pub fn save_index_v2<P: AsRef<Path>>(
+    idx: &ReachIndex,
+    path: P,
+    codec_id: CodecId,
+    bloom_cfg: Option<BloomConfig>,
+) -> Result<(), StorageError> {
+    write_index_v2(idx, codec_id, bloom_cfg, std::fs::File::create(path)?)
+}
+
+/// The validated shape of a v2 byte image: byte *ranges* of every
+/// section (never borrowed slices, so one layout serves any backing —
+/// heap buffer or mmap) plus the decoded META parameters.
+///
+/// Produced only by [`parse_v2`], which guarantees every range is in
+/// bounds, every offset table is monotone and consistent with its data
+/// section, and **every label run passes its codec's full validation**
+/// — so query-time decoding is infallible.
+#[derive(Clone, Debug)]
+pub struct V2Layout {
+    pub(crate) n: usize,
+    pub(crate) codec: CodecId,
+    pub(crate) offset_width: usize,
+    pub(crate) bloom_k: u32,
+    pub(crate) bloom_bytes_per_vertex: usize,
+    pub(crate) in_off: Range<usize>,
+    pub(crate) in_dat: Range<usize>,
+    pub(crate) out_off: Range<usize>,
+    pub(crate) out_dat: Range<usize>,
+    pub(crate) blom: Option<Range<usize>>,
+}
+
+impl V2Layout {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// The label-run codec.
+    pub fn codec(&self) -> CodecId {
+        self.codec
+    }
+
+    /// The Bloom pre-filter parameters, when a BLOM section is present.
+    pub fn bloom(&self) -> Option<BloomConfig> {
+        self.blom.as_ref().map(|_| BloomConfig {
+            bits_per_vertex: (self.bloom_bytes_per_vertex * 8) as u32,
+            k: self.bloom_k,
+        })
+    }
+
+    /// Reads the `i`-th entry of an offset table (`i ≤ n`).
+    #[inline]
+    pub(crate) fn offset_at(&self, bytes: &[u8], table: &Range<usize>, i: usize) -> usize {
+        let base = table.start + i * self.offset_width;
+        if self.offset_width == 4 {
+            u32::from_le_bytes(bytes[base..base + 4].try_into().expect("offset bytes")) as usize
+        } else {
+            u64::from_le_bytes(bytes[base..base + 8].try_into().expect("offset bytes")) as usize
+        }
+    }
+}
+
+/// Parses and fully validates a v2 byte image.
+///
+/// Same contract as [`read_index`]: every malformed input — bad magic or
+/// version, an oversized or out-of-bounds section table, duplicate or
+/// missing required sections, inconsistent META, non-monotone offsets,
+/// or any label run its codec rejects — yields a typed [`StorageError`];
+/// the parser never panics and its only header-driven allocation is the
+/// section table, capped at 1024 entries. Unknown section
+/// tags are ignored (forward compatibility).
+pub fn parse_v2(bytes: &[u8]) -> Result<V2Layout, StorageError> {
+    let corrupt = |m: &'static str| StorageError::Corrupt(m);
+    if bytes.len() < 12 {
+        return Err(corrupt("unexpected end of file"));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("version bytes"));
+    if version != VERSION_V2 {
+        return Err(StorageError::BadVersion(version));
+    }
+    let count = u32::from_le_bytes(bytes[8..12].try_into().expect("count bytes"));
+    if count > MAX_SECTIONS {
+        return Err(corrupt("section table too large"));
+    }
+    let header_len = 12 + count as usize * SECTION_ENTRY_LEN;
+    if bytes.len() < header_len {
+        return Err(corrupt("unexpected end of file"));
+    }
+
+    let mut meta: Option<Range<usize>> = None;
+    let mut ioff: Option<Range<usize>> = None;
+    let mut idat: Option<Range<usize>> = None;
+    let mut ooff: Option<Range<usize>> = None;
+    let mut odat: Option<Range<usize>> = None;
+    let mut blom: Option<Range<usize>> = None;
+    for i in 0..count as usize {
+        let base = 12 + i * SECTION_ENTRY_LEN;
+        let tag: [u8; 4] = bytes[base..base + 4].try_into().expect("tag bytes");
+        let offset = u64::from_le_bytes(bytes[base + 4..base + 12].try_into().expect("offset"));
+        let len = u64::from_le_bytes(bytes[base + 12..base + 20].try_into().expect("len"));
+        let end = offset
+            .checked_add(len)
+            .ok_or(corrupt("section bounds overflow"))?;
+        if end > bytes.len() as u64 {
+            return Err(corrupt("section out of bounds"));
+        }
+        let range = offset as usize..end as usize;
+        let slot = match tag {
+            SEC_META => &mut meta,
+            SEC_IOFF => &mut ioff,
+            SEC_IDAT => &mut idat,
+            SEC_OOFF => &mut ooff,
+            SEC_ODAT => &mut odat,
+            SEC_BLOM => &mut blom,
+            // Forward compatibility: a tag this reader does not know is
+            // simply skipped, exactly like unknown opcodes in PROTOCOL.md.
+            _ => continue,
+        };
+        if slot.is_some() {
+            return Err(corrupt("duplicate section"));
+        }
+        *slot = Some(range);
+    }
+
+    let meta = meta.ok_or(corrupt("missing META section"))?;
+    if meta.len() != META_LEN {
+        return Err(corrupt("META section length mismatch"));
+    }
+    let m = &bytes[meta];
+    let n64 = u64::from_le_bytes(m[0..8].try_into().expect("n bytes"));
+    if n64 > u64::from(u32::MAX) {
+        return Err(corrupt("vertex count exceeds u32"));
+    }
+    let n = n64 as usize;
+    let codec = CodecId::from_u32(u32::from_le_bytes(m[8..12].try_into().expect("codec")))
+        .ok_or(corrupt("unknown label codec"))?;
+    let offset_width = match u32::from_le_bytes(m[12..16].try_into().expect("width")) {
+        4 => 4usize,
+        8 => 8usize,
+        _ => return Err(corrupt("offset width must be 4 or 8")),
+    };
+    let bloom_k = u32::from_le_bytes(m[16..20].try_into().expect("bloom k"));
+    let bloom_bpv = u32::from_le_bytes(m[20..24].try_into().expect("bloom width")) as usize;
+    match (&blom, bloom_bpv) {
+        (None, 0) => {
+            if bloom_k != 0 {
+                return Err(corrupt("bloom probes without bloom section"));
+            }
+        }
+        (None, _) => return Err(corrupt("missing BLOM section")),
+        (Some(_), 0) => return Err(corrupt("BLOM section without bloom config")),
+        (Some(range), bpv) => {
+            if bpv % 8 != 0 {
+                return Err(corrupt("bloom width not whole words"));
+            }
+            if !(1..=32).contains(&bloom_k) {
+                return Err(corrupt("bloom probe count out of range"));
+            }
+            let want = (n as u64)
+                .checked_mul(bpv as u64)
+                .ok_or(corrupt("bloom section bounds overflow"))?;
+            if range.len() as u64 != want {
+                return Err(corrupt("BLOM section length mismatch"));
+            }
+        }
+    }
+
+    let layout = V2Layout {
+        n,
+        codec,
+        offset_width,
+        bloom_k,
+        bloom_bytes_per_vertex: bloom_bpv,
+        in_off: ioff.ok_or(corrupt("missing IOFF section"))?,
+        in_dat: idat.ok_or(corrupt("missing IDAT section"))?,
+        out_off: ooff.ok_or(corrupt("missing OOFF section"))?,
+        out_dat: odat.ok_or(corrupt("missing ODAT section"))?,
+        blom,
+    };
+
+    // Offset tables: exactly n+1 entries, monotone from zero, last entry
+    // equal to the data section length; every run codec-validated.
+    let c = codec.codec();
+    for (off, dat) in [
+        (&layout.in_off, &layout.in_dat),
+        (&layout.out_off, &layout.out_dat),
+    ] {
+        let want = (n as u64 + 1)
+            .checked_mul(offset_width as u64)
+            .ok_or(corrupt("offset table bounds overflow"))?;
+        if off.len() as u64 != want {
+            return Err(corrupt("offset table length mismatch"));
+        }
+        let mut prev = 0usize;
+        for i in 0..=n {
+            let o = layout.offset_at(bytes, off, i);
+            if (i == 0 && o != 0) || o < prev {
+                return Err(corrupt("offsets not monotone from zero"));
+            }
+            if o > dat.len() {
+                return Err(corrupt("offset beyond data section"));
+            }
+            if i > 0 {
+                let run = &bytes[dat.start + prev..dat.start + o];
+                c.validate_list(run, n).map_err(StorageError::Corrupt)?;
+            }
+            prev = o;
+        }
+        if prev != dat.len() {
+            return Err(corrupt("data section has trailing bytes"));
+        }
+    }
+    Ok(layout)
 }
 
 /// `read_exact` with truncation reported as data corruption: a file that

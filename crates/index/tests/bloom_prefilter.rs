@@ -1,0 +1,138 @@
+//! Bloom pre-filter semantics: the gate may only ever skip work, never
+//! change an answer.
+//!
+//! * **Zero false negatives** (soundness): if `L_out(s) ∩ L_in(t)` is
+//!   non-empty, every probe of the common hub hits the filter, so the
+//!   gate can never return `Some(false)` on a reachable pair. Pinned by
+//!   proptest over arbitrary label sets and all Bloom shapes.
+//! * **Bounded false positives** (usefulness): on a negative-dominated
+//!   workload over real labels the gate must actually skip most merges,
+//!   and the measured false-positive rate — gate passes whose merge then
+//!   comes up empty — is recorded and asserted under a loose ceiling.
+//!   The precise rate is configuration-dependent; the ceiling catches
+//!   hash-quality regressions (e.g. probes collapsing onto one word).
+
+use proptest::prelude::*;
+use reach_datasets::{negative_mix, workload};
+use reach_graph::OrderKind;
+use reach_index::{BloomConfig, CodecId, CompressedIndex, ReachIndex};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness over arbitrary indexes and filter shapes: for every
+    /// pair, Bloom-gated answers and witnesses equal the ungated ones —
+    /// in particular no reachable pair is ever gated out.
+    #[test]
+    fn gate_never_flips_an_answer(
+        labels in (1usize..20).prop_flat_map(|n| (
+            Just(n),
+            proptest::collection::vec(
+                proptest::collection::vec(0..n as u32, 0..8), n..n + 1),
+            proptest::collection::vec(
+                proptest::collection::vec(0..n as u32, 0..8), n..n + 1),
+        )),
+        bits in 1u32..128,
+        k in 1u32..5,
+    ) {
+        let (n, ins, outs) = labels;
+        let idx = ReachIndex::from_labels(ins, outs);
+        let cfg = BloomConfig { bits_per_vertex: bits, k };
+        let gated = CompressedIndex::build(&idx, CodecId::DeltaVarint, Some(cfg));
+        for s in 0..n as u32 {
+            for t in 0..n as u32 {
+                let want = idx.query(s, t);
+                prop_assert_eq!(gated.query(s, t), want, "q({}, {})", s, t);
+                prop_assert_eq!(gated.query_witness(s, t), idx.query_witness(s, t));
+                // Soundness stated directly on the gate: reachable pairs
+                // must pass it.
+                if want {
+                    let (gate, _) = gated.bloom_gate(s, t);
+                    prop_assert_ne!(gate, Some(false), "gate refuted reachable ({}, {})", s, t);
+                }
+            }
+        }
+    }
+}
+
+/// The measured behaviour on real labels: on a 90%-negative workload the
+/// default configuration must skip the merge for most true negatives,
+/// with a recorded FP rate under the ceiling.
+#[test]
+fn false_positive_rate_is_recorded_and_bounded_on_negative_workloads() {
+    let mut spec = reach_datasets::by_name("WEBW").unwrap();
+    spec.vertices = 400;
+    spec.edges = 1200;
+    let g = spec.generate();
+    let idx = reach_tol::build(&g, OrderKind::DegreeProduct);
+    let gated = CompressedIndex::build(&idx, CodecId::DeltaVarint, Some(BloomConfig::default()));
+
+    let (_, mix) = negative_mix();
+    let queries = workload(&g, mix, 4000, 0xb100);
+
+    let (mut negatives, mut skips, mut fps) = (0u64, 0u64, 0u64);
+    for &(s, t) in &queries {
+        if idx.query(s, t) {
+            continue; // positives must pass the gate; covered above
+        }
+        negatives += 1;
+        match gated.bloom_gate(s, t).0 {
+            Some(false) => skips += 1,
+            Some(true) => fps += 1,
+            None => panic!("filter configured but gate found none"),
+        }
+    }
+    assert!(
+        negatives >= 2000,
+        "workload not negative-dominated: {negatives}/4000"
+    );
+    let fp_rate = fps as f64 / negatives as f64;
+    // Recorded: visible under `cargo test -- --nocapture` and in CI logs.
+    println!(
+        "bloom gate on {negatives} negatives: {skips} skipped, {fps} false positives \
+         (fp rate {fp_rate:.4})"
+    );
+    assert!(
+        fp_rate <= 0.35,
+        "bloom false-positive rate {fp_rate:.4} above ceiling — hash quality regression?"
+    );
+    assert!(
+        skips > negatives / 2,
+        "gate skipped only {skips}/{negatives} — pre-filter is not earning its bytes"
+    );
+}
+
+/// Degenerate shapes stay sound: empty L_out(s) filters reject every
+/// probe (always skip), empty L_in(t) makes the gate trivially skip,
+/// and a saturated filter (1 bit per vertex) degrades to pass-through
+/// without changing answers.
+#[test]
+fn degenerate_filters_stay_sound() {
+    // Vertex 0: empty out-label. Vertex 1: out = {0}, in = {0}.
+    let idx = ReachIndex::from_labels(
+        vec![vec![], vec![0]], // in-labels
+        vec![vec![], vec![0]], // out-labels
+    );
+    let gated = CompressedIndex::build(
+        &idx,
+        CodecId::DeltaVarint,
+        Some(BloomConfig {
+            bits_per_vertex: 1, // rounds up to one 64-bit word
+            k: 4,
+        }),
+    );
+    for s in 0..2 {
+        for t in 0..2 {
+            assert_eq!(gated.query(s, t), idx.query(s, t), "q({s},{t})");
+        }
+    }
+    // Empty out-label: every probe misses, so any negative with probes
+    // skips the merge.
+    let (gate, probes) = gated.bloom_gate(0, 1);
+    assert_eq!(gate, Some(false));
+    assert_eq!(probes, 1); // L_in(1) = {0}: one probe refuted the pair
+                           // Empty in-label: zero probes, gate skips vacuously.
+    let (gate, probes) = gated.bloom_gate(1, 0);
+    assert_eq!(gate, Some(false));
+    assert_eq!(probes, 0);
+}

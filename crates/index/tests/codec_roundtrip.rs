@@ -1,0 +1,153 @@
+//! Codec roundtrip suite: for every [`LabelCodec`], `decode(encode(l))`
+//! must reproduce any strictly-sorted label list exactly — including the
+//! degenerate shapes (empty, singleton, dense consecutive runs, maximal
+//! `u32::MAX` deltas) — and the delta-varint encoding must never be
+//! larger than plain on real label sets built over Table-V graph shapes.
+//!
+//! The decode-side *corruption* properties (overlong varints, truncation,
+//! overflow) live with the codec in `src/codec.rs`; the whole-file fuzz
+//! is `tests/storage_v2_fuzz.rs`. This file pins the encode→decode loop.
+
+use proptest::prelude::*;
+use reach_graph::OrderKind;
+use reach_index::codec::decode_to_vec;
+use reach_index::{BloomConfig, CodecId, CompressedIndex};
+
+const CODECS: [CodecId; 2] = [CodecId::Plain, CodecId::DeltaVarint];
+
+/// Encode with each codec and assert the streaming cursor reproduces the
+/// list; also assert `validate_list` (the loader's path) accepts the
+/// encoder's own output with the right element count.
+fn assert_roundtrip(list: &[u32]) {
+    for codec_id in CODECS {
+        let codec = codec_id.codec();
+        let mut buf = Vec::new();
+        codec.encode(list, &mut buf);
+        let decoded = decode_to_vec(codec, &buf);
+        assert_eq!(decoded, list, "{} roundtrip", codec_id.name());
+        // validate_list bounds entries by the vertex count; feed it one
+        // large enough for the list's maximum element.
+        let n = list.last().map_or(1, |&v| v as usize + 1);
+        let count = codec
+            .validate_list(&buf, n)
+            .unwrap_or_else(|e| panic!("{} rejects own output: {e}", codec_id.name()));
+        assert_eq!(count as usize, list.len());
+    }
+}
+
+/// Strictly-sorted list from an arbitrary multiset: sort + dedup.
+fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[test]
+fn fixed_edge_shapes_round_trip() {
+    assert_roundtrip(&[]);
+    assert_roundtrip(&[0]);
+    assert_roundtrip(&[u32::MAX]);
+    assert_roundtrip(&[0, u32::MAX]); // maximal single delta
+    assert_roundtrip(&[0, 1, 2, 3, 4, 5, 6, 7]); // dense run, delta-1 = 0
+    assert_roundtrip(&[7, 1 << 7, 1 << 14, 1 << 21, 1 << 28, u32::MAX]); // every varint width
+    let dense: Vec<u32> = (1_000..3_000).collect();
+    assert_roundtrip(&dense);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary strictly-sorted lists over the full u32 domain — sparse
+    /// ids force wide deltas, as large as the domain allows.
+    #[test]
+    fn arbitrary_sparse_lists_round_trip(
+        raw in proptest::collection::vec(0..=u32::MAX, 0..64),
+    ) {
+        assert_roundtrip(&sorted(raw));
+    }
+
+    /// Dense lists over a small domain — deltas cluster at 1, the case
+    /// the `delta − 1` bias is designed for.
+    #[test]
+    fn arbitrary_dense_lists_round_trip(
+        raw in proptest::collection::vec(0..512u32, 0..256),
+    ) {
+        assert_roundtrip(&sorted(raw));
+    }
+
+    /// A list ending at the domain edge still round-trips: the last
+    /// delta may need the full 5-byte varint.
+    #[test]
+    fn lists_ending_at_domain_edge_round_trip(
+        raw in proptest::collection::vec(0..1024u32, 0..32),
+    ) {
+        let mut list = sorted(raw);
+        list.push(u32::MAX);
+        assert_roundtrip(&list);
+    }
+
+    /// Delta-varint never loses to plain on sorted lists: every entry
+    /// costs at most 5 bytes, and entries below 2^28 cost at most 4.
+    #[test]
+    fn delta_varint_never_beaten_by_plain_on_small_ids(
+        raw in proptest::collection::vec(0..=(1u32 << 28) - 1, 0..64),
+    ) {
+        let list = sorted(raw);
+        let (mut plain, mut delta) = (Vec::new(), Vec::new());
+        CodecId::Plain.codec().encode(&list, &mut plain);
+        CodecId::DeltaVarint.codec().encode(&list, &mut delta);
+        prop_assert!(delta.len() <= plain.len(),
+            "delta {} > plain {} on {} entries", delta.len(), plain.len(), list.len());
+    }
+}
+
+/// On real labels — built by the TOL baseline over every Table-V medium
+/// shape at test scale — the delta-varint image must be strictly smaller
+/// than the plain v2 image, which in turn beats the v1 file (fixed
+/// 16 B/vertex of u64 offsets).
+#[test]
+fn real_label_sets_shrink_under_delta_varint() {
+    for spec in reach_datasets::mediums() {
+        let mut spec = spec;
+        spec.vertices = 400;
+        spec.edges = 1200;
+        let g = spec.generate();
+        let idx = reach_tol::build(&g, OrderKind::DegreeProduct);
+
+        let plain = CompressedIndex::build(&idx, CodecId::Plain, None);
+        let delta = CompressedIndex::build(&idx, CodecId::DeltaVarint, None);
+        assert!(
+            delta.image_bytes() < plain.image_bytes(),
+            "{}: delta {} !< plain {}",
+            spec.name,
+            delta.image_bytes(),
+            plain.image_bytes()
+        );
+
+        let mut v1 = Vec::new();
+        reach_index::storage::write_index(&idx, &mut v1).unwrap();
+        assert!(
+            delta.image_bytes() < v1.len(),
+            "{}: delta {} !< v1 {}",
+            spec.name,
+            delta.image_bytes(),
+            v1.len()
+        );
+
+        // The decoded index is the original, entry for entry.
+        assert_eq!(delta.to_reach_index(), idx, "{}", spec.name);
+        assert_eq!(plain.to_reach_index(), idx, "{}", spec.name);
+
+        // Bloom adds exactly its configured bytes on top of the sections.
+        let cfg = BloomConfig::default();
+        let bloomed = CompressedIndex::build(&idx, CodecId::DeltaVarint, Some(cfg));
+        let overhead = bloomed.image_bytes() - delta.image_bytes();
+        let expected = idx.num_vertices() * cfg.bytes_per_vertex();
+        assert_eq!(
+            overhead,
+            expected + reach_index::storage::SECTION_ENTRY_LEN,
+            "{}: BLOM section overhead",
+            spec.name
+        );
+    }
+}

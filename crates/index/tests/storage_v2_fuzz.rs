@@ -1,0 +1,328 @@
+//! Corrupt-input fuzz for the v2 `.ridx` reader: every malformed input
+//! must come back as a typed [`StorageError`] — never a panic, never an
+//! allocation proportional to attacker-declared counts.
+//!
+//! Three attack surfaces:
+//!
+//! * **Truncation** — every strict prefix of a valid file must fail
+//!   cleanly (the file can be cut mid-header, mid-section-table,
+//!   mid-varint, mid-Bloom-block).
+//! * **Bit rot** — single-byte corruption anywhere must either still
+//!   parse to a *consistent* index (flips inside label data can produce
+//!   a different-but-valid index; that is fine, the checksumless format
+//!   trades that for zero-copy mmap) or fail typed. Queries against
+//!   anything that parses must not panic.
+//! * **Crafted section tables** — hostile headers: huge section counts,
+//!   out-of-bounds or overlapping extents, duplicate sections, unknown
+//!   tags (must be *accepted* — forward compat), overlong and truncated
+//!   varints in the data sections, BLOM length mismatches, and a
+//!   declared vertex count in the billions backed by a 100-byte file
+//!   (must fail before allocating).
+
+use proptest::prelude::*;
+use reach_graph::OrderKind;
+use reach_index::storage::{parse_v2, StorageError};
+use reach_index::{BloomConfig, CodecId, CompressedIndex};
+
+/// A small real index, encoded v2 with delta varints and Bloom filters —
+/// the corpus seed every mutation starts from.
+fn seed_image() -> Vec<u8> {
+    let g = reach_datasets::citation_dag(48, 160, 3);
+    let idx = reach_tol::build(&g, OrderKind::DegreeProduct);
+    reach_index::storage::encode_index_v2(
+        &idx,
+        CodecId::DeltaVarint,
+        Some(BloomConfig {
+            bits_per_vertex: 64,
+            k: 2,
+        }),
+    )
+}
+
+/// Parse, and if the bytes still parse, drive queries through them —
+/// the "never panic" contract covers the read path, not just the
+/// validator.
+fn exercise(bytes: &[u8]) -> Result<(), StorageError> {
+    let idx = CompressedIndex::from_bytes(bytes.to_vec())?;
+    let n = idx.num_vertices() as u32;
+    for s in (0..n).step_by(7) {
+        for t in (0..n).step_by(5) {
+            let (hit, _) = idx.query_scan(s, t);
+            let witness = idx.query_witness(s, t);
+            assert_eq!(hit, witness.is_some(), "answer/witness inconsistency");
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn every_truncation_fails_cleanly() {
+    let image = seed_image();
+    for len in 0..image.len() {
+        let err = parse_v2(&image[..len])
+            .expect_err(&format!("prefix of {len}/{} bytes parsed", image.len()));
+        match err {
+            StorageError::BadMagic | StorageError::BadVersion(_) | StorageError::Corrupt(_) => {}
+            StorageError::Io(e) => panic!("truncation surfaced as i/o: {e}"),
+        }
+    }
+}
+
+#[test]
+fn single_byte_corruption_never_panics() {
+    let image = seed_image();
+    // Every position × a handful of adversarial values: zero, all-ones,
+    // and a bit flip (cheap exhaustive sweep at this image size).
+    for pos in 0..image.len() {
+        for val in [0x00, 0xFF, image[pos] ^ 0x01, image[pos] ^ 0x80] {
+            if val == image[pos] {
+                continue;
+            }
+            let mut bytes = image.clone();
+            bytes[pos] = val;
+            let _ = exercise(&bytes); // Ok or typed Err — just no panic.
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Multi-byte corruption: splice a random run of random bytes into a
+    /// random position of the valid image.
+    #[test]
+    fn random_splices_never_panic(
+        pos_frac in 0.0f64..1.0,
+        splice in proptest::collection::vec(0u8..=255, 1..48),
+    ) {
+        let mut bytes = seed_image();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        let end = (pos + splice.len()).min(bytes.len());
+        bytes[pos..end].copy_from_slice(&splice[..end - pos]);
+        let _ = exercise(&bytes);
+    }
+
+    /// Pure noise of plausible lengths never panics and never parses.
+    #[test]
+    fn random_noise_is_rejected(
+        bytes in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        prop_assert!(exercise(&bytes).is_err());
+    }
+}
+
+// ---- crafted section tables -------------------------------------------
+
+/// Builds a v2 image from explicit section-table entries and a data
+/// blob: magic, version, count, entries, then `data` verbatim. Offsets
+/// in `entries` are absolute file offsets, exactly as on disk.
+fn craft(entries: &[([u8; 4], u64, u64)], data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"RIDX");
+    out.extend_from_slice(&2u32.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (tag, off, len) in entries {
+        out.extend_from_slice(tag);
+        out.extend_from_slice(&off.to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes());
+    }
+    out.extend_from_slice(data);
+    out
+}
+
+/// META payload bytes for the given parameters.
+fn meta(n: u64, codec: u32, width: u32, bloom_k: u32, bloom_bpv: u32) -> Vec<u8> {
+    let mut m = Vec::new();
+    m.extend_from_slice(&n.to_le_bytes());
+    m.extend_from_slice(&codec.to_le_bytes());
+    m.extend_from_slice(&width.to_le_bytes());
+    m.extend_from_slice(&bloom_k.to_le_bytes());
+    m.extend_from_slice(&bloom_bpv.to_le_bytes());
+    m
+}
+
+fn expect_corrupt(bytes: &[u8]) -> &'static str {
+    match parse_v2(bytes) {
+        Err(StorageError::Corrupt(what)) => what,
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn hostile_section_count_fails_before_allocating() {
+    // Declares u32::MAX sections in a 12-byte file: the reader must
+    // bound the count *before* sizing any table from it.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"RIDX");
+    bytes.extend_from_slice(&2u32.to_le_bytes());
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    expect_corrupt(&bytes);
+}
+
+#[test]
+fn declared_vertex_count_in_the_billions_fails_fast() {
+    // META says 4 billion vertices; the offset tables a real file of
+    // that size would carry are absent. Must fail on section-length
+    // validation, not attempt a 16 GB materialization.
+    let m = meta(u32::MAX as u64, 1, 4, 0, 0);
+    let header = 12 + 5 * 20;
+    let entries = [
+        (*b"META", header as u64, m.len() as u64),
+        (*b"IOFF", (header + m.len()) as u64, 4),
+        (*b"IDAT", (header + m.len() + 4) as u64, 0),
+        (*b"OOFF", (header + m.len() + 4) as u64, 4),
+        (*b"ODAT", (header + m.len() + 8) as u64, 0),
+    ];
+    let mut data = m.clone();
+    data.extend_from_slice(&0u32.to_le_bytes());
+    data.extend_from_slice(&0u32.to_le_bytes());
+    expect_corrupt(&craft(&entries, &data));
+}
+
+#[test]
+fn out_of_bounds_and_overflowing_extents_are_rejected() {
+    let m = meta(0, 0, 4, 0, 0);
+    // Section extends past end of file.
+    expect_corrupt(&craft(&[(*b"META", 32, 1 << 40)], &m));
+    // offset + len overflows u64.
+    expect_corrupt(&craft(&[(*b"META", u64::MAX, 2)], &m));
+    // Offset before the data region start is still out of the file when
+    // len reaches past the end.
+    expect_corrupt(&craft(&[(*b"META", 0, u64::MAX)], &m));
+}
+
+#[test]
+fn duplicate_sections_are_rejected() {
+    let m = meta(0, 0, 4, 0, 0);
+    let header = 12 + 2 * 20;
+    let entries = [
+        (*b"META", header as u64, m.len() as u64),
+        (*b"META", header as u64, m.len() as u64),
+    ];
+    expect_corrupt(&craft(&entries, &m));
+}
+
+#[test]
+fn unknown_sections_are_skipped_for_forward_compat() {
+    // A valid empty index plus a "FUTR" section the current reader has
+    // never heard of: must parse, and the unknown payload is ignored.
+    let m = meta(0, 0, 4, 0, 0);
+    let header = 12 + 6 * 20;
+    let mut data = m.clone();
+    data.extend_from_slice(&0u32.to_le_bytes()); // IOFF: [0]
+    let ioff_at = header + m.len();
+    data.extend_from_slice(&0u32.to_le_bytes()); // OOFF: [0]
+    let ooff_at = ioff_at + 4;
+    data.extend_from_slice(b"from the future");
+    let futr_at = ooff_at + 4;
+    let entries = [
+        (*b"META", header as u64, m.len() as u64),
+        (*b"IOFF", ioff_at as u64, 4),
+        (*b"IDAT", futr_at as u64, 0),
+        (*b"OOFF", ooff_at as u64, 4),
+        (*b"ODAT", futr_at as u64, 0),
+        (*b"FUTR", futr_at as u64, 15),
+    ];
+    let layout = parse_v2(&craft(&entries, &data)).expect("unknown section must be skipped");
+    assert_eq!(layout.num_vertices(), 0);
+}
+
+#[test]
+fn missing_required_sections_are_rejected() {
+    // META alone: no offset/data sections.
+    let m = meta(0, 0, 4, 0, 0);
+    expect_corrupt(&craft(&[(*b"META", 32, m.len() as u64)], &m));
+    // No META at all.
+    expect_corrupt(&craft(&[(*b"IOFF", 32, 4)], &[0, 0, 0, 0]));
+}
+
+/// One-vertex image builder with attacker-controlled IDAT bytes (the
+/// in-label run of vertex 0) under the delta-varint codec.
+fn one_vertex_with_idat(idat: &[u8]) -> Vec<u8> {
+    let m = meta(1, 1, 4, 0, 0);
+    let header = 12 + 5 * 20;
+    let mut data = m.clone();
+    let ioff_at = header + data.len();
+    data.extend_from_slice(&0u32.to_le_bytes());
+    data.extend_from_slice(&(idat.len() as u32).to_le_bytes());
+    let idat_at = ioff_at + 8;
+    data.extend_from_slice(idat);
+    let ooff_at = idat_at + idat.len();
+    data.extend_from_slice(&0u32.to_le_bytes());
+    data.extend_from_slice(&0u32.to_le_bytes());
+    let odat_at = ooff_at + 8;
+    let entries = [
+        (*b"META", header as u64, m.len() as u64),
+        (*b"IOFF", ioff_at as u64, 8),
+        (*b"IDAT", idat_at as u64, idat.len() as u64),
+        (*b"OOFF", ooff_at as u64, 8),
+        (*b"ODAT", odat_at as u64, 0),
+    ];
+    craft(&entries, &data)
+}
+
+#[test]
+fn overlong_and_truncated_varints_in_data_sections_are_rejected() {
+    // Canonical single entry: varint(0) = [0x00] — parses.
+    parse_v2(&one_vertex_with_idat(&[0x00])).expect("canonical varint");
+    // Overlong: 0x80 0x00 encodes 0 in two bytes — non-canonical.
+    expect_corrupt(&one_vertex_with_idat(&[0x80, 0x00]));
+    // Truncated: continuation bit set, then nothing.
+    expect_corrupt(&one_vertex_with_idat(&[0x80]));
+    // Overflow: 6-byte varint exceeds u32.
+    expect_corrupt(&one_vertex_with_idat(&[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01]));
+    // Out of range: vertex id 1 in a 1-vertex index.
+    expect_corrupt(&one_vertex_with_idat(&[0x01]));
+}
+
+#[test]
+fn bloom_section_length_mismatches_are_rejected() {
+    let base = reach_index::storage::encode_index_v2(
+        &reach_index::ReachIndex::from_labels(vec![vec![0]], vec![vec![0]]),
+        CodecId::DeltaVarint,
+        Some(BloomConfig {
+            bits_per_vertex: 64,
+            k: 2,
+        }),
+    );
+    parse_v2(&base).expect("seed image valid");
+    // Find the BLOM entry in the table and lie about its length.
+    let count = u32::from_le_bytes(base[8..12].try_into().unwrap()) as usize;
+    let mut tampered = base.clone();
+    let mut found = false;
+    for i in 0..count {
+        let at = 12 + i * 20;
+        if &base[at..at + 4] == b"BLOM" {
+            // Shrink the declared length below n × bytes_per_vertex.
+            tampered[at + 12..at + 20].copy_from_slice(&4u64.to_le_bytes());
+            found = true;
+        }
+    }
+    assert!(found, "seed image has a BLOM section");
+    expect_corrupt(&tampered);
+
+    // And: bloom config in META without a BLOM section at all.
+    let mut no_blom = base.clone();
+    for i in 0..count {
+        let at = 12 + i * 20;
+        if &no_blom[at..at + 4] == b"BLOM" {
+            no_blom[at..at + 4].copy_from_slice(b"XBLM"); // now unknown → skipped
+        }
+    }
+    expect_corrupt(&no_blom);
+}
+
+#[test]
+fn v1_files_and_foreign_magic_fail_typed_through_v2_entry_points() {
+    let idx = reach_index::ReachIndex::from_labels(vec![vec![]], vec![vec![]]);
+    let mut v1 = Vec::new();
+    reach_index::storage::write_index(&idx, &mut v1).unwrap();
+    match parse_v2(&v1) {
+        Err(StorageError::BadVersion(1)) => {}
+        other => panic!("v1 through parse_v2: {other:?}"),
+    }
+    match parse_v2(b"ELF\x7f but definitely not an index") {
+        Err(StorageError::BadMagic) => {}
+        other => panic!("foreign magic: {other:?}"),
+    }
+}

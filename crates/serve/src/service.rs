@@ -62,7 +62,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use reach_graph::VertexId;
-use reach_index::ReachIndex;
+use reach_index::{IndexSource, ReachIndex};
 use reach_vcs::Partition;
 
 use crate::cache::ShardedLruCache;
@@ -72,12 +72,53 @@ use crate::supervisor::{Resilience, ResilienceConfig, WorkerExit, WorkerSlot};
 use crate::swap::{Swappable, Tagged};
 use crate::{DegradeTier, ServeError};
 
-/// One served index epoch: the index and the label store resharded from
-/// it. Swapped in as a unit so a worker can never pair one generation's
-/// labels with another's index.
-pub(crate) struct Epoch {
-    index: Arc<ReachIndex>,
-    labels: ShardedLabels,
+/// One served index epoch, swapped in as a unit so a worker can never
+/// pair one generation's labels with another's index.
+///
+/// Two backings answer the same queries: the classic **Ram** form (a
+/// decoded [`ReachIndex`] plus the [`ShardedLabels`] store resharded
+/// from it), and a **Source** form — any [`IndexSource`], e.g. a
+/// compressed or mmap-backed v2 image — for indexes that should not
+/// (or cannot) be fully decoded into memory. Source epochs answer from
+/// one shared structure, so the worker's `shard` id does not partition
+/// the scan; admission, queueing, caching, and swaps are identical.
+pub(crate) enum Epoch {
+    /// Decoded index + sharded label store (the original serving form).
+    Ram {
+        /// The decoded index, for witness queries and re-sharding swaps.
+        index: Arc<ReachIndex>,
+        /// Per-shard CSR labels the workers scan.
+        labels: ShardedLabels,
+    },
+    /// Any [`IndexSource`] backing: compressed in-heap or mmap-backed.
+    Source(Arc<dyn IndexSource>),
+}
+
+impl Epoch {
+    /// Vertices covered by this epoch's index.
+    fn num_vertices(&self) -> usize {
+        match self {
+            Epoch::Ram { labels, .. } => labels.num_vertices(),
+            Epoch::Source(src) => src.num_vertices(),
+        }
+    }
+
+    /// Answers `q(s, t)` with its scan cost. `shard` routes the Ram
+    /// form's per-shard label store; a Source ignores it.
+    fn scan(&self, shard: usize, s: VertexId, t: VertexId) -> (bool, usize) {
+        match self {
+            Epoch::Ram { labels, .. } => labels.scan(shard, s, t),
+            Epoch::Source(src) => src.query_scan(s, t),
+        }
+    }
+
+    /// The backing as a shareable [`IndexSource`] (witness queries).
+    fn as_source(&self) -> Arc<dyn IndexSource> {
+        match self {
+            Epoch::Ram { index, .. } => Arc::clone(index) as Arc<dyn IndexSource>,
+            Epoch::Source(src) => Arc::clone(src),
+        }
+    }
 }
 
 /// A pinned epoch handle: the tagged value batches hold onto.
@@ -831,6 +872,30 @@ impl QueryService {
         partition: Partition,
         config: ServeConfig,
     ) -> Self {
+        assert!(
+            partition.covers(index.num_vertices()),
+            "partition does not cover the index's vertices"
+        );
+        let labels = ShardedLabels::build(&index, partition.clone());
+        QueryService::start_with_epoch(Epoch::Ram { index, labels }, partition, config)
+    }
+
+    /// Starts a service over any [`IndexSource`] — a compressed
+    /// [`CompressedIndex`](reach_index::CompressedIndex), an out-of-core
+    /// [`MmapIndex`](reach_index::MmapIndex), or a plain decoded index.
+    ///
+    /// Source-backed epochs skip the sharded-label rebuild: every worker
+    /// answers from the shared source, so start and swap are O(1) in the
+    /// index size (mmap-backed serving would otherwise decode the file
+    /// it is trying not to hold in memory). [`QueryService::index`] and
+    /// [`QueryService::index_tagged`] are unavailable on this form —
+    /// witness paths use [`QueryService::source_tagged`] instead.
+    pub fn start_with_source(source: Arc<dyn IndexSource>, config: ServeConfig) -> Self {
+        let partition = Partition::modulo(config.workers.max(1));
+        QueryService::start_with_epoch(Epoch::Source(source), partition, config)
+    }
+
+    fn start_with_epoch(epoch: Epoch, partition: Partition, config: ServeConfig) -> Self {
         assert!(config.workers >= 1, "a service needs at least one worker");
         assert!(config.queue_capacity >= 1, "queue capacity must be >= 1");
         assert_eq!(
@@ -838,11 +903,6 @@ impl QueryService {
             config.workers,
             "one worker per label shard"
         );
-        assert!(
-            partition.covers(index.num_vertices()),
-            "partition does not cover the index's vertices"
-        );
-        let labels = ShardedLabels::build(&index, partition.clone());
         let cache = (config.cache_capacity > 0).then(|| {
             ShardedLruCache::new(
                 config.cache_capacity,
@@ -855,7 +915,7 @@ impl QueryService {
             .clone()
             .map(|cfg| Resilience::new(cfg, config.workers));
         let shared = Arc::new(Shared {
-            epochs: Swappable::new(Epoch { index, labels }),
+            epochs: Swappable::new(epoch),
             partition,
             cache,
             queues: (0..config.workers)
@@ -905,8 +965,19 @@ impl QueryService {
     }
 
     /// The currently served index (the latest swapped-in generation).
+    ///
+    /// # Panics
+    ///
+    /// On a source-backed service ([`QueryService::start_with_source`]):
+    /// there is no decoded [`ReachIndex`] to hand out. Use
+    /// [`QueryService::source_tagged`] there.
     pub fn index(&self) -> Arc<ReachIndex> {
-        Arc::clone(&self.shared.epochs.load().value().index)
+        match self.shared.epochs.load().value() {
+            Epoch::Ram { index, .. } => Arc::clone(index),
+            Epoch::Source(_) => {
+                panic!("index() is unavailable on a source-backed service; use source_tagged()")
+            }
+        }
     }
 
     /// The generation currently being served: 0 at start, +1 per
@@ -924,7 +995,24 @@ impl QueryService {
     /// internally consistent and correctly generation-tagged.
     pub fn index_tagged(&self) -> (Arc<ReachIndex>, u64) {
         let epoch = self.shared.epochs.load();
-        (Arc::clone(&epoch.value().index), epoch.generation())
+        match epoch.value() {
+            Epoch::Ram { index, .. } => (Arc::clone(index), epoch.generation()),
+            Epoch::Source(_) => {
+                panic!(
+                    "index_tagged() is unavailable on a source-backed service; use source_tagged()"
+                )
+            }
+        }
+    }
+
+    /// The currently served backing as an [`IndexSource`], with its
+    /// generation, from **one** epoch load — the backing-agnostic
+    /// counterpart of [`QueryService::index_tagged`], and the only
+    /// consistent snapshot on a source-backed service. The wire server's
+    /// witness path answers through this.
+    pub fn source_tagged(&self) -> (Arc<dyn IndexSource>, u64) {
+        let epoch = self.shared.epochs.load();
+        (epoch.value().as_source(), epoch.generation())
     }
 
     /// Atomically replaces the served index with `index`, rebuilt into a
@@ -961,6 +1049,41 @@ impl QueryService {
             self.shared.partition.covers(index.num_vertices()),
             "partition does not cover the new index's vertices"
         );
+        self.check_swap_fault()?;
+        let t0 = Instant::now();
+        let labels = ShardedLabels::build(&index, self.shared.partition.clone());
+        Ok(self.install_epoch(Epoch::Ram { index, labels }, t0))
+    }
+
+    /// Atomically replaces the served backing with any [`IndexSource`]
+    /// — e.g. hot-swapping to a freshly written compressed or
+    /// mmap-backed v2 file. Same epoch semantics as
+    /// [`QueryService::swap_index`]: no drain, batches pin one
+    /// generation end-to-end, the cache keys on the generation.
+    /// Ram- and source-backed epochs may alternate freely over a
+    /// service's lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Like [`QueryService::swap_index`], if an active fault plan
+    /// injects a swap failure; chaos drivers use
+    /// [`QueryService::try_swap_source`].
+    pub fn swap_source(&self, source: Arc<dyn IndexSource>) -> u64 {
+        self.try_swap_source(source)
+            .expect("swap install failed by injected fault; use try_swap_source in chaos runs")
+    }
+
+    /// [`QueryService::swap_source`] with injected swap failures
+    /// surfaced as [`ServeError::SwapFailed`]; atomic-nothing on
+    /// failure, like [`QueryService::try_swap_index`].
+    pub fn try_swap_source(&self, source: Arc<dyn IndexSource>) -> Result<u64, ServeError> {
+        self.check_swap_fault()?;
+        let t0 = Instant::now();
+        Ok(self.install_epoch(Epoch::Source(source), t0))
+    }
+
+    /// Draws the chaos swap-failure coin before any install work.
+    fn check_swap_fault(&self) -> Result<(), ServeError> {
         if let Some(res) = &self.shared.resilience {
             if res.draw_swap_failure() {
                 self.shared
@@ -973,9 +1096,13 @@ impl QueryService {
                 });
             }
         }
-        let t0 = Instant::now();
-        let labels = ShardedLabels::build(&index, self.shared.partition.clone());
-        let generation = self.shared.epochs.swap(Epoch { index, labels });
+        Ok(())
+    }
+
+    /// Installs a built epoch and books the swap; `t0` marks when the
+    /// install work (label resharding included, for Ram) began.
+    fn install_epoch(&self, epoch: Epoch, t0: Instant) -> u64 {
+        let generation = self.shared.epochs.swap(epoch);
         self.shared.stats.swaps.fetch_add(1, Ordering::Relaxed);
         self.shared
             .stats
@@ -983,7 +1110,7 @@ impl QueryService {
             .store(generation, Ordering::Relaxed);
         reach_obs::counter_add("serve.swap.count", 1);
         reach_obs::record("serve.swap.install_ns", t0.elapsed().as_nanos() as u64);
-        Ok(generation)
+        generation
     }
 
     /// Worker-thread (= shard) count.
@@ -1046,7 +1173,7 @@ impl QueryService {
         // pinned to a later (shrunken) epoch at pickup is re-checked by
         // the worker against its pinned generation.
         let epoch = shared.epochs.load();
-        let n = epoch.value().labels.num_vertices();
+        let n = epoch.value().num_vertices();
         for &(s, t) in queries {
             for v in [s, t] {
                 if v as usize >= n {
@@ -1497,11 +1624,11 @@ fn serve_sub_batch(shared: &Shared, shard: usize, sub: &SubBatch) {
         .get_or_init(|| shared.epochs.load())
         .clone();
     let generation = epoch.generation();
-    let labels = &epoch.value().labels;
+    let backing = epoch.value();
     // Submission validated against the epoch current back then; the
     // pinned one may cover fewer vertices (a shrinking swap), so re-check
     // before touching label arrays.
-    let pinned_n = labels.num_vertices();
+    let pinned_n = backing.num_vertices();
     if let Some(v) = sub
         .queries
         .iter()
@@ -1527,7 +1654,7 @@ fn serve_sub_batch(shared: &Shared, shard: usize, sub: &SubBatch) {
                 cached
             }
             None => {
-                let (computed, scanned) = labels.scan(shard, s, t);
+                let (computed, scanned) = backing.scan(shard, s, t);
                 reach_obs::record("serve.query.scan_len", scanned as u64);
                 if let Some(c) = &shared.cache {
                     misses += 1;

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! reach-served --index <index.ridx> [--listen 127.0.0.1:7411]
+//!              [--compressed | --mmap]
 //!              [--workers N] [--queue-capacity N] [--cache N]
 //!              [--default-deadline-ms N] [--max-inflight N]
 //!              [--max-batch N] [--qps N] [--max-frame BYTES]
@@ -20,7 +21,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use reach_serve::ServeConfig;
-use reach_served::server::{ServedConfig, Server};
+use reach_served::server::{IndexMode, ServedConfig, Server};
 use reach_served::shutdown;
 
 fn main() -> ExitCode {
@@ -48,6 +49,8 @@ fn print_usage() {
          OPTIONS (defaults in parentheses):\n\
            --index PATH              index to serve; also the default RELOAD path (required)\n\
            --listen ADDR             listen address (127.0.0.1:7411)\n\
+           --compressed              serve a v2 index from its compressed in-memory image\n\
+           --mmap                    memory-map a v2 index and serve out-of-core\n\
            --workers N               service worker threads = label shards (4)\n\
            --queue-capacity N        per-shard admission queue, in sub-batches (1024)\n\
            --cache N                 result-cache entries, 0 disables (16384)\n\
@@ -62,6 +65,10 @@ fn print_usage() {
          Hot reload: a wire RELOAD frame (empty path reloads --index).\n\
          Spec: docs/PROTOCOL.md — runbook: docs/OPERATIONS.md"
     );
+}
+
+fn bool_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
 }
 
 fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
@@ -91,14 +98,12 @@ fn run(args: &[String]) -> Result<(), String> {
     let qps: u32 = flag(args, "--qps", 0)?;
     let max_frame: u32 = flag(args, "--max-frame", 1 << 20)?;
     let drain_grace_ms: u64 = flag(args, "--drain-grace-ms", 10_000)?;
-
-    let index = reach_index::storage::load_index(&index_path)
-        .map_err(|e| format!("cannot load {index_path}: {e}"))?;
-    eprintln!(
-        "loaded {index_path}: {} vertices, {} label entries",
-        index.num_vertices(),
-        index.num_entries()
-    );
+    let mode = match (bool_flag(args, "--compressed"), bool_flag(args, "--mmap")) {
+        (true, true) => return Err("--compressed and --mmap are mutually exclusive".into()),
+        (true, false) => IndexMode::Compressed,
+        (false, true) => IndexMode::Mmap,
+        (false, false) => IndexMode::Ram,
+    };
 
     let cfg = ServedConfig {
         serve: ServeConfig {
@@ -115,11 +120,34 @@ fn run(args: &[String]) -> Result<(), String> {
         },
         max_frame,
         reload_path: Some(index_path.clone().into()),
+        index_mode: mode,
     };
 
     shutdown::install();
-    let server =
-        Server::start(Arc::new(index), cfg, &listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    let server = match mode {
+        IndexMode::Ram => {
+            let index = reach_index::storage::load_index(&index_path)
+                .map_err(|e| format!("cannot load {index_path}: {e}"))?;
+            eprintln!(
+                "loaded {index_path}: {} vertices, {} label entries (mode: ram)",
+                index.num_vertices(),
+                index.num_entries()
+            );
+            Server::start(Arc::new(index), cfg, &listen)
+        }
+        IndexMode::Compressed | IndexMode::Mmap => {
+            let source = mode
+                .load(std::path::Path::new(&index_path))
+                .map_err(|e| format!("cannot load {index_path}: {e}"))?;
+            eprintln!(
+                "loaded {index_path}: {} (mode: {})",
+                source.describe(),
+                mode.name()
+            );
+            Server::start_with_source(source, cfg, &listen)
+        }
+    }
+    .map_err(|e| format!("bind {listen}: {e}"))?;
     eprintln!(
         "serving on {} with {} workers (drain: SIGTERM or wire DRAIN)",
         server.local_addr(),

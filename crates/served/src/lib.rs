@@ -43,5 +43,5 @@ pub mod wire;
 
 pub use client::{ClientError, Response, WireClient};
 pub use quota::QuotaConfig;
-pub use server::{ServedConfig, Server};
+pub use server::{IndexMode, ServedConfig, Server};
 pub use wire::{ErrorCode, Frame, WireStats};

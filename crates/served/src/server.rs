@@ -25,14 +25,14 @@
 
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use reach_index::storage;
+use reach_index::{storage, CompressedIndex, IndexSource, MmapIndex};
 use reach_serve::{BatchOptions, BatchTicket, Priority, QueryService, ServeConfig};
 
 use crate::quota::{QuotaConfig, TokenBucket};
@@ -43,6 +43,43 @@ const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// How often the accept loop polls its non-blocking listener.
 const ACCEPT_INTERVAL: Duration = Duration::from_millis(5);
+
+/// How the server materializes a `.ridx` file — at startup (the
+/// `reach-served` binary's `--compressed` / `--mmap` flags) and on
+/// every wire-triggered RELOAD.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IndexMode {
+    /// Decode fully into an in-memory [`reach_index::ReachIndex`] with
+    /// per-worker sharded labels (v1 or v2 files).
+    #[default]
+    Ram,
+    /// Hold the v2 image in memory in its compressed form and answer
+    /// through streaming cursors (requires a v2 file).
+    Compressed,
+    /// Memory-map the v2 file and serve out-of-core: the index may
+    /// exceed RAM (requires a v2 file).
+    Mmap,
+}
+
+impl IndexMode {
+    /// Loads `path` in this mode as a shareable [`IndexSource`].
+    pub fn load(self, path: &Path) -> Result<Arc<dyn IndexSource>, storage::StorageError> {
+        Ok(match self {
+            IndexMode::Ram => Arc::new(storage::load_index(path)?),
+            IndexMode::Compressed => Arc::new(CompressedIndex::load(path)?),
+            IndexMode::Mmap => Arc::new(MmapIndex::open(path)?),
+        })
+    }
+
+    /// Stable lowercase name (logs and startup banner).
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexMode::Ram => "ram",
+            IndexMode::Compressed => "compressed",
+            IndexMode::Mmap => "mmap",
+        }
+    }
+}
 
 /// Configuration of a [`Server`] (see `docs/OPERATIONS.md` for the
 /// operator-facing description of every knob).
@@ -58,6 +95,10 @@ pub struct ServedConfig {
     /// Default path a path-less RELOAD frame reloads from — normally the
     /// index the server was started with.
     pub reload_path: Option<PathBuf>,
+    /// How RELOAD materializes the file it loads — kept consistent with
+    /// the startup mode so a reload cannot silently change the serving
+    /// form (and its memory footprint).
+    pub index_mode: IndexMode,
 }
 
 impl Default for ServedConfig {
@@ -67,6 +108,7 @@ impl Default for ServedConfig {
             quota: QuotaConfig::default(),
             max_frame: wire::DEFAULT_MAX_FRAME,
             reload_path: None,
+            index_mode: IndexMode::Ram,
         }
     }
 }
@@ -123,10 +165,30 @@ impl Server {
         cfg: ServedConfig,
         addr: impl ToSocketAddrs,
     ) -> std::io::Result<Server> {
+        let svc = QueryService::start(index, cfg.serve.clone());
+        Server::start_with_service(svc, cfg, addr)
+    }
+
+    /// Like [`Server::start`], but serving any [`IndexSource`] — a
+    /// compressed in-heap image or an mmap-backed file larger than RAM
+    /// (the `reach-served` binary's `--compressed` / `--mmap` modes).
+    pub fn start_with_source(
+        source: Arc<dyn IndexSource>,
+        cfg: ServedConfig,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<Server> {
+        let svc = QueryService::start_with_source(source, cfg.serve.clone());
+        Server::start_with_service(svc, cfg, addr)
+    }
+
+    fn start_with_service(
+        svc: QueryService,
+        cfg: ServedConfig,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let svc = QueryService::start(index, cfg.serve.clone());
         let inner = Arc::new(Shared {
             svc,
             cfg,
@@ -395,9 +457,10 @@ fn handle_frame(
                 send_err(ErrorCode::ShuttingDown, "server is draining");
                 return true;
             }
-            // One atomic epoch snapshot: the index and the generation tag
-            // cannot straddle a concurrent reload.
-            let (idx, generation) = shared.svc.index_tagged();
+            // One atomic epoch snapshot: the backing and the generation
+            // tag cannot straddle a concurrent reload. source_tagged()
+            // works for every index mode (ram, compressed, mmap).
+            let (idx, generation) = shared.svc.source_tagged();
             let n = idx.num_vertices();
             if let Some(&(s, t)) = req
                 .pairs
@@ -448,17 +511,27 @@ fn handle_frame(
             } else {
                 PathBuf::from(path)
             };
-            let index = match storage::load_index(&path) {
-                Ok(idx) => Arc::new(idx),
-                Err(e) => {
-                    send_err(
-                        ErrorCode::ReloadFailed,
-                        &format!("cannot load {}: {e}", path.display()),
-                    );
-                    return true;
-                }
+            // Reload in the server's configured index mode: a ram-mode
+            // server decodes and reshards; compressed/mmap servers
+            // install the new file as a source without decoding it.
+            let mode = shared.cfg.index_mode;
+            let load_err = |e: storage::StorageError| {
+                (
+                    ErrorCode::ReloadFailed,
+                    format!("cannot load {}: {e}", path.display()),
+                )
             };
-            match shared.svc.try_swap_index(index) {
+            let swap_err = |e: reach_serve::ServeError| ErrorCode::from_serve_error(&e);
+            let swapped: Result<u64, (ErrorCode, String)> = match mode {
+                IndexMode::Ram => storage::load_index(&path)
+                    .map_err(load_err)
+                    .and_then(|idx| shared.svc.try_swap_index(Arc::new(idx)).map_err(swap_err)),
+                IndexMode::Compressed | IndexMode::Mmap => mode
+                    .load(&path)
+                    .map_err(load_err)
+                    .and_then(|src| shared.svc.try_swap_source(src).map_err(swap_err)),
+            };
+            match swapped {
                 Ok(generation) => {
                     reach_obs::counter_add("served.reloads", 1);
                     let payload = wire::encode_reload_ok(generation);
@@ -466,10 +539,7 @@ fn handle_frame(
                         Frame::new(opcode::RELOAD_OK, id, payload).encode(),
                     ));
                 }
-                Err(e) => {
-                    let (code, msg) = ErrorCode::from_serve_error(&e);
-                    send_err(code, &msg);
-                }
+                Err((code, msg)) => send_err(code, &msg),
             }
         }
         opcode::DRAIN => {

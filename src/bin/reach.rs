@@ -3,15 +3,21 @@
 //! ```text
 //! reach build <edges.txt> -o <index.ridx> [--order degree|id] [--algorithm drlb|drl|tol]
 //!             [--batch-b N] [--batch-k F] [--nodes N]
+//!             [--compressed] [--codec plain|delta] [--bloom-bits N] [--bloom-k N]
 //! reach query <index.ridx> [<s> <t>]...          # or s,t pairs on stdin
+//! reach convert <in.ridx> <out.ridx> [--codec plain|delta] [--bloom-bits N]
+//!             [--bloom-k N] [--v1]
 //! reach stats <edges.txt>
 //! reach gen <dataset-name> -o <edges.txt>        # Table V stand-ins
 //! reach bench-query <index.ridx> [--count N]
 //! ```
 //!
 //! Edge lists are SNAP-style whitespace-separated `u v` lines (`#`/`%`
-//! comments allowed). Indexes use the binary `.ridx` format of
-//! `reach_index::storage`.
+//! comments allowed). Indexes use the binary `.ridx` formats of
+//! `reach_index::storage`: v1 (plain CSR) or, with `--compressed`, the
+//! v2 section-table format (delta-varint label runs, optional per-vertex
+//! Bloom pre-filters) that `reach-served --compressed/--mmap` serves
+//! without decoding. `docs/STORAGE.md` specifies both layouts.
 
 use std::io::BufRead;
 use std::process::ExitCode;
@@ -25,6 +31,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
@@ -51,7 +58,10 @@ fn print_usage() {
          USAGE:\n\
            reach build <edges.txt> -o <index.ridx> [--order degree|id]\n\
                        [--algorithm drlb|drl|tol] [--batch-b N] [--batch-k F]\n\
+                       [--compressed] [--codec plain|delta] [--bloom-bits N] [--bloom-k N]\n\
            reach query <index.ridx> [<s> <t>]...   (or `s t` lines on stdin)\n\
+           reach convert <in.ridx> <out.ridx>      (re-encode: v1 <-> v2, codec, Bloom)\n\
+                       [--codec plain|delta] [--bloom-bits N] [--bloom-k N] [--v1]\n\
            reach stats <edges.txt>\n\
            reach gen <dataset> -o <edges.txt>      (Table V stand-ins, e.g. WEBW)\n\
            reach bench-query <index.ridx> [--count N]"
@@ -70,22 +80,54 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
     }
 }
 
+/// Flags that take no value (everything else consumes the next token).
+const BOOL_FLAGS: &[&str] = &["--compressed", "--v1"];
+
 fn positional(args: &[String]) -> Vec<&String> {
     let mut out = Vec::new();
     let mut skip = false;
-    for (i, a) in args.iter().enumerate() {
+    for a in args.iter() {
         if skip {
             skip = false;
             continue;
         }
         if a.starts_with("--") || a == "-o" {
-            skip = true; // all our flags take a value
-            let _ = i;
+            skip = !BOOL_FLAGS.contains(&a.as_str());
             continue;
         }
         out.push(a);
     }
     out
+}
+
+fn bool_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Parses the `--codec` / `--bloom-bits` / `--bloom-k` trio shared by
+/// `build --compressed` and `convert`.
+fn v2_options(
+    args: &[String],
+) -> Result<
+    (
+        reachability::index::CodecId,
+        Option<reachability::index::BloomConfig>,
+    ),
+    String,
+> {
+    use reachability::index::{BloomConfig, CodecId};
+    let codec = match flag_value(args, "--codec")?.as_deref() {
+        None | Some("delta") => CodecId::DeltaVarint,
+        Some("plain") => CodecId::Plain,
+        Some(other) => return Err(format!("unknown codec {other:?} (plain|delta)")),
+    };
+    let bits: u32 = parse_flag(args, "--bloom-bits", 0)?;
+    let k: u32 = parse_flag(args, "--bloom-k", 2)?;
+    let bloom = (bits > 0).then_some(BloomConfig {
+        bits_per_vertex: bits,
+        k: k.max(1),
+    });
+    Ok((codec, bloom))
 }
 
 fn cmd_build(args: &[String]) -> Result<(), String> {
@@ -126,8 +168,49 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         index.stats()
     );
 
-    reachability::index::save_index(&index, &output).map_err(|e| e.to_string())?;
-    eprintln!("wrote {output}");
+    if bool_flag(args, "--compressed") {
+        let (codec, bloom) = v2_options(args)?;
+        reachability::index::save_index_v2(&index, &output, codec, bloom)
+            .map_err(|e| e.to_string())?;
+        let size = std::fs::metadata(&output).map(|m| m.len()).unwrap_or(0);
+        eprintln!(
+            "wrote {output} (v2, codec {}, bloom {}, {size} bytes)",
+            codec.name(),
+            if bloom.is_some() { "on" } else { "off" }
+        );
+    } else {
+        reachability::index::save_index(&index, &output).map_err(|e| e.to_string())?;
+        eprintln!("wrote {output}");
+    }
+    Ok(())
+}
+
+/// Re-encodes an existing index file: v1 → v2 (choosing codec and Bloom
+/// parameters), v2 → v2 (re-tuning), or back to v1 with `--v1`.
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let (input, output) = match pos.as_slice() {
+        [i, o] => (i.as_str(), o.as_str()),
+        _ => return Err("convert needs <in.ridx> <out.ridx>".into()),
+    };
+    let index = load(input)?;
+    if bool_flag(args, "--v1") {
+        reachability::index::save_index(&index, output).map_err(|e| e.to_string())?;
+    } else {
+        let (codec, bloom) = v2_options(args)?;
+        reachability::index::save_index_v2(&index, output, codec, bloom)
+            .map_err(|e| e.to_string())?;
+    }
+    let before = std::fs::metadata(input).map(|m| m.len()).unwrap_or(0);
+    let after = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+    eprintln!(
+        "converted {input} ({before} bytes) -> {output} ({after} bytes, {:.2}x)",
+        if after > 0 {
+            before as f64 / after as f64
+        } else {
+            0.0
+        }
+    );
     Ok(())
 }
 
